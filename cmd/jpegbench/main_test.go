@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ILP; skipped in -short mode")
+	}
+	if err := run(0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPaperTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ILP; skipped in -short mode")
+	}
+	if err := run(60, true, true); err != nil {
+		t.Fatal(err)
+	}
+}

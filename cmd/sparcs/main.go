@@ -1,0 +1,162 @@
+// Command sparcs runs the full temporal partitioning and loop fission flow
+// on a task graph: read a graph (JSON from cmd/tgen or hand-written, or the
+// built-in DCT case study), partition it for a target board, analyze loop
+// fission, and simulate the resulting RTR design.
+//
+// Usage:
+//
+//	sparcs -graph dct -I 245760 -strategy idh
+//	sparcs -graph mygraph.json -board xc6000 -partitioner list -I 10000
+//	sparcs -graph dct -verilog    # dump partition RTL
+//	sparcs -graph dct -dot        # dump the task graph in Graphviz format
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/fission"
+	"repro/internal/hls"
+	"repro/internal/jpeg"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		graphArg   = flag.String("graph", "dct", "task graph: 'dct' or a JSON file path")
+		boardArg   = flag.String("board", "paper", "board preset: "+strings.Join(arch.Presets(), ", "))
+		partArg    = flag.String("partitioner", "ilp", "partitioner: ilp or list")
+		stratArg   = flag.String("strategy", "idh", "sequencing strategy: fdh or idh")
+		iArg       = flag.Int("I", 2048, "total computations (outer loop count)")
+		pow2Arg    = flag.Bool("pow2", false, "use power-of-two memory blocks")
+		dotArg     = flag.Bool("dot", false, "print the task graph in DOT format and exit")
+		verilogArg = flag.Bool("verilog", false, "print partition RTL after the flow")
+		seqArg     = flag.Bool("sequencer", false, "print the host sequencer code")
+		traceArg   = flag.Int("trace", 0, "print the first N simulation trace events")
+	)
+	flag.Parse()
+
+	if err := run(*graphArg, *boardArg, *partArg, *stratArg, *iArg, *pow2Arg,
+		*dotArg, *verilogArg, *seqArg, *traceArg); err != nil {
+		fmt.Fprintln(os.Stderr, "sparcs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphArg, boardArg, partArg, stratArg string, iTotal int,
+	pow2, dot, verilog, seq bool, trace int) error {
+
+	board, err := arch.BoardByName(boardArg)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(graphArg)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(g.DOT())
+		return nil
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Board = board
+	cfg.Pow2Blocks = pow2
+	switch partArg {
+	case "ilp":
+		cfg.Partitioner = core.ILPPartitioner
+	case "list":
+		cfg.Partitioner = core.ListPartitioner
+	default:
+		return fmt.Errorf("unknown partitioner %q", partArg)
+	}
+	switch stratArg {
+	case "fdh":
+		cfg.Strategy = fission.FDH
+	case "idh":
+		cfg.Strategy = fission.IDH
+	default:
+		return fmt.Errorf("unknown strategy %q", stratArg)
+	}
+
+	d, err := core.Build(g, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.Report())
+	if d.Partitioning.N == 0 {
+		return nil
+	}
+	fmt.Printf("  solver: %d B&B nodes, %d LP pivots, build %v, solve %v\n",
+		d.Partitioning.Stats.Nodes, d.Partitioning.Stats.LPIterations,
+		d.Partitioning.Stats.BuildTime.Round(1e6), d.Partitioning.Stats.SolveTime.Round(1e6))
+
+	res, err := d.Simulate(iTotal, sim.Options{TraceCap: maxInt(trace, 4096)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsimulated %d computations under %s:\n", iTotal, cfg.Strategy)
+	fmt.Printf("  total    %14.3f ms\n", res.TotalNS/arch.Millisecond)
+	fmt.Printf("  compute  %14.3f ms\n", res.ComputeNS/arch.Millisecond)
+	fmt.Printf("  reconfig %14.3f ms (%d loads)\n", res.ReconfigNS/arch.Millisecond, res.Reconfigurations)
+	fmt.Printf("  transfer %14.3f ms\n", res.TransferNS/arch.Millisecond)
+	fmt.Printf("  handshake%14.3f ms\n", res.HandshakeNS/arch.Millisecond)
+
+	if trace > 0 {
+		fmt.Println("\ntrace:")
+		for i, ev := range res.Trace.Events {
+			if i >= trace {
+				break
+			}
+			fmt.Printf("  %12.0f ns  %-9s config=%d batch=%d words=%d iters=%d\n",
+				ev.StartNS, ev.Kind, ev.Config, ev.Batch, ev.Words, ev.Iter)
+		}
+	}
+	if seq {
+		fmt.Println("\nhost sequencer:")
+		fmt.Print(d.Sequencer)
+	}
+	if verilog {
+		nl, err := d.Netlists()
+		if err != nil {
+			return err
+		}
+		for p, n := range nl {
+			if n == nil {
+				fmt.Printf("\n// partition %d: no behavioral payload, RTL skipped\n", p+1)
+				continue
+			}
+			fmt.Printf("\n// ----- partition %d -----\n", p+1)
+			fmt.Print(n.Verilog())
+		}
+	}
+	return nil
+}
+
+func loadGraph(arg string) (*dfg.Graph, error) {
+	if arg == "dct" {
+		return jpeg.BuildDCTGraph(hls.XC4000Library(), hls.Constraints{})
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	var g dfg.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", arg, err)
+	}
+	return &g, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

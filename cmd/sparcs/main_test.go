@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dfg"
+)
+
+func TestLoadGraphDCT(t *testing.T) {
+	g, err := loadGraph("dct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 32 {
+		t.Errorf("dct graph has %d tasks", g.NumTasks())
+	}
+}
+
+func TestLoadGraphJSON(t *testing.T) {
+	g := dfg.New("file")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 10, Delay: 5})
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != 1 || got.Task(0).Name != "a" {
+		t.Errorf("loaded graph wrong: %d tasks", got.NumTasks())
+	}
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunSmallGraph(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 60, Delay: 50, ReadEnv: 1})
+	g.MustAddTask(dfg.Task{Name: "b", Resources: 60, Delay: 70, WriteEnv: 1})
+	g.MustAddEdge("a", "b", 2)
+	data, _ := json.Marshal(g)
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise both partitioners and both strategies end to end.
+	for _, part := range []string{"ilp", "list"} {
+		for _, strat := range []string{"fdh", "idh"} {
+			if err := run(path, "small", part, strat, 100, false, false, false, true, 3); err != nil {
+				t.Fatalf("%s/%s: %v", part, strat, err)
+			}
+		}
+	}
+	// DOT mode.
+	if err := run(path, "small", "ilp", "idh", 0, false, true, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run("dct", "nope-board", "ilp", "idh", 1, false, false, false, false, 0); err == nil {
+		t.Error("unknown board accepted")
+	}
+	if err := run("dct", "small", "nope", "idh", 1, false, false, false, false, 0); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+	if err := run("dct", "small", "ilp", "nope", 1, false, false, false, false, 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command tgen generates synthetic DSP task graphs in the JSON schema
+// consumed by cmd/sparcs. Supported families:
+//
+//	chain    a linear pipeline of n tasks
+//	tree     a reduction tree with n leaves
+//	layered  a random layered DAG (the shape of typical DSP data flows)
+//	dct      the paper's Fig. 8 DCT graph (via the HLS estimator)
+//
+// Example:
+//
+//	tgen -kind layered -n 24 -seed 7 > graph.json
+//	sparcs -graph graph.json -board small
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dfg"
+	"repro/internal/hls"
+	"repro/internal/jpeg"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "layered", "graph family: chain, tree, layered, dct")
+		n    = flag.Int("n", 16, "task count (chain/layered) or leaf count (tree)")
+		seed = flag.Int64("seed", 1, "random seed (layered)")
+		res  = flag.Int("res", 40, "base task resource cost (CLBs)")
+		del  = flag.Float64("delay", 100, "base task delay (ns)")
+	)
+	flag.Parse()
+	g, err := generate(*kind, *n, *seed, *res, *del)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgen:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g); err != nil {
+		fmt.Fprintln(os.Stderr, "tgen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(kind string, n int, seed int64, res int, delay float64) (*dfg.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("n must be >= 1, got %d", n)
+	}
+	switch kind {
+	case "chain":
+		return chain(n, res, delay), nil
+	case "tree":
+		return tree(n, res, delay)
+	case "layered":
+		return layered(n, seed, res, delay), nil
+	case "dct":
+		return jpeg.BuildDCTGraph(hls.XC4000Library(), hls.Constraints{})
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+func chain(n, res int, delay float64) *dfg.Graph {
+	g := dfg.New("chain")
+	prev := ""
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		g.MustAddTask(dfg.Task{
+			Name: name, Type: "stage", Resources: res, Delay: delay,
+			ReadEnv: boolToInt(i == 0), WriteEnv: boolToInt(i == n-1),
+		})
+		if prev != "" {
+			g.MustAddEdge(prev, name, 1)
+		}
+		prev = name
+	}
+	return g
+}
+
+func tree(leaves, res int, delay float64) (*dfg.Graph, error) {
+	g := dfg.New("tree")
+	level := make([]string, leaves)
+	for i := range level {
+		name := fmt.Sprintf("leaf%d", i)
+		g.MustAddTask(dfg.Task{Name: name, Type: "leaf", Resources: res, Delay: delay, ReadEnv: 1})
+		level[i] = name
+	}
+	depth := 0
+	for len(level) > 1 {
+		depth++
+		var next []string
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			name := fmt.Sprintf("red%d_%d", depth, i/2)
+			g.MustAddTask(dfg.Task{Name: name, Type: "reduce", Resources: res, Delay: delay})
+			g.MustAddEdge(level[i], name, 1)
+			g.MustAddEdge(level[i+1], name, 1)
+			next = append(next, name)
+		}
+		level = next
+	}
+	g.Task(g.TaskByName(level[0])).WriteEnv = 1
+	return g, nil
+}
+
+func layered(n int, seed int64, res int, delay float64) *dfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := dfg.New(fmt.Sprintf("layered%d", seed))
+	var prev []string
+	made := 0
+	layer := 0
+	for made < n {
+		width := 1 + rng.Intn(4)
+		if made+width > n {
+			width = n - made
+		}
+		var cur []string
+		for w := 0; w < width; w++ {
+			name := fmt.Sprintf("l%d_%d", layer, w)
+			g.MustAddTask(dfg.Task{
+				Name: name, Type: fmt.Sprintf("L%d", layer),
+				Resources: res/2 + rng.Intn(res),
+				Delay:     delay/2 + float64(rng.Intn(int(delay))),
+				ReadEnv:   boolToInt(layer == 0),
+			})
+			cur = append(cur, name)
+			made++
+		}
+		for _, c := range cur {
+			if len(prev) == 0 {
+				continue
+			}
+			// At least one predecessor to keep the graph connected.
+			p := prev[rng.Intn(len(prev))]
+			g.MustAddEdge(p, c, 1+rng.Intn(4))
+			for _, q := range prev {
+				if q != p && rng.Intn(3) == 0 {
+					g.MustAddEdge(q, c, 1+rng.Intn(4))
+				}
+			}
+		}
+		prev = cur
+		layer++
+	}
+	for _, name := range prev {
+		g.Task(g.TaskByName(name)).WriteEnv = 1
+	}
+	return g
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+// dct8x8 scales the paper's case study to real JPEG block size: an 8x8 DCT
+// is 128 vector-product tasks (vs. the paper's 32), which no single XC4044
+// configuration can hold. The example partitions the generalized Fig. 8
+// graph, analyzes loop fission, and compares the XC4044 against an
+// XC6200-class device with partial reconfiguration — the capability the
+// paper's closing conjecture points at.
+//
+// Run with:
+//
+//	go run ./examples/dct8x8
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dctn"
+	"repro/internal/fission"
+	"repro/internal/hls"
+	"repro/internal/sim"
+)
+
+func main() {
+	lib := hls.XC4000Library()
+	g, err := dctn.BuildGraph(8, lib, hls.Constraints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1, a1, m2, a2 := dctn.Widths(8)
+	fmt.Printf("8x8 DCT: %d tasks, %d edges; stage widths %d/%d and %d/%d bits\n",
+		g.NumTasks(), g.NumEdges(), m1, a1, m2, a2)
+
+	cfg := core.DefaultConfig()
+	cfg.Partitioner = core.ListPartitioner // 128 tasks: greedy, not ILP
+	cfg.Strategy = fission.IDH
+	design, err := core.Build(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy partitioning: N=%d, k=%d computations per run\n",
+		design.Partitioning.N, design.Fission.K)
+	for p := 0; p < design.Partitioning.N; p++ {
+		fmt.Printf("  partition %d: m_temp=%d words, %d cycles @ %.0f ns\n",
+			p+1, design.Fission.MTemp[p],
+			design.Timings[p].BodyCycles, design.Timings[p].ClockNS)
+	}
+
+	const blocks = 61440 // a 1024x1536 image in 8x8 blocks
+	rtr := sim.RTRDesign{
+		Partitions:    design.Timings,
+		Analysis:      design.Fission,
+		PartitionCLBs: design.PartitionCLBs(),
+	}
+	for _, board := range []arch.Board{
+		arch.PaperXC4044Board(),
+		arch.XC6000Board(),
+		arch.XC6000PartialBoard(),
+	} {
+		res, err := sim.SimulateRTR(rtr, board, fission.IDH, blocks, sim.Options{TraceCap: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %9.3f ms total (%7.3f ms reconfiguration in %d loads)\n",
+			board.Name, res.TotalNS/arch.Millisecond,
+			res.ReconfigNS/arch.Millisecond, res.Reconfigurations)
+	}
+}

@@ -1,0 +1,87 @@
+// seqgen showcases the synthesis artifacts of the flow beyond timing
+// numbers: the augmented controller FSM of Fig. 7, the generated host
+// sequencer code for both strategies (Sec. 2.2), the memory block address
+// transformation of Fig. 6, and the partition RTL.
+//
+// Run with:
+//
+//	go run ./examples/seqgen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fission"
+	"repro/internal/hls"
+	"repro/internal/memmap"
+	"repro/internal/rtl"
+)
+
+func main() {
+	lib := hls.XC4000Library()
+
+	// One T1-style vector product scheduled and synthesized.
+	vp := hls.VectorProduct("vp", 4, 9, 16, "M1", "M2", false)
+	alloc := hls.MinimalAllocation(vp)
+	sched, err := hls.ListSchedule([]*hls.OpGraph{vp}, []hls.Allocation{alloc}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule: %d control steps for %d operations\n\n", sched.Cycles, len(sched.Ops))
+
+	// Fig. 7: the augmented RTR controller.
+	plain := hls.SynthesizeController("vp", sched)
+	augmented := hls.AugmentForRTR(plain)
+	fmt.Println("augmented controller (Fig. 7):")
+	fmt.Print(augmented.String())
+	for _, k := range []int{1, 4} {
+		r, err := augmented.Run(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d -> %d cycles, %d iterations\n", k, r.Cycles, r.Iterations)
+	}
+
+	// Sec. 2.2: host sequencer code for both strategies.
+	fmt.Println("\n" + fission.SequencerCode(fission.FDH, 3))
+	fmt.Println(fission.SequencerCode(fission.IDH, 3))
+
+	// Fig. 6: memory block layout and the address transformation.
+	layout, err := memmap.NewLayout([]memmap.Segment{
+		{Name: "M1", Words: 16}, {Name: "M2", Words: 16}, {Name: "M3", Words: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memory block: %d words exact, %d rounded (wastage %d)\n",
+		layout.BlockWords, layout.RoundedWords, layout.Wastage())
+	rewritten, err := layout.RewriteAccess("M2", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Read(M2[3])  ->  Read(%s)\n", rewritten)
+	for _, it := range []int{0, 1, 5} {
+		exact, _ := layout.Address(it, 1, 3, false)
+		pow2, _ := layout.Address(it, 1, 3, true)
+		fmt.Printf("  iteration %d: exact addr %4d | pow2 addr %4d\n", it, exact, pow2)
+	}
+	mulCost, catCost, err := memmap.AddressGenCosts(lib, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  address generator: multiply %d CLBs/%.0f ns vs concat %d CLBs/%.0f ns\n",
+		mulCost.CLBs, mulCost.DelayNS, catCost.CLBs, catCost.DelayNS)
+
+	// Partition RTL with the iteration counter.
+	pd, err := hls.SynthesizePartition([]*hls.OpGraph{vp}, lib, hls.Constraints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := rtl.FromPartition("vp_partition", pd, lib, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npartition RTL:")
+	fmt.Print(nl.Verilog())
+}

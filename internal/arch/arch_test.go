@@ -1,0 +1,82 @@
+package arch
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPaperBoardParameters(t *testing.T) {
+	b := PaperXC4044Board()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.FPGA.CLBs != 1600 {
+		t.Errorf("CLBs = %d, want 1600", b.FPGA.CLBs)
+	}
+	if b.FPGA.ReconfigTime != 100*Millisecond {
+		t.Errorf("ReconfigTime = %g ns, want 100 ms", b.FPGA.ReconfigTime)
+	}
+	if b.Memory.Words != 65536 {
+		t.Errorf("Memory.Words = %d, want 65536", b.Memory.Words)
+	}
+	if b.Memory.WordBits != 32 {
+		t.Errorf("WordBits = %d, want 32", b.Memory.WordBits)
+	}
+}
+
+func TestXC6000Board(t *testing.T) {
+	b := XC6000Board()
+	if b.FPGA.ReconfigTime != 500*Microsecond {
+		t.Errorf("ReconfigTime = %g, want 500 us", b.FPGA.ReconfigTime)
+	}
+	// Everything else inherits from the paper board.
+	if b.FPGA.CLBs != 1600 || b.Memory.Words != 65536 {
+		t.Error("XC6000 board should share XC4044 board parameters")
+	}
+}
+
+func TestValidateCatchesBadBoards(t *testing.T) {
+	cases := []func(*Board){
+		func(b *Board) { b.FPGA.CLBs = 0 },
+		func(b *Board) { b.FPGA.ReconfigTime = -1 },
+		func(b *Board) { b.Memory.Words = 0 },
+		func(b *Board) { b.Link.WordTransferNS = -5 },
+	}
+	for i, mutate := range cases {
+		b := PaperXC4044Board()
+		mutate(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid board accepted", i)
+		}
+	}
+}
+
+func TestBoardByName(t *testing.T) {
+	for _, name := range []string{"paper", "xc4044", "xc6000", "tmfpga", "wildforce", "small"} {
+		if _, err := BoardByName(name); err != nil {
+			t.Errorf("BoardByName(%q): %v", name, err)
+		}
+	}
+	if _, err := BoardByName("nope"); !errors.Is(err, ErrUnknownBoard) {
+		t.Errorf("unknown board error = %v", err)
+	}
+}
+
+func TestPresetsAllResolve(t *testing.T) {
+	for _, name := range Presets() {
+		b, err := BoardByName(name)
+		if err != nil {
+			t.Errorf("preset %q does not resolve: %v", name, err)
+			continue
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestTimeConstants(t *testing.T) {
+	if Second != 1e9 || Millisecond != 1e6 || Microsecond != 1e3 {
+		t.Error("time constants are not in nanoseconds")
+	}
+}

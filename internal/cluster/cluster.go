@@ -1,0 +1,233 @@
+// Package cluster coarsens large task graphs so the temporal partitioning
+// ILP stays tractable. The paper's ILP explores "at the task level" to
+// escape the op-level blowup of the authors' earlier DATE'98 formulation;
+// clustering is the same lever one level up: groups of tasks that would
+// never be split profitably are merged into macro-tasks, the ILP runs on
+// the coarse graph, and the assignment expands back to the original tasks.
+//
+// Two safe coarsening rules are provided:
+//
+//   - Chains: a task with a single successor that has a single predecessor
+//     merges with it (delays add, convexity is trivial).
+//   - ParallelByType: pairwise-parallel tasks (no path between them) of
+//     the same Type merge up to a resource cap (delays take the max —
+//     exact when member delays are equal, an admissible overestimate
+//     otherwise).
+//
+// Both rules preserve acyclicity of the coarse graph, so any feasible
+// coarse partitioning expands to a feasible fine partitioning.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+)
+
+// Clustering maps a coarse graph back to its original tasks.
+type Clustering struct {
+	// Coarse is the clustered task graph.
+	Coarse *dfg.Graph
+	// Members lists, per coarse task index, the original task indices.
+	Members [][]int
+}
+
+// ExpandAssign maps a coarse partition assignment back onto the original
+// tasks.
+func (c *Clustering) ExpandAssign(coarseAssign []int) ([]int, error) {
+	if len(coarseAssign) != c.Coarse.NumTasks() {
+		return nil, fmt.Errorf("cluster: assignment covers %d of %d coarse tasks",
+			len(coarseAssign), c.Coarse.NumTasks())
+	}
+	total := 0
+	for _, m := range c.Members {
+		total += len(m)
+	}
+	out := make([]int, total)
+	for ci, members := range c.Members {
+		for _, t := range members {
+			out[t] = coarseAssign[ci]
+		}
+	}
+	return out, nil
+}
+
+// Chains merges maximal linear chains (single-successor tasks whose
+// successor has a single predecessor and, to stay cost-exact, the same
+// environment-free interface in between).
+func Chains(g *dfg.Graph) (*Clustering, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	next := make([]int, n)
+	isHead := make([]bool, n)
+	for i := range next {
+		next[i] = -1
+		isHead[i] = true
+	}
+	for i := 0; i < n; i++ {
+		succs := g.Succs(i)
+		if len(succs) != 1 {
+			continue
+		}
+		s := succs[0]
+		if len(g.Preds(s)) != 1 {
+			continue
+		}
+		next[i] = s
+		isHead[s] = false
+	}
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		if !isHead[i] {
+			continue
+		}
+		grp := []int{i}
+		for v := next[i]; v >= 0; v = next[v] {
+			grp = append(grp, v)
+		}
+		groups = append(groups, grp)
+	}
+	return build(g, groups, true)
+}
+
+// ParallelByType merges same-Type, pairwise-parallel tasks into clusters
+// of at most maxResources CLBs (and at most maxGroup members; pass 0 for
+// no member cap).
+func ParallelByType(g *dfg.Graph, maxResources, maxGroup int) (*Clustering, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	// reach[u] = bitset of tasks reachable from u (including u).
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+		reach[i][i/64] |= 1 << (i % 64)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, s := range g.Succs(u) {
+			for w := 0; w < words; w++ {
+				reach[u][w] |= reach[s][w]
+			}
+		}
+	}
+	parallel := func(a, b int) bool {
+		if reach[a][b/64]&(1<<(b%64)) != 0 {
+			return false
+		}
+		return reach[b][a/64]&(1<<(a%64)) == 0
+	}
+
+	assigned := make([]bool, n)
+	var groups [][]int
+	for _, u := range order {
+		if assigned[u] {
+			continue
+		}
+		grp := []int{u}
+		res := g.Task(u).Resources
+		assigned[u] = true
+		for _, v := range order {
+			if assigned[v] || g.Task(v).Type != g.Task(u).Type {
+				continue
+			}
+			if maxGroup > 0 && len(grp) >= maxGroup {
+				break
+			}
+			if res+g.Task(v).Resources > maxResources {
+				continue
+			}
+			ok := true
+			for _, m := range grp {
+				if !parallel(m, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				grp = append(grp, v)
+				res += g.Task(v).Resources
+				assigned[v] = true
+			}
+		}
+		sort.Ints(grp)
+		groups = append(groups, grp)
+	}
+	return build(g, groups, false)
+}
+
+// build constructs the coarse graph from task groups. chainDelays selects
+// additive (chain) vs. max (parallel) delay composition.
+func build(g *dfg.Graph, groups [][]int, chainDelays bool) (*Clustering, error) {
+	coarse := dfg.New(g.Name + "-coarse")
+	clusterOf := make([]int, g.NumTasks())
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	for ci, members := range groups {
+		res, readEnv, writeEnv := 0, 0, 0
+		delay := 0.0
+		typ := g.Task(members[0]).Type
+		for _, t := range members {
+			task := g.Task(t)
+			res += task.Resources
+			readEnv += task.ReadEnv
+			writeEnv += task.WriteEnv
+			if chainDelays {
+				delay += task.Delay
+			} else if task.Delay > delay {
+				delay = task.Delay
+			}
+			if task.Type != typ {
+				typ = "mixed"
+			}
+			clusterOf[t] = ci
+		}
+		if _, err := coarse.AddTask(dfg.Task{
+			Name: fmt.Sprintf("c%d_%s", ci, g.Task(members[0]).Name),
+			Type: typ, Resources: res, Delay: delay,
+			ReadEnv: readEnv, WriteEnv: writeEnv,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range clusterOf {
+		if t < 0 {
+			return nil, fmt.Errorf("cluster: task left unassigned")
+		}
+	}
+	// Aggregate inter-cluster edges.
+	agg := map[[2]int]int{}
+	for _, e := range g.Edges() {
+		cf, ct := clusterOf[e.From], clusterOf[e.To]
+		if cf == ct {
+			continue
+		}
+		agg[[2]int{cf, ct}] += e.Data
+	}
+	keys := make([][2]int, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		if err := coarse.AddEdgeByID(k[0], k[1], agg[k]); err != nil {
+			return nil, err
+		}
+	}
+	if err := coarse.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: coarse graph invalid (non-convex grouping?): %w", err)
+	}
+	return &Clustering{Coarse: coarse, Members: groups}, nil
+}

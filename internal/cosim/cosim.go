@@ -1,0 +1,236 @@
+// Package cosim functionally co-simulates a fissioned RTR execution of the
+// DCT case study: it models the physical on-board memory as a word array,
+// lays out the k iteration memory blocks exactly as internal/memmap
+// prescribes (Fig. 6), and executes each temporal partition's tasks against
+// that memory — T1 vector products reading X and writing Y, T2 products
+// reading Y and writing Z — for a whole batch of computations.
+//
+// This closes the loop between the timing-level simulator (internal/sim)
+// and the functional pipeline (internal/jpeg): the co-simulation must
+// produce bit-identical DCT results to jpeg.DCTFixed while touching memory
+// only through the block-addressed layout, proving that the memory access
+// synthesis of Sec. 3 (offsets, iteration indexing, power-of-2 rounding)
+// is correct, not just costed.
+package cosim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/jpeg"
+	"repro/internal/memmap"
+)
+
+// Memory is the on-board memory: a flat word array with bounds checking
+// and access counting.
+type Memory struct {
+	words  []int32
+	Reads  int
+	Writes int
+}
+
+// NewMemory allocates a memory of the given word capacity.
+func NewMemory(words int) *Memory {
+	return &Memory{words: make([]int32, words)}
+}
+
+// ErrAddress is returned for out-of-range accesses.
+var ErrAddress = errors.New("cosim: address out of range")
+
+// Read returns the word at addr.
+func (m *Memory) Read(addr int) (int32, error) {
+	if addr < 0 || addr >= len(m.words) {
+		return 0, fmt.Errorf("%w: read %d of %d", ErrAddress, addr, len(m.words))
+	}
+	m.Reads++
+	return m.words[addr], nil
+}
+
+// Write stores v at addr.
+func (m *Memory) Write(addr int, v int32) error {
+	if addr < 0 || addr >= len(m.words) {
+		return fmt.Errorf("%w: write %d of %d", ErrAddress, addr, len(m.words))
+	}
+	m.Writes++
+	m.words[addr] = v
+	return nil
+}
+
+// DCTRun co-simulates the paper's 3-partition DCT design over a batch of
+// blocks. Layouts mirror the case study's memory accounting:
+//
+//	partition 1 block: X (16 words in) + Y (16 words out)   = 32 words
+//	partition 2 block: Yrows01 (8 in)  + Zrows01 (8 out)    = 16 words
+//	partition 3 block: Yrows23 (8 in)  + Zrows23 (8 out)    = 16 words
+//
+// Between partitions the host shuttles the intermediate data exactly as
+// the IDH sequencer does; pow2 selects power-of-two block addressing.
+type DCTRun struct {
+	MemWords int
+	Pow2     bool
+	// Stats
+	HostWordsMoved int
+}
+
+// Execute runs the batch through the three partitions and returns the DCT
+// of every input block.
+func (r *DCTRun) Execute(blocks []jpeg.Block) ([]jpeg.Block, error) {
+	k := len(blocks)
+	if k == 0 {
+		return nil, nil
+	}
+	layoutP1, err := memmap.NewLayout([]memmap.Segment{
+		{Name: "X", Words: 16}, {Name: "Y", Words: 16},
+	})
+	if err != nil {
+		return nil, err
+	}
+	layoutP23, err := memmap.NewLayout([]memmap.Segment{
+		{Name: "Yin", Words: 8}, {Name: "Zout", Words: 8},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := layoutP1.CheckFit(k, r.MemWords, r.Pow2); err != nil {
+		return nil, fmt.Errorf("cosim: batch of %d does not fit: %w", k, err)
+	}
+
+	cq := coefFixed()
+
+	// ---- Partition 1: host loads X, FPGA computes Y = Cq·X. ----
+	mem := NewMemory(r.MemWords)
+	xSeg, _ := layoutP1.SegmentIndex("X")
+	ySeg, _ := layoutP1.SegmentIndex("Y")
+	for it, blk := range blocks {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				addr, err := layoutP1.Address(it, xSeg, i*4+j, r.Pow2)
+				if err != nil {
+					return nil, err
+				}
+				if err := mem.Write(addr, int32(blk[i][j])); err != nil {
+					return nil, err
+				}
+				r.HostWordsMoved++
+			}
+		}
+	}
+	// 16 T1 tasks per iteration, each reading a column of X from memory.
+	for it := 0; it < k; it++ {
+		for i := 0; i < 4; i++ { // Y row
+			for j := 0; j < 4; j++ { // Y col
+				var col [4]int
+				for t := 0; t < 4; t++ {
+					addr, err := layoutP1.Address(it, xSeg, t*4+j, r.Pow2)
+					if err != nil {
+						return nil, err
+					}
+					v, err := mem.Read(addr)
+					if err != nil {
+						return nil, err
+					}
+					col[t] = int(v)
+				}
+				y := jpeg.VectorProductT1(cq[i], col)
+				addr, err := layoutP1.Address(it, ySeg, i*4+j, r.Pow2)
+				if err != nil {
+					return nil, err
+				}
+				if err := mem.Write(addr, int32(y)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Host reads back the intermediate Y (IDH).
+	yHost := make([][16]int32, k)
+	for it := 0; it < k; it++ {
+		for w := 0; w < 16; w++ {
+			addr, err := layoutP1.Address(it, ySeg, w, r.Pow2)
+			if err != nil {
+				return nil, err
+			}
+			v, err := mem.Read(addr)
+			if err != nil {
+				return nil, err
+			}
+			yHost[it][w] = v
+			r.HostWordsMoved++
+		}
+	}
+
+	// ---- Partitions 2 and 3: reconfigure (fresh memory), compute Z rows. ----
+	out := make([]jpeg.Block, k)
+	for part := 0; part < 2; part++ { // partition 2 handles rows 0-1; partition 3 rows 2-3
+		mem = NewMemory(r.MemWords) // reconfiguration wipes the working set
+		yinSeg, _ := layoutP23.SegmentIndex("Yin")
+		zSeg, _ := layoutP23.SegmentIndex("Zout")
+		rowBase := 2 * part
+		// Host loads this partition's Y rows.
+		for it := 0; it < k; it++ {
+			for rI := 0; rI < 2; rI++ {
+				for j := 0; j < 4; j++ {
+					addr, err := layoutP23.Address(it, yinSeg, rI*4+j, r.Pow2)
+					if err != nil {
+						return nil, err
+					}
+					if err := mem.Write(addr, yHost[it][(rowBase+rI)*4+j]); err != nil {
+						return nil, err
+					}
+					r.HostWordsMoved++
+				}
+			}
+		}
+		// 8 T2 tasks per iteration.
+		for it := 0; it < k; it++ {
+			for rI := 0; rI < 2; rI++ {
+				var yRow [4]int
+				for j := 0; j < 4; j++ {
+					addr, err := layoutP23.Address(it, yinSeg, rI*4+j, r.Pow2)
+					if err != nil {
+						return nil, err
+					}
+					v, err := mem.Read(addr)
+					if err != nil {
+						return nil, err
+					}
+					yRow[j] = int(v)
+				}
+				for j := 0; j < 4; j++ {
+					z := jpeg.VectorProductT2(yRow, cq[j])
+					addr, err := layoutP23.Address(it, zSeg, rI*4+j, r.Pow2)
+					if err != nil {
+						return nil, err
+					}
+					if err := mem.Write(addr, int32(z)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Host reads the outputs.
+		for it := 0; it < k; it++ {
+			for rI := 0; rI < 2; rI++ {
+				for j := 0; j < 4; j++ {
+					addr, err := layoutP23.Address(it, zSeg, rI*4+j, r.Pow2)
+					if err != nil {
+						return nil, err
+					}
+					v, err := mem.Read(addr)
+					if err != nil {
+						return nil, err
+					}
+					out[it][rowBase+rI][j] = int(v)
+					r.HostWordsMoved++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// coefFixed mirrors jpeg's fixed-point coefficient matrix through the
+// exported VectorProduct functions' contract (Q6 coefficients).
+func coefFixed() [4][4]int {
+	return jpeg.CoefFixed()
+}

@@ -1,0 +1,121 @@
+package cosim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jpeg"
+)
+
+func randBlocks(rng *rand.Rand, k int) []jpeg.Block {
+	out := make([]jpeg.Block, k)
+	for i := range out {
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				out[i][r][c] = rng.Intn(256) - 128
+			}
+		}
+	}
+	return out
+}
+
+// TestCoSimMatchesFunctionalDCT: the memory-addressed, partitioned
+// execution must be bit-identical to the direct fixed-point DCT.
+func TestCoSimMatchesFunctionalDCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, pow2 := range []bool{false, true} {
+		run := &DCTRun{MemWords: 64 * 1024, Pow2: pow2}
+		blocks := randBlocks(rng, 64)
+		got, err := run.Execute(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range blocks {
+			want := jpeg.DCTFixed(b)
+			if got[i] != want {
+				t.Fatalf("pow2=%v block %d:\nco-sim %v\nwant  %v", pow2, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestFullBatch2048: a full paper-sized batch of k=2048 fits the 64K
+// memory exactly and computes correctly (spot-checked).
+func TestFullBatch2048(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	run := &DCTRun{MemWords: 64 * 1024}
+	blocks := randBlocks(rng, 2048)
+	got, err := run.Execute(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 1023, 2046, 2047} {
+		if got[i] != jpeg.DCTFixed(blocks[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	// Host traffic matches the IDH accounting: 64 words per computation.
+	if run.HostWordsMoved != 64*2048 {
+		t.Errorf("host words = %d, want %d", run.HostWordsMoved, 64*2048)
+	}
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	run := &DCTRun{MemWords: 64 * 1024}
+	if _, err := run.Execute(randBlocks(rand.New(rand.NewSource(3)), 2049)); err == nil {
+		t.Error("batch of 2049 accepted in 64K memory (k=2048)")
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(8)
+	if err := m.Write(7, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Read(7); err != nil || v != 42 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	if _, err := m.Read(8); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := m.Write(-1, 0); err == nil {
+		t.Error("negative write accepted")
+	}
+	if m.Reads != 1 || m.Writes != 1 {
+		t.Errorf("counters = %d/%d, want 1/1", m.Reads, m.Writes)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	run := &DCTRun{MemWords: 1024}
+	got, err := run.Execute(nil)
+	if err != nil || got != nil {
+		t.Errorf("empty batch: %v, %v", got, err)
+	}
+}
+
+// Property: co-simulation equals DCTFixed for random batch sizes and both
+// addressing schemes.
+func TestCoSimProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(32)
+		pow2 := rng.Intn(2) == 0
+		run := &DCTRun{MemWords: 4096, Pow2: pow2}
+		blocks := randBlocks(rng, k)
+		got, err := run.Execute(blocks)
+		if err != nil {
+			return false
+		}
+		for i, b := range blocks {
+			if got[i] != jpeg.DCTFixed(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package dctn generalizes the paper's 4x4 DCT case study to arbitrary
+// n x n blocks (the paper's introduction motivates JPEG, whose standard
+// block size is 8x8). The structure mirrors Fig. 8 exactly: an n x n DCT is
+// two consecutive matrix multiplications expressed as 2n² vector-product
+// tasks in n collections of 2n, with T1 tasks producing intermediate rows
+// and T2 tasks consuming them.
+//
+// For n = 4 the generated task graph and the fixed-point arithmetic agree
+// with internal/jpeg (property-tested), so the package doubles as an
+// independent check of the case-study implementation.
+package dctn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dfg"
+	"repro/internal/hls"
+)
+
+// Matrix returns the orthonormal n x n DCT-II matrix.
+func Matrix(n int) [][]float64 {
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		c[0][j] = 1 / math.Sqrt(float64(n))
+	}
+	for i := 1; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c[i][j] = math.Sqrt(2/float64(n)) *
+				math.Cos(float64(2*j+1)*float64(i)*math.Pi/(2*float64(n)))
+		}
+	}
+	return c
+}
+
+// CoefFracBits matches internal/jpeg's fixed-point precision.
+const CoefFracBits = 6
+
+const (
+	stage1Shift = 2
+	stage2Shift = 2*CoefFracBits - stage1Shift
+)
+
+// CoefFixed returns the DCT matrix in Q(CoefFracBits) fixed point.
+func CoefFixed(n int) [][]int {
+	c := Matrix(n)
+	q := make([][]int, n)
+	for i := range q {
+		q[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			q[i][j] = int(math.Round(c[i][j] * float64(int(1)<<CoefFracBits)))
+		}
+	}
+	return q
+}
+
+func roundShift(v, s int) int {
+	if s == 0 {
+		return v
+	}
+	half := 1 << (s - 1)
+	if v >= 0 {
+		return (v + half) >> s
+	}
+	return -((-v + half) >> s)
+}
+
+// DCTFixed computes the two-stage fixed-point n x n DCT (2n² vector
+// products, exactly the task-graph semantics).
+func DCTFixed(x [][]int) ([][]int, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("dctn: empty block")
+	}
+	for _, row := range x {
+		if len(row) != n {
+			return nil, fmt.Errorf("dctn: block is not square")
+		}
+	}
+	cq := CoefFixed(n)
+	// Stage 1: Y = Cq * X, stage-1 shift.
+	y := make([][]int, n)
+	for i := range y {
+		y[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			acc := 0
+			for k := 0; k < n; k++ {
+				acc += cq[i][k] * x[k][j]
+			}
+			y[i][j] = roundShift(acc, stage1Shift)
+		}
+	}
+	// Stage 2: Z = Y * Cqᵀ, final shift.
+	z := make([][]int, n)
+	for i := range z {
+		z[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			acc := 0
+			for k := 0; k < n; k++ {
+				acc += y[i][k] * cq[j][k]
+			}
+			z[i][j] = roundShift(acc, stage2Shift)
+		}
+	}
+	return z, nil
+}
+
+// DCTFloat is the exact reference transform.
+func DCTFloat(x [][]int) ([][]int, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("dctn: empty block")
+	}
+	c := Matrix(n)
+	y := make([][]float64, n)
+	for i := range y {
+		y[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				y[i][j] += c[i][k] * float64(x[k][j])
+			}
+		}
+	}
+	z := make([][]int, n)
+	zf := make([][]float64, n)
+	for i := range zf {
+		zf[i] = make([]float64, n)
+		z[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				zf[i][j] += y[i][k] * c[j][k]
+			}
+			z[i][j] = int(math.Round(zf[i][j]))
+		}
+	}
+	return z, nil
+}
+
+// Widths returns the multiplier/accumulator widths for the two stages of
+// an n x n DCT with 8-bit level-shifted samples, following the paper's
+// 4x4 pairing (9/16 and 17/24) generalized: stage-1 products grow by
+// log2(n) accumulation bits, stage-2 operands by the stage-1 growth.
+func Widths(n int) (t1Mul, t1Acc, t2Mul, t2Acc int) {
+	lg := 0
+	for 1<<lg < n {
+		lg++
+	}
+	t1Mul = 9
+	t1Acc = 9 + CoefFracBits - stage1Shift + lg + 1 // 16 for n=4
+	t2Mul = t1Acc + 1                               // 17 for n=4
+	t2Acc = t2Mul + lg + 5                          // 24 for n=4
+	return
+}
+
+// BuildGraph constructs the generalized Fig. 8 task graph for an n x n DCT
+// with synthesis costs from the estimation engine.
+func BuildGraph(n int, lib *hls.Library, cons hls.Constraints) (*dfg.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dctn: n must be >= 2, got %d", n)
+	}
+	t1Mul, t1Acc, t2Mul, t2Acc := Widths(n)
+	g := dfg.New(fmt.Sprintf("dct%dx%d", n, n))
+
+	t1b := hls.VectorProduct("T1", n, t1Mul, t1Acc, "X", "Y", false)
+	e1, err := hls.EstimateTask(t1b, lib, cons)
+	if err != nil {
+		return nil, err
+	}
+	t2b := hls.VectorProduct("T2", n, t2Mul, t2Acc, "Y", "Z", false)
+	e2, err := hls.EstimateTask(t2b, lib, cons)
+	if err != nil {
+		return nil, err
+	}
+
+	name1 := func(i, j int) string { return fmt.Sprintf("T1_%d_%d", i, j) }
+	name2 := func(i, j int) string { return fmt.Sprintf("T2_%d_%d", i, j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if _, err := g.AddTask(dfg.Task{
+				Name: name1(i, j), Type: "T1",
+				Resources: e1.CLBs, Delay: e1.DelayNS, ReadEnv: 1,
+				Payload: hls.VectorProduct(name1(i, j), n, t1Mul, t1Acc, "X", "Y", false),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if _, err := g.AddTask(dfg.Task{
+				Name: name2(i, j), Type: "T2",
+				Resources: e2.CLBs, Delay: e2.DelayNS, WriteEnv: 1,
+				Payload: hls.VectorProduct(name2(i, j), n, t2Mul, t2Acc, "Y", "Z", false),
+			}); err != nil {
+				return nil, err
+			}
+			for k := 0; k < n; k++ {
+				if err := g.AddEdge(name1(i, k), name2(i, j), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,73 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the wire schema used by cmd/sparcs and cmd/tgen.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	Name      string         `json:"name"`
+	Type      string         `json:"type,omitempty"`
+	Resources int            `json:"resources"`
+	Delay     float64        `json:"delay"`
+	ReadEnv   int            `json:"read_env,omitempty"`
+	WriteEnv  int            `json:"write_env,omitempty"`
+	Extra     map[string]int `json:"extra,omitempty"`
+}
+
+type jsonEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Data int    `json:"data"`
+}
+
+// MarshalJSON encodes the graph in the stable wire schema.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for _, t := range g.tasks {
+		jg.Tasks = append(jg.Tasks, jsonTask{
+			Name: t.Name, Type: t.Type, Resources: t.Resources,
+			Delay: t.Delay, ReadEnv: t.ReadEnv, WriteEnv: t.WriteEnv,
+			Extra: t.Extra,
+		})
+	}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, jsonEdge{
+			From: g.tasks[e.From].Name, To: g.tasks[e.To].Name, Data: e.Data,
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph from the wire schema, replacing the
+// receiver's contents.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng := New(jg.Name)
+	for _, jt := range jg.Tasks {
+		if _, err := ng.AddTask(Task{
+			Name: jt.Name, Type: jt.Type, Resources: jt.Resources,
+			Delay: jt.Delay, ReadEnv: jt.ReadEnv, WriteEnv: jt.WriteEnv,
+			Extra: jt.Extra,
+		}); err != nil {
+			return fmt.Errorf("dfg: decode: %w", err)
+		}
+	}
+	for _, je := range jg.Edges {
+		if err := ng.AddEdge(je.From, je.To, je.Data); err != nil {
+			return fmt.Errorf("dfg: decode: %w", err)
+		}
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,100 @@
+package fission
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+)
+
+// TestPlanMatchesAnalyticFormulas: the Plan's overhead fields must equal
+// the paper's closed forms for random chains.
+//
+//	FDH: reconfig = N*CT*I_sw,  transfer = I * Σ(envIn+envOut) * D_sv
+//	IDH: reconfig = N*CT,       transfer = I * Σ(In+Out) * D_sv
+func TestPlanMatchesAnalyticFormulas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		g := dfg.New("chain")
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			g.MustAddTask(dfg.Task{
+				Name:     string(rune('a' + i)),
+				ReadEnv:  rng.Intn(6),
+				WriteEnv: rng.Intn(6),
+			})
+			assign[i] = i
+			if i > 0 {
+				_ = g.AddEdgeByID(i-1, i, 1+rng.Intn(5))
+			}
+		}
+		board := arch.PaperXC4044Board()
+		a, err := Analyze(g, assign, n, board.Memory.Words)
+		if err != nil {
+			return false
+		}
+		iTotal := 1 + rng.Intn(500000)
+		ct := board.FPGA.ReconfigTime
+		dsv := board.Link.WordTransferNS
+
+		fdh, err := NewPlan(a, board, FDH, iTotal, false)
+		if err != nil {
+			return false
+		}
+		isw := float64(fdh.Isw)
+		if math.Abs(fdh.ReconfigNS-float64(n)*ct*isw) > 1 {
+			return false
+		}
+		env := 0
+		for i := 0; i < n; i++ {
+			env += a.EnvIn[i] + a.EnvOut[i]
+		}
+		if math.Abs(fdh.TransferNS-float64(env*iTotal)*dsv) > 1 {
+			return false
+		}
+
+		idh, err := NewPlan(a, board, IDH, iTotal, false)
+		if err != nil {
+			return false
+		}
+		if math.Abs(idh.ReconfigNS-float64(n)*ct) > 1 {
+			return false
+		}
+		words := 0
+		for i := 0; i < n; i++ {
+			words += a.In[i] + a.Out[i]
+		}
+		return math.Abs(idh.TransferNS-float64(words*iTotal)*dsv) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIswCeiling: I_sw = ceil(I/k) over a boundary sweep.
+func TestIswCeiling(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", ReadEnv: 16, WriteEnv: 16})
+	board := arch.PaperXC4044Board()
+	a, err := Analyze(g, []int{0}, 1, board.Memory.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 2048 {
+		t.Fatalf("k = %d", a.K)
+	}
+	cases := map[int]int{1: 1, 2047: 1, 2048: 1, 2049: 2, 4096: 2, 4097: 3}
+	for I, want := range cases {
+		p, err := NewPlan(a, board, FDH, I, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Isw != want {
+			t.Errorf("I=%d: I_sw = %d, want %d", I, p.Isw, want)
+		}
+	}
+}

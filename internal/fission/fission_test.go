@@ -1,0 +1,269 @@
+package fission
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+	"repro/internal/hls"
+	"repro/internal/jpeg"
+)
+
+// dctSetup partitions the DCT graph the way the paper's ILP does
+// (16 T1 | 8 T2 | 8 T2) without re-running the solver.
+func dctSetup(t *testing.T) (*dfg.Graph, []int) {
+	t.Helper()
+	g, err := jpeg.BuildDCTGraph(hls.XC4000Library(), hls.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(i)
+		switch {
+		case task.Type == "T1":
+			assign[i] = 0
+		case strings.HasPrefix(task.Name, "T2_0") || strings.HasPrefix(task.Name, "T2_1"):
+			assign[i] = 1
+		default:
+			assign[i] = 2
+		}
+	}
+	return g, assign
+}
+
+// TestPaperMemoryAccounting reproduces Sec. 4's analysis: partition 1
+// stores 32 words per computation (16 in + 16 out), partitions 2 and 3
+// store 16 (8 + 8), and k = 64K / max(32,16,16) = 2048.
+func TestPaperMemoryAccounting(t *testing.T) {
+	g, assign := dctSetup(t)
+	a, err := Analyze(g, assign, 3, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.In[0] != 16 || a.Out[0] != 16 {
+		t.Errorf("partition 1 in/out = %d/%d, want 16/16", a.In[0], a.Out[0])
+	}
+	if a.MTemp[0] != 32 || a.MTemp[1] != 16 || a.MTemp[2] != 16 {
+		t.Errorf("m_temp = %v, want [32 16 16]", a.MTemp)
+	}
+	if a.K != 2048 {
+		t.Errorf("k = %d, want 2048", a.K)
+	}
+	// 32 is already a power of two: no wastage, same k.
+	if a.KPow2 != 2048 || a.WastagePerBlock != 0 {
+		t.Errorf("pow2: k=%d wastage=%d, want 2048/0", a.KPow2, a.WastagePerBlock)
+	}
+}
+
+func TestFDHPlanMatchesPaperOverheads(t *testing.T) {
+	g, assign := dctSetup(t)
+	board := arch.PaperXC4044Board()
+	a, err := Analyze(g, assign, 3, board.Memory.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's largest image: 245,760 blocks -> I_sw = 120.
+	p, err := NewPlan(a, board, FDH, 245760, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Isw != 120 {
+		t.Errorf("I_sw = %d, want 120", p.Isw)
+	}
+	if p.Reconfigurations != 3*120 {
+		t.Errorf("reconfigurations = %d, want 360", p.Reconfigurations)
+	}
+	if p.ReconfigNS != 360*100*arch.Millisecond {
+		t.Errorf("reconfig overhead = %g ns, want 36 s", p.ReconfigNS)
+	}
+	// FDH moves only environment data: 16 in + 16 out per computation.
+	if p.TransferWords != 32*245760 {
+		t.Errorf("transfer words = %d, want %d", p.TransferWords, 32*245760)
+	}
+}
+
+func TestIDHPlanOverheads(t *testing.T) {
+	g, assign := dctSetup(t)
+	board := arch.PaperXC4044Board()
+	a, _ := Analyze(g, assign, 3, board.Memory.Words)
+	p, err := NewPlan(a, board, IDH, 245760, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reconfigurations != 3 {
+		t.Errorf("reconfigurations = %d, want 3", p.Reconfigurations)
+	}
+	// IDH moves every partition's in+out: 64 words per computation.
+	if p.TransferWords != 64*245760 {
+		t.Errorf("transfer words = %d, want %d", p.TransferWords, 64*245760)
+	}
+	if p.ReconfigNS != 3*100*arch.Millisecond {
+		t.Errorf("reconfig overhead = %g", p.ReconfigNS)
+	}
+	// IDH reconfiguration overhead must be far below FDH's for large I.
+	fdh, _ := NewPlan(a, board, FDH, 245760, false)
+	if p.ReconfigNS >= fdh.ReconfigNS {
+		t.Error("IDH should reconfigure less than FDH")
+	}
+}
+
+func TestSmallIUsesPartialBatch(t *testing.T) {
+	g, assign := dctSetup(t)
+	board := arch.PaperXC4044Board()
+	a, _ := Analyze(g, assign, 3, board.Memory.Words)
+	p, err := NewPlan(a, board, FDH, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 100 || p.Isw != 1 {
+		t.Errorf("I<k should clamp: k=%d Isw=%d", p.K, p.Isw)
+	}
+	z, err := NewPlan(a, board, IDH, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Isw != 0 || z.ReconfigNS != 0 {
+		t.Errorf("I=0 plan not empty: %+v", z)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", ReadEnv: 100, WriteEnv: 100})
+	if _, err := Analyze(g, []int{0}, 0, 100); !errors.Is(err, ErrNoPartitions) {
+		t.Errorf("err = %v, want ErrNoPartitions", err)
+	}
+	if _, err := Analyze(g, []int{0}, 1, 100); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("err = %v, want ErrNoMemory (200 words in 100)", err)
+	}
+	if _, err := Analyze(g, []int{}, 1, 100); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := Analyze(g, []int{7}, 1, 1000); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}
+
+func TestZeroTrafficGraph(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a"})
+	a, err := Analyze(g, []int{0}, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 512 {
+		t.Errorf("k = %d, want memory-capped 512", a.K)
+	}
+}
+
+func TestFanOutCountedOnce(t *testing.T) {
+	// One producer feeding three consumers in a later partition stores its
+	// value once, not three times.
+	g := dfg.New("fan")
+	g.MustAddTask(dfg.Task{Name: "p"})
+	for _, n := range []string{"c1", "c2", "c3"} {
+		g.MustAddTask(dfg.Task{Name: n})
+		g.MustAddEdge("p", n, 2)
+	}
+	a, err := Analyze(g, []int{0, 1, 1, 1}, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Out[0] != 2 {
+		t.Errorf("producer out = %d, want 2 (payload once)", a.Out[0])
+	}
+	if a.In[1] != 2 {
+		t.Errorf("consumer partition in = %d, want 2", a.In[1])
+	}
+}
+
+func TestFanOutAcrossTwoPartitions(t *testing.T) {
+	// Consumers in two different later partitions each read the stored
+	// value: it counts once per consuming partition.
+	g := dfg.New("fan2")
+	g.MustAddTask(dfg.Task{Name: "p"})
+	g.MustAddTask(dfg.Task{Name: "c1"})
+	g.MustAddTask(dfg.Task{Name: "c2"})
+	g.MustAddEdge("p", "c1", 4)
+	g.MustAddEdge("p", "c2", 4)
+	a, err := Analyze(g, []int{0, 1, 2}, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Out[0] != 4 || a.In[1] != 4 || a.In[2] != 4 {
+		t.Errorf("out0/in1/in2 = %d/%d/%d, want 4/4/4", a.Out[0], a.In[1], a.In[2])
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	board := arch.PaperXC4044Board()
+	// Paper: static 16000 ns/block; our RTR 9600 ns/block; N=3.
+	// Break-even = ceil(3 * 100 ms / 6400 ns) = 46875.
+	be := BreakEvenComputations(board, 3, 16000, 9600)
+	if be != 46875 {
+		t.Errorf("break-even = %g, want 46875", be)
+	}
+	// With the paper's RTR estimate (8440 ns) it is ~35.5k-40k.
+	bePaper := BreakEvenComputations(board, 3, 16000, 8440)
+	if bePaper < 35000 || bePaper > 45000 {
+		t.Errorf("paper-number break-even = %g, want ~39.7k (paper reports 42,553)", bePaper)
+	}
+	if !math.IsInf(BreakEvenComputations(board, 3, 100, 200), 1) {
+		t.Error("slower RTR design must never break even")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 31: 32, 32: 32, 33: 64, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPow2BlockRounding(t *testing.T) {
+	// m_temp = 33 -> block 64, wastage 31, k = 1024/64 = 16 (vs exact 31).
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", ReadEnv: 30, WriteEnv: 3})
+	a, err := Analyze(g, []int{0}, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxMTemp != 33 || a.BlockWords != 64 {
+		t.Fatalf("m_temp=%d block=%d, want 33/64", a.MaxMTemp, a.BlockWords)
+	}
+	if a.K != 31 || a.KPow2 != 16 || a.WastagePerBlock != 31 {
+		t.Errorf("k=%d kPow2=%d wastage=%d, want 31/16/31", a.K, a.KPow2, a.WastagePerBlock)
+	}
+}
+
+func TestSequencerCodeShape(t *testing.T) {
+	fdh := SequencerCode(FDH, 3)
+	idh := SequencerCode(IDH, 3)
+	// FDH: outer loop over batches, inner over configurations.
+	if !strings.Contains(fdh, "for (j = 0; j <= I_sw - 1; j++)") ||
+		!strings.Contains(fdh, "for (i = 0; i <= 2; i++)") {
+		t.Errorf("FDH sequencer malformed:\n%s", fdh)
+	}
+	if strings.Index(fdh, "j++") > strings.Index(fdh, "i++") {
+		t.Error("FDH must iterate configurations inside the batch loop")
+	}
+	// IDH: outer loop over configurations, inner over batches.
+	if strings.Index(idh, "i++") > strings.Index(idh, "j++") {
+		t.Error("IDH must iterate batches inside the configuration loop")
+	}
+	if !strings.Contains(idh, "INTERMEDIATE_OUTPUT") {
+		t.Error("IDH must read intermediate output per batch")
+	}
+	if s := FDH.String(); s != "FDH" {
+		t.Errorf("FDH.String() = %q", s)
+	}
+	if s := IDH.String(); s != "IDH" {
+		t.Errorf("IDH.String() = %q", s)
+	}
+}

@@ -1,0 +1,206 @@
+package hls
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StateKind classifies controller states.
+type StateKind int
+
+const (
+	// StateStart waits for the host's start signal (Fig. 7 "START STATE").
+	StateStart StateKind = iota
+	// StateBody executes one control step of the datapath schedule.
+	StateBody
+	// StateCheck compares the iteration counter against k (Fig. 7
+	// "Is Iteration Counter < k").
+	StateCheck
+	// StateFinish asserts the finish signal to the host and returns to
+	// StateStart ("END STATE").
+	StateFinish
+)
+
+func (k StateKind) String() string {
+	switch k {
+	case StateStart:
+		return "start"
+	case StateBody:
+		return "body"
+	case StateCheck:
+		return "check"
+	case StateFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("StateKind(%d)", int(k))
+}
+
+// State is one controller state.
+type State struct {
+	Name string
+	Kind StateKind
+	// Next is the unconditional successor (body/finish states) or the
+	// "true"/loop-back successor for start (on start signal) and check
+	// (counter < k) states.
+	Next int
+	// Alt is the "false" successor for check states (counter == k) and is
+	// unused otherwise (-1).
+	Alt int
+	// Step is the datapath control step driven by a body state (-1
+	// otherwise).
+	Step int
+}
+
+// FSM is a synthesized finite-state controller.
+type FSM struct {
+	Name   string
+	States []State
+	Start  int
+	// HasIterationCounter reports whether the FSM carries the loop-fission
+	// iteration counter and k register of Fig. 7.
+	HasIterationCounter bool
+}
+
+// SynthesizeController builds the plain (non-RTR) controller for a
+// schedule: a linear chain of body states, one per control step, ending in
+// a finish state that loops back to a start state. This is the classic HLS
+// controller before the Fig. 7 augmentation.
+func SynthesizeController(name string, sched *Schedule) *FSM {
+	f := &FSM{Name: name}
+	start := f.add(State{Name: "S_START", Kind: StateStart, Alt: -1, Step: -1})
+	f.Start = start
+	prev := start
+	for c := 0; c < sched.Cycles; c++ {
+		s := f.add(State{Name: fmt.Sprintf("S%d", c), Kind: StateBody, Alt: -1, Step: c})
+		f.States[prev].Next = s
+		prev = s
+	}
+	fin := f.add(State{Name: "S_FINISH", Kind: StateFinish, Alt: -1, Step: -1})
+	f.States[prev].Next = fin
+	f.States[fin].Next = start
+	return f
+}
+
+// AugmentForRTR converts a plain controller into the paper's Fig. 7
+// augmented controller for a temporal partition under loop fission: after
+// the last body state, a check state tests the iteration counter against
+// the k register; if more iterations remain the counter increments and
+// control returns to the first body state; otherwise the finish signal is
+// raised and the FSM parks in the start state awaiting the host.
+func AugmentForRTR(f *FSM) *FSM {
+	g := &FSM{Name: f.Name + "_rtr", HasIterationCounter: true}
+	start := g.add(State{Name: "S_START", Kind: StateStart, Alt: -1, Step: -1})
+	g.Start = start
+	prev := start
+	firstBody := -1
+	for _, s := range f.States {
+		if s.Kind != StateBody {
+			continue
+		}
+		ns := g.add(State{Name: s.Name, Kind: StateBody, Alt: -1, Step: s.Step})
+		if firstBody < 0 {
+			firstBody = ns
+		}
+		g.States[prev].Next = ns
+		prev = ns
+	}
+	check := g.add(State{Name: "S_CHECK", Kind: StateCheck, Step: -1})
+	g.States[prev].Next = check
+	fin := g.add(State{Name: "S_FINISH", Kind: StateFinish, Alt: -1, Step: -1})
+	if firstBody < 0 {
+		firstBody = check
+	}
+	g.States[check].Next = firstBody // counter < k: loop back
+	g.States[check].Alt = fin        // counter == k: finish
+	g.States[fin].Next = start
+	return g
+}
+
+func (f *FSM) add(s State) int {
+	f.States = append(f.States, s)
+	return len(f.States) - 1
+}
+
+// NumStates returns the number of controller states.
+func (f *FSM) NumStates() int { return len(f.States) }
+
+// RunResult reports a behavioral FSM execution.
+type RunResult struct {
+	// Cycles counts state transitions from leaving start to asserting
+	// finish (the hardware execution time in clock cycles).
+	Cycles int
+	// Iterations is the number of datapath passes executed.
+	Iterations int
+}
+
+// Run symbolically executes the FSM for k iterations (k is the fission
+// iteration bound loaded in the k register; plain controllers execute one
+// pass regardless). It returns the cycle count between the start signal and
+// the finish signal, which the event simulator uses as ground truth.
+func (f *FSM) Run(k int) (RunResult, error) {
+	if k < 1 {
+		k = 1
+	}
+	var res RunResult
+	cur := f.Start
+	if f.States[cur].Kind != StateStart {
+		return res, fmt.Errorf("hls: FSM %q start state has kind %s", f.Name, f.States[cur].Kind)
+	}
+	counter := 0
+	cur = f.States[cur].Next // start signal arrives
+	guard := 0
+	for {
+		guard++
+		if guard > 100000000 {
+			return res, fmt.Errorf("hls: FSM %q did not terminate", f.Name)
+		}
+		s := f.States[cur]
+		switch s.Kind {
+		case StateBody:
+			res.Cycles++
+			cur = s.Next
+		case StateCheck:
+			res.Cycles++
+			counter++
+			res.Iterations = counter
+			if f.HasIterationCounter && counter < k {
+				cur = s.Next
+			} else {
+				cur = s.Alt
+			}
+		case StateFinish:
+			res.Cycles++
+			if !f.HasIterationCounter {
+				res.Iterations = 1
+			}
+			return res, nil
+		case StateStart:
+			return res, fmt.Errorf("hls: FSM %q re-entered start before finish", f.Name)
+		}
+	}
+}
+
+// String renders the FSM as a readable state table.
+func (f *FSM) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsm %s (%d states%s)\n", f.Name, len(f.States),
+		map[bool]string{true: ", iteration counter", false: ""}[f.HasIterationCounter])
+	for i, s := range f.States {
+		marker := " "
+		if i == f.Start {
+			marker = "*"
+		}
+		switch s.Kind {
+		case StateCheck:
+			fmt.Fprintf(&b, "%s %-10s %-6s -> %s | %s\n", marker, s.Name, s.Kind,
+				f.States[s.Next].Name, f.States[s.Alt].Name)
+		default:
+			next := "-"
+			if s.Next >= 0 && s.Next < len(f.States) {
+				next = f.States[s.Next].Name
+			}
+			fmt.Fprintf(&b, "%s %-10s %-6s -> %s\n", marker, s.Name, s.Kind, next)
+		}
+	}
+	return b.String()
+}

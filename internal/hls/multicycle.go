@@ -1,0 +1,273 @@
+package hls
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Multi-cycle operation support. The paper's estimation engine takes "the
+// maximum clock-width for the design" as the user constraint. When the
+// user clock is shorter than a component's combinational delay, the
+// component does not force a slower clock — it becomes a multi-cycle unit
+// occupying its functional unit for ⌈delay/clock⌉ consecutive cycles. This
+// exposes the classic HLS clock/latency tradeoff: a faster clock shortens
+// every single-cycle step but stretches multipliers over several cycles.
+
+// Latencies maps functional-unit types to their op latency in cycles.
+type Latencies map[FUType]int
+
+// Latency returns the latency of a type (1 when unlisted).
+func (l Latencies) Latency(ft FUType) int {
+	if l == nil {
+		return 1
+	}
+	if n, ok := l[ft]; ok && n > 0 {
+		return n
+	}
+	return 1
+}
+
+// ClockAndLatencies selects the design clock under the user's maximum
+// clock-width constraint and derives per-FU-type latencies:
+//
+//   - without a MaxClockNS constraint the clock stretches to the slowest
+//     component (all latencies 1, identical to ChooseClock);
+//   - with a constraint, the clock is the largest grid point not above
+//     MaxClockNS (it must still cover a memory access), and components
+//     slower than one period become multi-cycle.
+func ClockAndLatencies(alloc Allocation, lib *Library, cons Constraints) (float64, Latencies, error) {
+	cons = cons.withDefaults()
+	natural, err := alloc.MaxDelay(lib)
+	if err != nil {
+		return 0, nil, err
+	}
+	natural = math.Max(natural, cons.MemoryAccessNS)
+	naturalPeriod := math.Ceil((natural+cons.RegSetupNS)/cons.ClockGridNS) * cons.ClockGridNS
+
+	clock := naturalPeriod
+	if cons.MaxClockNS > 0 && naturalPeriod > cons.MaxClockNS {
+		clock = math.Floor(cons.MaxClockNS/cons.ClockGridNS) * cons.ClockGridNS
+		minPeriod := math.Ceil((cons.MemoryAccessNS+cons.RegSetupNS)/cons.ClockGridNS) * cons.ClockGridNS
+		if clock < minPeriod {
+			return 0, nil, fmt.Errorf("hls: user clock %.1f ns cannot cover a %.1f ns memory access",
+				cons.MaxClockNS, cons.MemoryAccessNS)
+		}
+	}
+
+	lat := Latencies{}
+	for ft, n := range alloc {
+		if n == 0 {
+			continue
+		}
+		c, err := lib.Component(ft.Kind, ft.Width)
+		if err != nil {
+			return 0, nil, err
+		}
+		cycles := int(math.Ceil((c.DelayNS + cons.RegSetupNS) / clock))
+		if cycles < 1 {
+			cycles = 1
+		}
+		lat[ft] = cycles
+	}
+	return clock, lat, nil
+}
+
+// EstimateTaskMulticycle is EstimateTask under a binding user clock: it
+// schedules with per-type latencies and reports the resulting cycle count
+// and delay. With no MaxClockNS constraint it matches EstimateTask.
+func EstimateTaskMulticycle(g *OpGraph, lib *Library, cons Constraints) (TaskEstimate, error) {
+	cons = cons.withDefaults()
+	if err := g.Validate(); err != nil {
+		return TaskEstimate{}, err
+	}
+	alloc := MinimalAllocation(g)
+	clock, lat, err := ClockAndLatencies(alloc, lib, cons)
+	if err != nil {
+		return TaskEstimate{}, err
+	}
+	sched, err := ListScheduleLatency([]*OpGraph{g}, []Allocation{alloc}, cons.MemoryPorts, lat)
+	if err != nil {
+		return TaskEstimate{}, err
+	}
+	bd, err := EstimateArea(g, alloc, lib)
+	if err != nil {
+		return TaskEstimate{}, err
+	}
+	return TaskEstimate{
+		CLBs:       bd.Rounded,
+		Cycles:     sched.Cycles,
+		ClockNS:    clock,
+		DelayNS:    float64(sched.Cycles) * clock,
+		Allocation: alloc,
+		Schedule:   sched,
+		Breakdown:  bd,
+	}, nil
+}
+
+// ListScheduleLatency is ListSchedule with per-FU-type multi-cycle
+// latencies: an op of latency L occupies one unit of its type for L
+// consecutive cycles and its result becomes available L cycles after
+// issue. Memory ops always take one cycle (the clock floor covers the
+// access time).
+func ListScheduleLatency(tasks []*OpGraph, allocs []Allocation, memPorts int, lat Latencies) (*Schedule, error) {
+	if len(tasks) != len(allocs) {
+		return nil, fmt.Errorf("hls: %d tasks but %d allocations", len(tasks), len(allocs))
+	}
+	if memPorts < 1 {
+		return nil, fmt.Errorf("hls: memPorts must be >= 1, got %d", memPorts)
+	}
+	remaining := 0
+	alap := make([][]int, len(tasks))
+	for ti, g := range tasks {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		asap := ASAP(g)
+		latBound := 0
+		for i, s := range asap {
+			if !g.Op(i).Kind.IsFree() && s+1 > latBound {
+				latBound = s + 1
+			}
+		}
+		if latBound == 0 {
+			latBound = 1
+		}
+		alap[ti] = ALAP(g, latBound)
+		for i := 0; i < g.NumOps(); i++ {
+			if !g.Op(i).Kind.IsFree() {
+				remaining++
+			}
+		}
+	}
+	if remaining == 0 {
+		return nil, ErrEmptyGraph
+	}
+
+	opLatency := func(op Op) int {
+		if op.Kind.IsMemory() {
+			return 1
+		}
+		return lat.Latency(FUType{op.Kind, op.Width})
+	}
+
+	// done[t][op] = cycle the result becomes available (issue + latency).
+	done := make([][]int, len(tasks))
+	for ti, g := range tasks {
+		done[ti] = make([]int, g.NumOps())
+		for i := range done[ti] {
+			done[ti][i] = -1
+		}
+	}
+	// busy[t][ft][cycle] tracks multi-cycle occupancy.
+	busy := make([]map[FUType]map[int]int, len(tasks))
+	for i := range busy {
+		busy[i] = map[FUType]map[int]int{}
+	}
+
+	maxLat := 1
+	for _, l := range lat {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	sched := &Schedule{}
+	cycle := 0
+	maxCycles := 16 * maxLat * (remaining + 8)
+	for remaining > 0 {
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("hls: latency scheduler failed to converge after %d cycles", cycle)
+		}
+		type cand struct {
+			task, op, prio int
+		}
+		var ready []cand
+		for ti, g := range tasks {
+			for i := 0; i < g.NumOps(); i++ {
+				op := g.Op(i)
+				if op.Kind.IsFree() || done[ti][i] >= 0 {
+					continue
+				}
+				ok := true
+				for _, a := range op.Args {
+					if !argReadyLat(g, done[ti], a, cycle) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ready = append(ready, cand{ti, i, alap[ti][i]})
+				}
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			if ready[a].prio != ready[b].prio {
+				return ready[a].prio < ready[b].prio
+			}
+			if ready[a].task != ready[b].task {
+				return ready[a].task < ready[b].task
+			}
+			return ready[a].op < ready[b].op
+		})
+		memUsed := 0
+		for _, r := range ready {
+			op := tasks[r.task].Op(r.op)
+			L := opLatency(op)
+			if op.Kind.IsMemory() {
+				if memUsed >= memPorts {
+					continue
+				}
+				memUsed++
+			} else {
+				ft := FUType{op.Kind, op.Width}
+				occ := busy[r.task][ft]
+				if occ == nil {
+					occ = map[int]int{}
+					busy[r.task][ft] = occ
+				}
+				fits := true
+				for cc := cycle; cc < cycle+L; cc++ {
+					if occ[cc] >= allocs[r.task][ft] {
+						fits = false
+						break
+					}
+				}
+				if !fits {
+					continue
+				}
+				for cc := cycle; cc < cycle+L; cc++ {
+					occ[cc]++
+				}
+			}
+			done[r.task][r.op] = cycle + L
+			sched.Ops = append(sched.Ops, ScheduledOp{Task: r.task, Op: r.op, Cycle: cycle})
+			remaining--
+		}
+		sched.MemOpsPerCycle = append(sched.MemOpsPerCycle, memUsed)
+		cycle++
+	}
+	// Makespan: the largest completion cycle.
+	for ti := range done {
+		for _, c := range done[ti] {
+			if c > sched.Cycles {
+				sched.Cycles = c
+			}
+		}
+	}
+	return sched, nil
+}
+
+// argReadyLat reports whether argument a's value is available at cycle,
+// folding free producers.
+func argReadyLat(g *OpGraph, done []int, a int, cycle int) bool {
+	op := g.Op(a)
+	if op.Kind.IsFree() {
+		for _, p := range op.Args {
+			if !argReadyLat(g, done, p, cycle) {
+				return false
+			}
+		}
+		return true
+	}
+	return done[a] >= 0 && done[a] <= cycle
+}

@@ -1,0 +1,193 @@
+package hls
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAndLatenciesUnconstrained(t *testing.T) {
+	lib := XC4000Library()
+	alloc := Allocation{{OpMul, 17}: 1, {OpAdd, 24}: 1}
+	clock, lat, err := ClockAndLatencies(alloc, lib, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 70 {
+		t.Errorf("clock = %g, want 70 (mul17-bound)", clock)
+	}
+	for ft, l := range lat {
+		if l != 1 {
+			t.Errorf("%s latency = %d, want 1 without a clock constraint", ft, l)
+		}
+	}
+}
+
+func TestClockAndLatenciesConstrained(t *testing.T) {
+	lib := XC4000Library()
+	alloc := Allocation{{OpMul, 17}: 1, {OpAdd, 24}: 1}
+	// 40 ns user clock: mul17 (65+4 ns) needs 2 cycles, add24 (24.8+4) 1.
+	clock, lat, err := ClockAndLatencies(alloc, lib, Constraints{MaxClockNS: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 40 {
+		t.Errorf("clock = %g, want 40", clock)
+	}
+	if lat[FUType{OpMul, 17}] != 2 {
+		t.Errorf("mul17 latency = %d, want 2", lat[FUType{OpMul, 17}])
+	}
+	if lat[FUType{OpAdd, 24}] != 1 {
+		t.Errorf("add24 latency = %d, want 1", lat[FUType{OpAdd, 24}])
+	}
+}
+
+func TestClockCannotUndercutMemory(t *testing.T) {
+	lib := XC4000Library()
+	alloc := Allocation{{OpAdd, 8}: 1}
+	// Memory access is 25 ns + 4 setup -> 30 ns floor; a 20 ns clock must
+	// be rejected.
+	if _, _, err := ClockAndLatencies(alloc, lib, Constraints{MaxClockNS: 20}); err == nil {
+		t.Error("20 ns clock accepted below the memory access floor")
+	}
+}
+
+func TestMulticycleScheduleCorrectness(t *testing.T) {
+	g := VectorProduct("t2", 4, 17, 24, "in", "out", false)
+	alloc := MinimalAllocation(g)
+	lat := Latencies{{OpMul, 17}: 2, {OpAdd, 24}: 1}
+	s, err := ListScheduleLatency([]*OpGraph{g}, []Allocation{alloc}, 1, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies with latency: a consumer must start at least L cycles
+	// after its producer.
+	cycleOf := map[int]int{}
+	for _, so := range s.Ops {
+		cycleOf[so.Op] = so.Cycle
+	}
+	for _, so := range s.Ops {
+		op := g.Op(so.Op)
+		for _, a := range op.Args {
+			pa := g.Op(a)
+			if pa.Kind.IsFree() {
+				continue
+			}
+			L := 1
+			if pa.Kind.NeedsFU() {
+				L = lat.Latency(FUType{pa.Kind, pa.Width})
+			}
+			if cycleOf[a]+L > so.Cycle {
+				t.Fatalf("op %d at %d starts before producer %d (cycle %d + lat %d)",
+					so.Op, so.Cycle, a, cycleOf[a], L)
+			}
+		}
+	}
+	// The single multiplier runs 4 two-cycle multiplies: >= 8 cycles of
+	// multiplier occupancy.
+	if s.Cycles < 9 {
+		t.Errorf("makespan %d too small for 4 two-cycle muls + deps", s.Cycles)
+	}
+	// Single-cycle latencies must reproduce the plain scheduler.
+	plain, err := ListSchedule([]*OpGraph{g}, []Allocation{alloc}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := ListScheduleLatency([]*OpGraph{g}, []Allocation{alloc}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cycles != plain.Cycles {
+		t.Errorf("unit-latency scheduler %d cycles != plain %d", one.Cycles, plain.Cycles)
+	}
+}
+
+// TestClockLatencyTradeoff: for a T2 vector product, sweeping the user
+// clock must produce a delay curve with a genuine tradeoff, and every
+// point must be a valid design.
+func TestClockLatencyTradeoff(t *testing.T) {
+	lib := XC4000Library()
+	g := VectorProduct("t2", 4, 17, 24, "in", "out", false)
+	base, err := EstimateTaskMulticycle(g, lib, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ClockNS != 70 {
+		t.Errorf("unconstrained clock = %g, want 70", base.ClockNS)
+	}
+	for _, maxClock := range []float64{70, 60, 50, 40} {
+		e, err := EstimateTaskMulticycle(g, lib, Constraints{MaxClockNS: maxClock})
+		if err != nil {
+			t.Fatalf("clock %g: %v", maxClock, err)
+		}
+		if e.ClockNS > maxClock+1e-9 {
+			t.Errorf("clock %g exceeds user max %g", e.ClockNS, maxClock)
+		}
+		if e.Cycles < base.Cycles {
+			t.Errorf("clock %g: fewer cycles (%d) than the natural clock (%d)",
+				maxClock, e.Cycles, base.Cycles)
+		}
+	}
+}
+
+// Property: the multi-cycle schedule is dependency-correct and never
+// oversubscribes units for random latencies.
+func TestMulticycleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := VectorProduct("t", 2+rng.Intn(5), 5+rng.Intn(14), 24, "in", "out", false)
+		alloc := MinimalAllocation(g)
+		lat := Latencies{}
+		for ft := range alloc {
+			lat[ft] = 1 + rng.Intn(3)
+		}
+		s, err := ListScheduleLatency([]*OpGraph{g}, []Allocation{alloc}, 1, lat)
+		if err != nil {
+			return false
+		}
+		// Occupancy check.
+		occ := map[FUType]map[int]int{}
+		cycleOf := map[int]int{}
+		for _, so := range s.Ops {
+			cycleOf[so.Op] = so.Cycle
+		}
+		memPerCycle := map[int]int{}
+		for _, so := range s.Ops {
+			op := g.Op(so.Op)
+			if op.Kind.IsMemory() {
+				memPerCycle[so.Cycle]++
+				if memPerCycle[so.Cycle] > 1 {
+					return false
+				}
+				continue
+			}
+			ft := FUType{op.Kind, op.Width}
+			if occ[ft] == nil {
+				occ[ft] = map[int]int{}
+			}
+			for cc := so.Cycle; cc < so.Cycle+lat.Latency(ft); cc++ {
+				occ[ft][cc]++
+				if occ[ft][cc] > alloc[ft] {
+					return false
+				}
+			}
+			for _, a := range op.Args {
+				pa := g.Op(a)
+				if pa.Kind.IsFree() {
+					continue
+				}
+				L := 1
+				if pa.Kind.NeedsFU() {
+					L = lat.Latency(FUType{pa.Kind, pa.Width})
+				}
+				if cycleOf[a]+L > so.Cycle {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+package hls
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScheduledOp records the cycle assignment of one operation.
+type ScheduledOp struct {
+	Task  int // index into the scheduled task list
+	Op    int // op index within the task's OpGraph
+	Cycle int // 0-based control step
+}
+
+// Schedule is the result of list scheduling one or more tasks onto shared
+// memory ports with per-task functional units.
+type Schedule struct {
+	// Cycles is the makespan in control steps.
+	Cycles int
+	// Ops lists every scheduled operation ordered by (Cycle, Task, Op).
+	Ops []ScheduledOp
+	// MemOpsPerCycle records memory-port occupancy per cycle (diagnostics).
+	MemOpsPerCycle []int
+}
+
+// ASAP computes as-soon-as-possible control steps for each op, assuming
+// unlimited resources and unit latency for non-free ops. Free ops (consts,
+// shifts) are assigned the step at which their inputs are ready and consume
+// no step themselves.
+func ASAP(g *OpGraph) []int {
+	n := g.NumOps()
+	t := make([]int, n)
+	for i := 0; i < n; i++ {
+		op := g.Op(i)
+		ready := 0
+		for _, a := range op.Args {
+			pa := g.Op(a)
+			end := t[a]
+			if !pa.Kind.IsFree() {
+				end = t[a] + 1 // result available after its cycle
+			}
+			if end > ready {
+				ready = end
+			}
+		}
+		t[i] = ready
+	}
+	return t
+}
+
+// ALAP computes as-late-as-possible control steps for a given latency bound
+// L (in steps). Ops with no consumers finish at L-1.
+func ALAP(g *OpGraph, latency int) []int {
+	n := g.NumOps()
+	t := make([]int, n)
+	for i := range t {
+		t[i] = latency - 1
+	}
+	for i := n - 1; i >= 0; i-- {
+		op := g.Op(i)
+		for _, a := range op.Args {
+			pa := g.Op(a)
+			lim := t[i]
+			if !pa.Kind.IsFree() {
+				lim = t[i] - 1
+			}
+			if lim < t[a] {
+				t[a] = lim
+			}
+		}
+	}
+	return t
+}
+
+// listState tracks resource occupancy for one cycle.
+type listState struct {
+	memUsed int
+	fuUsed  []map[FUType]int // per task
+}
+
+// ListSchedule performs priority list scheduling of one or more tasks.
+//
+// Resource model (the paper's Sec. 3 synthesis style):
+//   - every task owns its private functional units given by allocs[i]
+//     (operations of a type within a task share that task's units),
+//   - all tasks in a temporal partition share the board memory ports
+//     (memPorts, 1 on the paper's board),
+//   - functional units and memory ports serve one op per cycle; results are
+//     registered and available the following cycle,
+//   - constants and constant shifts are free.
+//
+// Priority is least ALAP slack first (critical-path driven), breaking ties
+// toward the task with more remaining work.
+func ListSchedule(tasks []*OpGraph, allocs []Allocation, memPorts int) (*Schedule, error) {
+	if len(tasks) != len(allocs) {
+		return nil, fmt.Errorf("hls: %d tasks but %d allocations", len(tasks), len(allocs))
+	}
+	if memPorts < 1 {
+		return nil, fmt.Errorf("hls: memPorts must be >= 1, got %d", memPorts)
+	}
+	type opRef struct {
+		task, op int
+		prio     int // ALAP step (lower = more urgent)
+	}
+	// Precompute per-task ASAP/ALAP for priorities.
+	remaining := 0
+	asap := make([][]int, len(tasks))
+	alap := make([][]int, len(tasks))
+	for ti, g := range tasks {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		asap[ti] = ASAP(g)
+		lat := 0
+		for i, s := range asap[ti] {
+			if !g.Op(i).Kind.IsFree() && s+1 > lat {
+				lat = s + 1
+			}
+		}
+		if lat == 0 {
+			lat = 1
+		}
+		alap[ti] = ALAP(g, lat)
+		for i := 0; i < g.NumOps(); i++ {
+			if !g.Op(i).Kind.IsFree() {
+				remaining++
+			}
+		}
+	}
+	if remaining == 0 {
+		return nil, ErrEmptyGraph
+	}
+
+	done := make([][]int, len(tasks)) // completion cycle per op; -1 = unscheduled
+	for ti, g := range tasks {
+		done[ti] = make([]int, g.NumOps())
+		for i := range done[ti] {
+			done[ti][i] = -1
+		}
+	}
+
+	sched := &Schedule{}
+	cycle := 0
+	maxCycles := 16 * (remaining + 8) // safety net against scheduler bugs
+	for remaining > 0 {
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("hls: list scheduler failed to converge after %d cycles", cycle)
+		}
+		// Collect ready ops.
+		var ready []opRef
+		for ti, g := range tasks {
+			for i := 0; i < g.NumOps(); i++ {
+				op := g.Op(i)
+				if op.Kind.IsFree() || done[ti][i] >= 0 {
+					continue
+				}
+				ok := true
+				for _, a := range op.Args {
+					pa := g.Op(a)
+					if pa.Kind.IsFree() {
+						// Free producers are "done" when their own args are.
+						if !freeReady(g, done[ti], a, cycle) {
+							ok = false
+							break
+						}
+						continue
+					}
+					if done[ti][a] < 0 || done[ti][a] >= cycle {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ready = append(ready, opRef{ti, i, alap[ti][i]})
+				}
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			if ready[a].prio != ready[b].prio {
+				return ready[a].prio < ready[b].prio
+			}
+			if ready[a].task != ready[b].task {
+				return ready[a].task < ready[b].task
+			}
+			return ready[a].op < ready[b].op
+		})
+
+		st := listState{fuUsed: make([]map[FUType]int, len(tasks))}
+		for i := range st.fuUsed {
+			st.fuUsed[i] = map[FUType]int{}
+		}
+		memThisCycle := 0
+		for _, r := range ready {
+			op := tasks[r.task].Op(r.op)
+			if op.Kind.IsMemory() {
+				if st.memUsed >= memPorts {
+					continue
+				}
+				st.memUsed++
+				memThisCycle++
+			} else {
+				ft := FUType{op.Kind, op.Width}
+				if st.fuUsed[r.task][ft] >= allocs[r.task][ft] {
+					continue
+				}
+				st.fuUsed[r.task][ft]++
+			}
+			done[r.task][r.op] = cycle
+			sched.Ops = append(sched.Ops, ScheduledOp{Task: r.task, Op: r.op, Cycle: cycle})
+			remaining--
+		}
+		sched.MemOpsPerCycle = append(sched.MemOpsPerCycle, memThisCycle)
+		cycle++
+	}
+	sched.Cycles = cycle
+	return sched, nil
+}
+
+// freeReady reports whether free op a's transitive non-free producers are
+// complete before the given cycle.
+func freeReady(g *OpGraph, done []int, a int, cycle int) bool {
+	op := g.Op(a)
+	for _, p := range op.Args {
+		pa := g.Op(p)
+		if pa.Kind.IsFree() {
+			if !freeReady(g, done, p, cycle) {
+				return false
+			}
+			continue
+		}
+		if done[p] < 0 || done[p] >= cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks schedule invariants against the tasks and resources:
+// dependencies respected (producer cycle < consumer cycle), per-cycle FU
+// and memory-port limits honoured, every non-free op scheduled exactly
+// once. It is used by tests and by property checks.
+func (s *Schedule) Verify(tasks []*OpGraph, allocs []Allocation, memPorts int) error {
+	cycleOf := make([]map[int]int, len(tasks))
+	for i := range cycleOf {
+		cycleOf[i] = map[int]int{}
+	}
+	for _, so := range s.Ops {
+		if _, dup := cycleOf[so.Task][so.Op]; dup {
+			return fmt.Errorf("hls: op (%d,%d) scheduled twice", so.Task, so.Op)
+		}
+		cycleOf[so.Task][so.Op] = so.Cycle
+	}
+	type slot struct {
+		cycle int
+		task  int
+		ft    FUType
+	}
+	fuBusy := map[slot]int{}
+	memBusy := map[int]int{}
+	for _, so := range s.Ops {
+		op := tasks[so.Task].Op(so.Op)
+		if op.Kind.IsMemory() {
+			memBusy[so.Cycle]++
+			if memBusy[so.Cycle] > memPorts {
+				return fmt.Errorf("hls: cycle %d oversubscribes memory ports", so.Cycle)
+			}
+		} else if op.Kind.NeedsFU() {
+			ft := FUType{op.Kind, op.Width}
+			k := slot{so.Cycle, so.Task, ft}
+			fuBusy[k]++
+			if fuBusy[k] > allocs[so.Task][ft] {
+				return fmt.Errorf("hls: cycle %d oversubscribes %s of task %d", so.Cycle, ft, so.Task)
+			}
+		}
+		// Dependencies.
+		var checkArgs func(int) error
+		checkArgs = func(idx int) error {
+			for _, a := range tasks[so.Task].Op(idx).Args {
+				pa := tasks[so.Task].Op(a)
+				if pa.Kind.IsFree() {
+					if err := checkArgs(a); err != nil {
+						return err
+					}
+					continue
+				}
+				pc, ok := cycleOf[so.Task][a]
+				if !ok {
+					return fmt.Errorf("hls: op (%d,%d) depends on unscheduled op %d", so.Task, so.Op, a)
+				}
+				if pc >= so.Cycle {
+					return fmt.Errorf("hls: op (%d,%d) at cycle %d depends on op %d at cycle %d", so.Task, so.Op, so.Cycle, a, pc)
+				}
+			}
+			return nil
+		}
+		if err := checkArgs(so.Op); err != nil {
+			return err
+		}
+	}
+	for ti, g := range tasks {
+		for i := 0; i < g.NumOps(); i++ {
+			if !g.Op(i).Kind.IsFree() {
+				if _, ok := cycleOf[ti][i]; !ok {
+					return fmt.Errorf("hls: op (%d,%d) never scheduled", ti, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,467 @@
+// Package ilp implements a branch-and-bound integer linear programming
+// solver on top of the simplex solver in internal/lp.
+//
+// It supports mixed problems in which a subset of the variables is marked
+// integral (in practice, the 0-1 placement variables of the temporal
+// partitioning model). Branching fixes variable bounds, so no constraint
+// rows are added during the search. The solver keeps the best incumbent and
+// its bound, honours node and time limits, and can report a proven-optimal
+// or best-effort solution.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status reports the outcome of an ILP solve.
+type Status int
+
+const (
+	// Optimal means the incumbent was proven optimal.
+	Optimal Status = iota
+	// Feasible means an incumbent was found but the search hit a limit
+	// before proving optimality.
+	Feasible
+	// Infeasible means no integral feasible point exists.
+	Infeasible
+	// Unbounded means the LP relaxation is unbounded.
+	Unbounded
+	// Limit means a node/time limit was hit before any incumbent was found.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem couples an LP with integrality requirements.
+type Problem struct {
+	// LP is the underlying relaxation. Bounds on integer variables should
+	// already be set (e.g. [0,1] for binaries).
+	LP *lp.Problem
+	// Integers lists the variable indices that must take integral values.
+	Integers []int
+	// SOS1 lists groups of binary variables of which exactly one is 1 in
+	// any feasible solution (the caller must have added the corresponding
+	// equality row). The solver branches on whole groups — one child per
+	// member, fixing it to 1 and the rest to 0 — which is dramatically
+	// stronger than single-variable branching for assignment structures
+	// like the temporal partitioning y[t][p] variables.
+	SOS1 [][]int
+}
+
+// Options tunes the branch-and-bound search. The zero value gives sensible
+// defaults.
+type Options struct {
+	// MaxNodes bounds the number of explored B&B nodes (0 = default 200000).
+	MaxNodes int
+	// TimeLimit bounds wall-clock search time (0 = no limit).
+	TimeLimit time.Duration
+	// AbsGap stops the search when bound and incumbent are closer than this
+	// (default 1e-6).
+	AbsGap float64
+	// RoundingHeuristic, when true (default via DefaultOptions), attempts to
+	// round each fractional LP solution to a feasible incumbent.
+	RoundingHeuristic bool
+	// Incumbent optionally provides a known feasible point to warm-start
+	// pruning. Its objective is evaluated against the LP objective.
+	Incumbent []float64
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// DefaultOptions returns the options used when a zero Options is passed.
+func DefaultOptions() Options {
+	return Options{
+		MaxNodes:          200000,
+		AbsGap:            1e-6,
+		RoundingHeuristic: true,
+	}
+}
+
+// Solution is the result of an ILP solve.
+type Solution struct {
+	Status Status
+	// X is the incumbent point (valid for Optimal and Feasible).
+	X []float64
+	// Obj is the incumbent objective value.
+	Obj float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Nodes is the number of B&B nodes explored.
+	Nodes int
+	// LPIterations accumulates simplex pivots across all nodes.
+	LPIterations int
+}
+
+// Gap returns Obj - Bound (0 for proven optimal solutions).
+func (s *Solution) Gap() float64 {
+	if s.X == nil {
+		return math.Inf(1)
+	}
+	return s.Obj - s.Bound
+}
+
+const intTol = 1e-6
+
+// node is one open branch-and-bound subproblem.
+type node struct {
+	fixes []fix   // bound changes relative to the root
+	bound float64 // parent LP bound (priority hint)
+	depth int
+}
+
+type fix struct {
+	j      int
+	lo, hi float64
+}
+
+// Solve runs branch and bound and returns the best solution found.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	def := DefaultOptions()
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = def.MaxNodes
+	}
+	if opt.AbsGap == 0 {
+		opt.AbsGap = def.AbsGap
+	}
+	isInt := make(map[int]bool, len(p.Integers))
+	for _, j := range p.Integers {
+		if j < 0 || j >= p.LP.NumVars() {
+			return nil, fmt.Errorf("ilp: integer index %d out of range [0,%d)", j, p.LP.NumVars())
+		}
+		isInt[j] = true
+	}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	sol := &Solution{Status: Limit, Bound: math.Inf(-1)}
+	var incumbent []float64
+	incObj := math.Inf(1)
+	if opt.Incumbent != nil {
+		if ok, obj := checkFeasible(p, opt.Incumbent); ok {
+			incumbent = append([]float64(nil), opt.Incumbent...)
+			incObj = obj
+			if opt.Log != nil {
+				opt.Log("ilp: warm-start incumbent obj=%g", obj)
+			}
+		}
+	}
+
+	// Depth-first with best-bound tie-breaking: a stack, but children are
+	// pushed so the more promising branch is explored first.
+	stack := []node{{bound: math.Inf(-1)}}
+	rootBound := math.Inf(-1)
+	rootSolved := false
+
+	for len(stack) > 0 {
+		if sol.Nodes >= opt.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		// Pop.
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Prune by parent bound.
+		if nd.bound > incObj-opt.AbsGap && !math.IsInf(nd.bound, -1) {
+			continue
+		}
+
+		q := p.LP.Clone()
+		feas := true
+		for _, f := range nd.fixes {
+			lo, hi := q.Bounds(f.j)
+			nlo, nhi := math.Max(lo, f.lo), math.Min(hi, f.hi)
+			if nlo > nhi {
+				feas = false
+				break
+			}
+			q.SetBounds(f.j, nlo, nhi)
+		}
+		if !feas {
+			continue
+		}
+
+		res, err := lp.Solve(q)
+		if err != nil {
+			return nil, fmt.Errorf("ilp: node LP: %w", err)
+		}
+		sol.Nodes++
+		sol.LPIterations += res.Iterations
+
+		switch res.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if nd.depth == 0 {
+				sol.Status = Unbounded
+				return sol, nil
+			}
+			continue
+		case lp.IterLimit:
+			// Treat as unexplorable; drop the node conservatively only if
+			// we already have an incumbent, else record and continue.
+			if opt.Log != nil {
+				opt.Log("ilp: node hit simplex iteration limit (depth %d)", nd.depth)
+			}
+			continue
+		}
+
+		if !rootSolved && nd.depth == 0 {
+			rootBound = res.Obj
+			rootSolved = true
+		}
+		if res.Obj > incObj-opt.AbsGap {
+			continue // bound prune
+		}
+
+		// Prefer SOS1 group branching: pick the most undecided group (the
+		// one whose largest member value is smallest).
+		bestGroup := -1
+		bestMax := 2.0
+		for gi, grp := range p.SOS1 {
+			gmax, fractional := 0.0, false
+			for _, j := range grp {
+				v := res.X[j]
+				if v > intTol && v < 1-intTol {
+					fractional = true
+				}
+				if v > gmax {
+					gmax = v
+				}
+			}
+			if fractional && gmax < bestMax {
+				bestMax = gmax
+				bestGroup = gi
+			}
+		}
+
+		// Find the most fractional integer variable (closest to .5).
+		branchVar := -1
+		bestDist := math.Inf(1)
+		for _, j := range p.Integers {
+			f := res.X[j] - math.Floor(res.X[j])
+			if f > intTol && f < 1-intTol {
+				if d := math.Abs(f - 0.5); d < bestDist {
+					bestDist = d
+					branchVar = j
+				}
+			}
+		}
+
+		if bestGroup >= 0 && branchVar != -1 {
+			if opt.RoundingHeuristic {
+				if cand := roundCandidate(res.X, isInt); cand != nil {
+					if ok, obj := checkFeasibleWithBounds(p, q, cand); ok && obj < incObj-opt.AbsGap {
+						incObj = obj
+						incumbent = cand
+					}
+				}
+			}
+			grp := p.SOS1[bestGroup]
+			// One child per member, fixing it to 1 and siblings to 0.
+			// Push in ascending LP-value order so the most promising child
+			// is on top of the stack (explored first).
+			order := make([]int, len(grp))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool {
+				return res.X[grp[order[a]]] < res.X[grp[order[b]]]
+			})
+			for _, oi := range order {
+				pick := grp[oi]
+				fixes := make([]fix, 0, len(nd.fixes)+len(grp))
+				fixes = append(fixes, nd.fixes...)
+				for _, j := range grp {
+					if j == pick {
+						fixes = append(fixes, fix{j, 1, 1})
+					} else {
+						fixes = append(fixes, fix{j, 0, 0})
+					}
+				}
+				stack = append(stack, node{fixes: fixes, bound: res.Obj, depth: nd.depth + 1})
+			}
+			continue
+		}
+
+		if branchVar == -1 {
+			// Integral: candidate incumbent.
+			if res.Obj < incObj-opt.AbsGap {
+				incObj = res.Obj
+				incumbent = roundInts(res.X, isInt)
+				if opt.Log != nil {
+					opt.Log("ilp: incumbent obj=%g after %d nodes", incObj, sol.Nodes)
+				}
+			}
+			continue
+		}
+
+		if opt.RoundingHeuristic {
+			if cand := roundCandidate(res.X, isInt); cand != nil {
+				if ok, obj := checkFeasibleWithBounds(p, q, cand); ok && obj < incObj-opt.AbsGap {
+					incObj = obj
+					incumbent = cand
+					if opt.Log != nil {
+						opt.Log("ilp: rounding incumbent obj=%g after %d nodes", obj, sol.Nodes)
+					}
+				}
+			}
+		}
+
+		v := res.X[branchVar]
+		fl := math.Floor(v)
+		// Child exploring the side nearer the LP value first (pushed last).
+		down := node{
+			fixes: appendFix(nd.fixes, fix{branchVar, math.Inf(-1), fl}),
+			bound: res.Obj,
+			depth: nd.depth + 1,
+		}
+		up := node{
+			fixes: appendFix(nd.fixes, fix{branchVar, fl + 1, math.Inf(1)}),
+			bound: res.Obj,
+			depth: nd.depth + 1,
+		}
+		if v-fl > 0.5 {
+			stack = append(stack, down, up) // explore up first
+		} else {
+			stack = append(stack, up, down) // explore down first
+		}
+	}
+
+	exhausted := len(stack) == 0
+
+	// The proven bound is the min over remaining open nodes (or the root
+	// bound if the tree was fully explored the bound equals the incumbent).
+	bound := incObj
+	if !exhausted {
+		for _, nd := range stack {
+			if nd.bound < bound {
+				bound = nd.bound
+			}
+		}
+		if !rootSolved {
+			bound = math.Inf(-1)
+		}
+	}
+	if math.IsInf(incObj, 1) && rootSolved && exhausted {
+		sol.Status = Infeasible
+		sol.Bound = rootBound
+		return sol, nil
+	}
+
+	sol.Bound = bound
+	if incumbent != nil {
+		sol.X = incumbent
+		sol.Obj = incObj
+		if exhausted || incObj-bound <= opt.AbsGap {
+			sol.Status = Optimal
+			sol.Bound = incObj
+		} else {
+			sol.Status = Feasible
+		}
+	} else if exhausted {
+		sol.Status = Infeasible
+	}
+	return sol, nil
+}
+
+func appendFix(fs []fix, f fix) []fix {
+	out := make([]fix, len(fs)+1)
+	copy(out, fs)
+	out[len(fs)] = f
+	return out
+}
+
+func roundInts(x []float64, isInt map[int]bool) []float64 {
+	out := append([]float64(nil), x...)
+	for j := range out {
+		if isInt[j] {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+func roundCandidate(x []float64, isInt map[int]bool) []float64 {
+	out := append([]float64(nil), x...)
+	changed := false
+	for j := range out {
+		if isInt[j] {
+			r := math.Round(out[j])
+			if math.Abs(r-out[j]) > intTol {
+				changed = true
+			}
+			out[j] = r
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return out
+}
+
+// checkFeasible verifies x against all rows and bounds of the original
+// problem and returns its objective value.
+func checkFeasible(p *Problem, x []float64) (bool, float64) {
+	return checkFeasibleWithBounds(p, p.LP, x)
+}
+
+func checkFeasibleWithBounds(p *Problem, bounds *lp.Problem, x []float64) (bool, float64) {
+	if len(x) != p.LP.NumVars() {
+		return false, 0
+	}
+	for j := 0; j < p.LP.NumVars(); j++ {
+		lo, hi := bounds.Bounds(j)
+		if x[j] < lo-1e-6 || x[j] > hi+1e-6 {
+			return false, 0
+		}
+	}
+	if !p.LP.RowsSatisfied(x, 1e-6) {
+		return false, 0
+	}
+	obj := 0.0
+	for j := 0; j < p.LP.NumVars(); j++ {
+		obj += p.LP.Obj(j) * x[j]
+	}
+	return true, obj
+}
+
+// Binary adds a new 0-1 variable to prob's LP and registers it as integral.
+// It returns the variable index. This is a convenience for model builders.
+func Binary(p *Problem) int {
+	j := p.LP.AddVar()
+	p.LP.SetBounds(j, 0, 1)
+	p.Integers = append(p.Integers, j)
+	return j
+}
+
+// SortIntegers normalizes the integer index list (useful after bulk model
+// construction so branching order is deterministic).
+func (p *Problem) SortIntegers() {
+	sort.Ints(p.Integers)
+}

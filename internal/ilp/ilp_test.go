@@ -1,0 +1,241 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/lp"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-5 }
+
+// knapsack builds a 0-1 knapsack as a minimization problem
+// (maximize value == minimize -value).
+func knapsack(values, weights []float64, cap float64) *Problem {
+	n := len(values)
+	P := &Problem{LP: lp.NewProblem(0)}
+	coeffs := map[int]float64{}
+	for i := 0; i < n; i++ {
+		j := Binary(P)
+		P.LP.SetObj(j, -values[i])
+		coeffs[j] = weights[i]
+	}
+	P.LP.AddRow(lp.LE, coeffs, cap)
+	return P
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	// values 10,13,7,11; weights 5,6,3,5; cap 10 -> best 13+11=24 (w=11)?
+	// No: 6+5=11 > 10. Options: {10,13}=23 w=11 no; {13,7}=20 w=9 yes;
+	// {10,11}=21 w=10 yes; {10,7}=17; {11,7}=18 w=8; best = 21.
+	P := knapsack([]float64{10, 13, 7, 11}, []float64{5, 6, 3, 5}, 10)
+	s, err := Solve(P, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if !near(s.Obj, -21) {
+		t.Errorf("obj = %g, want -21 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestKnapsackExhaustiveProperty(t *testing.T) {
+	// Compare B&B against brute force on random small knapsacks.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		totW := 0.0
+		for i := range values {
+			values[i] = float64(1 + rng.Intn(20))
+			weights[i] = float64(1 + rng.Intn(10))
+			totW += weights[i]
+		}
+		cap := math.Floor(totW / 2)
+		P := knapsack(values, weights, cap)
+		s, err := Solve(P, Options{})
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			v, w := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					v += values[i]
+					w += weights[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		return near(s.Obj, -best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// 2x == 3 with x integer in [0, 5]: LP feasible (x=1.5), ILP infeasible.
+	P := &Problem{LP: lp.NewProblem(1)}
+	P.LP.SetBounds(0, 0, 5)
+	P.Integers = []int{0}
+	P.LP.AddRow(lp.EQ, map[int]float64{0: 2}, 3)
+	s, err := Solve(P, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 10y, x continuous in [0, 2.5], y binary,
+	// s.t. x + 4y <= 5. Best: y=1, x=1 -> obj -11.
+	P := &Problem{LP: lp.NewProblem(1)}
+	P.LP.SetBounds(0, 0, 2.5)
+	P.LP.SetObj(0, -1)
+	y := Binary(P)
+	P.LP.SetObj(y, -10)
+	P.LP.AddRow(lp.LE, map[int]float64{0: 1, y: 4}, 5)
+	s, err := Solve(P, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if !near(s.Obj, -11) {
+		t.Errorf("obj = %g, want -11 (x=%v)", s.Obj, s.X)
+	}
+	if !near(s.X[y], 1) {
+		t.Errorf("y = %g, want 1", s.X[y])
+	}
+}
+
+func TestWarmStartIncumbent(t *testing.T) {
+	P := knapsack([]float64{10, 13, 7, 11}, []float64{5, 6, 3, 5}, 10)
+	// Feasible warm start: items 2 (w=3) and 3 (w=5).
+	inc := []float64{0, 0, 1, 1}
+	s, err := Solve(P, Options{Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.Obj, -21) {
+		t.Errorf("status=%v obj=%g, want optimal -21", s.Status, s.Obj)
+	}
+}
+
+func TestBadWarmStartIgnored(t *testing.T) {
+	P := knapsack([]float64{5, 5}, []float64{4, 4}, 4)
+	// Infeasible warm start (both items exceed capacity) must be ignored.
+	s, err := Solve(P, Options{Incumbent: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.Obj, -5) {
+		t.Errorf("status=%v obj=%g, want optimal -5", s.Status, s.Obj)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A larger knapsack with a 1-node limit should still return something
+	// (Limit or Feasible), never panic.
+	rng := rand.New(rand.NewSource(3))
+	n := 20
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(1 + rng.Intn(50))
+		weights[i] = float64(1 + rng.Intn(20))
+	}
+	P := knapsack(values, weights, 50)
+	s, err := Solve(P, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status == Optimal && s.Nodes > 1 {
+		t.Errorf("explored %d nodes with MaxNodes=1", s.Nodes)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 25
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(1 + rng.Intn(100))
+		weights[i] = float64(1 + rng.Intn(30))
+	}
+	P := knapsack(values, weights, 120)
+	start := time.Now()
+	_, err := Solve(P, Options{TimeLimit: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("time limit had no effect")
+	}
+}
+
+func TestIntegerIndexOutOfRange(t *testing.T) {
+	P := &Problem{LP: lp.NewProblem(1), Integers: []int{3}}
+	if _, err := Solve(P, Options{}); err == nil {
+		t.Error("want error for out-of-range integer index")
+	}
+}
+
+func TestGeneralIntegerVariable(t *testing.T) {
+	// min x s.t. 3x >= 10, x integer -> x = 4.
+	P := &Problem{LP: lp.NewProblem(1), Integers: []int{0}}
+	P.LP.SetObj(0, 1)
+	P.LP.SetBounds(0, 0, 100)
+	P.LP.AddRow(lp.GE, map[int]float64{0: 3}, 10)
+	s, err := Solve(P, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !near(s.X[0], 4) {
+		t.Errorf("x = %v (status %v), want x=4 optimal", s.X, s.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Feasible: "feasible", Infeasible: "infeasible",
+		Unbounded: "unbounded", Limit: "limit",
+	} {
+		if st.String() != want {
+			t.Errorf("Status.String() = %q, want %q", st.String(), want)
+		}
+	}
+}
+
+func BenchmarkKnapsack15(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 15
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(1 + rng.Intn(40))
+		weights[i] = float64(1 + rng.Intn(15))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		P := knapsack(values, weights, 60)
+		if _, err := Solve(P, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package jpeg implements the paper's case study substrate: the JPEG-style
+// image compression co-design of Sec. 4. The 4x4-block Discrete Cosine
+// Transform — the computationally intensive kernel mapped to the
+// reconfigurable hardware — is modelled exactly as in the paper: two
+// consecutive 4x4 matrix multiplications, expressed as 32 vector-product
+// tasks of two types (T1/T2, Fig. 8). The remaining JPEG stages
+// (quantization, zig-zag, and Huffman encoding) run as host software.
+//
+// The package provides both the functional implementation (so end-to-end
+// examples compress and decompress real pixel data) and the task-graph
+// builder consumed by the temporal partitioning and loop fission flow.
+package jpeg
+
+import (
+	"fmt"
+	"math"
+)
+
+// N is the DCT block edge length used by the paper's case study.
+const N = 4
+
+// Block is a 4x4 sample block (row major).
+type Block [N][N]int
+
+// FloatBlock is a 4x4 block of float64 coefficients.
+type FloatBlock [N][N]float64
+
+// dctMatrix returns the orthonormal 4x4 DCT-II matrix C, so that the 2-D
+// transform is Z = C · X · Cᵀ.
+func dctMatrix() FloatBlock {
+	var c FloatBlock
+	for j := 0; j < N; j++ {
+		c[0][j] = 1 / math.Sqrt(N)
+	}
+	for i := 1; i < N; i++ {
+		for j := 0; j < N; j++ {
+			c[i][j] = math.Sqrt(2.0/N) * math.Cos(float64(2*j+1)*float64(i)*math.Pi/(2*N))
+		}
+	}
+	return c
+}
+
+// DCTFloat computes the exact 2-D DCT of a block (reference
+// implementation used to bound the fixed-point error).
+func DCTFloat(x Block) FloatBlock {
+	c := dctMatrix()
+	// y = C * x
+	var y FloatBlock
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			s := 0.0
+			for k := 0; k < N; k++ {
+				s += c[i][k] * float64(x[k][j])
+			}
+			y[i][j] = s
+		}
+	}
+	// z = y * Cᵀ
+	var z FloatBlock
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			s := 0.0
+			for k := 0; k < N; k++ {
+				s += y[i][k] * c[j][k]
+			}
+			z[i][j] = s
+		}
+	}
+	return z
+}
+
+// IDCTFloat inverts DCTFloat (X = Cᵀ · Z · C).
+func IDCTFloat(z FloatBlock) FloatBlock {
+	c := dctMatrix()
+	var y FloatBlock
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			s := 0.0
+			for k := 0; k < N; k++ {
+				s += c[k][i] * z[k][j]
+			}
+			y[i][j] = s
+		}
+	}
+	var x FloatBlock
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			s := 0.0
+			for k := 0; k < N; k++ {
+				s += y[i][k] * c[k][j]
+			}
+			x[i][j] = s
+		}
+	}
+	return x
+}
+
+// Fixed-point scaling used by the hardware model. Coefficients are
+// quantized to CoefFracBits fractional bits; the first matrix multiply
+// (T1 tasks) keeps the extra precision and the second (T2 tasks) shifts
+// back. Bit-width audit (matches the paper's datapath):
+//
+//	stage 1: 9-bit signed sample × 9-bit coefficient -> products summed in
+//	         16 bits after a CoefFracBits>>1 pre-shift,
+//	stage 2: 16-bit intermediate × 9-bit coefficient -> 24-bit accumulate,
+//	         final shift restores integer DCT values.
+const (
+	// CoefFracBits is the fixed-point precision of DCT coefficients.
+	CoefFracBits = 6
+	// stage1Shift rebalances precision after the first multiply so the
+	// intermediate fits the 16-bit T1 output word.
+	stage1Shift = 2
+	// stage2Shift removes the remaining scale after the second multiply.
+	stage2Shift = 2*CoefFracBits - stage1Shift
+)
+
+// CoefFixed returns the DCT matrix in Q(CoefFracBits) fixed point — the
+// coefficient ROM contents of the T1/T2 tasks. Exported for the functional
+// co-simulation in internal/cosim.
+func CoefFixed() [N][N]int {
+	return coefFixed()
+}
+
+// coefFixed returns the DCT matrix in Q(CoefFracBits) fixed point.
+func coefFixed() Block {
+	c := dctMatrix()
+	var q Block
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			q[i][j] = int(math.Round(c[i][j] * float64(int(1)<<CoefFracBits)))
+		}
+	}
+	return q
+}
+
+// VectorProductT1 is the functional behaviour of one T1 task: one element
+// of Y = Cq · X with a stage-1 precision shift. Exported so the task-graph
+// and the functional pipeline provably compute the same thing.
+func VectorProductT1(cRow [N]int, xCol [N]int) int {
+	acc := 0
+	for k := 0; k < N; k++ {
+		acc += cRow[k] * xCol[k]
+	}
+	return roundShift(acc, stage1Shift)
+}
+
+// VectorProductT2 is one T2 task: one element of Z = Y · Cqᵀ with the final
+// rescale.
+func VectorProductT2(yRow [N]int, cRow [N]int) int {
+	acc := 0
+	for k := 0; k < N; k++ {
+		acc += yRow[k] * cRow[k]
+	}
+	return roundShift(acc, stage2Shift)
+}
+
+func roundShift(v, s int) int {
+	if s == 0 {
+		return v
+	}
+	half := 1 << (s - 1)
+	if v >= 0 {
+		return (v + half) >> s
+	}
+	return -((-v + half) >> s)
+}
+
+// DCTFixed computes the hardware-model DCT: exactly 32 vector products
+// (16 T1 + 16 T2), matching the task graph of Fig. 8.
+func DCTFixed(x Block) Block {
+	cq := coefFixed()
+	// Stage 1: Y[i][j] = row i of Cq · column j of X (16 T1 tasks).
+	var y Block
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			var col [N]int
+			for k := 0; k < N; k++ {
+				col[k] = x[k][j]
+			}
+			y[i][j] = VectorProductT1(cq[i], col)
+		}
+	}
+	// Stage 2: Z[i][j] = row i of Y · row j of Cq (16 T2 tasks).
+	var z Block
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			z[i][j] = VectorProductT2(y[i], cq[j])
+		}
+	}
+	return z
+}
+
+// MaxAbsError returns the maximum absolute difference between the
+// fixed-point and float DCT of a block.
+func MaxAbsError(x Block) float64 {
+	zf := DCTFloat(x)
+	zq := DCTFixed(x)
+	worst := 0.0
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			if d := math.Abs(zf[i][j] - float64(zq[i][j])); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func (b Block) String() string {
+	s := ""
+	for i := 0; i < N; i++ {
+		s += fmt.Sprintln(b[i])
+	}
+	return s
+}

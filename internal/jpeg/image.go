@@ -1,0 +1,222 @@
+package jpeg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Image is a grayscale image with 8-bit samples stored row major.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the sample at (x, y).
+func (im *Image) At(x, y int) uint8 { return im.Pix[y*im.W+x] }
+
+// Set writes the sample at (x, y).
+func (im *Image) Set(x, y int, v uint8) { im.Pix[y*im.W+x] = v }
+
+// SyntheticKind selects a generated test pattern.
+type SyntheticKind int
+
+const (
+	// Gradient is a smooth diagonal ramp (highly compressible).
+	Gradient SyntheticKind = iota
+	// Checker is an 8x8 checkerboard (high frequency content).
+	Checker
+	// Noise is uniform random samples (nearly incompressible).
+	Noise
+	// Photo mixes low-frequency structure with mild noise, approximating
+	// natural image statistics.
+	Photo
+)
+
+// Synthesize generates a deterministic test image.
+func Synthesize(kind SyntheticKind, w, h int, seed int64) *Image {
+	im := NewImage(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var v int
+			switch kind {
+			case Gradient:
+				v = (x + y) * 255 / max(1, w+h-2)
+			case Checker:
+				if (x/8+y/8)%2 == 0 {
+					v = 220
+				} else {
+					v = 35
+				}
+			case Noise:
+				v = rng.Intn(256)
+			case Photo:
+				v = 128 +
+					int(80*math.Sin(float64(x)/17)*math.Cos(float64(y)/23)) +
+					rng.Intn(11) - 5
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Set(x, y, uint8(v))
+		}
+	}
+	return im
+}
+
+// Blocks splits the image into level-shifted 4x4 blocks (samples - 128,
+// the JPEG convention, keeping them in the 9-bit signed range of the T1
+// multipliers). The image dimensions must be multiples of 4.
+func (im *Image) Blocks() ([]Block, error) {
+	if im.W%N != 0 || im.H%N != 0 {
+		return nil, fmt.Errorf("jpeg: image %dx%d not a multiple of %d", im.W, im.H, N)
+	}
+	var out []Block
+	for by := 0; by < im.H; by += N {
+		for bx := 0; bx < im.W; bx += N {
+			var b Block
+			for i := 0; i < N; i++ {
+				for j := 0; j < N; j++ {
+					b[i][j] = int(im.At(bx+j, by+i)) - 128
+				}
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// FromBlocks reassembles an image from level-shifted blocks.
+func FromBlocks(blocks []Block, w, h int) (*Image, error) {
+	if w%N != 0 || h%N != 0 || len(blocks) != (w/N)*(h/N) {
+		return nil, fmt.Errorf("jpeg: %d blocks do not tile %dx%d", len(blocks), w, h)
+	}
+	im := NewImage(w, h)
+	bi := 0
+	for by := 0; by < h; by += N {
+		for bx := 0; bx < w; bx += N {
+			b := blocks[bi]
+			bi++
+			for i := 0; i < N; i++ {
+				for j := 0; j < N; j++ {
+					v := b[i][j] + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					im.Set(bx+j, by+i, uint8(v))
+				}
+			}
+		}
+	}
+	return im, nil
+}
+
+// PSNR computes the peak signal-to-noise ratio between two images in dB.
+func PSNR(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("jpeg: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(int(a.Pix[i]) - int(b.Pix[i]))
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// CompressResult summarizes an end-to-end compression run.
+type CompressResult struct {
+	Blocks     int
+	Bytes      []byte
+	BitsPerPix float64
+	PSNRdB     float64
+}
+
+// Compress runs the full software pipeline (DCT via the hardware-faithful
+// fixed-point model, quantization, zig-zag, Huffman) and measures the
+// round-trip PSNR through the matching decompression path.
+func Compress(im *Image, quality int) (*CompressResult, error) {
+	qt, err := DefaultQuantTable().Scaled(quality)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := im.Blocks()
+	if err != nil {
+		return nil, err
+	}
+	zz := make([][N * N]int, len(blocks))
+	for i, b := range blocks {
+		zz[i] = ZigZag(Quantize(DCTFixed(b), qt))
+	}
+	data, err := EncodeBlocks(zz)
+	if err != nil {
+		return nil, err
+	}
+	// Round trip for PSNR.
+	dec, err := Decompress(data, im.W, im.H, quality)
+	if err != nil {
+		return nil, err
+	}
+	psnr, err := PSNR(im, dec)
+	if err != nil {
+		return nil, err
+	}
+	return &CompressResult{
+		Blocks:     len(blocks),
+		Bytes:      data,
+		BitsPerPix: float64(len(data)*8) / float64(im.W*im.H),
+		PSNRdB:     psnr,
+	}, nil
+}
+
+// Decompress inverts Compress (entropy decode, dequantize, inverse DCT).
+func Decompress(data []byte, w, h, quality int) (*Image, error) {
+	qt, err := DefaultQuantTable().Scaled(quality)
+	if err != nil {
+		return nil, err
+	}
+	zz, err := DecodeBlocks(data)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]Block, len(zz))
+	for i, v := range zz {
+		deq := Dequantize(UnZigZag(v), qt)
+		var fz FloatBlock
+		for r := 0; r < N; r++ {
+			for c := 0; c < N; c++ {
+				fz[r][c] = float64(deq[r][c])
+			}
+		}
+		rec := IDCTFloat(fz)
+		for r := 0; r < N; r++ {
+			for c := 0; c < N; c++ {
+				blocks[i][r][c] = int(math.Round(rec[r][c]))
+			}
+		}
+	}
+	return FromBlocks(blocks, w, h)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

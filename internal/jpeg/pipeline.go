@@ -1,0 +1,101 @@
+package jpeg
+
+import (
+	"fmt"
+)
+
+// Software JPEG stages of the co-design (Quantization, Zig-Zag and Huffman
+// encoding run on the host in both of the paper's experiments).
+
+// QuantTable is a 4x4 quantization table.
+type QuantTable Block
+
+// DefaultQuantTable returns a luminance-style quantization table scaled for
+// 4x4 blocks (coarser quantization toward high frequencies).
+func DefaultQuantTable() QuantTable {
+	return QuantTable{
+		{8, 12, 20, 32},
+		{12, 16, 28, 44},
+		{20, 28, 40, 58},
+		{32, 44, 58, 80},
+	}
+}
+
+// Scaled returns the table scaled by quality q in (0, 100]: q=50 keeps the
+// base table, lower q quantizes more coarsely, higher q more finely.
+func (qt QuantTable) Scaled(q int) (QuantTable, error) {
+	if q <= 0 || q > 100 {
+		return QuantTable{}, fmt.Errorf("jpeg: quality %d out of range (0,100]", q)
+	}
+	var scale int
+	if q < 50 {
+		scale = 5000 / q
+	} else {
+		scale = 200 - 2*q
+	}
+	var out QuantTable
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			v := (qt[i][j]*scale + 50) / 100
+			if v < 1 {
+				v = 1
+			}
+			out[i][j] = v
+		}
+	}
+	return out, nil
+}
+
+// Quantize divides DCT coefficients by the table entries with rounding.
+func Quantize(z Block, qt QuantTable) Block {
+	var out Block
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			q := qt[i][j]
+			v := z[i][j]
+			if v >= 0 {
+				out[i][j] = (v + q/2) / q
+			} else {
+				out[i][j] = -((-v + q/2) / q)
+			}
+		}
+	}
+	return out
+}
+
+// Dequantize multiplies back (for round-trip and PSNR measurement).
+func Dequantize(z Block, qt QuantTable) Block {
+	var out Block
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			out[i][j] = z[i][j] * qt[i][j]
+		}
+	}
+	return out
+}
+
+// zigzag4 is the zig-zag scan order for 4x4 blocks.
+var zigzag4 = [N * N][2]int{
+	{0, 0}, {0, 1}, {1, 0}, {2, 0},
+	{1, 1}, {0, 2}, {0, 3}, {1, 2},
+	{2, 1}, {3, 0}, {3, 1}, {2, 2},
+	{1, 3}, {2, 3}, {3, 2}, {3, 3},
+}
+
+// ZigZag serializes a block in zig-zag order.
+func ZigZag(b Block) [N * N]int {
+	var out [N * N]int
+	for k, ij := range zigzag4 {
+		out[k] = b[ij[0]][ij[1]]
+	}
+	return out
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(v [N * N]int) Block {
+	var b Block
+	for k, ij := range zigzag4 {
+		b[ij[0]][ij[1]] = v[k]
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package jpeg
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/hls"
+)
+
+// Task-graph construction for the paper's Fig. 8: the 4x4 DCT as 32 vector
+// products. A "collection" of 8 tasks computes one row of the 4x4 output
+// matrix: the 4 T1 tasks produce row i of the intermediate Y = C·X, and the
+// 4 T2 tasks combine that row with the coefficient rows to produce row i of
+// Z = Y·Cᵀ. Each T2 task therefore depends on all 4 T1 tasks of its row.
+//
+// Bit widths follow the paper: T1 uses 9-bit multipliers with 16-bit
+// accumulation, T2 uses 17-bit multipliers with 24-bit accumulation.
+const (
+	T1MulWidth = 9
+	T1AccWidth = 16
+	T2MulWidth = 17
+	T2AccWidth = 24
+)
+
+// T1Name returns the name of the stage-1 vector product for output row i,
+// intermediate column j.
+func T1Name(i, j int) string { return fmt.Sprintf("T1_%d%d", i, j) }
+
+// T2Name returns the name of the stage-2 vector product for output element
+// (i, j).
+func T2Name(i, j int) string { return fmt.Sprintf("T2_%d%d", i, j) }
+
+// T1Behavior builds the behavioral op graph of a T1 task (4-element vector
+// product, 9-bit multiplies, 16-bit adds). chained selects MAC-style
+// operator chaining (used by the static design).
+func T1Behavior(name string, chained bool) *hls.OpGraph {
+	return hls.VectorProduct(name, N, T1MulWidth, T1AccWidth, "X", "Y", chained)
+}
+
+// T2Behavior builds the behavioral op graph of a T2 task (17-bit
+// multiplies, 24-bit adds).
+func T2Behavior(name string, chained bool) *hls.OpGraph {
+	return hls.VectorProduct(name, N, T2MulWidth, T2AccWidth, "Y", "Z", chained)
+}
+
+// BuildDCTGraph constructs the Fig. 8 task graph with synthesis costs from
+// the HLS estimation engine. Environment I/O accounting matches the paper's
+// Sec. 4 memory analysis: the 16 distinct input words are attributed one
+// word per T1 task, and each T2 task writes its one output word.
+func BuildDCTGraph(lib *hls.Library, cons hls.Constraints) (*dfg.Graph, error) {
+	g := dfg.New("dct4x4")
+
+	t1b := T1Behavior("T1", false)
+	e1, err := hls.EstimateTask(t1b, lib, cons)
+	if err != nil {
+		return nil, fmt.Errorf("jpeg: estimating T1: %w", err)
+	}
+	t2b := T2Behavior("T2", false)
+	e2, err := hls.EstimateTask(t2b, lib, cons)
+	if err != nil {
+		return nil, fmt.Errorf("jpeg: estimating T2: %w", err)
+	}
+
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			if _, err := g.AddTask(dfg.Task{
+				Name: T1Name(i, j), Type: "T1",
+				Resources: e1.CLBs, Delay: e1.DelayNS,
+				ReadEnv: 1, // amortized share of the 16 distinct input words
+				Payload: T1Behavior(T1Name(i, j), false),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			if _, err := g.AddTask(dfg.Task{
+				Name: T2Name(i, j), Type: "T2",
+				Resources: e2.CLBs, Delay: e2.DelayNS,
+				WriteEnv: 1, // the output word Z[i][j]
+				Payload:  T2Behavior(T2Name(i, j), false),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Row collections: T2(i,j) consumes all of row i of Y, i.e. T1(i,0..3).
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			for k := 0; k < N; k++ {
+				if err := g.AddEdge(T1Name(i, k), T2Name(i, j), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// PartitionBehaviors extracts the behavioral op graphs of the tasks mapped
+// to partition p under assign, for partition-level synthesis.
+func PartitionBehaviors(g *dfg.Graph, assign []int, p int) []*hls.OpGraph {
+	var out []*hls.OpGraph
+	for t := 0; t < g.NumTasks(); t++ {
+		if assign[t] != p {
+			continue
+		}
+		if og, ok := g.Task(t).Payload.(*hls.OpGraph); ok {
+			out = append(out, og)
+		}
+	}
+	return out
+}
+
+// StaticDCTBehaviors returns the 32 chained (MAC-style) vector products of
+// the static co-design experiment.
+func StaticDCTBehaviors() []*hls.OpGraph {
+	var out []*hls.OpGraph
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			out = append(out, T1Behavior(T1Name(i, j), true))
+		}
+	}
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			out = append(out, T2Behavior(T2Name(i, j), true))
+		}
+	}
+	return out
+}
+
+// StaticAllocation is the paper's static-design functional-unit set: "the
+// FPGA could fit two 9 bit multipliers, two 17 bit multipliers, two 16 bit
+// adders and two 24 bit adders" — i.e. two 9-bit and two 17-bit MAC pairs.
+func StaticAllocation() hls.Allocation {
+	return hls.Allocation{
+		{Kind: hls.OpMac, Width: T1MulWidth}: 2,
+		{Kind: hls.OpMac, Width: T2MulWidth}: 2,
+	}
+}

@@ -1,0 +1,364 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve returned error: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("Solve status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - y  s.t. x + y <= 4, x <= 3, y <= 2  -> x=3, y=1? No:
+	// optimum fills y to 2 and x to 2: obj -4 either way on the face
+	// x+y=4. Check objective only.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow(LE, map[int]float64{0: 1, 1: 1}, 4)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 2)
+	s := solveOK(t, p)
+	if !near(s.Obj, -4) {
+		t.Errorf("obj = %g, want -4", s.Obj)
+	}
+	if !near(s.X[0]+s.X[1], 4) {
+		t.Errorf("x+y = %g, want 4", s.X[0]+s.X[1])
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + 2y  s.t. x + y == 10, x - y == 2  -> x=6, y=4, obj=14.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 2)
+	p.AddRow(EQ, map[int]float64{0: 1, 1: 1}, 10)
+	p.AddRow(EQ, map[int]float64{0: 1, 1: -1}, 2)
+	s := solveOK(t, p)
+	if !near(s.X[0], 6) || !near(s.X[1], 4) {
+		t.Errorf("x = %v, want [6 4]", s.X)
+	}
+	if !near(s.Obj, 14) {
+		t.Errorf("obj = %g, want 14", s.Obj)
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x + 3y  s.t. x + y >= 5, x >= 1, y >= 1 -> x=4, y=1, obj=11.
+	p := NewProblem(2)
+	p.SetObj(0, 2)
+	p.SetObj(1, 3)
+	p.AddRow(GE, map[int]float64{0: 1, 1: 1}, 5)
+	p.SetBounds(0, 1, Inf)
+	p.SetBounds(1, 1, Inf)
+	s := solveOK(t, p)
+	if !near(s.Obj, 11) {
+		t.Errorf("obj = %g, want 11 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddRow(GE, map[int]float64{0: 1}, 5)
+	p.AddRow(LE, map[int]float64{0: 1}, 3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleViaBounds(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, 5, 3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.AddRow(GE, map[int]float64{0: 1, 1: -1}, 0) // x >= y, x free upward
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestBoundFlipPath(t *testing.T) {
+	// All-upper-bound optimum exercised through bound flips:
+	// min -x1 -x2 -x3 with xi <= ui and a slack-only row.
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetObj(j, -1)
+		p.SetBounds(j, 0, float64(j+1))
+	}
+	p.AddRow(LE, map[int]float64{0: 1, 1: 1, 2: 1}, 100) // non-binding
+	s := solveOK(t, p)
+	if !near(s.Obj, -6) {
+		t.Errorf("obj = %g, want -6 (x=%v)", s.Obj, s.X)
+	}
+	for j := 0; j < 3; j++ {
+		if !near(s.X[j], float64(j+1)) {
+			t.Errorf("x[%d] = %g, want %d", j, s.X[j], j+1)
+		}
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x  s.t. -x <= -3  (i.e. x >= 3).
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.AddRow(LE, map[int]float64{0: -1}, -3)
+	s := solveOK(t, p)
+	if !near(s.X[0], 3) {
+		t.Errorf("x = %g, want 3", s.X[0])
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	// Fixing a variable via equal bounds must be respected.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.SetBounds(0, 2, 2)
+	p.AddRow(GE, map[int]float64{0: 1, 1: 1}, 5)
+	s := solveOK(t, p)
+	if !near(s.X[0], 2) || !near(s.X[1], 3) {
+		t.Errorf("x = %v, want [2 3]", s.X)
+	}
+}
+
+func TestDegenerateKleeMintyLike(t *testing.T) {
+	// A degenerate problem that stalls naive simplex implementations.
+	p := NewProblem(3)
+	p.SetObj(0, -10)
+	p.SetObj(1, -12)
+	p.SetObj(2, -12)
+	p.AddRow(LE, map[int]float64{0: 1, 1: 2, 2: 2}, 20)
+	p.AddRow(LE, map[int]float64{0: 2, 1: 1, 2: 2}, 20)
+	p.AddRow(LE, map[int]float64{0: 2, 1: 2, 2: 1}, 20)
+	s := solveOK(t, p)
+	if !near(s.Obj, -136) {
+		t.Errorf("obj = %g, want -136 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestTransportation(t *testing.T) {
+	// 2 supplies (10, 15), 3 demands (8, 7, 10); costs:
+	//   [4 6 9]
+	//   [5 3 8]
+	// Optimal cost: ship s1->d1 8, s1->d3 2, s2->d2 7, s2->d3 8:
+	// 32 + 18 + 21 + 64 = 135.
+	p := NewProblem(6) // x[s][d] row-major
+	costs := []float64{4, 6, 9, 5, 3, 8}
+	for j, c := range costs {
+		p.SetObj(j, c)
+	}
+	p.AddRow(LE, map[int]float64{0: 1, 1: 1, 2: 1}, 10)
+	p.AddRow(LE, map[int]float64{3: 1, 4: 1, 5: 1}, 15)
+	p.AddRow(EQ, map[int]float64{0: 1, 3: 1}, 8)
+	p.AddRow(EQ, map[int]float64{1: 1, 4: 1}, 7)
+	p.AddRow(EQ, map[int]float64{2: 1, 5: 1}, 10)
+	s := solveOK(t, p)
+	if !near(s.Obj, 135) {
+		t.Errorf("obj = %g, want 135 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.AddRow(GE, map[int]float64{0: 1, 1: 1}, 4)
+	q := p.Clone()
+	q.SetBounds(0, 3, 3)
+	if lo, _ := p.Bounds(0); lo != 0 {
+		t.Errorf("Clone leaked bounds into original: lo = %g", lo)
+	}
+	s1 := solveOK(t, p)
+	s2 := solveOK(t, q)
+	if !near(s1.X[0], 0) {
+		t.Errorf("original x0 = %g, want 0", s1.X[0])
+	}
+	if !near(s2.X[0], 3) {
+		t.Errorf("clone x0 = %g, want 3", s2.X[0])
+	}
+}
+
+// TestRandomFeasibilityProperty: for random LPs constructed around a known
+// feasible point, the solver must (a) never report infeasible and (b) return
+// a point satisfying every row and bound, with objective no worse than the
+// seed point.
+func TestRandomFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := NewProblem(n)
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			x0[j] = float64(rng.Intn(5))
+			p.SetObj(j, float64(rng.Intn(11)-5))
+			p.SetBounds(j, 0, float64(5+rng.Intn(10)))
+		}
+		seedObj := 0.0
+		for j := 0; j < n; j++ {
+			seedObj += p.Obj(j) * x0[j]
+		}
+		type rowRec struct {
+			kind   RowKind
+			coeffs map[int]float64
+			rhs    float64
+		}
+		var rows []rowRec
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					c := float64(rng.Intn(9) - 4)
+					if c != 0 {
+						coeffs[j] = c
+						lhs += c * x0[j]
+					}
+				}
+			}
+			kind := RowKind(rng.Intn(3))
+			rhs := lhs
+			switch kind {
+			case LE:
+				rhs = lhs + float64(rng.Intn(4))
+			case GE:
+				rhs = lhs - float64(rng.Intn(4))
+			}
+			p.AddRow(kind, coeffs, rhs)
+			rows = append(rows, rowRec{kind, coeffs, rhs})
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status == Infeasible {
+			return false
+		}
+		if s.Status != Optimal {
+			return true // unbounded is acceptable for random objectives
+		}
+		if s.Obj > seedObj+1e-6 {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			lo, hi := p.Bounds(j)
+			if s.X[j] < lo-1e-6 || s.X[j] > hi+1e-6 {
+				return false
+			}
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for j, c := range r.coeffs {
+				lhs += c * s.X[j]
+			}
+			switch r.kind {
+			case LE:
+				if lhs > r.rhs+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < r.rhs-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-r.rhs) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		Optimal:    "optimal",
+		Infeasible: "infeasible",
+		Unbounded:  "unbounded",
+		IterLimit:  "iteration-limit",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(st), got, want)
+		}
+	}
+	kinds := map[RowKind]string{LE: "<=", GE: ">=", EQ: "=="}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("RowKind.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFreeVariableRejected(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, math.Inf(-1), 5)
+	if _, err := Solve(p); err == nil {
+		t.Error("Solve accepted a free variable; want error")
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	// A 40-var, 30-row random-but-feasible LP.
+	rng := rand.New(rand.NewSource(7))
+	build := func() *Problem {
+		n := 40
+		p := NewProblem(n)
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			x0[j] = float64(rng.Intn(4))
+			p.SetObj(j, float64(rng.Intn(11)-5))
+			p.SetBounds(j, 0, 10)
+		}
+		for i := 0; i < 30; i++ {
+			coeffs := map[int]float64{}
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					c := float64(rng.Intn(7) - 3)
+					coeffs[j] = c
+					lhs += c * x0[j]
+				}
+			}
+			p.AddRow(LE, coeffs, lhs+2)
+		}
+		return p
+	}
+	p := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

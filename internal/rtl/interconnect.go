@@ -1,0 +1,131 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/hls"
+)
+
+// Interconnect estimation: once operations are bound to functional units
+// and values to shared registers, each FU input port needs a multiplexer
+// selecting among the registers that feed it over time, and the memory
+// write port needs one selecting among stored values. Mux area is the
+// second-order term the paper's floorplanning-based estimator absorbs into
+// its margins; this makes it explicit so the area refinement can be
+// studied (DESIGN.md section 5 ablations).
+
+// InterconnectStats summarizes the steering logic of a netlist.
+type InterconnectStats struct {
+	// MuxInputs is the total number of mux data inputs across all FU
+	// ports and the memory write port (an m-input port contributes m when
+	// m > 1).
+	MuxInputs int
+	// MuxCLBs is the estimated CLB cost of all muxes.
+	MuxCLBs int
+	// PortFanIns lists the fan-in of every multiplexed port (diagnostic).
+	PortFanIns []int
+}
+
+// muxCLBs estimates an m-to-1, w-bit multiplexer on an XC4000-class
+// device: (m-1) two-to-one stages, two bits per CLB.
+func muxCLBs(w, m int) int {
+	if m <= 1 {
+		return 0
+	}
+	return (w*(m-1) + 3) / 4
+}
+
+// Interconnect computes mux statistics for the netlist against its source
+// partition design. The register binding is reconstructed from the
+// netlist's Registers (built by FromPartition).
+func (n *Netlist) Interconnect(pd *hls.PartitionDesign) (InterconnectStats, error) {
+	regOf := map[hls.OpRef]int{}
+	for r, reg := range n.Registers {
+		for _, v := range reg.Values {
+			regOf[v] = r
+		}
+	}
+	// resolve maps an op argument to the register(s) backing it, folding
+	// through free ops (consts resolve to no register: they are ROM/wiring
+	// inputs that do not add mux data inputs from the register file).
+	var resolve func(task, op int, into map[int]bool) error
+	resolve = func(task, op int, into map[int]bool) error {
+		o := pd.Tasks[task].Op(op)
+		if o.Kind == hls.OpConst {
+			return nil
+		}
+		if o.Kind.IsFree() {
+			for _, a := range o.Args {
+				if err := resolve(task, a, into); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		r, ok := regOf[hls.OpRef{Task: task, Op: op}]
+		if !ok {
+			return fmt.Errorf("rtl: value (%d,%d) has no register", task, op)
+		}
+		into[r] = true
+		return nil
+	}
+
+	var stats InterconnectStats
+	addPort := func(width int, sources map[int]bool) {
+		m := len(sources)
+		if m <= 1 {
+			return
+		}
+		stats.MuxInputs += m
+		stats.MuxCLBs += muxCLBs(width, m)
+		stats.PortFanIns = append(stats.PortFanIns, m)
+	}
+
+	// FU input ports: one mux per argument position of each instance.
+	for _, fu := range n.FUs {
+		maxArgs := 0
+		for _, b := range fu.Ops {
+			if na := len(pd.Tasks[b.Task].Op(b.Op).Args); na > maxArgs {
+				maxArgs = na
+			}
+		}
+		for port := 0; port < maxArgs; port++ {
+			sources := map[int]bool{}
+			for _, b := range fu.Ops {
+				op := pd.Tasks[b.Task].Op(b.Op)
+				if port >= len(op.Args) {
+					continue
+				}
+				if err := resolve(b.Task, op.Args[port], sources); err != nil {
+					return stats, err
+				}
+			}
+			addPort(fu.Component.Width, sources)
+		}
+	}
+
+	// Memory write port: all written values steer into one data port.
+	wSources := map[int]bool{}
+	wWidth := 0
+	for ti, g := range pd.Tasks {
+		for i := 0; i < g.NumOps(); i++ {
+			op := g.Op(i)
+			if op.Kind != hls.OpWrite {
+				continue
+			}
+			if op.Width > wWidth {
+				wWidth = op.Width
+			}
+			for _, a := range op.Args {
+				if err := resolve(ti, a, wSources); err != nil {
+					return stats, err
+				}
+			}
+		}
+	}
+	if wWidth == 0 {
+		wWidth = 16
+	}
+	addPort(wWidth, wSources)
+	return stats, nil
+}

@@ -1,0 +1,60 @@
+package rtl
+
+import (
+	"testing"
+
+	"repro/internal/hls"
+)
+
+func TestInterconnectSingleTask(t *testing.T) {
+	pd := partitionDesign(t, 1)
+	n, err := FromPartition("p", pd, hls.XC4000Library(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Interconnect(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared multiplier serves 4 muls whose operands live in shared
+	// registers, and one adder serves 3 adds: fan-in > 1 somewhere.
+	if st.MuxInputs == 0 || st.MuxCLBs == 0 {
+		t.Errorf("no interconnect found: %+v", st)
+	}
+	for _, f := range st.PortFanIns {
+		if f < 2 {
+			t.Errorf("port fan-in %d should be >= 2", f)
+		}
+	}
+}
+
+func TestInterconnectGrowsWithSharing(t *testing.T) {
+	// More tasks sharing one memory write port -> wider write mux.
+	pd1 := partitionDesign(t, 1)
+	n1, _ := FromPartition("p1", pd1, hls.XC4000Library(), true)
+	s1, err := n1.Interconnect(pd1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd4 := partitionDesign(t, 4)
+	n4, _ := FromPartition("p4", pd4, hls.XC4000Library(), true)
+	s4, err := n4.Interconnect(pd4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.MuxCLBs <= s1.MuxCLBs {
+		t.Errorf("4-task interconnect (%d CLBs) should exceed 1-task (%d)", s4.MuxCLBs, s1.MuxCLBs)
+	}
+}
+
+func TestMuxCLBs(t *testing.T) {
+	if muxCLBs(16, 1) != 0 {
+		t.Error("single-source port needs no mux")
+	}
+	if muxCLBs(16, 2) != 4 { // 16 bits x 1 stage / 4
+		t.Errorf("muxCLBs(16,2) = %d, want 4", muxCLBs(16, 2))
+	}
+	if muxCLBs(16, 5) != 16 {
+		t.Errorf("muxCLBs(16,5) = %d, want 16", muxCLBs(16, 5))
+	}
+}

@@ -1,0 +1,283 @@
+// Package rtl renders synthesized partition designs as register-transfer
+// level netlists: functional-unit instances, result registers, input
+// multiplexers, a memory port arbiter, and the controller FSM (including
+// the Fig. 7 iteration counter for RTR partitions). The output is a
+// Verilog-2001 style module — the artifact the paper hands to
+// logic/layout synthesis (Synplify + Xilinx M1).
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hls"
+)
+
+// Netlist is a structural RTL design.
+type Netlist struct {
+	Name string
+	// FUs are the datapath functional-unit instances.
+	FUs []FUInstance
+	// Registers hold scheduled op results.
+	Registers []Register
+	// Controller is the FSM (nil for combinational stubs).
+	Controller *hls.FSM
+	// Cycles is the schedule makespan (body states in the controller).
+	Cycles int
+	// MemPorts is the number of memory ports arbitrated.
+	MemPorts int
+}
+
+// FUInstance is one functional unit in the datapath.
+type FUInstance struct {
+	Name      string
+	Component hls.Component
+	Task      int
+	// Ops lists (op index, cycle) pairs served by this unit.
+	Ops []BoundOp
+}
+
+// BoundOp records one operation bound to a unit and cycle.
+type BoundOp struct {
+	Task, Op, Cycle int
+}
+
+// Register is one physical register produced by the left-edge binding;
+// Values lists the scheduled op results it carries over time.
+type Register struct {
+	Name   string
+	Width  int
+	Values []hls.OpRef
+}
+
+// FromPartition builds the netlist for a synthesized partition: operations
+// are bound to concrete FU instances round-robin within their type (the
+// schedule guarantees per-cycle capacity), values share physical registers
+// via the left-edge binding (hls.BindRegisters), and the controller is the
+// linear schedule FSM, augmented with the iteration counter when rtr is
+// true.
+func FromPartition(name string, pd *hls.PartitionDesign, lib *hls.Library, rtr bool) (*Netlist, error) {
+	n := &Netlist{Name: name, Cycles: pd.Schedule.Cycles, MemPorts: 1}
+
+	// Instantiate FUs per task allocation.
+	type fuKey struct {
+		task int
+		ft   hls.FUType
+	}
+	fuIndex := map[fuKey][]int{} // -> indices into n.FUs
+	for ti, alloc := range pd.Allocs {
+		fts := make([]hls.FUType, 0, len(alloc))
+		for ft := range alloc {
+			fts = append(fts, ft)
+		}
+		sort.Slice(fts, func(a, b int) bool {
+			if fts[a].Kind != fts[b].Kind {
+				return fts[a].Kind < fts[b].Kind
+			}
+			return fts[a].Width < fts[b].Width
+		})
+		for _, ft := range fts {
+			for c := 0; c < alloc[ft]; c++ {
+				comp, err := lib.Component(ft.Kind, ft.Width)
+				if err != nil {
+					return nil, err
+				}
+				idx := len(n.FUs)
+				n.FUs = append(n.FUs, FUInstance{
+					Name:      fmt.Sprintf("u_t%d_%s_%d", ti, comp.Name, c),
+					Component: comp,
+					Task:      ti,
+				})
+				fuIndex[fuKey{ti, ft}] = append(fuIndex[fuKey{ti, ft}], idx)
+			}
+		}
+	}
+
+	// Bind scheduled ops to instances: per (task, type, cycle) round-robin.
+	busy := map[string]int{} // "task/ft/cycle" -> next instance ordinal
+	for _, so := range pd.Schedule.Ops {
+		op := pd.Tasks[so.Task].Op(so.Op)
+		if op.Kind.NeedsFU() {
+			ft := hls.FUType{Kind: op.Kind, Width: op.Width}
+			key := fmt.Sprintf("%d/%s/%d", so.Task, ft, so.Cycle)
+			insts := fuIndex[fuKey{so.Task, ft}]
+			ord := busy[key]
+			if ord >= len(insts) {
+				return nil, fmt.Errorf("rtl: cycle %d oversubscribes %s of task %d", so.Cycle, ft, so.Task)
+			}
+			busy[key] = ord + 1
+			fi := insts[ord]
+			n.FUs[fi].Ops = append(n.FUs[fi].Ops, BoundOp{so.Task, so.Op, so.Cycle})
+		}
+	}
+
+	// Shared registers from the left-edge binding.
+	rb, err := hls.BindRegisters(pd.Tasks, pd.Schedule, lib)
+	if err != nil {
+		return nil, err
+	}
+	if err := rb.Verify(); err != nil {
+		return nil, err
+	}
+	n.Registers = make([]Register, rb.NumRegisters())
+	for r := range n.Registers {
+		n.Registers[r] = Register{Name: fmt.Sprintf("r%d", r), Width: rb.Widths[r]}
+	}
+	for ref, r := range rb.Assign {
+		n.Registers[r].Values = append(n.Registers[r].Values, ref)
+	}
+	for r := range n.Registers {
+		sort.Slice(n.Registers[r].Values, func(a, b int) bool {
+			va, vb := n.Registers[r].Values[a], n.Registers[r].Values[b]
+			if va.Task != vb.Task {
+				return va.Task < vb.Task
+			}
+			return va.Op < vb.Op
+		})
+	}
+
+	ctl := hls.SynthesizeController(name, pd.Schedule)
+	if rtr {
+		ctl = hls.AugmentForRTR(ctl)
+	}
+	n.Controller = ctl
+	return n, nil
+}
+
+// Check verifies structural invariants: unique instance and register
+// names, and every bound op within the schedule horizon.
+func (n *Netlist) Check() error {
+	seen := map[string]bool{}
+	for _, fu := range n.FUs {
+		if seen[fu.Name] {
+			return fmt.Errorf("rtl: duplicate instance %q", fu.Name)
+		}
+		seen[fu.Name] = true
+		for _, b := range fu.Ops {
+			if b.Cycle < 0 || b.Cycle >= n.Cycles {
+				return fmt.Errorf("rtl: %q op bound outside schedule (cycle %d of %d)", fu.Name, b.Cycle, n.Cycles)
+			}
+		}
+	}
+	for _, r := range n.Registers {
+		if seen[r.Name] {
+			return fmt.Errorf("rtl: duplicate register %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Width <= 0 {
+			return fmt.Errorf("rtl: register %q has width %d", r.Name, r.Width)
+		}
+	}
+	return nil
+}
+
+// Verilog renders the netlist as a synthesizable-style Verilog module.
+func (n *Netlist) Verilog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Generated by repro/internal/rtl — %d FUs, %d registers, %d states\n",
+		len(n.FUs), len(n.Registers), n.Controller.NumStates())
+	fmt.Fprintf(&b, "module %s (\n", sanitize(n.Name))
+	b.WriteString("    input  wire        clk,\n")
+	b.WriteString("    input  wire        rst_n,\n")
+	b.WriteString("    input  wire        start,\n")
+	b.WriteString("    output reg         finish,\n")
+	b.WriteString("    output reg  [15:0] mem_addr,\n")
+	b.WriteString("    input  wire [31:0] mem_rdata,\n")
+	b.WriteString("    output reg  [31:0] mem_wdata,\n")
+	b.WriteString("    output reg         mem_we\n")
+	b.WriteString(");\n\n")
+
+	nStates := n.Controller.NumStates()
+	sw := 1
+	for 1<<sw < nStates {
+		sw++
+	}
+	fmt.Fprintf(&b, "    // Controller: %d states\n", nStates)
+	fmt.Fprintf(&b, "    reg [%d:0] state;\n", sw-1)
+	for i, s := range n.Controller.States {
+		fmt.Fprintf(&b, "    localparam %s = %d'd%d;\n", sanitize(strings.ToUpper(s.Name)), sw, i)
+	}
+	if n.Controller.HasIterationCounter {
+		b.WriteString("\n    // Loop fission iteration counter (Fig. 7)\n")
+		b.WriteString("    reg [15:0] iter_count;\n")
+		b.WriteString("    reg [15:0] k_reg;\n")
+	}
+
+	b.WriteString("\n    // Shared result registers (left-edge binding)\n")
+	for _, r := range n.Registers {
+		fmt.Fprintf(&b, "    reg [%d:0] %s; // carries %d values\n",
+			r.Width-1, sanitize(r.Name), len(r.Values))
+	}
+
+	b.WriteString("\n    // Functional units\n")
+	for _, fu := range n.FUs {
+		fmt.Fprintf(&b, "    // %s: %s (%d CLBs, %.1f ns), serves %d ops\n",
+			sanitize(fu.Name), fu.Component.Name, fu.Component.CLBs, fu.Component.DelayNS, len(fu.Ops))
+		fmt.Fprintf(&b, "    wire [%d:0] %s_y;\n", fu.Component.Width*2-1, sanitize(fu.Name))
+	}
+
+	b.WriteString("\n    always @(posedge clk or negedge rst_n) begin\n")
+	b.WriteString("        if (!rst_n) begin\n")
+	fmt.Fprintf(&b, "            state  <= %s;\n", sanitize(strings.ToUpper(n.Controller.States[n.Controller.Start].Name)))
+	b.WriteString("            finish <= 1'b0;\n")
+	b.WriteString("        end else begin\n")
+	b.WriteString("            case (state)\n")
+	for _, s := range n.Controller.States {
+		name := sanitize(strings.ToUpper(s.Name))
+		switch s.Kind {
+		case hls.StateStart:
+			fmt.Fprintf(&b, "            %s: begin\n", name)
+			b.WriteString("                finish <= 1'b0;\n")
+			if n.Controller.HasIterationCounter {
+				b.WriteString("                iter_count <= 16'd0;\n")
+			}
+			fmt.Fprintf(&b, "                if (start) state <= %s;\n",
+				sanitize(strings.ToUpper(n.Controller.States[s.Next].Name)))
+			b.WriteString("            end\n")
+		case hls.StateBody:
+			fmt.Fprintf(&b, "            %s: state <= %s; // control step %d\n",
+				name, sanitize(strings.ToUpper(n.Controller.States[s.Next].Name)), s.Step)
+		case hls.StateCheck:
+			fmt.Fprintf(&b, "            %s: begin\n", name)
+			b.WriteString("                iter_count <= iter_count + 16'd1;\n")
+			fmt.Fprintf(&b, "                if (iter_count + 16'd1 < k_reg) state <= %s;\n",
+				sanitize(strings.ToUpper(n.Controller.States[s.Next].Name)))
+			fmt.Fprintf(&b, "                else state <= %s;\n",
+				sanitize(strings.ToUpper(n.Controller.States[s.Alt].Name)))
+			b.WriteString("            end\n")
+		case hls.StateFinish:
+			fmt.Fprintf(&b, "            %s: begin\n", name)
+			b.WriteString("                finish <= 1'b1;\n")
+			fmt.Fprintf(&b, "                state  <= %s;\n",
+				sanitize(strings.ToUpper(n.Controller.States[s.Next].Name)))
+			b.WriteString("            end\n")
+		}
+	}
+	b.WriteString("            endcase\n")
+	b.WriteString("        end\n")
+	b.WriteString("    end\n\n")
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+// sanitize maps arbitrary names to Verilog identifiers.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "m"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		return "m" + out
+	}
+	return out
+}

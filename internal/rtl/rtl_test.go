@@ -1,0 +1,147 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hls"
+)
+
+func partitionDesign(t *testing.T, nTasks int) *hls.PartitionDesign {
+	t.Helper()
+	lib := hls.XC4000Library()
+	var tasks []*hls.OpGraph
+	for i := 0; i < nTasks; i++ {
+		tasks = append(tasks, hls.VectorProduct("vp", 4, 9, 16, "in", "out", false))
+	}
+	pd, err := hls.SynthesizePartition(tasks, lib, hls.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd
+}
+
+func TestFromPartitionStructure(t *testing.T) {
+	pd := partitionDesign(t, 2)
+	n, err := FromPartition("p1", pd, hls.XC4000Library(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 tasks x (1 mul9 + 1 add16) = 4 FU instances.
+	if len(n.FUs) != 4 {
+		t.Errorf("FUs = %d, want 4", len(n.FUs))
+	}
+	// Left-edge binding shares registers: strictly fewer than the 22
+	// values (2 tasks x 11), but at least a handful for the live window.
+	if len(n.Registers) >= 22 || len(n.Registers) < 2 {
+		t.Errorf("registers = %d, want shared (2..21)", len(n.Registers))
+	}
+	vals := 0
+	for _, r := range n.Registers {
+		vals += len(r.Values)
+	}
+	if vals != 22 {
+		t.Errorf("bound values = %d, want 22", vals)
+	}
+	if !n.Controller.HasIterationCounter {
+		t.Error("RTR netlist must carry the iteration counter")
+	}
+	// All FU ops bound within the schedule.
+	bound := 0
+	for _, fu := range n.FUs {
+		bound += len(fu.Ops)
+	}
+	if bound != 14 { // 2 tasks x (4 muls + 3 adds)
+		t.Errorf("bound ops = %d, want 14", bound)
+	}
+}
+
+func TestVerilogEmission(t *testing.T) {
+	pd := partitionDesign(t, 1)
+	n, err := FromPartition("dct_p1", pd, hls.XC4000Library(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := n.Verilog()
+	for _, want := range []string{
+		"module dct_p1",
+		"input  wire        start",
+		"output reg         finish",
+		"iter_count",
+		"k_reg",
+		"S_CHECK",
+		"S_FINISH",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q", want)
+		}
+	}
+	// Deterministic output.
+	if v != n.Verilog() {
+		t.Error("emission is not deterministic")
+	}
+}
+
+func TestPlainControllerEmission(t *testing.T) {
+	pd := partitionDesign(t, 1)
+	n, err := FromPartition("static_dct", pd, hls.XC4000Library(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := n.Verilog()
+	if strings.Contains(v, "iter_count") {
+		t.Error("non-RTR netlist must not carry the iteration counter")
+	}
+	if !strings.Contains(v, "module static_dct") {
+		t.Error("module name missing")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":  "ok_name",
+		"9lives":   "m9lives",
+		"a-b.c":    "a_b_c",
+		"":         "m",
+		"T1_00":    "T1_00",
+		"mul9 (x)": "mul9__x_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckCatchesDuplicates(t *testing.T) {
+	n := &Netlist{
+		Name:   "bad",
+		Cycles: 1,
+		FUs: []FUInstance{
+			{Name: "u"}, {Name: "u"},
+		},
+	}
+	if err := n.Check(); err == nil {
+		t.Error("duplicate FU names accepted")
+	}
+	n2 := &Netlist{
+		Name:      "bad2",
+		Cycles:    1,
+		Registers: []Register{{Name: "r", Width: 0}},
+	}
+	if err := n2.Check(); err == nil {
+		t.Error("zero-width register accepted")
+	}
+	n3 := &Netlist{
+		Name:   "bad3",
+		Cycles: 2,
+		FUs:    []FUInstance{{Name: "u", Ops: []BoundOp{{Cycle: 5}}}},
+	}
+	if err := n3.Check(); err == nil {
+		t.Error("out-of-horizon binding accepted")
+	}
+}

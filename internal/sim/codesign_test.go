@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fission"
+)
+
+func TestComposeCoDesign(t *testing.T) {
+	board := &Result{TotalNS: 1000}
+	serial := ComposeCoDesign(board, HostStages{PerComputationNS: 10}, 50)
+	if serial.TotalNS != 1500 {
+		t.Errorf("serial total = %g, want 1500", serial.TotalNS)
+	}
+	over := ComposeCoDesign(board, HostStages{PerComputationNS: 10, Overlapped: true}, 50)
+	if over.TotalNS != 1000 {
+		t.Errorf("overlapped total = %g, want max(1000,500)=1000", over.TotalNS)
+	}
+	overHostBound := ComposeCoDesign(board, HostStages{PerComputationNS: 100, Overlapped: true}, 50)
+	if overHostBound.TotalNS != 5000 {
+		t.Errorf("host-bound total = %g, want 5000", overHostBound.TotalNS)
+	}
+}
+
+func TestOverlappedNeverSlower(t *testing.T) {
+	rtr, _, board := dctDesigns(t)
+	rb := RTRBoard{
+		ReconfigNS: board.FPGA.ReconfigTime + board.Link.ConfigLoadNS,
+		WordNS:     board.Link.WordTransferNS,
+		StartNS:    board.Link.StartSignalNS,
+		FinishNS:   board.Link.FinishSignalNS,
+	}
+	// IDH: double buffering hides DMA behind compute and must win or tie
+	// (reconfigurations stay at N regardless of the halved k).
+	for _, I := range []int{2048, 50000, 245760} {
+		seq := AnalyticRTR(rtr, board, fission.IDH, I, false)
+		over, err := AnalyticRTROverlapped(rtr, rb, fission.IDH, I)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if over > seq*1.01 {
+			t.Errorf("IDH I=%d: overlapped %.0f slower than sequential %.0f", I, over, seq)
+		}
+	}
+	// At the largest size the overlap must strictly win (it hides ~0.47 s
+	// of DMA behind ~2.4 s of compute).
+	seq := AnalyticRTR(rtr, board, fission.IDH, 245760, false)
+	over, _ := AnalyticRTROverlapped(rtr, rb, fission.IDH, 245760)
+	if over >= seq {
+		t.Errorf("IDH overlapped %.0f >= sequential %.0f", over, seq)
+	}
+	// FDH: halving k doubles the batch count and therefore the number of
+	// reconfigurations — double buffering actively hurts. This is part of
+	// the ablation's finding, so pin it.
+	seqF := AnalyticRTR(rtr, board, fission.FDH, 245760, false)
+	overF, err := AnalyticRTROverlapped(rtr, rb, fission.FDH, 245760)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overF <= seqF {
+		t.Errorf("FDH overlapped %.0f should lose to sequential %.0f (2x reconfigurations)", overF, seqF)
+	}
+}
+
+func TestOverlappedErrors(t *testing.T) {
+	rtr, _, _ := dctDesigns(t)
+	rb := RTRBoard{ReconfigNS: 1}
+	if _, err := AnalyticRTROverlapped(rtr, rb, fission.IDH, 0); err == nil {
+		t.Error("I=0 accepted")
+	}
+	if _, err := AnalyticRTROverlapped(RTRDesign{}, rb, fission.IDH, 10); err == nil {
+		t.Error("empty design accepted")
+	}
+	if _, err := AnalyticRTROverlapped(rtr, rb, fission.Strategy(9), 10); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestXC4044BoardToRTRBoard(t *testing.T) {
+	b := arch.PaperXC4044Board()
+	rb := RTRBoard{
+		ReconfigNS: b.FPGA.ReconfigTime,
+		WordNS:     b.Link.WordTransferNS,
+	}
+	if rb.ReconfigNS != 100*arch.Millisecond || rb.WordNS != 30 {
+		t.Errorf("board mapping wrong: %+v", rb)
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the first events of a trace as a proportional text chart,
+// one row per event kind, for quick visual inspection of a schedule
+// (cmd/sparcs -trace prints the tabular form; this is the overview).
+func (r *Result) Gantt(width, maxEvents int) string {
+	if width < 20 {
+		width = 20
+	}
+	evs := r.Trace.Events
+	if maxEvents > 0 && len(evs) > maxEvents {
+		evs = evs[:maxEvents]
+	}
+	if len(evs) == 0 {
+		return "(no events)\n"
+	}
+	span := evs[len(evs)-1].EndNS - evs[0].StartNS
+	if span <= 0 {
+		span = 1
+	}
+	t0 := evs[0].StartNS
+	kinds := []EventKind{EvReconfig, EvTransferIn, EvTransferOut, EvStart, EvCompute, EvFinish}
+	glyph := map[EventKind]byte{
+		EvReconfig: 'R', EvTransferIn: '<', EvTransferOut: '>',
+		EvStart: 's', EvCompute: '#', EvFinish: 'f',
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %.3f ms (1 col = %.3f ms)\n",
+		len(evs), span/1e6, span/float64(width)/1e6)
+	for _, k := range kinds {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		used := false
+		for _, ev := range evs {
+			if ev.Kind != k {
+				continue
+			}
+			used = true
+			lo := int((ev.StartNS - t0) / span * float64(width))
+			hi := int((ev.EndNS - t0) / span * float64(width))
+			if lo >= width {
+				lo = width - 1
+			}
+			if hi >= width {
+				hi = width - 1
+			}
+			for c := lo; c <= hi; c++ {
+				row[c] = glyph[k]
+			}
+		}
+		if used {
+			fmt.Fprintf(&b, "%-9s %s\n", k, row)
+		}
+	}
+	return b.String()
+}

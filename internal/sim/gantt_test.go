@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fission"
+)
+
+func TestGantt(t *testing.T) {
+	rtr, _, board := dctDesigns(t)
+	res, err := SimulateRTR(rtr, board, fission.IDH, 4096, Options{TraceCap: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Gantt(60, 100)
+	for _, want := range []string{"reconfig", "compute", "xfer-in", "trace:"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("gantt missing %q:\n%s", want, g)
+		}
+	}
+	// Reconfiguration dominates a small run: its row must contain R marks.
+	if !strings.Contains(g, "R") {
+		t.Errorf("no reconfiguration marks:\n%s", g)
+	}
+	empty := (&Result{Trace: newTrace(8)}).Gantt(40, 10)
+	if !strings.Contains(empty, "no events") {
+		t.Errorf("empty gantt: %q", empty)
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fission"
+)
+
+// TestPartialReconfiguration: on an XC6200-style device, loading a
+// partition that uses 1120 of 1600 CLBs costs 70% of the full
+// reconfiguration time.
+func TestPartialReconfiguration(t *testing.T) {
+	rtr, _, _ := dctDesigns(t)
+	rtr.PartitionCLBs = []int{1120, 1440, 1440}
+	full := arch.XC6000Board()
+	partial := arch.XC6000PartialBoard()
+
+	rFull, err := SimulateRTR(rtr, full, fission.IDH, 2048, Options{TraceCap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPart, err := SimulateRTR(rtr, partial, fission.IDH, 2048, Options{TraceCap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRatio := float64(1120+1440+1440) / float64(3*1600)
+	gotRatio := rPart.ReconfigNS / rFull.ReconfigNS
+	if diff := gotRatio - wantRatio; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("partial reconfig ratio = %.4f, want %.4f", gotRatio, wantRatio)
+	}
+	if rPart.TotalNS >= rFull.TotalNS {
+		t.Error("partial reconfiguration should reduce total time")
+	}
+	// Compute and transfer are untouched.
+	if rPart.ComputeNS != rFull.ComputeNS || rPart.TransferNS != rFull.TransferNS {
+		t.Error("partial reconfiguration must only affect configuration loads")
+	}
+}
+
+// TestPartialReconfigIgnoredWithoutCLBs: a design without PartitionCLBs
+// falls back to full reconfiguration even on a partial-reconfig board.
+func TestPartialReconfigIgnoredWithoutCLBs(t *testing.T) {
+	rtr, _, _ := dctDesigns(t)
+	rtr.PartitionCLBs = nil
+	full := arch.XC6000Board()
+	partial := arch.XC6000PartialBoard()
+	a, _ := SimulateRTR(rtr, full, fission.IDH, 2048, Options{TraceCap: -1})
+	b, _ := SimulateRTR(rtr, partial, fission.IDH, 2048, Options{TraceCap: -1})
+	if a.ReconfigNS != b.ReconfigNS {
+		t.Errorf("reconfig %g vs %g, want equal without CLB data", a.ReconfigNS, b.ReconfigNS)
+	}
+}

@@ -1,0 +1,403 @@
+// Package sim simulates the Run-Time Reconfigured system of the paper's
+// Fig. 1 executing a temporally partitioned, loop-fissioned design: the
+// host sequencer (FDH or IDH strategy), configuration loads, DMA transfers
+// over the host link, start/finish handshakes, and the FPGA executing each
+// partition's augmented controller (Fig. 7) for k iterations per batch.
+//
+// The simulator is a deterministic discrete-event model: each simulated
+// activity appends a timestamped event to a trace, and the clock advances
+// by the activity's latency. Partition compute time uses the same cycle
+// semantics as the synthesized controller FSM in internal/hls
+// (k·(body+1)+1 cycles for k iterations), which is cross-checked by tests.
+//
+// It regenerates the paper's Tables 1 and 2: total DCT execution time of
+// the static design versus the RTR design under both sequencing strategies.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/fission"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvReconfig is an FPGA configuration load.
+	EvReconfig EventKind = iota
+	// EvTransferIn is a host -> board memory DMA.
+	EvTransferIn
+	// EvTransferOut is a board -> host memory DMA.
+	EvTransferOut
+	// EvStart is the host's start signal.
+	EvStart
+	// EvCompute is an FPGA execution burst (k iterations of a partition).
+	EvCompute
+	// EvFinish is the controller's finish signal.
+	EvFinish
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvReconfig:
+		return "reconfig"
+	case EvTransferIn:
+		return "xfer-in"
+	case EvTransferOut:
+		return "xfer-out"
+	case EvStart:
+		return "start"
+	case EvCompute:
+		return "compute"
+	case EvFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one timestamped activity.
+type Event struct {
+	Kind    EventKind
+	StartNS float64
+	EndNS   float64
+	Config  int // partition/configuration index (-1 for n/a)
+	Batch   int // software loop index (-1 for n/a)
+	Words   int // transfer size (0 for non-DMA events)
+	Iter    int // iterations executed (compute events)
+}
+
+// Trace records events up to a cap (the time accounting is always exact
+// even when events are dropped).
+type Trace struct {
+	Events  []Event
+	Dropped int
+	cap     int
+}
+
+func newTrace(cap int) *Trace { return &Trace{cap: cap} }
+
+func (t *Trace) add(e Event) {
+	if t.cap > 0 && len(t.Events) >= t.cap {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// TotalNS is the end-to-end wall time.
+	TotalNS float64
+	// ComputeNS is FPGA execution time.
+	ComputeNS float64
+	// ReconfigNS is configuration-load time.
+	ReconfigNS float64
+	// TransferNS is host<->board DMA time.
+	TransferNS float64
+	// HandshakeNS is start/finish signalling time.
+	HandshakeNS float64
+	// Reconfigurations counts configuration loads.
+	Reconfigurations int
+	// Computations is the number of problem computations executed.
+	Computations int
+	// Trace is the event log (capped).
+	Trace *Trace
+}
+
+// engine advances the clock and splits time into buckets.
+type engine struct {
+	board         arch.Board
+	partitionCLBs []int // for partial reconfiguration scaling
+	now           float64
+	res           *Result
+}
+
+func newEngine(board arch.Board, traceCap int) *engine {
+	return &engine{board: board, res: &Result{Trace: newTrace(traceCap)}}
+}
+
+func (e *engine) emit(kind EventKind, dur float64, config, batch, words, iter int) {
+	ev := Event{Kind: kind, StartNS: e.now, EndNS: e.now + dur,
+		Config: config, Batch: batch, Words: words, Iter: iter}
+	e.now += dur
+	e.res.Trace.add(ev)
+	switch kind {
+	case EvReconfig:
+		e.res.ReconfigNS += dur
+		e.res.Reconfigurations++
+	case EvTransferIn, EvTransferOut:
+		e.res.TransferNS += dur
+	case EvStart, EvFinish:
+		e.res.HandshakeNS += dur
+	case EvCompute:
+		e.res.ComputeNS += dur
+	}
+}
+
+func (e *engine) reconfig(config int) {
+	ct := e.board.FPGA.ReconfigTime
+	if e.board.FPGA.PartialReconfig && e.partitionCLBs != nil &&
+		config >= 0 && config < len(e.partitionCLBs) && e.board.FPGA.CLBs > 0 {
+		ct *= float64(e.partitionCLBs[config]) / float64(e.board.FPGA.CLBs)
+	}
+	e.emit(EvReconfig, ct+e.board.Link.ConfigLoadNS, config, -1, 0, 0)
+}
+
+func (e *engine) transferIn(words, config, batch int) {
+	if words > 0 {
+		e.emit(EvTransferIn, float64(words)*e.board.Link.WordTransferNS, config, batch, words, 0)
+	}
+}
+
+func (e *engine) transferOut(words, config, batch int) {
+	if words > 0 {
+		e.emit(EvTransferOut, float64(words)*e.board.Link.WordTransferNS, config, batch, words, 0)
+	}
+}
+
+// runPartition models one start/compute/finish handshake executing iters
+// iterations of a partition whose body takes bodyCycles at clockNS.
+// The cycle count k·(body+1)+1 matches hls.AugmentForRTR's FSM (body states
+// plus one check state per iteration, plus the finish state).
+func (e *engine) runPartition(config, batch, bodyCycles int, clockNS float64, iters int) {
+	e.emit(EvStart, e.board.Link.StartSignalNS, config, batch, 0, 0)
+	cycles := iters*(bodyCycles+1) + 1
+	e.emit(EvCompute, float64(cycles)*clockNS, config, batch, 0, iters)
+	e.emit(EvFinish, e.board.Link.FinishSignalNS, config, batch, 0, 0)
+}
+
+// PartitionTiming is the synthesized timing of one temporal partition.
+type PartitionTiming struct {
+	// BodyCycles is the controller body length for one computation.
+	BodyCycles int
+	// ClockNS is the partition's clock period.
+	ClockNS float64
+}
+
+// PerComputationNS returns the steady-state compute time of one computation
+// (excluding the per-batch finish overhead).
+func (p PartitionTiming) PerComputationNS() float64 {
+	return float64(p.BodyCycles+1) * p.ClockNS
+}
+
+// RTRDesign is a temporally partitioned, fissioned design ready to run.
+type RTRDesign struct {
+	Partitions []PartitionTiming
+	Analysis   *fission.Analysis
+	// PartitionCLBs optionally records each partition's CLB usage; on
+	// boards with FPGA.PartialReconfig it scales the per-partition
+	// configuration load time (XC6200-style partial reconfiguration).
+	PartitionCLBs []int
+}
+
+// StaticDesign is the statically configured counterpart: one configuration
+// processing computations sequentially with its own iteration-counter
+// controller.
+type StaticDesign struct {
+	BodyCycles int
+	ClockNS    float64
+	// InWords/OutWords are the environment words per computation.
+	InWords, OutWords int
+	// BatchK is the number of computations per host invocation (bounded by
+	// the memory as in the RTR case; the host still stages data in
+	// batches).
+	BatchK int
+}
+
+// Errors.
+var (
+	ErrBadDesign = errors.New("sim: malformed design")
+)
+
+// Options tunes a simulation.
+type Options struct {
+	// TraceCap bounds the event log size (default 4096; 0 keeps default,
+	// -1 disables tracing).
+	TraceCap int
+	// Pow2Blocks selects power-of-two block addressing (affects k).
+	Pow2Blocks bool
+}
+
+func (o Options) traceCap() int {
+	switch {
+	case o.TraceCap == 0:
+		return 4096
+	case o.TraceCap < 0:
+		return 1
+	default:
+		return o.TraceCap
+	}
+}
+
+// SimulateStatic runs I computations through the static design, including
+// the single initial configuration load ("the board was configured only
+// once at the start") and per-batch staging transfers.
+func SimulateStatic(d StaticDesign, board arch.Board, iTotal int, opt Options) (*Result, error) {
+	if d.BodyCycles <= 0 || d.ClockNS <= 0 || d.BatchK <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadDesign, d)
+	}
+	if iTotal < 0 {
+		return nil, fmt.Errorf("sim: negative computation count")
+	}
+	e := newEngine(board, opt.traceCap())
+	e.reconfig(0)
+	done := 0
+	batch := 0
+	for done < iTotal {
+		k := d.BatchK
+		if iTotal-done < k {
+			k = iTotal - done
+		}
+		e.transferIn(k*d.InWords, 0, batch)
+		e.runPartition(0, batch, d.BodyCycles, d.ClockNS, k)
+		e.transferOut(k*d.OutWords, 0, batch)
+		done += k
+		batch++
+	}
+	e.res.TotalNS = e.now
+	e.res.Computations = iTotal
+	return e.res, nil
+}
+
+// SimulateRTR runs I computations through the fissioned RTR design under
+// the given sequencing strategy, following the host pseudocode of Sec. 2.2.
+func SimulateRTR(d RTRDesign, board arch.Board, strategy fission.Strategy, iTotal int, opt Options) (*Result, error) {
+	a := d.Analysis
+	if a == nil || len(d.Partitions) != a.N || a.N == 0 {
+		return nil, fmt.Errorf("%w: partition timings do not match analysis", ErrBadDesign)
+	}
+	for _, p := range d.Partitions {
+		if p.BodyCycles <= 0 || p.ClockNS <= 0 {
+			return nil, fmt.Errorf("%w: %+v", ErrBadDesign, p)
+		}
+	}
+	if iTotal < 0 {
+		return nil, errors.New("sim: negative computation count")
+	}
+	k := a.K
+	if opt.Pow2Blocks {
+		k = a.KPow2
+	}
+	if k < 1 {
+		return nil, fission.ErrNoMemory
+	}
+	e := newEngine(board, opt.traceCap())
+	e.partitionCLBs = d.PartitionCLBs
+
+	switch strategy {
+	case fission.FDH:
+		// for each batch: stage inputs, run all N configurations over the
+		// batch (intermediates stay in on-board memory), read outputs.
+		done := 0
+		batch := 0
+		for done < iTotal {
+			kj := k
+			if iTotal-done < kj {
+				kj = iTotal - done
+			}
+			for i := 0; i < a.N; i++ {
+				e.reconfig(i)
+				e.transferIn(kj*a.EnvIn[i], i, batch)
+				e.runPartition(i, batch, d.Partitions[i].BodyCycles, d.Partitions[i].ClockNS, kj)
+			}
+			out := 0
+			for i := 0; i < a.N; i++ {
+				out += a.EnvOut[i]
+			}
+			e.transferOut(kj*out, a.N-1, batch)
+			done += kj
+			batch++
+		}
+	case fission.IDH:
+		// for each configuration: load once, then stream every batch's
+		// inputs and outputs through the host.
+		for i := 0; i < a.N; i++ {
+			e.reconfig(i)
+			done := 0
+			batch := 0
+			for done < iTotal {
+				kj := k
+				if iTotal-done < kj {
+					kj = iTotal - done
+				}
+				e.transferIn(kj*a.In[i], i, batch)
+				e.runPartition(i, batch, d.Partitions[i].BodyCycles, d.Partitions[i].ClockNS, kj)
+				e.transferOut(kj*a.Out[i], i, batch)
+				done += kj
+				batch++
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown strategy %v", strategy)
+	}
+	e.res.TotalNS = e.now
+	e.res.Computations = iTotal
+	return e.res, nil
+}
+
+// AnalyticStatic is the closed-form counterpart of SimulateStatic, used to
+// cross-check the event model.
+func AnalyticStatic(d StaticDesign, board arch.Board, iTotal int) float64 {
+	if iTotal == 0 {
+		return board.FPGA.ReconfigTime + board.Link.ConfigLoadNS
+	}
+	batches := (iTotal + d.BatchK - 1) / d.BatchK
+	total := board.FPGA.ReconfigTime + board.Link.ConfigLoadNS
+	total += float64(iTotal) * float64(d.BodyCycles+1) * d.ClockNS
+	total += float64(batches) * (d.ClockNS + board.Link.StartSignalNS + board.Link.FinishSignalNS)
+	total += float64(iTotal*(d.InWords+d.OutWords)) * board.Link.WordTransferNS
+	return total
+}
+
+// AnalyticRTR is the closed-form counterpart of SimulateRTR.
+func AnalyticRTR(d RTRDesign, board arch.Board, strategy fission.Strategy, iTotal int, pow2 bool) float64 {
+	a := d.Analysis
+	k := a.K
+	if pow2 {
+		k = a.KPow2
+	}
+	if iTotal == 0 {
+		if strategy == fission.IDH {
+			return float64(a.N) * (board.FPGA.ReconfigTime + board.Link.ConfigLoadNS)
+		}
+		return 0
+	}
+	batches := (iTotal + k - 1) / k
+	ct := board.FPGA.ReconfigTime + board.Link.ConfigLoadNS
+	hs := board.Link.StartSignalNS + board.Link.FinishSignalNS
+
+	total := 0.0
+	for i := 0; i < a.N; i++ {
+		total += float64(iTotal) * d.Partitions[i].PerComputationNS()
+		total += float64(batches) * (d.Partitions[i].ClockNS + hs)
+	}
+	switch strategy {
+	case fission.FDH:
+		total += float64(a.N*batches) * ct
+		env := 0
+		for i := 0; i < a.N; i++ {
+			env += a.EnvIn[i] + a.EnvOut[i]
+		}
+		total += float64(iTotal*env) * board.Link.WordTransferNS
+	case fission.IDH:
+		total += float64(a.N) * ct
+		words := 0
+		for i := 0; i < a.N; i++ {
+			words += a.In[i] + a.Out[i]
+		}
+		total += float64(iTotal*words) * board.Link.WordTransferNS
+	}
+	return total
+}
+
+// Improvement returns the fractional speedup of rtr over static:
+// (static - rtr) / static. Negative values mean the RTR design is slower.
+func Improvement(staticNS, rtrNS float64) float64 {
+	if staticNS == 0 {
+		return 0
+	}
+	return (staticNS - rtrNS) / staticNS
+}

@@ -1,0 +1,248 @@
+// Package spatial implements the SPARCS spatial partitioning tool the
+// paper's conclusion situates this work inside: "a spatial partitioning
+// tool to map the tasks to individual FPGAs". Given the tasks of one
+// temporal segment and a board with several FPGAs, it assigns tasks to
+// devices under per-device resource capacity while minimizing the data
+// carried by inter-FPGA nets (the signals that must cross device pins).
+//
+// The algorithm is a first-fit seed followed by Fiduccia–Mattheyses-style
+// improvement passes: single-task moves that reduce the weighted cut are
+// applied greedily until a pass yields no improvement.
+package spatial
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dfg"
+)
+
+// Board describes a multi-FPGA board (devices are homogeneous, as on the
+// WILDFORCE-class boards SPARCS targeted).
+type Board struct {
+	// Devices is the FPGA count.
+	Devices int
+	// CLBsEach is each device's logic capacity.
+	CLBsEach int
+	// MaxCutData optionally caps the total inter-device data units
+	// (pin-budget proxy); 0 = uncapped.
+	MaxCutData int
+}
+
+// Result is a spatial partitioning of one temporal segment.
+type Result struct {
+	// Assign maps each task index (into the original graph) to a device.
+	Assign map[int]int
+	// CutEdges counts edges between devices.
+	CutEdges int
+	// CutData sums the data units of cut edges.
+	CutData int
+	// Used holds per-device CLB usage.
+	Used []int
+	// Passes is the number of improvement passes run.
+	Passes int
+}
+
+// Errors.
+var (
+	ErrNoFit   = errors.New("spatial: tasks do not fit the device array")
+	ErrBadTask = errors.New("spatial: task not in graph")
+)
+
+// Partition maps the given tasks (a subset of g, typically one temporal
+// partition) onto the board.
+func Partition(g *dfg.Graph, tasks []int, board Board) (*Result, error) {
+	if board.Devices < 1 || board.CLBsEach < 1 {
+		return nil, fmt.Errorf("spatial: invalid board %+v", board)
+	}
+	inSet := map[int]bool{}
+	for _, t := range tasks {
+		if t < 0 || t >= g.NumTasks() {
+			return nil, fmt.Errorf("%w: %d", ErrBadTask, t)
+		}
+		if g.Task(t).Resources > board.CLBsEach {
+			return nil, fmt.Errorf("%w: task %q needs %d CLBs, device has %d",
+				ErrNoFit, g.Task(t).Name, g.Task(t).Resources, board.CLBsEach)
+		}
+		inSet[t] = true
+	}
+
+	res := &Result{Assign: map[int]int{}, Used: make([]int, board.Devices)}
+	// First-fit seed in topological order (keeps connected neighbourhoods
+	// together, a decent cut seed).
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range order {
+		if !inSet[t] {
+			continue
+		}
+		placed := false
+		for dev := 0; dev < board.Devices; dev++ {
+			if res.Used[dev]+g.Task(t).Resources <= board.CLBsEach {
+				res.Assign[t] = dev
+				res.Used[dev] += g.Task(t).Resources
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: %d tasks over %d devices", ErrNoFit, len(tasks), board.Devices)
+		}
+	}
+
+	// Improvement passes: single-task moves that reduce the incident cut
+	// (when capacity allows), then pairwise swaps, which escape the
+	// full-device local minima moves cannot.
+	for pass := 0; pass < 16; pass++ {
+		improved := false
+		for _, t := range order {
+			if !inSet[t] {
+				continue
+			}
+			cur := res.Assign[t]
+			bestDev, bestGain := cur, 0
+			for dev := 0; dev < board.Devices; dev++ {
+				if dev == cur {
+					continue
+				}
+				if res.Used[dev]+g.Task(t).Resources > board.CLBsEach {
+					continue
+				}
+				gain := moveGain(g, inSet, res.Assign, t, dev)
+				if gain > bestGain {
+					bestGain = gain
+					bestDev = dev
+				}
+			}
+			if bestDev != cur {
+				res.Used[cur] -= g.Task(t).Resources
+				res.Used[bestDev] += g.Task(t).Resources
+				res.Assign[t] = bestDev
+				improved = true
+			}
+		}
+		// Swap pass.
+		for i := 0; i < len(order); i++ {
+			t := order[i]
+			if !inSet[t] {
+				continue
+			}
+			for j := i + 1; j < len(order); j++ {
+				u := order[j]
+				if !inSet[u] || res.Assign[t] == res.Assign[u] {
+					continue
+				}
+				dt, du := res.Assign[t], res.Assign[u]
+				rt, ru := g.Task(t).Resources, g.Task(u).Resources
+				if res.Used[du]-ru+rt > board.CLBsEach || res.Used[dt]-rt+ru > board.CLBsEach {
+					continue
+				}
+				before := incidentCut(g, inSet, res.Assign, t, u)
+				res.Assign[t], res.Assign[u] = du, dt
+				after := incidentCut(g, inSet, res.Assign, t, u)
+				if after < before {
+					res.Used[dt] += ru - rt
+					res.Used[du] += rt - ru
+					improved = true
+				} else {
+					res.Assign[t], res.Assign[u] = dt, du // revert
+				}
+			}
+		}
+		res.Passes = pass + 1
+		if !improved {
+			break
+		}
+	}
+
+	res.CutEdges, res.CutData = Cut(g, inSet, res.Assign)
+	if board.MaxCutData > 0 && res.CutData > board.MaxCutData {
+		return nil, fmt.Errorf("spatial: cut data %d exceeds pin budget %d", res.CutData, board.MaxCutData)
+	}
+	return res, nil
+}
+
+// moveGain returns the cut-data reduction achieved by moving t to dev.
+func moveGain(g *dfg.Graph, inSet map[int]bool, assign map[int]int, t, dev int) int {
+	gain := 0
+	count := func(other int, data int) {
+		if !inSet[other] {
+			return // edges leaving the segment always cross (memory)
+		}
+		if assign[other] == assign[t] {
+			gain -= data // was internal, becomes cut
+		}
+		if assign[other] == dev {
+			gain += data // was cut, becomes internal
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.From == t {
+			count(e.To, e.Data)
+		} else if e.To == t {
+			count(e.From, e.Data)
+		}
+	}
+	return gain
+}
+
+// incidentCut sums the cut data of edges incident to t or u.
+func incidentCut(g *dfg.Graph, inSet map[int]bool, assign map[int]int, t, u int) int {
+	cut := 0
+	for _, e := range g.Edges() {
+		if e.From != t && e.To != t && e.From != u && e.To != u {
+			continue
+		}
+		if !inSet[e.From] || !inSet[e.To] {
+			continue
+		}
+		if assign[e.From] != assign[e.To] {
+			cut += e.Data
+		}
+	}
+	return cut
+}
+
+// Cut computes the weighted cut of an assignment over the segment's tasks.
+func Cut(g *dfg.Graph, inSet map[int]bool, assign map[int]int) (edges, data int) {
+	for _, e := range g.Edges() {
+		if !inSet[e.From] || !inSet[e.To] {
+			continue
+		}
+		if assign[e.From] != assign[e.To] {
+			edges++
+			data += e.Data
+		}
+	}
+	return
+}
+
+// PartitionAll spatially partitions every temporal segment of a temporal
+// partitioning (assign: task -> segment) and returns per-segment results.
+func PartitionAll(g *dfg.Graph, temporalAssign []int, n int, board Board) ([]*Result, error) {
+	if len(temporalAssign) != g.NumTasks() {
+		return nil, fmt.Errorf("spatial: temporal assignment covers %d of %d tasks",
+			len(temporalAssign), g.NumTasks())
+	}
+	out := make([]*Result, n)
+	for p := 0; p < n; p++ {
+		var tasks []int
+		for t, tp := range temporalAssign {
+			if tp == p {
+				tasks = append(tasks, t)
+			}
+		}
+		if len(tasks) == 0 {
+			out[p] = &Result{Assign: map[int]int{}, Used: make([]int, board.Devices)}
+			continue
+		}
+		r, err := Partition(g, tasks, board)
+		if err != nil {
+			return nil, fmt.Errorf("spatial: segment %d: %w", p, err)
+		}
+		out[p] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package spatial
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfg"
+	"repro/internal/hls"
+	"repro/internal/jpeg"
+)
+
+func TestSingleDeviceTrivial(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 10})
+	g.MustAddTask(dfg.Task{Name: "b", Resources: 10})
+	g.MustAddEdge("a", "b", 5)
+	r, err := Partition(g, []int{0, 1}, Board{Devices: 1, CLBsEach: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CutEdges != 0 || r.CutData != 0 {
+		t.Errorf("single device has cut %d/%d", r.CutEdges, r.CutData)
+	}
+}
+
+func TestCapacityForcesSplit(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 60})
+	g.MustAddTask(dfg.Task{Name: "b", Resources: 60})
+	g.MustAddEdge("a", "b", 3)
+	r, err := Partition(g, []int{0, 1}, Board{Devices: 2, CLBsEach: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assign[0] == r.Assign[1] {
+		t.Error("120 CLBs packed into one 100-CLB device")
+	}
+	if r.CutData != 3 {
+		t.Errorf("cut data = %d, want 3", r.CutData)
+	}
+}
+
+func TestImprovementReducesCut(t *testing.T) {
+	// Two tightly coupled pairs; first-fit in topological order may split
+	// a pair, improvement must reunite them.
+	g := dfg.New("pairs")
+	g.MustAddTask(dfg.Task{Name: "a1", Resources: 40})
+	g.MustAddTask(dfg.Task{Name: "b1", Resources: 40})
+	g.MustAddTask(dfg.Task{Name: "a2", Resources: 40})
+	g.MustAddTask(dfg.Task{Name: "b2", Resources: 40})
+	g.MustAddEdge("a1", "a2", 10)
+	g.MustAddEdge("b1", "b2", 10)
+	g.MustAddEdge("a1", "b2", 1)
+	r, err := Partition(g, []int{0, 1, 2, 3}, Board{Devices: 2, CLBsEach: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: {a1,a2} vs {b1,b2} with cut 1.
+	if r.CutData != 1 {
+		t.Errorf("cut data = %d, want 1 (assign %v)", r.CutData, r.Assign)
+	}
+}
+
+func TestNoFit(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 150})
+	if _, err := Partition(g, []int{0}, Board{Devices: 2, CLBsEach: 100}); err == nil {
+		t.Error("oversized task accepted")
+	}
+	g2 := dfg.New("g2")
+	for i := 0; i < 5; i++ {
+		g2.MustAddTask(dfg.Task{Name: string(rune('a' + i)), Resources: 60})
+	}
+	if _, err := Partition(g2, []int{0, 1, 2, 3, 4}, Board{Devices: 2, CLBsEach: 100}); err == nil {
+		t.Error("300 CLBs over 2x100 accepted")
+	}
+}
+
+func TestPinBudget(t *testing.T) {
+	g := dfg.New("g")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 60})
+	g.MustAddTask(dfg.Task{Name: "b", Resources: 60})
+	g.MustAddEdge("a", "b", 50)
+	if _, err := Partition(g, []int{0, 1}, Board{Devices: 2, CLBsEach: 100, MaxCutData: 10}); err == nil {
+		t.Error("pin budget violation accepted")
+	}
+}
+
+// TestDCTSegmentAcrossTwoFPGAs: partition 2 of the case study (8 T2 tasks,
+// 1440 CLBs) split over two 800-CLB devices: row pairs share no edges, so
+// a zero-cut split exists and must be found.
+func TestDCTSegmentAcrossTwoFPGAs(t *testing.T) {
+	g, err := jpeg.BuildDCTGraph(hls.XC4000Library(), hls.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg []int
+	for i := 0; i < g.NumTasks(); i++ {
+		n := g.Task(i).Name
+		if strings.HasPrefix(n, "T2_0") || strings.HasPrefix(n, "T2_1") {
+			seg = append(seg, i)
+		}
+	}
+	r, err := Partition(g, seg, Board{Devices: 2, CLBsEach: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CutData != 0 {
+		t.Errorf("cut = %d, want 0 (T2 tasks are pairwise independent)", r.CutData)
+	}
+	if r.Used[0] > 800 || r.Used[1] > 800 {
+		t.Errorf("capacity violated: %v", r.Used)
+	}
+}
+
+func TestPartitionAll(t *testing.T) {
+	g, err := jpeg.BuildDCTGraph(hls.XC4000Library(), hls.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		n := g.Task(i).Name
+		switch {
+		case g.Task(i).Type == "T1":
+			assign[i] = 0
+		case strings.HasPrefix(n, "T2_0") || strings.HasPrefix(n, "T2_1"):
+			assign[i] = 1
+		default:
+			assign[i] = 2
+		}
+	}
+	results, err := PartitionAll(g, assign, 3, Board{Devices: 2, CLBsEach: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for p, r := range results {
+		for _, u := range r.Used {
+			if u > 800 {
+				t.Errorf("segment %d overfilled: %v", p, r.Used)
+			}
+		}
+	}
+}
+
+// Property: the result always respects capacity, covers all tasks, and the
+// reported cut matches a recount.
+func TestSpatialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.New("r")
+		n := 3 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			g.MustAddTask(dfg.Task{Name: string(rune('a' + i)), Resources: 10 + rng.Intn(40)})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					_ = g.AddEdgeByID(i, j, 1+rng.Intn(9))
+				}
+			}
+		}
+		tasks := make([]int, n)
+		inSet := map[int]bool{}
+		for i := range tasks {
+			tasks[i] = i
+			inSet[i] = true
+		}
+		board := Board{Devices: 2 + rng.Intn(3), CLBsEach: 120}
+		r, err := Partition(g, tasks, board)
+		if err != nil {
+			return true // legitimate no-fit
+		}
+		if len(r.Assign) != n {
+			return false
+		}
+		used := make([]int, board.Devices)
+		for t, dev := range r.Assign {
+			if dev < 0 || dev >= board.Devices {
+				return false
+			}
+			used[dev] += g.Task(t).Resources
+		}
+		for d, u := range used {
+			if u != r.Used[d] || u > board.CLBsEach {
+				return false
+			}
+		}
+		e, dta := Cut(g, inSet, r.Assign)
+		return e == r.CutEdges && dta == r.CutData
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

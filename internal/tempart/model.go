@@ -1,0 +1,679 @@
+// Package tempart implements the paper's core contribution: optimal
+// temporal partitioning of a behavior-level task graph over N run-time
+// configurations of an FPGA, formulated as an integer linear program
+// (Sec. 2.1, Eqs. 1-8) and solved by internal/ilp.
+//
+// The model, for a fixed partition bound N (partitions are 0-indexed here):
+//
+//	variables   y[t][p] ∈ {0,1}   task t placed in partition p
+//	            w[p][e] ∈ [0,1]   edge e crosses boundary after partition p
+//	            d[p]    ≥ 0       execution delay of partition p
+//
+//	uniqueness  Σ_p y[t][p] == 1                                    (Eq. 1)
+//	order       y[t2][p2] + Σ_{p1>p2} y[t1][p1] <= 1  ∀ t1→t2, p2   (Eq. 2)
+//	memory      Σ_e B(e)·w[p][e] <= M_max             ∀ boundary p  (Eq. 3)
+//	linearize   w[p][e] >= Σ_{p1<=p} y[t1][p1] + Σ_{p2>p} y[t2][p2] - 1
+//	                                                  (Eqs. 4-5 linearized)
+//	resource    Σ_t R(t)·y[t][p] <= R_max             ∀ p           (Eq. 6)
+//	path delay  Σ_{t∈π} D(t)·y[t][p] <= d[p]          ∀ path π, p   (Eq. 7)
+//	objective   minimize Σ_p d[p]   (N·CT added as a constant)      (Eq. 8)
+//
+// A preprocessing step computes the partition lower bound
+// N0 = ⌈Σ_t R(t) / R_max⌉ and the bound is relaxed by one partition at a
+// time until the model is feasible, exactly as in the paper.
+package tempart
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// Input bundles the three inputs of the partitioning tool: behavior
+// specification (the task graph, with synthesis costs already annotated by
+// the HLS estimator) and the target architecture parameters.
+type Input struct {
+	Graph *dfg.Graph
+	Board arch.Board
+
+	// MaxPartitions caps the relax-N loop (default: lower bound + 8).
+	MaxPartitions int
+	// PathCap bounds exact path enumeration for Eq. 7 (default 20000).
+	PathCap int
+	// NoSymmetryBreaking disables the ordering constraints between
+	// provably interchangeable tasks. They are on by default: they never
+	// change the optimum and substantially prune the search on regular
+	// DSP graphs. Disable only to measure the ablation.
+	NoSymmetryBreaking bool
+	// DisableWarmStart suppresses the list-partitioner warm start (for
+	// ablation benchmarks).
+	DisableWarmStart bool
+	// ILP tunes the branch-and-bound search.
+	ILP ilp.Options
+}
+
+// SolveStats records model and search sizes for reporting.
+type SolveStats struct {
+	N            int
+	Vars         int
+	Rows         int
+	Paths        int
+	Nodes        int
+	LPIterations int
+	BuildTime    time.Duration
+	SolveTime    time.Duration
+	RelaxSteps   int
+}
+
+// Partitioning is a temporal partitioning result.
+type Partitioning struct {
+	// N is the number of temporal partitions.
+	N int
+	// Assign maps task index -> partition (0-based, execution order).
+	Assign []int
+	// Delays holds d_p per partition in ns.
+	Delays []float64
+	// Latency is N*CT + Σ d_p in ns (Eq. 8).
+	Latency float64
+	// Optimal reports whether the ILP proved optimality.
+	Optimal bool
+	// Stats carries solver statistics.
+	Stats SolveStats
+}
+
+// Errors.
+var (
+	ErrTaskTooLarge = errors.New("tempart: a task exceeds the FPGA resource capacity")
+	ErrNoSolution   = errors.New("tempart: no feasible partitioning within the partition cap")
+)
+
+// MinPartitions returns the preprocessing lower bound: the maximum of
+//   - ⌈Σ demand / capacity⌉ per capped resource type (the paper's
+//     ⌈Σ R(t) / R_max⌉ for the single-resource case), and
+//   - the number of tasks larger than half the FPGA (no two such tasks
+//     ever share a partition — a valid bin-packing bound that saves the
+//     relax loop from expensive infeasibility proofs on coarse graphs).
+func MinPartitions(g *dfg.Graph, board arch.Board) int {
+	if g.NumTasks() == 0 {
+		return 0
+	}
+	n := (g.TotalResources() + board.FPGA.CLBs - 1) / board.FPGA.CLBs
+	for kind, cap := range board.FPGA.ExtraCapacity {
+		if cap <= 0 {
+			continue
+		}
+		if m := (g.TotalExtra(kind) + cap - 1) / cap; m > n {
+			n = m
+		}
+	}
+	big := 0
+	for i := 0; i < g.NumTasks(); i++ {
+		if 2*g.Task(i).Resources > board.FPGA.CLBs {
+			big++
+		}
+	}
+	if big > n {
+		n = big
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Solve runs the full temporal partitioning tool: preprocessing, model
+// generation for the lower-bound N, and the relax-N loop until feasibility.
+func Solve(in Input) (*Partitioning, error) {
+	g := in.Graph
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Board.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumTasks() == 0 {
+		return &Partitioning{}, nil
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Task(i).Resources > in.Board.FPGA.CLBs {
+			return nil, fmt.Errorf("%w: task %q needs %d CLBs, FPGA has %d",
+				ErrTaskTooLarge, g.Task(i).Name, g.Task(i).Resources, in.Board.FPGA.CLBs)
+		}
+		for kind, cap := range in.Board.FPGA.ExtraCapacity {
+			if d := g.Task(i).Extra[kind]; d > cap {
+				return nil, fmt.Errorf("%w: task %q needs %d %s, FPGA has %d",
+					ErrTaskTooLarge, g.Task(i).Name, d, kind, cap)
+			}
+		}
+	}
+	pathCap := in.PathCap
+	if pathCap == 0 {
+		pathCap = 20000
+	}
+	paths, err := g.Paths(pathCap)
+	if err != nil {
+		return nil, fmt.Errorf("tempart: %w (use the list partitioner for graphs this path-dense)", err)
+	}
+
+	n0 := MinPartitions(g, in.Board)
+	maxN := in.MaxPartitions
+	if maxN == 0 {
+		maxN = n0 + 8
+	}
+	resources := make([]int, g.NumTasks())
+	for i := range resources {
+		resources[i] = g.Task(i).Resources
+	}
+	relax := 0
+	for n := n0; n <= maxN; n++ {
+		relax++
+		// Resource-only bin-packing pre-check: ignoring temporal order and
+		// memory can only make the problem easier, so packing
+		// infeasibility proves ILP infeasibility at this N without paying
+		// for a branch-and-bound infeasibility proof.
+		if !packingFeasible(resources, in.Board.FPGA.CLBs, n) {
+			continue
+		}
+		part, err := solveForN(in, paths, n)
+		if err != nil {
+			return nil, err
+		}
+		if part != nil {
+			part.Stats.RelaxSteps = relax
+			return part, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (tried N=%d..%d)", ErrNoSolution, n0, maxN)
+}
+
+// solveForN builds and solves the model for a fixed partition bound.
+// It returns (nil, nil) when the model is infeasible at this N.
+func solveForN(in Input, paths [][]int, N int) (*Partitioning, error) {
+	g := in.Graph
+	buildStart := time.Now()
+	nT := g.NumTasks()
+	edges := g.Edges()
+	nE := len(edges)
+	nB := N - 1 // inter-partition boundaries
+
+	// Presolve: when even the worst case (every edge crossing every
+	// boundary) fits the on-board memory, the memory constraint (Eq. 3)
+	// can never bind, so the w variables and their linearization rows are
+	// dropped entirely. This is a pure dominance reduction — it never
+	// changes the optimum — and it roughly halves the model for
+	// memory-rich boards like the paper's 64K-word bank.
+	totalEdgeData := 0
+	for _, e := range edges {
+		totalEdgeData += e.Data
+	}
+	needMem := totalEdgeData > in.Board.Memory.Words
+
+	// Variable layout: y[t][p] = t*N+p; then w[p][e] if needed; d[p] last.
+	yv := func(t, p int) int { return t*N + p }
+	nW := 0
+	if needMem {
+		nW = nB * nE
+	}
+	wv := func(p, e int) int { return nT*N + p*nE + e }
+	dv := func(p int) int { return nT*N + nW + p }
+	nVars := nT*N + nW + N
+
+	prob := lp.NewProblem(nVars)
+	intVars := make([]int, 0, nT*N)
+	sos := make([][]int, 0, nT)
+	for t := 0; t < nT; t++ {
+		grp := make([]int, 0, N)
+		for p := 0; p < N; p++ {
+			j := yv(t, p)
+			prob.SetBounds(j, 0, 1)
+			intVars = append(intVars, j)
+			grp = append(grp, j)
+		}
+		sos = append(sos, grp)
+	}
+	// w relaxed to [0,1]: the linearization lower bound plus the memory
+	// constraint make integral w unnecessary once y is integral.
+	for p := 0; p < nB && needMem; p++ {
+		for e := 0; e < nE; e++ {
+			prob.SetBounds(wv(p, e), 0, 1)
+		}
+	}
+	// d_p in [0, Σ D(t)].
+	sumDelay := 0.0
+	for t := 0; t < nT; t++ {
+		sumDelay += g.Task(t).Delay
+	}
+	for p := 0; p < N; p++ {
+		prob.SetBounds(dv(p), 0, sumDelay)
+		prob.SetObj(dv(p), 1)
+	}
+
+	// Eq. 1: uniqueness.
+	for t := 0; t < nT; t++ {
+		row := map[int]float64{}
+		for p := 0; p < N; p++ {
+			row[yv(t, p)] = 1
+		}
+		prob.AddRow(lp.EQ, row, 1)
+	}
+
+	// Eq. 2: temporal order, grouped per (edge, p2):
+	// y[t2][p2] + Σ_{p1 > p2} y[t1][p1] <= 1.
+	for _, e := range edges {
+		for p2 := 0; p2 < N-1; p2++ {
+			row := map[int]float64{yv(e.To, p2): 1}
+			for p1 := p2 + 1; p1 < N; p1++ {
+				row[yv(e.From, p1)] = 1
+			}
+			prob.AddRow(lp.LE, row, 1)
+		}
+	}
+
+	// Eqs. 4/5 linearized: w[p][e] >= Σ_{p1<=p} y[t1][p1] + Σ_{p2>p} y[t2][p2] - 1.
+	for p := 0; p < nB && needMem; p++ {
+		for ei, e := range edges {
+			row := map[int]float64{wv(p, ei): 1}
+			for p1 := 0; p1 <= p; p1++ {
+				row[yv(e.From, p1)] = -1
+			}
+			for p2 := p + 1; p2 < N; p2++ {
+				row[yv(e.To, p2)] = -1
+			}
+			prob.AddRow(lp.GE, row, -1)
+		}
+	}
+
+	// Eq. 3: memory per boundary.
+	for p := 0; p < nB && needMem; p++ {
+		row := map[int]float64{}
+		for ei, e := range edges {
+			if e.Data != 0 {
+				row[wv(p, ei)] = float64(e.Data)
+			}
+		}
+		if len(row) > 0 {
+			prob.AddRow(lp.LE, row, float64(in.Board.Memory.Words))
+		}
+	}
+
+	// Eq. 6: resources per partition — one constraint per capped resource
+	// type ("similar equations can be added if multiple resource types
+	// exist in the FPGA").
+	for p := 0; p < N; p++ {
+		row := map[int]float64{}
+		for t := 0; t < nT; t++ {
+			if r := g.Task(t).Resources; r != 0 {
+				row[yv(t, p)] = float64(r)
+			}
+		}
+		prob.AddRow(lp.LE, row, float64(in.Board.FPGA.CLBs))
+	}
+	for _, kind := range g.ExtraTypes() {
+		cap, capped := in.Board.FPGA.ExtraCapacity[kind]
+		if !capped {
+			continue
+		}
+		for p := 0; p < N; p++ {
+			row := map[int]float64{}
+			for t := 0; t < nT; t++ {
+				if r := g.Task(t).Extra[kind]; r != 0 {
+					row[yv(t, p)] = float64(r)
+				}
+			}
+			if len(row) > 0 {
+				prob.AddRow(lp.LE, row, float64(cap))
+			}
+		}
+	}
+
+	// Eq. 7: path delays per partition.
+	for _, path := range paths {
+		for p := 0; p < N; p++ {
+			row := map[int]float64{dv(p): -1}
+			for _, t := range path {
+				if d := g.Task(t).Delay; d != 0 {
+					row[yv(t, p)] += d
+				}
+			}
+			prob.AddRow(lp.LE, row, 0)
+		}
+	}
+
+	// Symmetry breaking between interchangeable tasks:
+	// Σ_p p·y[a][p] <= Σ_p p·y[b][p] for consecutive group members a < b.
+	if !in.NoSymmetryBreaking {
+		for _, group := range g.InterchangeableGroups() {
+			for i := 0; i+1 < len(group); i++ {
+				a, b := group[i], group[i+1]
+				row := map[int]float64{}
+				for p := 1; p < N; p++ {
+					row[yv(a, p)] += float64(p)
+					row[yv(b, p)] -= float64(p)
+				}
+				if len(row) > 0 {
+					prob.AddRow(lp.LE, row, 0)
+				}
+			}
+		}
+	}
+
+	iprob := &ilp.Problem{LP: prob, Integers: intVars, SOS1: sos}
+	opts := in.ILP
+	if !in.DisableWarmStart {
+		if inc := warmStart(g, in.Board, paths, N, nVars, needMem, yv, wv, dv); inc != nil {
+			opts.Incumbent = inc
+		}
+	}
+	buildTime := time.Since(buildStart)
+
+	solveStart := time.Now()
+	sol, err := ilp.Solve(iprob, opts)
+	if err != nil {
+		return nil, err
+	}
+	solveTime := time.Since(solveStart)
+
+	switch sol.Status {
+	case ilp.Infeasible:
+		return nil, nil // relax N
+	case ilp.Limit:
+		return nil, fmt.Errorf("tempart: search limit hit with no feasible partitioning at N=%d", N)
+	case ilp.Unbounded:
+		return nil, errors.New("tempart: model unbounded (internal error)")
+	}
+
+	assign := make([]int, nT)
+	for t := 0; t < nT; t++ {
+		assign[t] = -1
+		for p := 0; p < N; p++ {
+			if sol.X[yv(t, p)] > 0.5 {
+				assign[t] = p
+				break
+			}
+		}
+		if assign[t] < 0 {
+			return nil, fmt.Errorf("tempart: task %d unassigned in ILP solution", t)
+		}
+	}
+	delays := EvaluateDelays(g, assign, N, paths)
+	part := &Partitioning{
+		N:       N,
+		Assign:  assign,
+		Delays:  delays,
+		Latency: Latency(in.Board, delays),
+		Optimal: sol.Status == ilp.Optimal,
+		Stats: SolveStats{
+			N: N, Vars: nVars, Rows: prob.NumRows(), Paths: len(paths),
+			Nodes: sol.Nodes, LPIterations: sol.LPIterations,
+			BuildTime: buildTime, SolveTime: solveTime,
+		},
+	}
+	return part, nil
+}
+
+// packingFeasible decides one-dimensional bin packing feasibility by
+// depth-first search with symmetry pruning (items sorted descending; an
+// item may only open the first empty bin). Exact for the small task counts
+// the ILP handles; bails out optimistically after a node budget so it never
+// wrongly reports infeasible.
+func packingFeasible(items []int, cap, bins int) bool {
+	sorted := append([]int(nil), items...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if len(sorted) > 0 && sorted[0] > cap {
+		return false
+	}
+	load := make([]int, bins)
+	nodes := 0
+	const nodeBudget = 200000
+	var place func(i int) bool
+	place = func(i int) bool {
+		if i == len(sorted) {
+			return true
+		}
+		nodes++
+		if nodes > nodeBudget {
+			return true // give up: let the ILP decide
+		}
+		seenEmpty := false
+		for b := 0; b < bins; b++ {
+			if load[b] == 0 {
+				if seenEmpty {
+					break // identical empty bins are symmetric
+				}
+				seenEmpty = true
+			}
+			if load[b]+sorted[i] > cap {
+				continue
+			}
+			// Skip bins with identical load (symmetry).
+			dup := false
+			for b2 := 0; b2 < b; b2++ {
+				if load[b2] == load[b] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			load[b] += sorted[i]
+			if place(i + 1) {
+				return true
+			}
+			load[b] -= sorted[i]
+		}
+		return false
+	}
+	return place(0)
+}
+
+// EvaluateDelays computes d_p = max over paths of the in-partition path
+// delay (the paper's Fig. 4 delay model) for a given assignment.
+func EvaluateDelays(g *dfg.Graph, assign []int, N int, paths [][]int) []float64 {
+	d := make([]float64, N)
+	for _, path := range paths {
+		for p := 0; p < N; p++ {
+			sum := 0.0
+			for _, t := range path {
+				if assign[t] == p {
+					sum += g.Task(t).Delay
+				}
+			}
+			if sum > d[p] {
+				d[p] = sum
+			}
+		}
+	}
+	// Tasks not on any root-leaf path (isolated) still execute.
+	for t, p := range assign {
+		if p >= 0 && p < N && g.Task(t).Delay > d[p] && len(g.Preds(t)) == 0 && len(g.Succs(t)) == 0 {
+			d[p] = g.Task(t).Delay
+		}
+	}
+	return d
+}
+
+// Latency computes Eq. 8's objective value N*CT + Σ d_p for a delay vector.
+func Latency(board arch.Board, delays []float64) float64 {
+	sum := 0.0
+	for _, d := range delays {
+		sum += d
+	}
+	return float64(len(delays))*board.FPGA.ReconfigTime + sum
+}
+
+// CheckFeasible verifies a partitioning against the architecture: resource
+// capacity per partition, memory capacity per boundary, and temporal order.
+// It returns nil when the assignment is a valid temporal partitioning.
+func CheckFeasible(g *dfg.Graph, board arch.Board, assign []int, N int) error {
+	if len(assign) != g.NumTasks() {
+		return fmt.Errorf("tempart: assignment length %d != %d tasks", len(assign), g.NumTasks())
+	}
+	res := make([]int, N)
+	extra := map[string][]int{}
+	for t, p := range assign {
+		if p < 0 || p >= N {
+			return fmt.Errorf("tempart: task %d assigned to invalid partition %d", t, p)
+		}
+		res[p] += g.Task(t).Resources
+		for kind, d := range g.Task(t).Extra {
+			if extra[kind] == nil {
+				extra[kind] = make([]int, N)
+			}
+			extra[kind][p] += d
+		}
+	}
+	for p, r := range res {
+		if r > board.FPGA.CLBs {
+			return fmt.Errorf("tempart: partition %d uses %d CLBs > %d", p, r, board.FPGA.CLBs)
+		}
+	}
+	for kind, perPart := range extra {
+		cap, capped := board.FPGA.ExtraCapacity[kind]
+		if !capped {
+			continue
+		}
+		for p, r := range perPart {
+			if r > cap {
+				return fmt.Errorf("tempart: partition %d uses %d %s > %d", p, r, kind, cap)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if assign[e.From] > assign[e.To] {
+			return fmt.Errorf("tempart: edge %d->%d violates temporal order (%d > %d)",
+				e.From, e.To, assign[e.From], assign[e.To])
+		}
+	}
+	for b := 0; b < N-1; b++ {
+		mem := 0
+		for _, e := range g.Edges() {
+			if assign[e.From] <= b && assign[e.To] > b {
+				mem += e.Data
+			}
+		}
+		if mem > board.Memory.Words {
+			return fmt.Errorf("tempart: boundary %d stores %d words > %d", b, mem, board.Memory.Words)
+		}
+	}
+	return nil
+}
+
+// warmStart builds a full ILP variable assignment from greedy heuristics
+// when a solution using at most N partitions exists. Two heuristics are
+// tried — plain topological packing, and type-homogeneous packing (which
+// avoids mixing slow task types into fast partitions, the effect the
+// paper's Sec. 4 comparison highlights) — and the better feasible one wins.
+func warmStart(g *dfg.Graph, board arch.Board, paths [][]int, N, nVars int,
+	needMem bool, yv func(t, p int) int, wv func(p, e int) int, dv func(p int) int) []float64 {
+
+	var best []int
+	bestLat := 0.0
+	for _, homogeneous := range []bool{false, true} {
+		assign, usedN := greedyAssign(g, board, homogeneous)
+		if assign == nil || usedN > N {
+			continue
+		}
+		if CheckFeasible(g, board, assign, N) != nil {
+			continue
+		}
+		lat := Latency(board, EvaluateDelays(g, assign, N, paths))
+		if best == nil || lat < bestLat {
+			best = assign
+			bestLat = lat
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Canonicalize within interchangeable groups so the incumbent also
+	// satisfies the symmetry-breaking ordering rows (permuting members of
+	// a group across their partitions preserves feasibility and latency).
+	for _, group := range g.InterchangeableGroups() {
+		ps := make([]int, len(group))
+		for i, t := range group {
+			ps[i] = best[t]
+		}
+		sort.Ints(ps)
+		for i, t := range group {
+			best[t] = ps[i]
+		}
+	}
+	x := make([]float64, nVars)
+	for t, p := range best {
+		x[yv(t, p)] = 1
+	}
+	if needMem {
+		for ei, e := range g.Edges() {
+			for b := 0; b < N-1; b++ {
+				if best[e.From] <= b && best[e.To] > b {
+					x[wv(b, ei)] = 1
+				}
+			}
+		}
+	}
+	delays := EvaluateDelays(g, best, N, paths)
+	for p := 0; p < N; p++ {
+		x[dv(p)] = delays[p]
+	}
+	return x
+}
+
+// greedyAssign is the warm-start heuristic: topological-order bin packing
+// into successive partitions under the resource constraint. In homogeneous
+// mode a partition is also closed when the task type changes, which keeps
+// fast and slow task types apart. (internal/listpart exposes the plain
+// variant publicly; it is duplicated in miniature here to avoid an import
+// cycle.)
+func greedyAssign(g *dfg.Graph, board arch.Board, homogeneous bool) ([]int, int) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0
+	}
+	assign := make([]int, g.NumTasks())
+	cur, used := 0, 0
+	usedExtra := map[string]int{}
+	curType := ""
+	first := true
+	fits := func(t int) bool {
+		if used+g.Task(t).Resources > board.FPGA.CLBs {
+			return false
+		}
+		for kind, cap := range board.FPGA.ExtraCapacity {
+			if usedExtra[kind]+g.Task(t).Extra[kind] > cap {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range order {
+		if g.Task(t).Resources > board.FPGA.CLBs {
+			return nil, 0
+		}
+		for kind, cap := range board.FPGA.ExtraCapacity {
+			if g.Task(t).Extra[kind] > cap {
+				return nil, 0
+			}
+		}
+		typ := g.Task(t).Type
+		if !fits(t) || (homogeneous && !first && typ != curType) {
+			cur++
+			used = 0
+			usedExtra = map[string]int{}
+		}
+		assign[t] = cur
+		used += g.Task(t).Resources
+		for kind, d := range g.Task(t).Extra {
+			usedExtra[kind] += d
+		}
+		curType = typ
+		first = false
+	}
+	return assign, cur + 1
+}
