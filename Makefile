@@ -1,0 +1,27 @@
+# Build / test / benchmark entry points for the SPARCS reproduction.
+
+GO ?= go
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: all build test vet bench bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the full benchmark suite once and archives the machine-readable
+# result as BENCH_<date>.json, so the perf trajectory accumulates in-tree.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_$(DATE).json
+	@echo wrote BENCH_$(DATE).json
+
+# bench-smoke is the quick CI variant: just the tempart solver-core benches.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkTempart -benchtime 1x -benchmem .

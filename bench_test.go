@@ -25,6 +25,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/fission"
 	"repro/internal/hls"
+	"repro/internal/ilp"
 	"repro/internal/jpeg"
 	"repro/internal/listpart"
 	"repro/internal/memmap"
@@ -212,6 +213,54 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	}
 	b.ReportMetric(float64(p.N), "partitions")
 	b.ReportMetric(float64(p.Stats.Nodes), "B&B-nodes")
+	b.ReportMetric(float64(p.Stats.Nodes)/p.Stats.SolveTime.Seconds(), "nodes/sec")
+	b.ReportMetric(p.Latency, "latency-ns")
+}
+
+// BenchmarkTempartDCTWarmStart is the solver-core benchmark behind the CI
+// perf smoke: the headline DCT partitioning solve, reporting how much of
+// the branch-and-bound search the warm-started lp.Solver serves without a
+// from-scratch simplex rebuild.
+func BenchmarkTempartDCTWarmStart(b *testing.B) {
+	fixtures(b)
+	var p *tempart.Partitioning
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = tempart.Solve(tempart.Input{Graph: fx.graph, Board: fx.board})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p.N != 3 || !p.Optimal {
+		b.Fatalf("N=%d optimal=%v, want 3/true", p.N, p.Optimal)
+	}
+	st := p.Stats.Solver
+	b.ReportMetric(float64(p.Stats.Nodes)/p.Stats.SolveTime.Seconds(), "nodes/sec")
+	b.ReportMetric(float64(st.WarmSolves), "warm-solves")
+	b.ReportMetric(float64(st.ColdSolves), "cold-solves")
+	b.ReportMetric(float64(st.DualPivots), "dual-pivots")
+}
+
+// BenchmarkTempartDCTParallel runs the same solve with the parallel subtree
+// search and the speculative relax-N loop enabled (the wall-clock win
+// scales with available cores; the objective is identical by construction).
+func BenchmarkTempartDCTParallel(b *testing.B) {
+	fixtures(b)
+	var p *tempart.Partitioning
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = tempart.Solve(tempart.Input{
+			Graph: fx.graph, Board: fx.board,
+			SpeculateN: 2, ILP: ilp.Options{Workers: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p.N != 3 || !p.Optimal {
+		b.Fatalf("N=%d optimal=%v, want 3/true", p.N, p.Optimal)
+	}
+	b.ReportMetric(float64(p.Stats.Nodes)/p.Stats.SolveTime.Seconds(), "nodes/sec")
 	b.ReportMetric(p.Latency, "latency-ns")
 }
 

@@ -39,50 +39,65 @@ func main() {
 		verilogArg = flag.Bool("verilog", false, "print partition RTL after the flow")
 		seqArg     = flag.Bool("sequencer", false, "print the host sequencer code")
 		traceArg   = flag.Int("trace", 0, "print the first N simulation trace events")
+		workersArg = flag.Int("workers", 1, "parallel B&B search workers (ilp partitioner)")
+		specArg    = flag.Int("speculate", 1, "concurrent partition-count probes in the relax-N loop")
 	)
 	flag.Parse()
 
-	if err := run(*graphArg, *boardArg, *partArg, *stratArg, *iArg, *pow2Arg,
-		*dotArg, *verilogArg, *seqArg, *traceArg); err != nil {
+	if err := run(cliOptions{
+		Graph: *graphArg, Board: *boardArg, Partitioner: *partArg,
+		Strategy: *stratArg, I: *iArg, Pow2: *pow2Arg, DOT: *dotArg,
+		Verilog: *verilogArg, Sequencer: *seqArg, Trace: *traceArg,
+		Workers: *workersArg, SpeculateN: *specArg,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphArg, boardArg, partArg, stratArg string, iTotal int,
-	pow2, dot, verilog, seq bool, trace int) error {
+// cliOptions bundles the command-line flags so run stays callable (and
+// readable) from tests as new flags accumulate.
+type cliOptions struct {
+	Graph, Board, Partitioner, Strategy string
+	I                                   int
+	Pow2, DOT, Verilog, Sequencer       bool
+	Trace, Workers, SpeculateN          int
+}
 
-	board, err := arch.BoardByName(boardArg)
+func run(o cliOptions) error {
+	board, err := arch.BoardByName(o.Board)
 	if err != nil {
 		return err
 	}
-	g, err := loadGraph(graphArg)
+	g, err := loadGraph(o.Graph)
 	if err != nil {
 		return err
 	}
-	if dot {
+	if o.DOT {
 		fmt.Print(g.DOT())
 		return nil
 	}
 
 	cfg := core.DefaultConfig()
 	cfg.Board = board
-	cfg.Pow2Blocks = pow2
-	switch partArg {
+	cfg.Pow2Blocks = o.Pow2
+	cfg.ILP.Workers = o.Workers
+	cfg.SpeculateN = o.SpeculateN
+	switch o.Partitioner {
 	case "ilp":
 		cfg.Partitioner = core.ILPPartitioner
 	case "list":
 		cfg.Partitioner = core.ListPartitioner
 	default:
-		return fmt.Errorf("unknown partitioner %q", partArg)
+		return fmt.Errorf("unknown partitioner %q", o.Partitioner)
 	}
-	switch stratArg {
+	switch o.Strategy {
 	case "fdh":
 		cfg.Strategy = fission.FDH
 	case "idh":
 		cfg.Strategy = fission.IDH
 	default:
-		return fmt.Errorf("unknown strategy %q", stratArg)
+		return fmt.Errorf("unknown strategy %q", o.Strategy)
 	}
 
 	d, err := core.Build(g, cfg)
@@ -93,36 +108,40 @@ func run(graphArg, boardArg, partArg, stratArg string, iTotal int,
 	if d.Partitioning.N == 0 {
 		return nil
 	}
+	st := d.Partitioning.Stats
 	fmt.Printf("  solver: %d B&B nodes, %d LP pivots, build %v, solve %v\n",
-		d.Partitioning.Stats.Nodes, d.Partitioning.Stats.LPIterations,
-		d.Partitioning.Stats.BuildTime.Round(1e6), d.Partitioning.Stats.SolveTime.Round(1e6))
+		st.Nodes, st.LPIterations, st.BuildTime.Round(1e6), st.SolveTime.Round(1e6))
+	if st.Solver.Solves > 0 {
+		fmt.Printf("  simplex: %d warm / %d cold solves, %d dual repair pivots\n",
+			st.Solver.WarmSolves, st.Solver.ColdSolves, st.Solver.DualPivots)
+	}
 
-	res, err := d.Simulate(iTotal, sim.Options{TraceCap: maxInt(trace, 4096)})
+	res, err := d.Simulate(o.I, sim.Options{TraceCap: maxInt(o.Trace, 4096)})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nsimulated %d computations under %s:\n", iTotal, cfg.Strategy)
+	fmt.Printf("\nsimulated %d computations under %s:\n", o.I, cfg.Strategy)
 	fmt.Printf("  total    %14.3f ms\n", res.TotalNS/arch.Millisecond)
 	fmt.Printf("  compute  %14.3f ms\n", res.ComputeNS/arch.Millisecond)
 	fmt.Printf("  reconfig %14.3f ms (%d loads)\n", res.ReconfigNS/arch.Millisecond, res.Reconfigurations)
 	fmt.Printf("  transfer %14.3f ms\n", res.TransferNS/arch.Millisecond)
 	fmt.Printf("  handshake%14.3f ms\n", res.HandshakeNS/arch.Millisecond)
 
-	if trace > 0 {
+	if o.Trace > 0 {
 		fmt.Println("\ntrace:")
 		for i, ev := range res.Trace.Events {
-			if i >= trace {
+			if i >= o.Trace {
 				break
 			}
 			fmt.Printf("  %12.0f ns  %-9s config=%d batch=%d words=%d iters=%d\n",
 				ev.StartNS, ev.Kind, ev.Config, ev.Batch, ev.Words, ev.Iter)
 		}
 	}
-	if seq {
+	if o.Sequencer {
 		fmt.Println("\nhost sequencer:")
 		fmt.Print(d.Sequencer)
 	}
-	if verilog {
+	if o.Verilog {
 		nl, err := d.Netlists()
 		if err != nil {
 			return err

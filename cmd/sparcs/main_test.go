@@ -55,25 +55,25 @@ func TestRunSmallGraph(t *testing.T) {
 	// Exercise both partitioners and both strategies end to end.
 	for _, part := range []string{"ilp", "list"} {
 		for _, strat := range []string{"fdh", "idh"} {
-			if err := run(path, "small", part, strat, 100, false, false, false, true, 3); err != nil {
+			if err := run(cliOptions{Graph: path, Board: "small", Partitioner: part, Strategy: strat, I: 100, Sequencer: true, Trace: 3, Workers: 2, SpeculateN: 2}); err != nil {
 				t.Fatalf("%s/%s: %v", part, strat, err)
 			}
 		}
 	}
 	// DOT mode.
-	if err := run(path, "small", "ilp", "idh", 0, false, true, false, false, 0); err != nil {
+	if err := run(cliOptions{Graph: path, Board: "small", Partitioner: "ilp", Strategy: "idh", DOT: true, Workers: 1, SpeculateN: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("dct", "nope-board", "ilp", "idh", 1, false, false, false, false, 0); err == nil {
+	if err := run(cliOptions{Graph: "dct", Board: "nope-board", Partitioner: "ilp", Strategy: "idh", I: 1}); err == nil {
 		t.Error("unknown board accepted")
 	}
-	if err := run("dct", "small", "nope", "idh", 1, false, false, false, false, 0); err == nil {
+	if err := run(cliOptions{Graph: "dct", Board: "small", Partitioner: "nope", Strategy: "idh", I: 1}); err == nil {
 		t.Error("unknown partitioner accepted")
 	}
-	if err := run("dct", "small", "ilp", "nope", 1, false, false, false, false, 0); err == nil {
+	if err := run(cliOptions{Graph: "dct", Board: "small", Partitioner: "ilp", Strategy: "nope", I: 1}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }

@@ -58,8 +58,12 @@ type Config struct {
 	Pow2Blocks bool
 	// PathCap bounds exact path enumeration.
 	PathCap int
-	// ILP tunes the branch-and-bound search (ILPPartitioner only).
+	// ILP tunes the branch-and-bound search (ILPPartitioner only); in
+	// particular ILP.Workers enables the parallel subtree search.
 	ILP ilp.Options
+	// SpeculateN enables tempart's speculative relax-N loop: up to this many
+	// candidate partition counts are probed concurrently (<= 1 sequential).
+	SpeculateN int
 }
 
 // DefaultConfig returns the paper's case-study configuration.
@@ -113,6 +117,7 @@ func Build(g *dfg.Graph, cfg Config) (*Design, error) {
 	case ILPPartitioner:
 		part, err = tempart.Solve(tempart.Input{
 			Graph: g, Board: cfg.Board, PathCap: cfg.PathCap, ILP: cfg.ILP,
+			SpeculateN: cfg.SpeculateN,
 		})
 	case ListPartitioner:
 		part, err = listpart.Solve(g, cfg.Board, cfg.PathCap)

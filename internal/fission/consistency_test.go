@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/dfg"
+	"repro/internal/ilp"
+	"repro/internal/tempart"
 )
 
 // TestPlanMatchesAnalyticFormulas: the Plan's overhead fields must equal
@@ -95,6 +97,71 @@ func TestIswCeiling(t *testing.T) {
 		}
 		if p.Isw != want {
 			t.Errorf("I=%d: I_sw = %d, want %d", I, p.Isw, want)
+		}
+	}
+}
+
+// TestFissionStableUnderParallelPartitioning threads the warm-started,
+// parallel ILP solver through the fission layer: the memory accounting and
+// batch size k computed from a partitioning found by the multi-worker,
+// speculative-N search must be identical to the sequential flow's (the
+// solvers are required to agree on the optimal latency; equal latency on
+// these models pins N, and the analysis must then agree word for word).
+func TestFissionStableUnderParallelPartitioning(t *testing.T) {
+	board := arch.PaperXC4044Board()
+	g := dfg.New("fis")
+	for i := 0; i < 6; i++ {
+		g.MustAddTask(dfg.Task{
+			Name:      string(rune('a' + i)),
+			Resources: 600,
+			Delay:     float64(50 + 10*i),
+			ReadEnv:   2,
+			WriteEnv:  1,
+		})
+		if i > 0 {
+			_ = g.AddEdgeByID(i-1, i, 4)
+		}
+	}
+	seq, err := tempart.Solve(tempart.Input{Graph: g, Board: board})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := tempart.Solve(tempart.Input{
+		Graph: g, Board: board, SpeculateN: 2, ILP: ilp.Options{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.N != seq.N || math.Abs(par.Latency-seq.Latency) > 1e-6 {
+		t.Fatalf("parallel N=%d latency=%g, sequential N=%d latency=%g",
+			par.N, par.Latency, seq.N, seq.Latency)
+	}
+	aSeq, err := Analyze(g, seq.Assign, seq.N, board.Memory.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPar, err := Analyze(g, par.Assign, par.N, board.Memory.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aPar.K != aSeq.K || aPar.MaxMTemp != aSeq.MaxMTemp {
+		t.Errorf("parallel fission k=%d m_temp=%d, sequential k=%d m_temp=%d",
+			aPar.K, aPar.MaxMTemp, aSeq.K, aSeq.MaxMTemp)
+	}
+	for _, strat := range []Strategy{FDH, IDH} {
+		pSeq, err := NewPlan(aSeq, board, strat, 10000, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pPar, err := NewPlan(aPar, board, strat, 10000, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pPar.Reconfigurations != pSeq.Reconfigurations ||
+			math.Abs(pPar.TotalOverheadNS()-pSeq.TotalOverheadNS()) > 1 {
+			t.Errorf("%v: parallel plan diverged (%d reconfigs, %g ns overhead vs %d, %g)",
+				strat, pPar.Reconfigurations, pPar.TotalOverheadNS(),
+				pSeq.Reconfigurations, pSeq.TotalOverheadNS())
 		}
 	}
 }

@@ -1,18 +1,30 @@
 // Package ilp implements a branch-and-bound integer linear programming
-// solver on top of the simplex solver in internal/lp.
+// solver on top of the warm-started simplex solver in internal/lp.
 //
 // It supports mixed problems in which a subset of the variables is marked
 // integral (in practice, the 0-1 placement variables of the temporal
 // partitioning model). Branching fixes variable bounds, so no constraint
-// rows are added during the search. The solver keeps the best incumbent and
-// its bound, honours node and time limits, and can report a proven-optimal
-// or best-effort solution.
+// rows are added during the search — and because bounds are the only thing
+// that changes, a B&B node is a bound delta, not a problem copy: every
+// search worker owns a single lp.Solver, applies a node's bound fixes to
+// it, and warm starts from the basis of the previously solved node (the
+// dual simplex typically re-optimizes in a handful of pivots). Nodes carry
+// their parent's basis snapshot so a worker picking up a foreign subtree
+// can seed its solver via ResolveFrom.
+//
+// The search runs depth-first with best-bound child ordering. With
+// Options.Workers > 1 independent subtrees are farmed out to worker
+// goroutines that share one incumbent; the objective value found is
+// identical to the sequential search (the set of explored nodes may
+// differ). The solver keeps the best incumbent and its bound, honours node
+// and time limits, and can report a proven-optimal or best-effort solution.
 package ilp
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/lp"
@@ -83,7 +95,18 @@ type Options struct {
 	// Incumbent optionally provides a known feasible point to warm-start
 	// pruning. Its objective is evaluated against the LP objective.
 	Incumbent []float64
-	// Log, when non-nil, receives progress lines.
+	// Workers sets the number of concurrent search workers (<= 1 means the
+	// sequential search). Each worker owns its own lp.Solver over the shared
+	// model and the workers share one incumbent, so the optimal objective
+	// found is identical to the sequential search.
+	Workers int
+	// Stop, when non-nil, aborts the search as soon as it is closed. The
+	// partial result is reported exactly as if a node limit had been hit.
+	// This lets a caller racing several solves (e.g. the speculative
+	// partition-count probes in internal/tempart) reclaim workers early.
+	Stop <-chan struct{}
+	// Log, when non-nil, receives progress lines. With Workers > 1 it must
+	// be safe for concurrent use.
 	Log func(format string, args ...any)
 }
 
@@ -103,12 +126,23 @@ type Solution struct {
 	X []float64
 	// Obj is the incumbent objective value.
 	Obj float64
-	// Bound is the best proven lower bound on the optimum.
+	// Bound is the best proven lower bound on the optimum. See BoundTrusted.
 	Bound float64
+	// BoundTrusted is false when nodes had to be discarded because their LP
+	// relaxation hit the simplex iteration limit. Bound remains valid (the
+	// discarded subtrees' parent bounds enter it, so a within-AbsGap
+	// incumbent may still be reported Optimal), but exhaustive-search
+	// claims — Optimal via tree exhaustion, or Infeasible — are degraded.
+	BoundTrusted bool
+	// Dropped counts discarded (unexplorable) nodes.
+	Dropped int
 	// Nodes is the number of B&B nodes explored.
 	Nodes int
 	// LPIterations accumulates simplex pivots across all nodes.
 	LPIterations int
+	// Solver aggregates the underlying lp.Solver activity across all search
+	// workers (warm vs cold solves, dual-repair pivots).
+	Solver lp.SolverStats
 }
 
 // Gap returns Obj - Bound (0 for proven optimal solutions).
@@ -124,13 +158,233 @@ const intTol = 1e-6
 // node is one open branch-and-bound subproblem.
 type node struct {
 	fixes []fix   // bound changes relative to the root
-	bound float64 // parent LP bound (priority hint)
+	bound float64 // parent LP bound (priority hint, valid subtree bound)
 	depth int
+	basis *lp.Basis // parent basis (warm-start seed for foreign workers)
 }
 
 type fix struct {
 	j      int
 	lo, hi float64
+}
+
+// searcher is the per-worker search state: one reusable solver plus the
+// bookkeeping to apply and undo node bound fixes against the root bounds.
+type searcher struct {
+	p       *Problem
+	opt     *Options
+	solver  *lp.Solver
+	rootLo  []float64
+	rootHi  []float64
+	applied []int // variables whose bounds currently differ from the root
+	isInt   []bool
+}
+
+func newSearcher(p *Problem, opt *Options, isInt []bool) *searcher {
+	n := p.LP.NumVars()
+	w := &searcher{
+		p:      p,
+		opt:    opt,
+		solver: lp.NewSolver(p.LP),
+		rootLo: make([]float64, n),
+		rootHi: make([]float64, n),
+		isInt:  isInt,
+	}
+	for j := 0; j < n; j++ {
+		w.rootLo[j], w.rootHi[j] = p.LP.Bounds(j)
+	}
+	return w
+}
+
+// applyFixes rebinds the solver to nd's box: previously fixed variables are
+// restored to their root bounds and the node's fixes are applied in order
+// (repeated fixes of one variable intersect). Returns false when the box is
+// empty.
+func (w *searcher) applyFixes(fixes []fix) bool {
+	for _, j := range w.applied {
+		w.solver.SetVarBounds(j, w.rootLo[j], w.rootHi[j])
+	}
+	w.applied = w.applied[:0]
+	for _, f := range fixes {
+		lo, hi := w.solver.Bounds(f.j)
+		nlo, nhi := math.Max(lo, f.lo), math.Min(hi, f.hi)
+		w.applied = append(w.applied, f.j)
+		if nlo > nhi {
+			return false
+		}
+		w.solver.SetVarBounds(f.j, nlo, nhi)
+	}
+	return true
+}
+
+// nodeResult is what processing one node produces. Exactly one of the
+// following is meaningful depending on lpStatus:
+// children/incumbent (Optimal), nothing (Infeasible/IterLimit/Unbounded).
+type nodeResult struct {
+	lpStatus lp.Status
+	obj      float64 // node LP bound (valid when lpStatus == Optimal)
+	iters    int
+	children []node
+	// incumbent is a verified-feasible integral candidate with objective
+	// incObj (nil when the node produced none worth keeping).
+	incumbent []float64
+	incObj    float64
+}
+
+// processNode solves one node's LP and applies the branching rules. incObj
+// is the incumbent objective known to the caller (used for pruning and for
+// filtering incumbent candidates; the caller revalidates under its own
+// lock before accepting).
+func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
+	r := &nodeResult{incObj: math.Inf(1)}
+	if !w.applyFixes(nd.fixes) {
+		r.lpStatus = lp.Infeasible
+		return r, nil
+	}
+
+	var res *lp.Solution
+	var err error
+	for attempt := 0; ; attempt++ {
+		if !w.solver.Warm() && nd.basis != nil {
+			res, err = w.solver.ResolveFrom(nd.basis)
+		} else {
+			res, err = w.solver.Solve()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ilp: node LP: %w", err)
+		}
+		r.iters += res.Iterations
+		r.lpStatus = res.Status
+		if res.Status != lp.Optimal {
+			return r, nil
+		}
+		// Guard against numerical drift of the incrementally updated warm
+		// tableau: an "optimal" point that violates the original rows forces
+		// one from-scratch re-solve of the node.
+		if attempt == 0 && !w.p.LP.RowsSatisfied(res.X, 1e-6) {
+			w.solver.Invalidate()
+			continue
+		}
+		break
+	}
+	r.obj = res.Obj
+
+	if res.Obj > incObj-w.opt.AbsGap {
+		return r, nil // bound prune: no children
+	}
+
+	// Prefer SOS1 group branching: pick the most undecided group (the one
+	// whose largest member value is smallest).
+	bestGroup := -1
+	bestMax := 2.0
+	for gi, grp := range w.p.SOS1 {
+		gmax, fractional := 0.0, false
+		for _, j := range grp {
+			v := res.X[j]
+			if v > intTol && v < 1-intTol {
+				fractional = true
+			}
+			if v > gmax {
+				gmax = v
+			}
+		}
+		if fractional && gmax < bestMax {
+			bestMax = gmax
+			bestGroup = gi
+		}
+	}
+
+	// Find the most fractional integer variable (closest to .5).
+	branchVar := -1
+	bestDist := math.Inf(1)
+	for _, j := range w.p.Integers {
+		f := res.X[j] - math.Floor(res.X[j])
+		if f > intTol && f < 1-intTol {
+			if d := math.Abs(f - 0.5); d < bestDist {
+				bestDist = d
+				branchVar = j
+			}
+		}
+	}
+
+	if branchVar == -1 {
+		// Integral: candidate incumbent.
+		if res.Obj < incObj-w.opt.AbsGap {
+			r.incumbent = roundInts(res.X, w.isInt)
+			r.incObj = res.Obj
+		}
+		return r, nil
+	}
+
+	if w.opt.RoundingHeuristic {
+		if cand := roundCandidate(res.X, w.isInt); cand != nil {
+			if ok, obj := checkFeasibleBounds(w.p, w.solver.Bounds, cand); ok && obj < incObj-w.opt.AbsGap {
+				r.incumbent = cand
+				r.incObj = obj
+			}
+		}
+	}
+
+	// A parent-basis snapshot is only ever consumed by a worker whose own
+	// solver has gone cold, which needs Workers > 1 to happen with foreign
+	// subtrees; the sequential search always warm starts from its own
+	// previous basis, so skip the two O(n+2m) copies per branched node.
+	var parentBasis *lp.Basis
+	if w.opt.Workers > 1 {
+		parentBasis = w.solver.Basis() // may be nil; shared by all children
+	}
+
+	if bestGroup >= 0 {
+		grp := w.p.SOS1[bestGroup]
+		// One child per member, fixing it to 1 and siblings to 0. Children
+		// are ordered ascending by LP value so the most promising child ends
+		// up on top of the DFS stack (explored first).
+		order := make([]int, len(grp))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return res.X[grp[order[a]]] < res.X[grp[order[b]]]
+		})
+		for _, oi := range order {
+			pick := grp[oi]
+			fixes := make([]fix, 0, len(nd.fixes)+len(grp))
+			fixes = append(fixes, nd.fixes...)
+			for _, j := range grp {
+				if j == pick {
+					fixes = append(fixes, fix{j, 1, 1})
+				} else {
+					fixes = append(fixes, fix{j, 0, 0})
+				}
+			}
+			r.children = append(r.children, node{
+				fixes: fixes, bound: res.Obj, depth: nd.depth + 1, basis: parentBasis,
+			})
+		}
+		return r, nil
+	}
+
+	v := res.X[branchVar]
+	fl := math.Floor(v)
+	down := node{
+		fixes: appendFix(nd.fixes, fix{branchVar, math.Inf(-1), fl}),
+		bound: res.Obj,
+		depth: nd.depth + 1,
+		basis: parentBasis,
+	}
+	up := node{
+		fixes: appendFix(nd.fixes, fix{branchVar, fl + 1, math.Inf(1)}),
+		bound: res.Obj,
+		depth: nd.depth + 1,
+		basis: parentBasis,
+	}
+	// Push the side nearer the LP value last so it is explored first.
+	if v-fl > 0.5 {
+		r.children = append(r.children, down, up)
+	} else {
+		r.children = append(r.children, up, down)
+	}
+	return r, nil
 }
 
 // Solve runs branch and bound and returns the best solution found.
@@ -142,252 +396,291 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	if opt.AbsGap == 0 {
 		opt.AbsGap = def.AbsGap
 	}
-	isInt := make(map[int]bool, len(p.Integers))
+	nVars := p.LP.NumVars()
+	isInt := make([]bool, nVars)
 	for _, j := range p.Integers {
-		if j < 0 || j >= p.LP.NumVars() {
-			return nil, fmt.Errorf("ilp: integer index %d out of range [0,%d)", j, p.LP.NumVars())
+		if j < 0 || j >= nVars {
+			return nil, fmt.Errorf("ilp: integer index %d out of range [0,%d)", j, nVars)
 		}
 		isInt[j] = true
 	}
 
-	start := time.Now()
-	deadline := time.Time{}
-	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
+	st := &searchState{
+		opt:          &opt,
+		incObj:       math.Inf(1),
+		droppedBound: math.Inf(1),
 	}
+	if opt.TimeLimit > 0 {
+		st.deadline = time.Now().Add(opt.TimeLimit)
+	}
+	st.cond = sync.NewCond(&st.mu)
 
-	sol := &Solution{Status: Limit, Bound: math.Inf(-1)}
-	var incumbent []float64
-	incObj := math.Inf(1)
 	if opt.Incumbent != nil {
-		if ok, obj := checkFeasible(p, opt.Incumbent); ok {
-			incumbent = append([]float64(nil), opt.Incumbent...)
-			incObj = obj
+		if ok, obj := checkFeasibleBounds(p, p.LP.Bounds, opt.Incumbent); ok {
+			st.incumbent = append([]float64(nil), opt.Incumbent...)
+			st.incObj = obj
 			if opt.Log != nil {
 				opt.Log("ilp: warm-start incumbent obj=%g", obj)
 			}
 		}
 	}
 
-	// Depth-first with best-bound tie-breaking: a stack, but children are
-	// pushed so the more promising branch is explored first.
-	stack := []node{{bound: math.Inf(-1)}}
-	rootBound := math.Inf(-1)
-	rootSolved := false
+	root := newSearcher(p, &opt, isInt)
+	searchers := []*searcher{root}
+	st.stack = []node{{bound: math.Inf(-1)}}
 
-	for len(stack) > 0 {
-		if sol.Nodes >= opt.MaxNodes {
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			break
-		}
-		// Pop.
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	// The root node is always processed sequentially: it decides Unbounded,
+	// establishes the root bound, and seeds the stack with first children.
+	// A pre-closed Stop channel (a speculative probe already made moot) or a
+	// zero budget skips even that.
+	if st.limitHit() {
+		st.stack = nil
+	} else if err := st.step(root); err != nil {
+		return nil, err
+	}
+	if st.unbounded {
+		return &Solution{Status: Unbounded, Bound: math.Inf(-1), Nodes: st.nodes,
+			LPIterations: st.lpIters, BoundTrusted: true}, nil
+	}
 
-		// Prune by parent bound.
-		if nd.bound > incObj-opt.AbsGap && !math.IsInf(nd.bound, -1) {
-			continue
-		}
-
-		q := p.LP.Clone()
-		feas := true
-		for _, f := range nd.fixes {
-			lo, hi := q.Bounds(f.j)
-			nlo, nhi := math.Max(lo, f.lo), math.Min(hi, f.hi)
-			if nlo > nhi {
-				feas = false
-				break
+	if opt.Workers > 1 && len(st.stack) > 0 {
+		var wg sync.WaitGroup
+		for i := 0; i < opt.Workers; i++ {
+			w := root
+			if i > 0 {
+				w = newSearcher(p, &opt, isInt)
+				searchers = append(searchers, w)
 			}
-			q.SetBounds(f.j, nlo, nhi)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st.runWorker(w)
+			}()
 		}
-		if !feas {
-			continue
+		wg.Wait()
+		if st.err != nil {
+			return nil, st.err
 		}
-
-		res, err := lp.Solve(q)
-		if err != nil {
-			return nil, fmt.Errorf("ilp: node LP: %w", err)
-		}
-		sol.Nodes++
-		sol.LPIterations += res.Iterations
-
-		switch res.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if nd.depth == 0 {
-				sol.Status = Unbounded
-				return sol, nil
+	} else {
+		for len(st.stack) > 0 && !st.limitHit() {
+			if err := st.step(root); err != nil {
+				return nil, err
 			}
-			continue
-		case lp.IterLimit:
-			// Treat as unexplorable; drop the node conservatively only if
-			// we already have an incumbent, else record and continue.
-			if opt.Log != nil {
-				opt.Log("ilp: node hit simplex iteration limit (depth %d)", nd.depth)
-			}
-			continue
-		}
-
-		if !rootSolved && nd.depth == 0 {
-			rootBound = res.Obj
-			rootSolved = true
-		}
-		if res.Obj > incObj-opt.AbsGap {
-			continue // bound prune
-		}
-
-		// Prefer SOS1 group branching: pick the most undecided group (the
-		// one whose largest member value is smallest).
-		bestGroup := -1
-		bestMax := 2.0
-		for gi, grp := range p.SOS1 {
-			gmax, fractional := 0.0, false
-			for _, j := range grp {
-				v := res.X[j]
-				if v > intTol && v < 1-intTol {
-					fractional = true
-				}
-				if v > gmax {
-					gmax = v
-				}
-			}
-			if fractional && gmax < bestMax {
-				bestMax = gmax
-				bestGroup = gi
-			}
-		}
-
-		// Find the most fractional integer variable (closest to .5).
-		branchVar := -1
-		bestDist := math.Inf(1)
-		for _, j := range p.Integers {
-			f := res.X[j] - math.Floor(res.X[j])
-			if f > intTol && f < 1-intTol {
-				if d := math.Abs(f - 0.5); d < bestDist {
-					bestDist = d
-					branchVar = j
-				}
-			}
-		}
-
-		if bestGroup >= 0 && branchVar != -1 {
-			if opt.RoundingHeuristic {
-				if cand := roundCandidate(res.X, isInt); cand != nil {
-					if ok, obj := checkFeasibleWithBounds(p, q, cand); ok && obj < incObj-opt.AbsGap {
-						incObj = obj
-						incumbent = cand
-					}
-				}
-			}
-			grp := p.SOS1[bestGroup]
-			// One child per member, fixing it to 1 and siblings to 0.
-			// Push in ascending LP-value order so the most promising child
-			// is on top of the stack (explored first).
-			order := make([]int, len(grp))
-			for i := range order {
-				order[i] = i
-			}
-			sort.Slice(order, func(a, b int) bool {
-				return res.X[grp[order[a]]] < res.X[grp[order[b]]]
-			})
-			for _, oi := range order {
-				pick := grp[oi]
-				fixes := make([]fix, 0, len(nd.fixes)+len(grp))
-				fixes = append(fixes, nd.fixes...)
-				for _, j := range grp {
-					if j == pick {
-						fixes = append(fixes, fix{j, 1, 1})
-					} else {
-						fixes = append(fixes, fix{j, 0, 0})
-					}
-				}
-				stack = append(stack, node{fixes: fixes, bound: res.Obj, depth: nd.depth + 1})
-			}
-			continue
-		}
-
-		if branchVar == -1 {
-			// Integral: candidate incumbent.
-			if res.Obj < incObj-opt.AbsGap {
-				incObj = res.Obj
-				incumbent = roundInts(res.X, isInt)
-				if opt.Log != nil {
-					opt.Log("ilp: incumbent obj=%g after %d nodes", incObj, sol.Nodes)
-				}
-			}
-			continue
-		}
-
-		if opt.RoundingHeuristic {
-			if cand := roundCandidate(res.X, isInt); cand != nil {
-				if ok, obj := checkFeasibleWithBounds(p, q, cand); ok && obj < incObj-opt.AbsGap {
-					incObj = obj
-					incumbent = cand
-					if opt.Log != nil {
-						opt.Log("ilp: rounding incumbent obj=%g after %d nodes", obj, sol.Nodes)
-					}
-				}
-			}
-		}
-
-		v := res.X[branchVar]
-		fl := math.Floor(v)
-		// Child exploring the side nearer the LP value first (pushed last).
-		down := node{
-			fixes: appendFix(nd.fixes, fix{branchVar, math.Inf(-1), fl}),
-			bound: res.Obj,
-			depth: nd.depth + 1,
-		}
-		up := node{
-			fixes: appendFix(nd.fixes, fix{branchVar, fl + 1, math.Inf(1)}),
-			bound: res.Obj,
-			depth: nd.depth + 1,
-		}
-		if v-fl > 0.5 {
-			stack = append(stack, down, up) // explore up first
-		} else {
-			stack = append(stack, up, down) // explore down first
 		}
 	}
 
-	exhausted := len(stack) == 0
+	sol := st.finish()
+	for _, w := range searchers {
+		s := w.solver.Stats
+		sol.Solver.Solves += s.Solves
+		sol.Solver.WarmSolves += s.WarmSolves
+		sol.Solver.ColdSolves += s.ColdSolves
+		sol.Solver.Pivots += s.Pivots
+		sol.Solver.DualPivots += s.DualPivots
+	}
+	return sol, nil
+}
 
-	// The proven bound is the min over remaining open nodes (or the root
-	// bound if the tree was fully explored the bound equals the incumbent).
-	bound := incObj
+// searchState is the shared branch-and-bound state. The sequential search
+// uses it without locking; workers serialize on mu.
+type searchState struct {
+	opt      *Options
+	mu       sync.Mutex
+	cond     *sync.Cond
+	stack    []node
+	active   int
+	stopped  bool
+	err      error
+	deadline time.Time
+
+	incumbent []float64
+	incObj    float64
+
+	nodes   int
+	lpIters int
+	dropped int
+	// droppedBound tracks the min parent bound among dropped nodes so the
+	// reported Bound stays valid even when subtrees are discarded.
+	droppedBound float64
+
+	rootSolved bool
+	rootBound  float64
+	unbounded  bool
+}
+
+func (st *searchState) limitHit() bool {
+	if st.nodes >= st.opt.MaxNodes {
+		return true
+	}
+	if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+		return true
+	}
+	if st.opt.Stop != nil {
+		select {
+		case <-st.opt.Stop:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// step pops and processes one node sequentially (no locking).
+func (st *searchState) step(w *searcher) error {
+	nd := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+
+	if nd.bound > st.incObj-st.opt.AbsGap && !math.IsInf(nd.bound, -1) {
+		return nil
+	}
+	r, err := w.processNode(&nd, st.incObj)
+	if err != nil {
+		return err
+	}
+	st.nodes++
+	st.lpIters += r.iters
+	st.absorb(&nd, r)
+	return nil
+}
+
+// absorb merges one node's result into the shared state. Callers in the
+// parallel path hold st.mu.
+func (st *searchState) absorb(nd *node, r *nodeResult) {
+	switch r.lpStatus {
+	case lp.Infeasible:
+		return
+	case lp.Unbounded:
+		if nd.depth == 0 {
+			st.unbounded = true
+		}
+		return
+	case lp.IterLimit:
+		// The node's LP could not be solved within the iteration budget even
+		// after the cold fallback. Drop it, but keep its parent bound in the
+		// reported Bound and flag the result untrusted (see
+		// Solution.BoundTrusted); without an incumbent the final status
+		// degrades to Limit rather than claiming Infeasible.
+		st.dropped++
+		if nd.bound < st.droppedBound {
+			st.droppedBound = nd.bound
+		}
+		if st.opt.Log != nil {
+			st.opt.Log("ilp: dropping node at depth %d (simplex iteration limit)", nd.depth)
+		}
+		return
+	}
+
+	if nd.depth == 0 && !st.rootSolved {
+		st.rootBound = r.obj
+		st.rootSolved = true
+	}
+	if r.incumbent != nil && r.incObj < st.incObj-st.opt.AbsGap {
+		st.incObj = r.incObj
+		st.incumbent = r.incumbent
+		if st.opt.Log != nil {
+			st.opt.Log("ilp: incumbent obj=%g after %d nodes", st.incObj, st.nodes)
+		}
+	}
+	st.stack = append(st.stack, r.children...)
+}
+
+// runWorker is the parallel search loop: pop under the lock, solve outside
+// it, merge results back under the lock.
+func (st *searchState) runWorker(w *searcher) {
+	st.mu.Lock()
+	for {
+		for len(st.stack) == 0 && st.active > 0 && !st.stopped && st.err == nil {
+			st.cond.Wait()
+		}
+		if st.err != nil || st.stopped || (len(st.stack) == 0 && st.active == 0) {
+			st.cond.Broadcast()
+			st.mu.Unlock()
+			return
+		}
+		if st.limitHit() {
+			st.stopped = true
+			st.cond.Broadcast()
+			st.mu.Unlock()
+			return
+		}
+		nd := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		if nd.bound > st.incObj-st.opt.AbsGap && !math.IsInf(nd.bound, -1) {
+			continue
+		}
+		st.active++
+		inc := st.incObj
+		st.mu.Unlock()
+
+		r, err := w.processNode(&nd, inc)
+
+		st.mu.Lock()
+		st.active--
+		if err != nil {
+			if st.err == nil {
+				st.err = err
+			}
+			st.cond.Broadcast()
+			st.mu.Unlock()
+			return
+		}
+		st.nodes++
+		st.lpIters += r.iters
+		st.absorb(&nd, r)
+		if len(st.stack) > 0 || st.active == 0 {
+			st.cond.Broadcast()
+		}
+	}
+}
+
+// finish assembles the Solution from the final search state.
+func (st *searchState) finish() *Solution {
+	sol := &Solution{
+		Status:       Limit,
+		Bound:        math.Inf(-1),
+		Nodes:        st.nodes,
+		LPIterations: st.lpIters,
+		Dropped:      st.dropped,
+		BoundTrusted: st.dropped == 0,
+	}
+	exhausted := len(st.stack) == 0 && st.dropped == 0
+
+	// The proven bound is the min over remaining open (and dropped) nodes;
+	// when the tree was fully explored it equals the incumbent.
+	bound := st.incObj
 	if !exhausted {
-		for _, nd := range stack {
-			if nd.bound < bound {
-				bound = nd.bound
+		for i := range st.stack {
+			if st.stack[i].bound < bound {
+				bound = st.stack[i].bound
 			}
 		}
-		if !rootSolved {
+		if st.droppedBound < bound {
+			bound = st.droppedBound
+		}
+		if !st.rootSolved {
 			bound = math.Inf(-1)
 		}
 	}
-	if math.IsInf(incObj, 1) && rootSolved && exhausted {
+	if math.IsInf(st.incObj, 1) && st.rootSolved && exhausted {
 		sol.Status = Infeasible
-		sol.Bound = rootBound
-		return sol, nil
+		sol.Bound = st.rootBound
+		return sol
 	}
 
 	sol.Bound = bound
-	if incumbent != nil {
-		sol.X = incumbent
-		sol.Obj = incObj
-		if exhausted || incObj-bound <= opt.AbsGap {
+	if st.incumbent != nil {
+		sol.X = st.incumbent
+		sol.Obj = st.incObj
+		if exhausted || st.incObj-bound <= st.opt.AbsGap {
 			sol.Status = Optimal
-			sol.Bound = incObj
+			sol.Bound = st.incObj
 		} else {
 			sol.Status = Feasible
 		}
 	} else if exhausted {
 		sol.Status = Infeasible
 	}
-	return sol, nil
+	return sol
 }
 
 func appendFix(fs []fix, f fix) []fix {
@@ -397,7 +690,7 @@ func appendFix(fs []fix, f fix) []fix {
 	return out
 }
 
-func roundInts(x []float64, isInt map[int]bool) []float64 {
+func roundInts(x []float64, isInt []bool) []float64 {
 	out := append([]float64(nil), x...)
 	for j := range out {
 		if isInt[j] {
@@ -407,7 +700,7 @@ func roundInts(x []float64, isInt map[int]bool) []float64 {
 	return out
 }
 
-func roundCandidate(x []float64, isInt map[int]bool) []float64 {
+func roundCandidate(x []float64, isInt []bool) []float64 {
 	out := append([]float64(nil), x...)
 	changed := false
 	for j := range out {
@@ -425,18 +718,15 @@ func roundCandidate(x []float64, isInt map[int]bool) []float64 {
 	return out
 }
 
-// checkFeasible verifies x against all rows and bounds of the original
-// problem and returns its objective value.
-func checkFeasible(p *Problem, x []float64) (bool, float64) {
-	return checkFeasibleWithBounds(p, p.LP, x)
-}
-
-func checkFeasibleWithBounds(p *Problem, bounds *lp.Problem, x []float64) (bool, float64) {
+// checkFeasibleBounds verifies x against all rows of the original problem
+// and the node bounds supplied by the bounds accessor, returning its
+// objective value.
+func checkFeasibleBounds(p *Problem, bounds func(j int) (float64, float64), x []float64) (bool, float64) {
 	if len(x) != p.LP.NumVars() {
 		return false, 0
 	}
 	for j := 0; j < p.LP.NumVars(); j++ {
-		lo, hi := bounds.Bounds(j)
+		lo, hi := bounds(j)
 		if x[j] < lo-1e-6 || x[j] > hi+1e-6 {
 			return false, 0
 		}

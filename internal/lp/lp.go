@@ -1,20 +1,31 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs with bounded variables.
+// Package lp implements a bounded-variable simplex solver for linear
+// programs, built around a reusable, warm-startable Solver object.
+//
+// The package has two layers:
+//
+//   - Problem is the model: sparse constraint rows (AddRow takes a
+//     map[int]float64 and only nonzero coefficients are stored), a linear
+//     minimization objective, and per-variable bounds.
+//   - Solver is the engine: it factorizes the model once, owns a working
+//     copy of the variable bounds (SetVarBounds), and re-solves after bound
+//     changes by warm starting from the previous basis — a dual-simplex
+//     repair followed by a primal cleanup — falling back to a from-scratch
+//     two-phase primal solve only when the warm start stalls. Basis
+//     snapshots can be carried across Solvers with Basis/ResolveFrom.
+//
+// This split exists for the branch-and-bound layer in internal/ilp: a B&B
+// node only tightens variable bounds, so each node costs a handful of
+// SetVarBounds calls plus a few dual pivots instead of a problem copy and a
+// full two-phase solve. The one-shot Solve function remains for callers
+// without bound churn.
 //
 // The solver targets the moderately sized models produced by the temporal
 // partitioning ILP of internal/tempart (a few hundred variables and rows).
-// It supports:
-//
-//   - minimization objectives (maximization is handled by negation at a
-//     higher layer),
-//   - <=, >= and == rows,
-//   - per-variable lower and upper bounds (the bounded-variable simplex,
-//     so 0-1 variables fixed by a branch-and-bound layer do not require
-//     extra constraint rows),
-//   - infeasibility and unboundedness detection.
-//
-// Degeneracy is handled by switching from Dantzig pricing to Bland's rule
-// after a stall is detected, which guarantees termination.
+// It supports minimization objectives, <=, >= and == rows, per-variable
+// lower and upper bounds (so 0-1 variables fixed by branch-and-bound do not
+// require extra constraint rows), and infeasibility and unboundedness
+// detection. Degeneracy is handled by switching from Dantzig pricing to
+// Bland's rule after a stall is detected, which guarantees termination.
 package lp
 
 import (
@@ -231,9 +242,11 @@ func (p *Problem) AddDenseRow(kind RowKind, coeffs []float64, rhs float64) int {
 	return len(p.rows) - 1
 }
 
-// Clone returns a deep copy of the problem. Row data is shared structurally
-// (rows are append-only), so Clone is cheap enough to call per B&B node;
-// bounds and objective are copied.
+// Clone returns a copy of the problem with independent objective and
+// bounds; row data is shared structurally (rows are immutable once added).
+// The branch-and-bound layer no longer copies problems per node — it edits
+// bounds on a single Solver — so Clone exists for callers that want to
+// derive model variants (and for reference solves in tests).
 func (p *Problem) Clone() *Problem {
 	q := &Problem{
 		n:     p.n,
@@ -266,494 +279,17 @@ const (
 	basic
 )
 
-// tableau is the working state of the bounded-variable simplex.
-//
-// Columns 0..n-1 are shifted structural variables, n..n+nSlack-1 slacks,
-// then artificials. All variables have lower bound 0 after shifting;
-// upper[j] is the (possibly infinite) range length.
-type tableau struct {
-	m, nTotal int
-	nStruct   int
-	a         [][]float64 // m x nTotal
-	b         []float64   // m
-	upper     []float64   // nTotal, range length of each variable
-	basis     []int       // m, variable basic in each row
-	status    []varStatus // nTotal
-	xval      []float64   // value of each nonbasic variable (0 or upper)
-	cost      []float64   // current objective row (phase-dependent)
-	firstArt  int         // column index of the first artificial variable
-	nArt      int         // number of artificial columns actually used
-	iter      int
-	maxIter   int
-}
-
 // ErrBadBounds is returned when some variable has lower bound > upper bound.
 var ErrBadBounds = errors.New("lp: variable lower bound exceeds upper bound")
 
 // Solve minimizes the problem and returns the solution. The error is non-nil
 // only for malformed inputs (e.g. inverted bounds); infeasibility and
 // unboundedness are reported through Solution.Status.
+//
+// Solve is the one-shot convenience API: it builds a fresh Solver, solves
+// cold, and discards the solver state. Callers that re-solve after bound
+// changes (branch and bound) should hold a Solver and use its warm-start
+// path instead.
 func Solve(p *Problem) (*Solution, error) {
-	for j := 0; j < p.n; j++ {
-		if p.lower[j] > p.upper[j]+eps {
-			return &Solution{Status: Infeasible}, nil
-		}
-		if math.IsInf(p.lower[j], -1) {
-			return nil, fmt.Errorf("lp: variable %d has -Inf lower bound; free variables must be split by the caller: %w", j, ErrBadBounds)
-		}
-	}
-
-	t, shift := build(p)
-
-	// Phase 1: minimize the sum of artificial variables.
-	if t.hasArtificials() {
-		t.setPhase1Cost()
-		st := t.iterate()
-		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iterations: t.iter}, nil
-		}
-		if t.objective() > 1e-6 {
-			return &Solution{Status: Infeasible, Iterations: t.iter}, nil
-		}
-		t.driveOutArtificials()
-	}
-
-	// Phase 2: minimize the true objective.
-	t.setPhase2Cost(p, shift)
-	st := t.iterate()
-	if st == Unbounded {
-		return &Solution{Status: Unbounded, Iterations: t.iter}, nil
-	}
-	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iterations: t.iter}, nil
-	}
-
-	x := t.extract(p, shift)
-	obj := 0.0
-	for j := 0; j < p.n; j++ {
-		obj += p.obj[j] * x[j]
-	}
-	return &Solution{Status: Optimal, X: x, Obj: obj, Iterations: t.iter}, nil
-}
-
-// build constructs the simplex tableau in standard shifted form.
-// It returns the tableau and the per-variable shift (the lower bounds).
-func build(p *Problem) (*tableau, []float64) {
-	m := len(p.rows)
-	shift := make([]float64, p.n)
-	for j := 0; j < p.n; j++ {
-		shift[j] = p.lower[j]
-	}
-
-	// Count slacks: one per LE/GE row.
-	nSlack := 0
-	for _, r := range p.rows {
-		if r.kind != EQ {
-			nSlack++
-		}
-	}
-	// One artificial per row at most; we add them lazily below.
-	nTotal := p.n + nSlack + m
-
-	t := &tableau{
-		m:       m,
-		nTotal:  nTotal,
-		nStruct: p.n,
-		a:       make([][]float64, m),
-		b:       make([]float64, m),
-		upper:   make([]float64, nTotal),
-		basis:   make([]int, m),
-		status:  make([]varStatus, nTotal),
-		xval:    make([]float64, nTotal),
-		cost:    make([]float64, nTotal),
-		maxIter: 2000 + 200*(m+nTotal),
-	}
-	for i := range t.a {
-		t.a[i] = make([]float64, nTotal)
-	}
-	for j := 0; j < p.n; j++ {
-		if math.IsInf(p.upper[j], 1) {
-			t.upper[j] = Inf
-		} else {
-			t.upper[j] = p.upper[j] - p.lower[j]
-		}
-	}
-	for j := p.n; j < nTotal; j++ {
-		t.upper[j] = Inf
-	}
-
-	slack := p.n
-	art := p.n + nSlack
-	for i, r := range p.rows {
-		rhs := r.rhs
-		for _, c := range r.coeffs {
-			t.a[i][c.j] = c.v
-			rhs -= c.v * shift[c.j] // shift x := x' + lower
-		}
-		switch r.kind {
-		case LE:
-			t.a[i][slack] = 1
-			if rhs >= 0 {
-				t.basis[i] = slack
-				t.status[slack] = basic
-			} else {
-				// Negate the row so rhs >= 0, slack becomes -1; need artificial.
-				negateRow(t.a[i])
-				rhs = -rhs
-				t.a[i][art] = 1
-				t.basis[i] = art
-				t.status[art] = basic
-				art++
-			}
-			slack++
-		case GE:
-			t.a[i][slack] = -1
-			if rhs < 0 {
-				negateRow(t.a[i])
-				rhs = -rhs
-				// After negation the surplus has +1 coefficient: basic feasible.
-				t.basis[i] = slack
-				t.status[slack] = basic
-			} else {
-				t.a[i][art] = 1
-				t.basis[i] = art
-				t.status[art] = basic
-				art++
-			}
-			slack++
-		case EQ:
-			if rhs < 0 {
-				negateRow(t.a[i])
-				rhs = -rhs
-			}
-			t.a[i][art] = 1
-			t.basis[i] = art
-			t.status[art] = basic
-			art++
-		}
-		t.b[i] = rhs
-	}
-	// Trim unused artificial columns by marking them at (zero) upper bound
-	// so they can never enter.
-	for j := art; j < nTotal; j++ {
-		t.upper[j] = 0
-		t.status[j] = atLower
-	}
-	t.firstArt = p.n + nSlack
-	t.nArt = art - t.firstArt
-	return t, shift
-}
-
-func negateRow(r []float64) {
-	for k := range r {
-		r[k] = -r[k]
-	}
-}
-
-func (t *tableau) hasArtificials() bool { return t.nArt > 0 }
-
-// objective returns the current objective value (for the active cost row).
-func (t *tableau) objective() float64 {
-	z := 0.0
-	for i := 0; i < t.m; i++ {
-		z += t.cost[t.basis[i]] * t.b[i]
-	}
-	for j := 0; j < t.nTotal; j++ {
-		if t.status[j] == atUpper {
-			z += t.cost[j] * t.xval[j]
-		}
-	}
-	return z
-}
-
-func (t *tableau) setPhase1Cost() {
-	for j := range t.cost {
-		t.cost[j] = 0
-	}
-	for j := t.firstArt; j < t.firstArt+t.nArt; j++ {
-		t.cost[j] = 1
-	}
-}
-
-func (t *tableau) setPhase2Cost(p *Problem, shift []float64) {
-	for j := range t.cost {
-		t.cost[j] = 0
-	}
-	for j := 0; j < p.n; j++ {
-		t.cost[j] = p.obj[j]
-	}
-	// Forbid artificials from re-entering.
-	for j := t.firstArt; j < t.firstArt+t.nArt; j++ {
-		if t.status[j] != basic {
-			t.upper[j] = 0
-			t.xval[j] = 0
-		}
-	}
-}
-
-// driveOutArtificials pivots basic artificial variables (at value 0 after a
-// successful phase 1) out of the basis where possible, so that phase 2
-// starts from a clean basis. Rows whose artificial cannot be pivoted out are
-// redundant and left in place with value 0.
-func (t *tableau) driveOutArtificials() {
-	for i := 0; i < t.m; i++ {
-		jb := t.basis[i]
-		if jb < t.firstArt {
-			continue
-		}
-		// Find any non-artificial column with a usable pivot in this row.
-		piv := -1
-		for j := 0; j < t.firstArt; j++ {
-			if t.status[j] == basic {
-				continue
-			}
-			if math.Abs(t.a[i][j]) > pivotEps {
-				piv = j
-				break
-			}
-		}
-		if piv >= 0 {
-			t.pivot(i, piv)
-		}
-	}
-}
-
-// reducedCost computes cost[j] - cost_B . B^-1 A_j for column j using the
-// current tableau (which is kept in product form: a is already B^-1 A).
-func (t *tableau) priceAll(d []float64) {
-	// d[j] = cost[j] - sum_i cost[basis[i]] * a[i][j]
-	copy(d, t.cost)
-	for i := 0; i < t.m; i++ {
-		cb := t.cost[t.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		ai := t.a[i]
-		for j := 0; j < t.nTotal; j++ {
-			if ai[j] != 0 {
-				d[j] -= cb * ai[j]
-			}
-		}
-	}
-}
-
-// iterate runs simplex pivots until optimal, unbounded, or iteration limit.
-func (t *tableau) iterate() Status {
-	d := make([]float64, t.nTotal)
-	stall := 0
-	lastObj := math.Inf(1)
-	for {
-		if t.iter >= t.maxIter {
-			return IterLimit
-		}
-		t.priceAll(d)
-
-		useBland := stall > 50
-		enter := -1
-		best := -eps
-		for j := 0; j < t.nTotal; j++ {
-			if t.status[j] == basic || t.upper[j] == 0 {
-				continue
-			}
-			var improve float64
-			switch t.status[j] {
-			case atLower:
-				improve = d[j] // want d[j] < 0
-			case atUpper:
-				improve = -d[j] // want d[j] > 0
-			}
-			if improve < best-eps || (useBland && improve < -eps) {
-				if useBland {
-					enter = j
-					break
-				}
-				best = improve
-				enter = j
-			}
-		}
-		if enter < 0 {
-			return Optimal
-		}
-
-		// Direction: entering variable moves up from lower bound or down
-		// from upper bound. In the tableau, basic values change by
-		// -a[i][enter] * delta (moving up) or +a[i][enter] * delta (down).
-		dir := 1.0
-		if t.status[enter] == atUpper {
-			dir = -1.0
-		}
-
-		// Ratio test. Ties are broken toward the smallest basic variable
-		// index (Bland), which combined with Bland pricing guarantees
-		// termination.
-		leave := -1             // row index of leaving variable
-		leaveBound := atLower   // bound the leaving variable lands on
-		limit := t.upper[enter] // bound flip distance (may be Inf)
-		for i := 0; i < t.m; i++ {
-			aie := t.a[i][enter] * dir
-			if aie > pivotEps {
-				// Basic variable decreases toward 0.
-				ratio := t.b[i] / aie
-				if ratio < -eps {
-					ratio = 0
-				}
-				if ratio < limit-eps || (ratio < limit+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
-					limit = ratio
-					leave = i
-					leaveBound = atLower
-				}
-			} else if aie < -pivotEps {
-				// Basic variable increases toward its upper bound.
-				ub := t.upper[t.basis[i]]
-				if math.IsInf(ub, 1) {
-					continue
-				}
-				ratio := (ub - t.b[i]) / (-aie)
-				if ratio < -eps {
-					ratio = 0
-				}
-				if ratio < limit-eps || (ratio < limit+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
-					limit = ratio
-					leave = i
-					leaveBound = atUpper
-				}
-			}
-		}
-
-		if math.IsInf(limit, 1) {
-			return Unbounded
-		}
-
-		t.iter++
-		if leave < 0 {
-			// Bound flip: entering variable runs to its other bound.
-			t.boundFlip(enter, dir, limit)
-		} else {
-			t.stepAndPivot(enter, dir, limit, leave, leaveBound)
-		}
-
-		obj := t.objective()
-		if obj < lastObj-1e-12 {
-			stall = 0
-			lastObj = obj
-		} else {
-			stall++
-		}
-	}
-}
-
-// boundFlip moves nonbasic variable j across its range without a pivot.
-func (t *tableau) boundFlip(j int, dir, delta float64) {
-	for i := 0; i < t.m; i++ {
-		t.b[i] -= t.a[i][j] * dir * delta
-	}
-	if t.status[j] == atLower {
-		t.status[j] = atUpper
-		t.xval[j] = t.upper[j]
-	} else {
-		t.status[j] = atLower
-		t.xval[j] = 0
-	}
-}
-
-// stepAndPivot advances entering variable j by delta, makes it basic in the
-// leaving row, and sets the leaving variable at the indicated bound.
-func (t *tableau) stepAndPivot(enter int, dir, delta float64, leave int, leaveBound varStatus) {
-	// Update RHS for the move of the entering variable.
-	if delta != 0 {
-		for i := 0; i < t.m; i++ {
-			t.b[i] -= t.a[i][enter] * dir * delta
-		}
-	}
-	// New value of the entering variable (absolute, within shifted range).
-	var entVal float64
-	if t.status[enter] == atLower {
-		entVal = delta
-	} else {
-		entVal = t.upper[enter] - delta
-	}
-
-	out := t.basis[leave]
-	t.status[out] = leaveBound
-	if leaveBound == atUpper {
-		t.xval[out] = t.upper[out]
-	} else {
-		t.xval[out] = 0
-	}
-
-	t.status[enter] = basic
-	t.xval[enter] = 0
-	t.basis[leave] = enter
-	t.b[leave] = entVal
-	t.pivotMatrix(leave, enter)
-}
-
-// pivot performs a degenerate pivot making column j basic in row i. The
-// basic-variable values do not change (the entering variable keeps its
-// current nonbasic value), which is exactly the drive-out-artificials case
-// where the leaving artificial sits at 0.
-func (t *tableau) pivot(i, j int) {
-	out := t.basis[i]
-	t.status[out] = atLower
-	t.xval[out] = 0
-	entVal := t.xval[j] // 0 when atLower, upper[j] when atUpper
-	t.status[j] = basic
-	t.xval[j] = 0
-	t.basis[i] = j
-	t.b[i] = entVal
-	t.pivotMatrix(i, j)
-}
-
-// pivotMatrix eliminates column j from all rows except row i and scales row
-// i so that a[i][j] == 1. The b column holds basic-variable values and is
-// maintained by the callers, so it is deliberately not touched here.
-func (t *tableau) pivotMatrix(i, j int) {
-	piv := t.a[i][j]
-	ri := t.a[i]
-	inv := 1.0 / piv
-	for k := 0; k < t.nTotal; k++ {
-		ri[k] *= inv
-	}
-	ri[j] = 1 // exact
-
-	for r := 0; r < t.m; r++ {
-		if r == i {
-			continue
-		}
-		f := t.a[r][j]
-		if f == 0 {
-			continue
-		}
-		rr := t.a[r]
-		for k := 0; k < t.nTotal; k++ {
-			if ri[k] != 0 {
-				rr[k] -= f * ri[k]
-			}
-		}
-		rr[j] = 0 // exact
-	}
-}
-
-// extract recovers the structural variable values in original coordinates.
-func (t *tableau) extract(p *Problem, shift []float64) []float64 {
-	x := make([]float64, p.n)
-	for j := 0; j < p.n; j++ {
-		switch t.status[j] {
-		case atLower:
-			x[j] = shift[j]
-		case atUpper:
-			x[j] = shift[j] + t.upper[j]
-		}
-	}
-	for i := 0; i < t.m; i++ {
-		jb := t.basis[i]
-		if jb < p.n {
-			v := t.b[i]
-			if v < 0 && v > -1e-7 {
-				v = 0
-			}
-			x[jb] = shift[jb] + v
-		}
-	}
-	return x
+	return NewSolver(p).Solve()
 }

@@ -1,0 +1,931 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver is a reusable bounded-variable simplex solver bound to one Problem.
+//
+// The tableau storage is allocated once at NewSolver and reused across
+// solves, and the basis of the previous solve is kept so that subsequent
+// solves after bound changes warm start with the dual simplex instead of a
+// from-scratch two-phase solve. This is the core primitive of the
+// branch-and-bound layer in internal/ilp: a B&B node is a handful of
+// SetVarBounds calls followed by Solve, not a problem copy.
+//
+// Contract:
+//
+//   - Rows and objective coefficients are captured at NewSolver time; the
+//     Problem's rows and objective must not change afterwards (bounds may —
+//     that is the point). Changing the objective would silently invalidate
+//     the dual feasibility the warm start relies on.
+//   - Solve returns a Solution whose X slice is freshly allocated and safe
+//     to retain.
+//   - A Solver is not safe for concurrent use; create one per goroutine
+//     (they share the Problem's immutable row storage).
+type Solver struct {
+	p       *Problem
+	m       int // constraint rows
+	nStruct int // structural variables
+	nTotal  int // structural + m slacks + m artificial slots
+
+	// Working bounds of every column. Structural bounds are seeded from the
+	// Problem and mutated by SetVarBounds; slack bounds encode the row kind;
+	// artificial bounds are opened only during cold phase 1.
+	lo, hi []float64
+
+	a      [][]float64 // m x nTotal working tableau (B^-1 A)
+	b0     []float64   // B^-1 rhs, maintained through pivots
+	b      []float64   // current basic-variable values
+	basis  []int       // m, column basic in each row
+	status []varStatus // nTotal
+	cost   []float64   // active cost row (phase-dependent)
+	d      []float64   // pricing scratch
+
+	artUsed []bool // per row: artificial column in use (cold build)
+
+	// colLimit bounds the columns the simplex machinery touches. Artificial
+	// columns (>= nStruct+m) only matter while one of them is basic — i.e.
+	// during cold phase 1 and for redundant rows — so outside that window
+	// the hot loops stop at nStruct+m, skipping a third of the tableau.
+	colLimit int
+
+	valid     bool // tableau holds a dual-feasible basis from a prior solve
+	factorAge int  // pivots applied since the last from-scratch factorization
+	dValid    bool // d holds exact reduced costs for the current basis+cost
+	costPhase int  // 0 unset, 1 phase-1 cost row, 2 phase-2 (true objective)
+	warmCount int  // warm solves since the last from-scratch factorization
+	iter      int  // pivots in the current solve
+	maxIter   int
+
+	// Stats accumulates solver activity across the Solver's lifetime.
+	Stats SolverStats
+}
+
+// SolverStats counts solver activity since NewSolver.
+type SolverStats struct {
+	Solves     int // total Solve calls
+	WarmSolves int // solves served by the warm-start path
+	ColdSolves int // solves that (re)built the tableau from scratch
+	Pivots     int // total simplex pivots (primal + dual)
+	DualPivots int // pivots spent in the dual-simplex repair
+}
+
+// Basis is a compact snapshot of a Solver basis, suitable for storing in a
+// branch-and-bound node and replaying on another Solver over the same
+// Problem via ResolveFrom.
+type Basis struct {
+	basis  []int
+	status []varStatus
+}
+
+// refactorEvery bounds how many consecutive warm solves may reuse the
+// incrementally updated tableau before it is refactorized from the original
+// row data, limiting numerical drift.
+const refactorEvery = 256
+
+// infeasTrustAge is the factorization age (in pivots) up to which a warm
+// dual-simplex infeasibility certificate is trusted without a confirming
+// cold solve. An Infeasible verdict prunes a whole B&B subtree, so beyond
+// this drift budget the verdict is re-derived from the original row data.
+const infeasTrustAge = 1000
+
+// feasTol is the primal feasibility tolerance used by the warm-start path.
+const feasTol = 1e-7
+
+// NewSolver builds a reusable solver for p. The Problem's rows and objective
+// are captured by reference and must not be modified afterwards; variable
+// bounds are copied and owned by the Solver (see SetVarBounds).
+func NewSolver(p *Problem) *Solver {
+	m := len(p.rows)
+	n := p.n
+	nTotal := n + 2*m
+	s := &Solver{
+		p:        p,
+		m:        m,
+		nStruct:  n,
+		nTotal:   nTotal,
+		lo:       make([]float64, nTotal),
+		hi:       make([]float64, nTotal),
+		a:        make([][]float64, m),
+		b0:       make([]float64, m),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		status:   make([]varStatus, nTotal),
+		cost:     make([]float64, nTotal),
+		d:        make([]float64, nTotal),
+		artUsed:  make([]bool, m),
+		colLimit: nTotal,
+		maxIter:  2000 + 200*(m+nTotal),
+	}
+	for i := range s.a {
+		s.a[i] = make([]float64, nTotal)
+	}
+	for j := 0; j < n; j++ {
+		s.lo[j] = p.lower[j]
+		s.hi[j] = p.upper[j]
+	}
+	for i, r := range p.rows {
+		sc := n + i
+		switch r.kind {
+		case LE:
+			s.lo[sc], s.hi[sc] = 0, Inf
+		case GE:
+			s.lo[sc], s.hi[sc] = math.Inf(-1), 0
+		case EQ:
+			s.lo[sc], s.hi[sc] = 0, 0
+		}
+	}
+	// Artificial slots stay pinned at [0,0] until a cold build opens them.
+	return s
+}
+
+// NumVars returns the number of structural variables.
+func (s *Solver) NumVars() int { return s.nStruct }
+
+// Bounds returns the Solver's current bounds of structural variable j.
+func (s *Solver) Bounds(j int) (lo, hi float64) { return s.lo[j], s.hi[j] }
+
+// SetVarBounds updates the working bounds of structural variable j. The
+// change takes effect at the next Solve; the tableau factorization is
+// unaffected (bounds do not enter the constraint matrix), which is what
+// makes per-node bound fixing cheap.
+func (s *Solver) SetVarBounds(j int, lo, hi float64) {
+	if j < 0 || j >= s.nStruct {
+		panic(fmt.Sprintf("lp: SetVarBounds: variable index %d out of range [0,%d)", j, s.nStruct))
+	}
+	s.lo[j] = lo
+	s.hi[j] = hi
+}
+
+// Invalidate drops the warm-start state, forcing the next Solve to rebuild
+// from scratch.
+func (s *Solver) Invalidate() { s.valid = false }
+
+// Warm reports whether the Solver holds a reusable basis, i.e. whether the
+// next Solve will attempt the warm-start path.
+func (s *Solver) Warm() bool { return s.valid }
+
+// Basis returns a snapshot of the current basis, or nil when the Solver has
+// no valid factorization. Snapshots containing basic artificial variables
+// (redundant rows) are not replayable and also return nil.
+func (s *Solver) Basis() *Basis {
+	if !s.valid {
+		return nil
+	}
+	for _, jb := range s.basis {
+		if jb >= s.nStruct+s.m {
+			return nil
+		}
+	}
+	return &Basis{
+		basis:  append([]int(nil), s.basis...),
+		status: append([]varStatus(nil), s.status...),
+	}
+}
+
+// Solve minimizes the captured objective under the current bounds. When the
+// Solver holds a dual-feasible basis from a previous solve it warm starts
+// (dual simplex repair followed by a primal cleanup); otherwise, or when the
+// warm start stalls, it falls back to the cold two-phase primal solve.
+func (s *Solver) Solve() (*Solution, error) {
+	if sol, err, done := s.precheck(); done {
+		return sol, err
+	}
+	s.Stats.Solves++
+	s.iter = 0
+	if s.valid && s.warmCount < refactorEvery {
+		if sol, ok := s.solveWarm(); ok {
+			return sol, nil
+		}
+	}
+	return s.solveCold()
+}
+
+// ResolveFrom installs a basis snapshot (typically a parent node's) and
+// solves under the current bounds. The snapshot must come from a Solver over
+// the same Problem. When installation fails numerically the solver falls
+// back to a cold solve.
+func (s *Solver) ResolveFrom(bs *Basis) (*Solution, error) {
+	if sol, err, done := s.precheck(); done {
+		return sol, err
+	}
+	if bs == nil || len(bs.basis) != s.m || len(bs.status) != s.nTotal {
+		return s.Solve()
+	}
+	s.Stats.Solves++
+	s.iter = 0
+	if s.install(bs) {
+		if sol, ok := s.solveWarm(); ok {
+			return sol, nil
+		}
+	}
+	return s.solveCold()
+}
+
+// precheck validates bounds; done=true short-circuits the solve.
+func (s *Solver) precheck() (*Solution, error, bool) {
+	if len(s.p.rows) != s.m || s.p.n != s.nStruct {
+		return nil, fmt.Errorf("lp: problem shape changed after NewSolver (rows %d->%d, vars %d->%d)",
+			s.m, len(s.p.rows), s.nStruct, s.p.n), true
+	}
+	for j := 0; j < s.nStruct; j++ {
+		if s.lo[j] > s.hi[j]+eps {
+			return &Solution{Status: Infeasible}, nil, true
+		}
+		if math.IsInf(s.lo[j], -1) {
+			return nil, fmt.Errorf("lp: variable %d has -Inf lower bound; free variables must be split by the caller: %w", j, ErrBadBounds), true
+		}
+	}
+	return nil, nil, false
+}
+
+// updateColLimit shrinks the active column window to exclude artificial
+// columns whenever none of them is basic.
+func (s *Solver) updateColLimit() {
+	firstArt := s.nStruct + s.m
+	s.colLimit = firstArt
+	for _, jb := range s.basis {
+		if jb >= firstArt {
+			s.colLimit = s.nTotal
+			return
+		}
+	}
+}
+
+// val returns the current value of nonbasic column j (its resting bound).
+func (s *Solver) val(j int) float64 {
+	if s.status[j] == atUpper {
+		return s.hi[j]
+	}
+	return s.lo[j]
+}
+
+// movable reports whether column j has a nonzero feasible range.
+func (s *Solver) movable(j int) bool { return s.hi[j]-s.lo[j] > eps }
+
+// ---- warm path ----
+
+// solveWarm repairs the existing basis for the current bounds with the dual
+// simplex and then reoptimizes with the primal. ok=false means the caller
+// should fall back to a cold solve.
+// solveWarm does not reset s.iter: when it bails, the pivots it spent are
+// handed to the cold fallback so Stats.Pivots and Solution.Iterations keep
+// counting all work done for the node.
+func (s *Solver) solveWarm() (*Solution, bool) {
+	s.updateColLimit()
+	// Bound edits may have stranded a nonbasic variable on a bound that is
+	// now infinite; move it to the finite side.
+	for j := 0; j < s.nTotal; j++ {
+		switch s.status[j] {
+		case atLower:
+			if math.IsInf(s.lo[j], -1) {
+				s.status[j] = atUpper
+			}
+		case atUpper:
+			if math.IsInf(s.hi[j], 1) {
+				s.status[j] = atLower
+			}
+		}
+	}
+	s.computeB()
+	st := s.dual()
+	if st == IterLimit {
+		s.valid = false
+		return nil, false
+	}
+	if st == Infeasible {
+		// An infeasibility verdict prunes a whole B&B subtree, and unlike
+		// the Optimal path there is no cheap point-feasibility check to
+		// guard it against drift of the incrementally updated tableau.
+		// Trust it only while the factorization is fresh; otherwise confirm
+		// with a from-scratch solve (the pivots spent so far are carried
+		// into the cold solve's count).
+		if s.factorAge > infeasTrustAge {
+			return nil, false
+		}
+		s.Stats.WarmSolves++
+		s.warmCount++
+		s.Stats.Pivots += s.iter
+		// The basis is still dual feasible: keep it for the next solve.
+		return &Solution{Status: Infeasible, Iterations: s.iter}, true
+	}
+	// Primal cleanup: usually zero pivots, but it restores dual feasibility
+	// if the repair left any reduced-cost sign off.
+	s.setPhase2Cost()
+	pst := s.primal()
+	if pst == IterLimit || pst == Unbounded {
+		// Unbounded cannot legitimately appear after a bounded parent solve;
+		// treat both as numerical trouble and rebuild.
+		s.valid = false
+		return nil, false
+	}
+	s.Stats.WarmSolves++
+	s.warmCount++
+	s.Stats.Pivots += s.iter
+	return s.finish(), true
+}
+
+// computeB derives the basic-variable values from the factorized tableau:
+// b = B^-1 rhs - sum over nonbasic columns of (B^-1 A_j) * val(j).
+func (s *Solver) computeB() {
+	copy(s.b, s.b0)
+	for j := 0; j < s.colLimit; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		v := s.val(j)
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < s.m; i++ {
+			if aij := s.a[i][j]; aij != 0 {
+				s.b[i] -= aij * v
+			}
+		}
+	}
+}
+
+// dual runs the bounded-variable dual simplex until the basis is primal
+// feasible (returns Optimal), proven infeasible, or the repair budget is
+// exhausted (IterLimit; the caller then rebuilds cold). It assumes the
+// reduced costs are (near) dual feasible, which holds for any basis that
+// was primal optimal under the same objective. Reduced costs are priced
+// once and updated incrementally per pivot.
+func (s *Solver) dual() Status {
+	s.setPhase2Cost()
+	if !s.dValid {
+		s.priceAll()
+	}
+	// Degenerate assignment-style models can make the dual repair thrash on
+	// zero-progress pivots; past this budget a cold rebuild is cheaper.
+	budget := s.iter + 60 + s.m/6
+	for {
+		if s.iter >= budget {
+			return IterLimit
+		}
+		// Leaving row: the most violated basic variable.
+		r, worst := -1, feasTol
+		below := false
+		for i := 0; i < s.m; i++ {
+			jb := s.basis[i]
+			if v := s.lo[jb] - s.b[i]; v > worst && !math.IsInf(s.lo[jb], -1) {
+				worst, r, below = v, i, true
+			}
+			if v := s.b[i] - s.hi[jb]; v > worst && !math.IsInf(s.hi[jb], 1) {
+				worst, r, below = v, i, false
+			}
+		}
+		if r < 0 {
+			return Optimal // primal feasible
+		}
+		// Entering column: dual ratio test over columns that can move the
+		// leaving variable back toward its violated bound.
+		enter := -1
+		best := math.Inf(1)
+		ar := s.a[r]
+		for j := 0; j < s.colLimit; j++ {
+			if s.status[j] == basic || !s.movable(j) {
+				continue
+			}
+			alpha := ar[j]
+			var ok bool
+			if below { // b[r] must increase
+				ok = (s.status[j] == atLower && alpha < -pivotEps) ||
+					(s.status[j] == atUpper && alpha > pivotEps)
+			} else { // b[r] must decrease
+				ok = (s.status[j] == atLower && alpha > pivotEps) ||
+					(s.status[j] == atUpper && alpha < -pivotEps)
+			}
+			if !ok {
+				continue
+			}
+			ratio := math.Abs(s.d[j] / alpha)
+			if ratio < best-eps || (ratio < best+eps && (enter < 0 || j < enter)) {
+				best = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// No column can repair the violated row: primal infeasible.
+			return Infeasible
+		}
+		var target float64
+		var leaveStatus varStatus
+		if below {
+			target, leaveStatus = s.lo[s.basis[r]], atLower
+		} else {
+			target, leaveStatus = s.hi[s.basis[r]], atUpper
+		}
+		alpha := ar[enter]
+		t := (s.b[r] - target) / alpha
+		enterVal := s.val(enter) + t
+		for i := 0; i < s.m; i++ {
+			if aie := s.a[i][enter]; aie != 0 {
+				s.b[i] -= aie * t
+			}
+		}
+		out := s.basis[r]
+		s.status[out] = leaveStatus
+		s.status[enter] = basic
+		s.basis[r] = enter
+		s.b[r] = enterVal
+		dEnter := s.d[enter]
+		s.pivotMatrix(r, enter)
+		s.updateD(r, enter, dEnter)
+		s.iter++
+		s.Stats.DualPivots++
+	}
+}
+
+// ---- cold path ----
+
+// solveCold rebuilds the tableau from the Problem's rows and runs the
+// two-phase primal simplex.
+func (s *Solver) solveCold() (*Solution, error) {
+	s.Stats.ColdSolves++
+	s.valid = false
+	s.dValid = false
+	s.warmCount = 0
+	nArt := s.build()
+	s.factorAge = 0
+	s.colLimit = s.nTotal
+	if nArt == 0 {
+		s.colLimit = s.nStruct + s.m
+	}
+
+	if nArt > 0 {
+		s.setPhase1Cost()
+		st := s.primal()
+		if st == IterLimit {
+			s.Stats.Pivots += s.iter
+			return &Solution{Status: IterLimit, Iterations: s.iter}, nil
+		}
+		if s.objective() > 1e-6 {
+			s.Stats.Pivots += s.iter
+			return &Solution{Status: Infeasible, Iterations: s.iter}, nil
+		}
+		s.driveOutArtificials() // pivots without d maintenance
+		s.dValid = false
+		// Artificials may never re-enter.
+		for i := 0; i < s.m; i++ {
+			ac := s.nStruct + s.m + i
+			s.lo[ac], s.hi[ac] = 0, 0
+			if s.status[ac] != basic {
+				s.status[ac] = atLower
+			}
+		}
+		s.updateColLimit()
+	}
+
+	s.setPhase2Cost()
+	st := s.primal()
+	s.Stats.Pivots += s.iter
+	if st == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: s.iter}, nil
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iterations: s.iter}, nil
+	}
+	return s.finish(), nil
+}
+
+// build (re)constructs the tableau for the current bounds: structural
+// columns from the sparse rows, one slack per row, and artificial columns
+// where the all-slack start is infeasible. It returns the number of
+// artificials opened.
+func (s *Solver) build() int {
+	n, m := s.nStruct, s.m
+	for i := range s.a {
+		row := s.a[i]
+		for k := range row {
+			row[k] = 0
+		}
+	}
+	// Structural variables rest at their (finite) lower bound.
+	for j := 0; j < n; j++ {
+		s.status[j] = atLower
+	}
+	nArt := 0
+	for i, r := range s.p.rows {
+		ai := s.a[i]
+		resid := r.rhs
+		for _, c := range r.coeffs {
+			ai[c.j] = c.v
+			resid -= c.v * s.lo[c.j]
+		}
+		sc := n + i
+		ai[sc] = 1
+		ac := n + m + i
+		s.lo[ac], s.hi[ac] = 0, 0
+		s.status[ac] = atLower
+		s.artUsed[i] = false
+		slackOK := false
+		switch r.kind {
+		case LE:
+			slackOK = resid >= 0
+			s.status[sc] = atLower // resting value 0 when not basic
+		case GE:
+			slackOK = resid <= 0
+			s.status[sc] = atUpper // resting value 0
+		case EQ:
+			s.status[sc] = atLower
+		}
+		if slackOK {
+			s.basis[i] = sc
+			s.status[sc] = basic
+			s.b[i] = resid
+			s.b0[i] = r.rhs
+			continue
+		}
+		// Open the artificial for this row; negate the row when the residual
+		// is negative so the artificial's basic value is nonnegative.
+		s.artUsed[i] = true
+		nArt++
+		s.hi[ac] = Inf
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+			for k := range ai {
+				ai[k] = -ai[k]
+			}
+			resid = -resid
+		}
+		ai[ac] = 1
+		s.basis[i] = ac
+		s.status[ac] = basic
+		s.b[i] = resid
+		s.b0[i] = r.rhs * sign
+	}
+	return nArt
+}
+
+// install replays a basis snapshot: the tableau is rebuilt from the original
+// rows and Gaussian-eliminated into the snapshot's basis. Returns false when
+// a pivot is numerically unusable (caller falls back to cold).
+func (s *Solver) install(bs *Basis) bool {
+	n, m := s.nStruct, s.m
+	for i := range s.a {
+		row := s.a[i]
+		for k := range row {
+			row[k] = 0
+		}
+	}
+	for i, r := range s.p.rows {
+		ai := s.a[i]
+		for _, c := range r.coeffs {
+			ai[c.j] = c.v
+		}
+		ai[n+i] = 1
+		s.b0[i] = r.rhs
+		ac := n + m + i
+		s.lo[ac], s.hi[ac] = 0, 0
+		s.artUsed[i] = false
+	}
+	copy(s.basis, bs.basis)
+	copy(s.status, bs.status)
+	for i := 0; i < m; i++ {
+		jb := s.basis[i]
+		if jb >= n+m { // artificial in snapshot basis: not replayable
+			return false
+		}
+		if math.Abs(s.a[i][jb]) <= pivotEps {
+			// Partial pivoting: swap in a not-yet-factorized row where this
+			// column has a usable pivot. Only the row contents move — the
+			// snapshot's column-to-row assignment stays, so the displaced
+			// row is simply factorized later under its own basis column.
+			swapped := false
+			for r := i + 1; r < m; r++ {
+				if math.Abs(s.a[r][jb]) > pivotEps {
+					s.a[i], s.a[r] = s.a[r], s.a[i]
+					s.b0[i], s.b0[r] = s.b0[r], s.b0[i]
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return false
+			}
+		}
+		s.pivotMatrix(i, jb)
+	}
+	s.warmCount = 0
+	s.factorAge = 0
+	s.valid = true
+	s.dValid = false
+	s.updateColLimit()
+	return true
+}
+
+// ---- shared simplex machinery ----
+
+func (s *Solver) setPhase1Cost() {
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		if s.artUsed[i] {
+			s.cost[s.nStruct+s.m+i] = 1
+		}
+	}
+	s.costPhase = 1
+	s.dValid = false
+}
+
+func (s *Solver) setPhase2Cost() {
+	if s.costPhase == 2 {
+		return // cost row already holds the (immutable) objective
+	}
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	for j := 0; j < s.nStruct; j++ {
+		s.cost[j] = s.p.obj[j]
+	}
+	s.costPhase = 2
+	s.dValid = false
+}
+
+// objective returns the current value of the active cost row.
+func (s *Solver) objective() float64 {
+	z := 0.0
+	for i := 0; i < s.m; i++ {
+		z += s.cost[s.basis[i]] * s.b[i]
+	}
+	for j := 0; j < s.colLimit; j++ {
+		if s.status[j] != basic && s.cost[j] != 0 {
+			z += s.cost[j] * s.val(j)
+		}
+	}
+	return z
+}
+
+// priceAll computes reduced costs d[j] = cost[j] - cost_B . (B^-1 A_j) from
+// scratch. Pivots afterwards keep d current incrementally (see updateD), so
+// this full pass only runs when the cost row or factorization changed.
+func (s *Solver) priceAll() {
+	copy(s.d, s.cost)
+	for i := 0; i < s.m; i++ {
+		cb := s.cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		ai := s.a[i]
+		for j := 0; j < s.colLimit; j++ {
+			if ai[j] != 0 {
+				s.d[j] -= cb * ai[j]
+			}
+		}
+	}
+	s.dValid = true
+}
+
+// updateD applies the rank-one reduced-cost update after a pivot in row r:
+// d'_k = d_k - d_enter * a'[r][k], with a' the post-pivot row (scaled so
+// a'[r][enter] == 1). dEnter is the entering column's reduced cost read
+// before the pivot.
+func (s *Solver) updateD(r, enter int, dEnter float64) {
+	if dEnter != 0 {
+		ar := s.a[r]
+		for k := 0; k < s.colLimit; k++ {
+			if ar[k] != 0 {
+				s.d[k] -= dEnter * ar[k]
+			}
+		}
+	}
+	s.d[enter] = 0
+}
+
+// primal runs bounded-variable primal simplex pivots under the active cost
+// row until optimal, unbounded, or the iteration limit.
+func (s *Solver) primal() Status {
+	stall := 0
+	lastObj := math.Inf(1)
+	sinceReprice := 0
+	if !s.dValid {
+		s.priceAll()
+	}
+	for {
+		if s.iter >= s.maxIter {
+			return IterLimit
+		}
+		// Reduced costs are maintained incrementally; refresh periodically
+		// to bound accumulated roundoff.
+		if sinceReprice >= 64 {
+			s.priceAll()
+			sinceReprice = 0
+		}
+
+		useBland := stall > 50
+		enter := -1
+		best := -eps
+		for j := 0; j < s.colLimit; j++ {
+			if s.status[j] == basic || !s.movable(j) {
+				continue
+			}
+			var improve float64
+			switch s.status[j] {
+			case atLower:
+				improve = s.d[j] // want d[j] < 0
+			case atUpper:
+				improve = -s.d[j] // want d[j] > 0
+			}
+			if improve < best-eps || (useBland && improve < -eps) {
+				if useBland {
+					enter = j
+					break
+				}
+				best = improve
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+
+		// Entering variable moves up from its lower bound or down from its
+		// upper bound; basic values change by -a[i][enter]*dir*delta.
+		dir := 1.0
+		if s.status[enter] == atUpper {
+			dir = -1.0
+		}
+
+		leave := -1
+		leaveBound := atLower
+		limit := s.hi[enter] - s.lo[enter] // bound-flip distance (may be Inf)
+		for i := 0; i < s.m; i++ {
+			aie := s.a[i][enter] * dir
+			jb := s.basis[i]
+			if aie > pivotEps {
+				// Basic variable decreases toward its lower bound.
+				if math.IsInf(s.lo[jb], -1) {
+					continue
+				}
+				ratio := (s.b[i] - s.lo[jb]) / aie
+				if ratio < -eps {
+					ratio = 0
+				}
+				if ratio < limit-eps || (ratio < limit+eps && (leave < 0 || jb < s.basis[leave])) {
+					limit = ratio
+					leave = i
+					leaveBound = atLower
+				}
+			} else if aie < -pivotEps {
+				// Basic variable increases toward its upper bound.
+				if math.IsInf(s.hi[jb], 1) {
+					continue
+				}
+				ratio := (s.hi[jb] - s.b[i]) / (-aie)
+				if ratio < -eps {
+					ratio = 0
+				}
+				if ratio < limit-eps || (ratio < limit+eps && (leave < 0 || jb < s.basis[leave])) {
+					limit = ratio
+					leave = i
+					leaveBound = atUpper
+				}
+			}
+		}
+
+		if math.IsInf(limit, 1) {
+			return Unbounded
+		}
+
+		s.iter++
+		sinceReprice++
+		if leave < 0 {
+			s.boundFlip(enter, dir, limit) // d is unaffected: no basis change
+		} else {
+			dEnter := s.d[enter]
+			s.stepAndPivot(enter, dir, limit, leave, leaveBound)
+			s.updateD(leave, enter, dEnter)
+		}
+
+		obj := s.objective()
+		if obj < lastObj-1e-12 {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+		}
+	}
+}
+
+// boundFlip moves nonbasic variable j across its range without a pivot.
+func (s *Solver) boundFlip(j int, dir, delta float64) {
+	for i := 0; i < s.m; i++ {
+		if aij := s.a[i][j]; aij != 0 {
+			s.b[i] -= aij * dir * delta
+		}
+	}
+	if s.status[j] == atLower {
+		s.status[j] = atUpper
+	} else {
+		s.status[j] = atLower
+	}
+}
+
+// stepAndPivot advances entering variable j by delta, makes it basic in the
+// leaving row, and parks the leaving variable at the indicated bound.
+func (s *Solver) stepAndPivot(enter int, dir, delta float64, leave int, leaveBound varStatus) {
+	enterVal := s.val(enter) + dir*delta
+	if delta != 0 {
+		for i := 0; i < s.m; i++ {
+			if aie := s.a[i][enter]; aie != 0 {
+				s.b[i] -= aie * dir * delta
+			}
+		}
+	}
+	out := s.basis[leave]
+	s.status[out] = leaveBound
+	s.status[enter] = basic
+	s.basis[leave] = enter
+	s.b[leave] = enterVal
+	s.pivotMatrix(leave, enter)
+}
+
+// driveOutArtificials pivots basic artificials (at value 0 after a
+// successful phase 1) out of the basis where possible. Rows whose artificial
+// cannot leave are redundant and keep it basic at 0.
+func (s *Solver) driveOutArtificials() {
+	firstArt := s.nStruct + s.m
+	for i := 0; i < s.m; i++ {
+		jb := s.basis[i]
+		if jb < firstArt {
+			continue
+		}
+		piv := -1
+		for j := 0; j < firstArt; j++ {
+			if s.status[j] == basic {
+				continue
+			}
+			if math.Abs(s.a[i][j]) > pivotEps {
+				piv = j
+				break
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		// Degenerate pivot: the entering variable keeps its resting value.
+		out := s.basis[i]
+		s.status[out] = atLower
+		enterVal := s.val(piv)
+		s.status[piv] = basic
+		s.basis[i] = piv
+		s.b[i] = enterVal
+		s.pivotMatrix(i, piv)
+	}
+}
+
+// pivotMatrix eliminates column j from all rows except row i and scales row
+// i so a[i][j] == 1. b0 (= B^-1 rhs) is transformed alongside; b holds
+// basic-variable values and is maintained by the callers.
+func (s *Solver) pivotMatrix(i, j int) {
+	ri := s.a[i][:s.colLimit]
+	inv := 1.0 / s.a[i][j]
+	for k := range ri {
+		ri[k] *= inv
+	}
+	ri[j] = 1 // exact
+	s.b0[i] *= inv
+	s.factorAge++
+
+	for r := 0; r < s.m; r++ {
+		if r == i {
+			continue
+		}
+		f := s.a[r][j]
+		if f == 0 {
+			continue
+		}
+		// Branchless update: the tableau rows are dense after a few pivots,
+		// so testing each ri[k] for zero costs more than the multiply.
+		rr := s.a[r][:len(ri)]
+		for k, v := range ri {
+			rr[k] -= f * v
+		}
+		rr[j] = 0 // exact
+		s.b0[r] -= f * s.b0[i]
+	}
+}
+
+// finish marks the factorization reusable and extracts the solution.
+func (s *Solver) finish() *Solution {
+	s.valid = true
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		x[j] = s.val(j)
+	}
+	for i := 0; i < s.m; i++ {
+		if jb := s.basis[i]; jb < s.nStruct {
+			x[jb] = s.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.nStruct; j++ {
+		obj += s.p.obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj, Iterations: s.iter}
+}

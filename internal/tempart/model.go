@@ -20,7 +20,11 @@
 //
 // A preprocessing step computes the partition lower bound
 // N0 = ⌈Σ_t R(t) / R_max⌉ and the bound is relaxed by one partition at a
-// time until the model is feasible, exactly as in the paper.
+// time until the model is feasible, exactly as in the paper. With
+// Input.SpeculateN > 1 the relax loop instead probes several candidate
+// partition counts concurrently and returns the lowest feasible N — the
+// same answer, without serializing infeasibility proofs behind each other;
+// ilp.Options.Workers additionally parallelizes each probe's search tree.
 package tempart
 
 import (
@@ -51,6 +55,13 @@ type Input struct {
 	// change the optimum and substantially prune the search on regular
 	// DSP graphs. Disable only to measure the ablation.
 	NoSymmetryBreaking bool
+	// SpeculateN, when > 1, runs the relax-N loop speculatively: up to
+	// SpeculateN candidate partition counts (N0, N0+1, ...) are built and
+	// solved concurrently, and the lowest feasible N wins — exactly the
+	// answer the sequential loop produces, without serializing the
+	// infeasibility proofs of the too-small Ns behind each other. Probes
+	// made moot by a lower feasible N are aborted through ilp.Options.Stop.
+	SpeculateN int
 	// DisableWarmStart suppresses the list-partitioner warm start (for
 	// ablation benchmarks).
 	DisableWarmStart bool
@@ -69,6 +80,9 @@ type SolveStats struct {
 	BuildTime    time.Duration
 	SolveTime    time.Duration
 	RelaxSteps   int
+	// Solver aggregates the warm/cold solve and pivot counts of the
+	// underlying simplex engine across the whole B&B search.
+	Solver lp.SolverStats
 }
 
 // Partitioning is a temporal partitioning result.
@@ -170,6 +184,9 @@ func Solve(in Input) (*Partitioning, error) {
 	for i := range resources {
 		resources[i] = g.Task(i).Resources
 	}
+	if in.SpeculateN > 1 {
+		return solveSpeculative(in, paths, resources, n0, maxN)
+	}
 	relax := 0
 	for n := n0; n <= maxN; n++ {
 		relax++
@@ -187,6 +204,78 @@ func Solve(in Input) (*Partitioning, error) {
 		if part != nil {
 			part.Stats.RelaxSteps = relax
 			return part, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (tried N=%d..%d)", ErrNoSolution, n0, maxN)
+}
+
+// solveSpeculative is the parallel relax-N loop: a sliding window of
+// candidate partition counts is solved concurrently and results are
+// consumed in ascending N order, so the returned partitioning is the one
+// the sequential loop would have found. Probes for N values made moot by a
+// lower feasible N are cancelled; their goroutines drain into buffered
+// channels and are discarded.
+func solveSpeculative(in Input, paths [][]int, resources []int, n0, maxN int) (*Partitioning, error) {
+	type probe struct {
+		part *Partitioning
+		err  error
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	spec := in
+	spec.ILP.Stop = stop
+	if caller := in.ILP.Stop; caller != nil {
+		// Preserve the caller's cancellation: probes abort when either the
+		// caller's channel or the internal lowest-N-won channel closes.
+		merged := make(chan struct{})
+		go func() {
+			select {
+			case <-caller:
+			case <-stop:
+			}
+			close(merged)
+		}()
+		spec.ILP.Stop = merged
+	}
+
+	launch := func(n int) chan probe {
+		ch := make(chan probe, 1)
+		go func() {
+			// The packing pre-check of the sequential loop, hoisted into the
+			// probe so a cheap infeasibility proof also runs off the
+			// consumer's critical path.
+			if !packingFeasible(resources, in.Board.FPGA.CLBs, n) {
+				ch <- probe{}
+				return
+			}
+			part, err := solveForN(spec, paths, n)
+			ch <- probe{part, err}
+		}()
+		return ch
+	}
+
+	window := in.SpeculateN
+	pending := make(map[int]chan probe, window)
+	next := n0
+	for ; next <= maxN && next < n0+window; next++ {
+		pending[next] = launch(next)
+	}
+	for n := n0; n <= maxN; n++ {
+		r := <-pending[n]
+		delete(pending, n)
+		if r.err != nil {
+			// An aborted higher-N probe can only fail with a stop-induced
+			// limit error, which is never reached here: errors are consumed
+			// in ascending N order before stop closes.
+			return nil, r.err
+		}
+		if r.part != nil {
+			r.part.Stats.RelaxSteps = n - n0 + 1
+			return r.part, nil
+		}
+		if next <= maxN {
+			pending[next] = launch(next)
+			next++
 		}
 	}
 	return nil, fmt.Errorf("%w (tried N=%d..%d)", ErrNoSolution, n0, maxN)
@@ -412,6 +501,7 @@ func solveForN(in Input, paths [][]int, N int) (*Partitioning, error) {
 			N: N, Vars: nVars, Rows: prob.NumRows(), Paths: len(paths),
 			Nodes: sol.Nodes, LPIterations: sol.LPIterations,
 			BuildTime: buildTime, SolveTime: solveTime,
+			Solver: sol.Solver,
 		},
 	}
 	return part, nil
