@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test vet bench bench-smoke
+.PHONY: all build test vet bench bench-smoke race loadtest
 
 all: vet build test
 
@@ -25,3 +25,12 @@ bench:
 # bench-smoke is the quick CI variant: just the tempart solver-core benches.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkTempart -benchtime 1x -benchmem .
+
+# race runs the concurrency-heavy packages under the race detector.
+race:
+	$(GO) test -race -count=1 ./internal/service/... ./internal/ilp/...
+
+# loadtest is the smoke load test: ~100 concurrent requests against an
+# in-process sparcsd server, asserting a >= 0.9 cache/singleflight hit rate.
+loadtest:
+	$(GO) test -race -count=1 -run TestLoadSmoke -v ./internal/service/

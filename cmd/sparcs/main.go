@@ -24,6 +24,7 @@ import (
 	"repro/internal/fission"
 	"repro/internal/hls"
 	"repro/internal/jpeg"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		traceArg   = flag.Int("trace", 0, "print the first N simulation trace events")
 		workersArg = flag.Int("workers", 1, "parallel B&B search workers (ilp partitioner)")
 		specArg    = flag.Int("speculate", 1, "concurrent partition-count probes in the relax-N loop")
+		outArg     = flag.String("o", "text", "output format: text, or json (the machine-readable service payload; skips simulation)")
 	)
 	flag.Parse()
 
@@ -48,7 +50,7 @@ func main() {
 		Graph: *graphArg, Board: *boardArg, Partitioner: *partArg,
 		Strategy: *stratArg, I: *iArg, Pow2: *pow2Arg, DOT: *dotArg,
 		Verilog: *verilogArg, Sequencer: *seqArg, Trace: *traceArg,
-		Workers: *workersArg, SpeculateN: *specArg,
+		Workers: *workersArg, SpeculateN: *specArg, Output: *outArg,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcs:", err)
 		os.Exit(1)
@@ -62,6 +64,9 @@ type cliOptions struct {
 	I                                   int
 	Pow2, DOT, Verilog, Sequencer       bool
 	Trace, Workers, SpeculateN          int
+	// Output selects "text" (the human report + simulation) or "json"
+	// (the exact internal/service Result payload, solve only).
+	Output string
 }
 
 func run(o cliOptions) error {
@@ -100,9 +105,26 @@ func run(o cliOptions) error {
 		return fmt.Errorf("unknown strategy %q", o.Strategy)
 	}
 
+	switch o.Output {
+	case "", "text":
+	case "json":
+	default:
+		return fmt.Errorf("unknown output format %q (want text or json)", o.Output)
+	}
+
 	d, err := core.Build(g, cfg)
 	if err != nil {
 		return err
+	}
+	if o.Output == "json" {
+		// Machine-readable mode: emit exactly the payload the sparcsd
+		// service returns for this solve, so CLI consumers and HTTP
+		// clients parse one schema.
+		res := service.NewResult(g, board.Name, cfg.Partitioner.String(), d.Partitioning)
+		res.SolveMS = float64(d.Partitioning.Stats.SolveTime.Microseconds()) / 1e3
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 	fmt.Print(d.Report())
 	if d.Partitioning.N == 0 {

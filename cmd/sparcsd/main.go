@@ -1,0 +1,93 @@
+// Command sparcsd is the SPARCS partitioning daemon: a long-running HTTP
+// service that solves temporal partitioning requests with a bounded worker
+// pool, memoizes solves by canonical graph structure, deduplicates
+// identical in-flight requests, and exposes health and metrics endpoints.
+//
+// API (JSON over HTTP; see internal/service for payload schemas):
+//
+//	POST /v1/solve            synchronous solve
+//	POST /v1/batch            many graphs in one call
+//	POST /v1/jobs             submit an async job -> {"id": ...}
+//	GET  /v1/jobs/{id}        poll state/progress/result
+//	POST /v1/jobs/{id}/cancel cancel (aborts the B&B search mid-flight)
+//	GET  /healthz             liveness + headline stats
+//	GET  /metrics             Prometheus text exposition
+//
+// Usage:
+//
+//	sparcsd -addr :8080 -workers 8 -cache 4096
+//	curl -s localhost:8080/v1/solve -d @graph-request.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addrArg    = flag.String("addr", ":8080", "listen address")
+		workersArg = flag.Int("workers", 4, "worker pool size (max concurrent solves)")
+		queueArg   = flag.Int("queue", 256, "max queued jobs before 503")
+		cacheArg   = flag.Int("cache", 1024, "memo cache capacity (entries)")
+		drainArg   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		maxBodyArg = flag.Int64("max-body", 8<<20, "max request body bytes")
+	)
+	flag.Parse()
+
+	if err := run(*addrArg, *workersArg, *queueArg, *cacheArg, *maxBodyArg, *drainArg); err != nil {
+		fmt.Fprintln(os.Stderr, "sparcsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache int, maxBody int64, drain time.Duration) error {
+	svc := service.New(service.Config{
+		Workers:      workers,
+		QueueCap:     queue,
+		CacheSize:    cache,
+		MaxBodyBytes: maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("sparcsd: listening on %s (%d workers, %d-entry cache)\n", addr, workers, cache)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("sparcsd: %v, draining (max %v)\n", s, drain)
+	}
+
+	// Graceful shutdown: stop accepting connections, let in-flight HTTP
+	// requests finish within the drain budget, then cancel whatever is
+	// still solving and wait for the worker pool.
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		svc.Shutdown()
+		return err
+	}
+	svc.Shutdown()
+	fmt.Println("sparcsd: bye")
+	return nil
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -98,6 +99,14 @@ var ErrNilGraph = errors.New("core: nil task graph")
 // Build runs the flow: partition, fission analysis, synthesis, layout, and
 // sequencer generation.
 func Build(g *dfg.Graph, cfg Config) (*Design, error) {
+	return BuildContext(context.Background(), g, cfg)
+}
+
+// BuildContext is Build with request-scoped cancellation threaded down to
+// the partitioner's branch-and-bound search (via tempart.SolveContext and
+// ilp.Options.Context). Cancelling ctx makes the flow return ctx.Err()
+// promptly, even mid-search.
+func BuildContext(ctx context.Context, g *dfg.Graph, cfg Config) (*Design, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
@@ -115,7 +124,7 @@ func Build(g *dfg.Graph, cfg Config) (*Design, error) {
 	var err error
 	switch cfg.Partitioner {
 	case ILPPartitioner:
-		part, err = tempart.Solve(tempart.Input{
+		part, err = tempart.SolveContext(ctx, tempart.Input{
 			Graph: g, Board: cfg.Board, PathCap: cfg.PathCap, ILP: cfg.ILP,
 			SpeculateN: cfg.SpeculateN,
 		})
@@ -126,6 +135,9 @@ func Build(g *dfg.Graph, cfg Config) (*Design, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	d := &Design{Graph: g, Config: cfg, Partitioning: part}

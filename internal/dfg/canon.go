@@ -1,0 +1,200 @@
+package dfg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// This file implements canonical structure hashing of task graphs, the key
+// ingredient of the solve memoization in internal/service: two graphs that
+// differ only in task names and in the order tasks and edges were added
+// produce the same hash, so isomorphic requests share one cache entry. The
+// scheme is iterative Weisfeiler-Leman color refinement over name-free task
+// attributes, with edge data counts folded into the neighborhood signatures
+// (cf. the path-signature DAG keys of the nonenumerative k-longest-paths
+// literature): each task starts from a hash of its local costs and
+// repeatedly absorbs the sorted multiset of (edge data, neighbor signature)
+// pairs on both sides until the signature partition stops refining.
+//
+// WL refinement cannot distinguish every pair of non-isomorphic graphs in
+// theory, but with edge weights and the rich per-task attribute tuple the
+// known counterexamples (large regular unlabeled graphs) do not arise in
+// task-graph workloads; any collision is caught downstream because cached
+// assignments are re-verified against the requesting graph before reuse.
+
+// taskSig hashes the name-free local attributes of a task.
+func taskSig(t *Task) uint64 {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(t.Type))
+	h.Write([]byte{0})
+	put(uint64(t.Resources))
+	put(math.Float64bits(t.Delay))
+	put(uint64(t.ReadEnv))
+	put(uint64(t.WriteEnv))
+	kinds := make([]string, 0, len(t.Extra))
+	for k := range t.Extra {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		put(uint64(t.Extra[k]))
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// refineSigs runs WL color refinement and returns the stable per-task
+// signatures. Rounds stop when the number of distinct signatures no longer
+// grows (or after NumTasks rounds, the refinement diameter bound).
+func (g *Graph) refineSigs() []uint64 {
+	n := len(g.tasks)
+	sigs := make([]uint64, n)
+	for i, t := range g.tasks {
+		sigs[i] = taskSig(t)
+	}
+	edgeData := make(map[[2]int]int, len(g.edges))
+	for _, e := range g.edges {
+		edgeData[[2]int{e.From, e.To}] = e.Data
+	}
+	distinct := func(s []uint64) int {
+		set := make(map[uint64]struct{}, len(s))
+		for _, v := range s {
+			set[v] = struct{}{}
+		}
+		return len(set)
+	}
+	prev := distinct(sigs)
+	next := make([]uint64, n)
+	var buf [8]byte
+	for round := 0; round < n; round++ {
+		for i := range g.tasks {
+			h := sha256.New()
+			put := func(v uint64) {
+				binary.BigEndian.PutUint64(buf[:], v)
+				h.Write(buf[:])
+			}
+			put(sigs[i])
+			for s, side := range [2][]int{g.pred[i], g.succ[i]} {
+				pairs := make([][2]uint64, 0, len(side))
+				for _, nb := range side {
+					var data int
+					if s == 0 {
+						data = edgeData[[2]int{nb, i}]
+					} else {
+						data = edgeData[[2]int{i, nb}]
+					}
+					pairs = append(pairs, [2]uint64{uint64(data), sigs[nb]})
+				}
+				sort.Slice(pairs, func(a, b int) bool {
+					if pairs[a][0] != pairs[b][0] {
+						return pairs[a][0] < pairs[b][0]
+					}
+					return pairs[a][1] < pairs[b][1]
+				})
+				put(uint64(len(pairs)))
+				for _, p := range pairs {
+					put(p[0])
+					put(p[1])
+				}
+			}
+			next[i] = binary.BigEndian.Uint64(h.Sum(nil))
+		}
+		sigs, next = next, sigs
+		if d := distinct(sigs); d == prev {
+			break
+		} else {
+			prev = d
+		}
+	}
+	return sigs
+}
+
+// StructureHash returns a hex-encoded SHA-256 digest of the graph's
+// structure that is invariant under task renaming and under reordering of
+// task and edge insertion, and (modulo WL limitations, see above) differs
+// for any structural change: task attributes, edge endpoints, or edge data.
+// The graph Name is deliberately excluded.
+func (g *Graph) StructureHash() string {
+	sigs := g.refineSigs()
+	final := append([]uint64(nil), sigs...)
+	sort.Slice(final, func(a, b int) bool { return final[a] < final[b] })
+
+	type etriple struct{ from, to, data uint64 }
+	ets := make([]etriple, 0, len(g.edges))
+	for _, e := range g.edges {
+		ets = append(ets, etriple{sigs[e.From], sigs[e.To], uint64(e.Data)})
+	}
+	sort.Slice(ets, func(a, b int) bool {
+		if ets[a].from != ets[b].from {
+			return ets[a].from < ets[b].from
+		}
+		if ets[a].to != ets[b].to {
+			return ets[a].to < ets[b].to
+		}
+		return ets[a].data < ets[b].data
+	})
+
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(g.tasks)))
+	put(uint64(len(g.edges)))
+	for _, s := range final {
+		put(s)
+	}
+	for _, e := range ets {
+		put(e.from)
+		put(e.to)
+		put(e.data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalOrder returns a permutation of task indices sorted into a
+// canonical position: position i holds the task index that canonically
+// comes i-th. The order is derived from the stable WL signatures with
+// topological depth as a tie-break, so it is invariant under renaming and
+// reordering except between WL-equivalent tasks (which are, for all
+// practical task graphs, interchangeable — ties fall back to input order).
+// internal/service uses this to transfer a cached partition assignment onto
+// an isomorphic request graph; the transfer is always re-verified with
+// tempart.CheckFeasible, so a pathological tie can cost a cache re-solve
+// but never a wrong answer.
+func (g *Graph) CanonicalOrder() []int {
+	n := len(g.tasks)
+	sigs := g.refineSigs()
+	depth := make([]int, n)
+	if order, err := g.TopoOrder(); err == nil {
+		for _, v := range order {
+			for _, s := range g.succ[v] {
+				if depth[v]+1 > depth[s] {
+					depth[s] = depth[v] + 1
+				}
+			}
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ta, tb := out[a], out[b]
+		if depth[ta] != depth[tb] {
+			return depth[ta] < depth[tb]
+		}
+		return sigs[ta] < sigs[tb]
+	})
+	return out
+}

@@ -47,26 +47,34 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes a graph from the wire schema, replacing the
-// receiver's contents.
+// receiver's contents. The input is untrusted (it arrives from files and
+// from the internal/service HTTP API), so the decoder rejects — with an
+// error naming the offending element — duplicate task names, edges whose
+// endpoints name unknown tasks, self and duplicate edges, negative costs,
+// and dependency cycles. A successfully decoded graph always passes
+// Validate.
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
 		return err
 	}
 	ng := New(jg.Name)
-	for _, jt := range jg.Tasks {
+	for i, jt := range jg.Tasks {
 		if _, err := ng.AddTask(Task{
 			Name: jt.Name, Type: jt.Type, Resources: jt.Resources,
 			Delay: jt.Delay, ReadEnv: jt.ReadEnv, WriteEnv: jt.WriteEnv,
 			Extra: jt.Extra,
 		}); err != nil {
-			return fmt.Errorf("dfg: decode: %w", err)
+			return fmt.Errorf("dfg: decode: tasks[%d]: %w", i, err)
 		}
 	}
-	for _, je := range jg.Edges {
+	for i, je := range jg.Edges {
 		if err := ng.AddEdge(je.From, je.To, je.Data); err != nil {
-			return fmt.Errorf("dfg: decode: %w", err)
+			return fmt.Errorf("dfg: decode: edges[%d]: %w", i, err)
 		}
+	}
+	if err := ng.Validate(); err != nil {
+		return fmt.Errorf("dfg: decode: %w", err)
 	}
 	*g = *ng
 	return nil

@@ -21,6 +21,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -105,6 +106,12 @@ type Options struct {
 	// This lets a caller racing several solves (e.g. the speculative
 	// partition-count probes in internal/tempart) reclaim workers early.
 	Stop <-chan struct{}
+	// Context, when non-nil, aborts the search when the context is
+	// cancelled, exactly like Stop (the two compose; either one fires).
+	// This is how request-scoped cancellation in internal/service reaches
+	// the branch-and-bound loop: an HTTP job cancel propagates down to the
+	// next limitHit check of every search worker.
+	Context context.Context
 	// Log, when non-nil, receives progress lines. With Workers > 1 it must
 	// be safe for concurrent use.
 	Log func(format string, args ...any)
@@ -521,6 +528,9 @@ func (st *searchState) limitHit() bool {
 			return true
 		default:
 		}
+	}
+	if st.opt.Context != nil && st.opt.Context.Err() != nil {
+		return true
 	}
 	return false
 }

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testEntry(n int) *entry { return &entry{n: n, assignCanon: make([]int, 0)} }
+
+// TestCacheSingleflightDedup: N concurrent identical requests run the solve
+// exactly once; everyone gets the same entry.
+func TestCacheSingleflightDedup(t *testing.T) {
+	c := NewCache(16)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	solve := func(ctx context.Context) (*entry, error) {
+		calls.Add(1)
+		<-release
+		return testEntry(3), nil
+	}
+	const waiters = 10
+	var wg sync.WaitGroup
+	origins := make([]Origin, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, origin, err := c.GetOrSolve(context.Background(), "k", solve)
+			if err != nil || ent.n != 3 {
+				t.Errorf("waiter %d: ent=%v err=%v", i, ent, err)
+			}
+			origins[i] = origin
+		}(i)
+	}
+	// Let every goroutine join the flight before releasing the solve.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.Misses+st.Shared >= waiters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("solve ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != waiters-1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	miss := 0
+	for _, o := range origins {
+		if o == OriginMiss {
+			miss++
+		}
+	}
+	if miss != 1 {
+		t.Fatalf("%d waiters report miss, want 1", miss)
+	}
+	// A later call is a pure hit.
+	if _, origin, _ := c.GetOrSolve(context.Background(), "k", solve); origin != OriginHit {
+		t.Fatalf("follow-up origin = %v", origin)
+	}
+}
+
+// TestCacheLastWaiterCancelsSolve: the solve context fires only after every
+// waiter abandons the flight.
+func TestCacheLastWaiterCancelsSolve(t *testing.T) {
+	c := NewCache(16)
+	solveCancelled := make(chan struct{})
+	started := make(chan struct{})
+	solve := func(ctx context.Context) (*entry, error) {
+		close(started)
+		<-ctx.Done()
+		close(solveCancelled)
+		return nil, ctx.Err()
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = c.GetOrSolve(ctx1, "k", solve)
+	}()
+	<-started
+	// Second waiter joins the same flight; wait until the stats show it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[1] = c.GetOrSolve(ctx2, "k", solve)
+	}()
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Shared == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel1()
+	select {
+	case <-solveCancelled:
+		t.Fatal("solve cancelled while a waiter remained")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel2()
+	select {
+	case <-solveCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve not cancelled after the last waiter left")
+	}
+	wg.Wait()
+	if !errors.Is(errs[0], context.Canceled) || !errors.Is(errs[1], context.Canceled) {
+		t.Fatalf("waiter errors: %v", errs)
+	}
+}
+
+// TestCacheErrorsNotCached: failures are retried, not memoized.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(16)
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	solve := func(ctx context.Context) (*entry, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.GetOrSolve(context.Background(), "k", solve); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err=%v", i, err)
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("solve ran %d times, want 2 (errors must not be cached)", n)
+	}
+	ok := func(ctx context.Context) (*entry, error) { return testEntry(1), nil }
+	if _, origin, err := c.GetOrSolve(context.Background(), "k", ok); err != nil || origin != OriginMiss {
+		t.Fatalf("recovery solve: origin=%v err=%v", origin, err)
+	}
+	if _, origin, _ := c.GetOrSolve(context.Background(), "k", ok); origin != OriginHit {
+		t.Fatal("successful entry was not cached")
+	}
+}
+
+// TestCacheLRUEviction: capacity bounds entries, oldest key evicted first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	mk := func(i int) func(context.Context) (*entry, error) {
+		return func(context.Context) (*entry, error) { return testEntry(i), nil }
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.GetOrSolve(context.Background(), fmt.Sprintf("k%d", i), mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	// k0 was evicted; k2 and k1 remain.
+	if _, origin, _ := c.GetOrSolve(context.Background(), "k1", mk(1)); origin != OriginHit {
+		t.Error("k1 should still be cached")
+	}
+	if _, origin, _ := c.GetOrSolve(context.Background(), "k0", mk(0)); origin != OriginMiss {
+		t.Error("k0 should have been evicted")
+	}
+}

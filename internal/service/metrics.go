@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencySamples bounds the reservoir used for the latency quantiles: a
+// ring of the most recent solves, cheap to record and good enough for
+// operational p50/p99.
+const latencySamples = 1024
+
+// Metrics aggregates service counters. Safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	started   time.Time
+	solves    map[string]uint64 // per engine
+	errors    uint64
+	cancelled uint64
+	ring      [latencySamples]time.Duration
+	ringLen   int
+	ringPos   int
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{started: time.Now(), solves: map[string]uint64{}}
+}
+
+// RecordSolve notes one completed solve request and its end-to-end latency.
+func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solves[engine]++
+	if err != nil {
+		m.errors++
+		return
+	}
+	m.ring[m.ringPos] = d
+	m.ringPos = (m.ringPos + 1) % latencySamples
+	if m.ringLen < latencySamples {
+		m.ringLen++
+	}
+}
+
+// RecordCancelled notes a job cancelled by the client.
+func (m *Metrics) RecordCancelled() {
+	m.mu.Lock()
+	m.cancelled++
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time metrics view used by /healthz and /metrics.
+type Snapshot struct {
+	UptimeMS  int64             `json:"uptime_ms"`
+	Solves    map[string]uint64 `json:"solves"`
+	Errors    uint64            `json:"errors"`
+	Cancelled uint64            `json:"cancelled"`
+	P50MS     float64           `json:"latency_p50_ms"`
+	P99MS     float64           `json:"latency_p99_ms"`
+}
+
+// Snapshot captures current counters and latency quantiles.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeMS:  time.Since(m.started).Milliseconds(),
+		Solves:    make(map[string]uint64, len(m.solves)),
+		Errors:    m.errors,
+		Cancelled: m.cancelled,
+	}
+	for k, v := range m.solves {
+		s.Solves[k] = v
+	}
+	if m.ringLen > 0 {
+		sorted := make([]time.Duration, m.ringLen)
+		copy(sorted, m.ring[:m.ringLen])
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(sorted)-1))
+			return float64(sorted[i]) / 1e6
+		}
+		s.P50MS = q(0.50)
+		s.P99MS = q(0.99)
+	}
+	return s
+}
+
+// Exposition renders the metrics in Prometheus text format, folding in the
+// cache stats and scheduler gauges supplied by the server.
+func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
+	s := m.Snapshot()
+	var b strings.Builder
+	emit := func(name string, v interface{}) {
+		fmt.Fprintf(&b, "sparcsd_%s %v\n", name, v)
+	}
+	for _, eng := range sortedKeys(s.Solves) {
+		fmt.Fprintf(&b, "sparcsd_solve_total{engine=%q} %d\n", eng, s.Solves[eng])
+	}
+	emit("solve_errors_total", s.Errors)
+	emit("jobs_cancelled_total", s.Cancelled)
+	emit("cache_hits_total", cache.Hits)
+	emit("cache_misses_total", cache.Misses)
+	emit("cache_inflight_shared_total", cache.Shared)
+	emit("cache_evictions_total", cache.Evictions)
+	emit("cache_remap_fallbacks_total", cache.RemapFallbacks)
+	emit("cache_entries", cache.Entries)
+	fmt.Fprintf(&b, "sparcsd_cache_hit_rate %.4f\n", cache.HitRate())
+	emit("queue_depth", queueDepth)
+	fmt.Fprintf(&b, "sparcsd_jobs{state=%q} %d\n", "running", running)
+	fmt.Fprintf(&b, "sparcsd_jobs{state=%q} %d\n", "queued", queueDepth)
+	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds{quantile=\"0.5\"} %.6f\n", s.P50MS/1e3)
+	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds{quantile=\"0.99\"} %.6f\n", s.P99MS/1e3)
+	emit("uptime_seconds", s.UptimeMS/1000)
+	return b.String()
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

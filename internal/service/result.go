@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+	"repro/internal/tempart"
+)
+
+// SolveRequest is the wire form of a solve request, shared by
+// POST /v1/solve, /v1/jobs, and each element of /v1/batch.
+type SolveRequest struct {
+	// Graph is a task graph in the dfg wire schema (the same JSON that
+	// cmd/tgen emits and cmd/sparcs -graph consumes).
+	Graph json.RawMessage `json:"graph"`
+	// Board selects an architecture preset (default "paper").
+	Board string `json:"board,omitempty"`
+	// Engine selects the backend (default "ilp").
+	Engine string `json:"engine,omitempty"`
+
+	Workers            int  `json:"workers,omitempty"`
+	SpeculateN         int  `json:"speculate_n,omitempty"`
+	MaxPartitions      int  `json:"max_partitions,omitempty"`
+	PathCap            int  `json:"path_cap,omitempty"`
+	MaxNodes           int  `json:"max_nodes,omitempty"`
+	NoSymmetryBreaking bool `json:"no_symmetry_breaking,omitempty"`
+	NoCache            bool `json:"no_cache,omitempty"`
+}
+
+// Parse validates the wire request into a Request.
+func (sr *SolveRequest) Parse() (*Request, error) {
+	if len(sr.Graph) == 0 {
+		return nil, fmt.Errorf("service: request has no graph")
+	}
+	var g dfg.Graph
+	if err := json.Unmarshal(sr.Graph, &g); err != nil {
+		return nil, fmt.Errorf("service: bad graph: %w", err)
+	}
+	boardName := sr.Board
+	if boardName == "" {
+		boardName = "paper"
+	}
+	board, err := arch.BoardByName(boardName)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	engine := sr.Engine
+	if engine == "" {
+		engine = "ilp"
+	}
+	if _, err := LookupBackend(engine); err != nil {
+		return nil, err
+	}
+	if sr.Workers < 0 || sr.SpeculateN < 0 || sr.MaxPartitions < 0 ||
+		sr.PathCap < 0 || sr.MaxNodes < 0 {
+		return nil, fmt.Errorf("service: negative solver knob")
+	}
+	return &Request{
+		Graph: &g,
+		Board: board,
+		// Report the resolved board name (not the preset alias) so the
+		// service payload matches cmd/sparcs -o json exactly.
+		BoardName:          board.Name,
+		Engine:             engine,
+		Workers:            sr.Workers,
+		SpeculateN:         sr.SpeculateN,
+		MaxPartitions:      sr.MaxPartitions,
+		PathCap:            sr.PathCap,
+		MaxNodes:           sr.MaxNodes,
+		NoSymmetryBreaking: sr.NoSymmetryBreaking,
+		NoCache:            sr.NoCache,
+	}, nil
+}
+
+// PartitionResult describes one temporal partition in a Result.
+type PartitionResult struct {
+	Index   int      `json:"index"` // 0-based execution order
+	Tasks   []string `json:"tasks"`
+	CLBs    int      `json:"clbs"`
+	DelayNS float64  `json:"delay_ns"`
+}
+
+// Result is the machine-readable solve payload. cmd/sparcs emits exactly
+// this struct under `-o json`, so CLI and service clients parse one schema.
+type Result struct {
+	Graph      string            `json:"graph"`
+	Engine     string            `json:"engine"`
+	Board      string            `json:"board"`
+	N          int               `json:"n"`
+	Optimal    bool              `json:"optimal"`
+	LatencyNS  float64           `json:"latency_ns"`
+	Partitions []PartitionResult `json:"partitions"`
+	// Assign maps task name -> 0-based partition.
+	Assign map[string]int `json:"assign,omitempty"`
+
+	// Solver statistics (zero for pure cache hits).
+	Nodes        int     `json:"nodes,omitempty"`
+	LPIterations int     `json:"lp_iterations,omitempty"`
+	SolveMS      float64 `json:"solve_ms"`
+
+	// Cache reports how the service produced the result: "miss" (fresh
+	// solve), "hit" (memo cache), "shared" (deduplicated onto another
+	// in-flight identical solve), or "" for direct CLI runs.
+	Cache string `json:"cache,omitempty"`
+}
+
+// NewResult assembles the shared payload from a partitioning.
+func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) *Result {
+	r := &Result{
+		Graph:        g.Name,
+		Engine:       engine,
+		Board:        boardName,
+		N:            p.N,
+		Optimal:      p.Optimal,
+		LatencyNS:    p.Latency,
+		Nodes:        p.Stats.Nodes,
+		LPIterations: p.Stats.LPIterations,
+	}
+	if p.N == 0 {
+		return r
+	}
+	r.Assign = make(map[string]int, g.NumTasks())
+	r.Partitions = make([]PartitionResult, p.N)
+	for i := range r.Partitions {
+		r.Partitions[i].Index = i
+		if i < len(p.Delays) {
+			r.Partitions[i].DelayNS = p.Delays[i]
+		}
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		task := g.Task(t)
+		pi := p.Assign[t]
+		r.Assign[task.Name] = pi
+		r.Partitions[pi].Tasks = append(r.Partitions[pi].Tasks, task.Name)
+		r.Partitions[pi].CLBs += task.Resources
+	}
+	return r
+}

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/tempart"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers bounds concurrent solves (the worker pool size; <= 0
+	// selects 4).
+	Workers int
+	// QueueCap bounds the number of queued-but-unstarted jobs (<= 0
+	// selects 256); past it the API answers 503.
+	QueueCap int
+	// CacheSize bounds the memo cache in entries (<= 0 selects 1024).
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (<= 0 selects 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the partitioning service: request parsing, the cache-aware
+// solve path, and the HTTP API. Create with New, serve via Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	sched   *Scheduler
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.solve)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes cache counters (tests and /healthz).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Scheduler exposes the job scheduler (tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Shutdown cancels in-flight work and waits for the worker pool to drain.
+func (s *Server) Shutdown() { s.sched.Shutdown() }
+
+// solve is the cache-aware execution path every request funnels through
+// (the scheduler's workers call it): memo-cache lookup, singleflight join,
+// or a fresh backend solve, followed by canonical-transfer verification for
+// results that came from a different (isomorphic) graph.
+func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
+	start := time.Now()
+	be, err := LookupBackend(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+
+	finish := func(p *tempart.Partitioning, origin Origin, err error) (*Result, error) {
+		s.metrics.RecordSolve(be.Name(), time.Since(start), err)
+		if err != nil {
+			return nil, err
+		}
+		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
+		res.Cache = string(origin)
+		if origin == OriginHit || origin == OriginShared {
+			// The search ran (at most) once, elsewhere; report zero local
+			// search so aggregate node counts stay meaningful.
+			res.Nodes, res.LPIterations = 0, 0
+		}
+		res.SolveMS = float64(time.Since(start).Microseconds()) / 1e3
+		return res, nil
+	}
+
+	if req.NoCache {
+		p, err := be.Solve(ctx, req)
+		return finish(p, OriginMiss, err)
+	}
+
+	key := req.CacheKey()
+	ent, origin, err := s.cache.GetOrSolve(ctx, key, func(sctx context.Context) (*entry, error) {
+		p, err := be.Solve(sctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return newEntry(req.Graph, p), nil
+	})
+	if err != nil {
+		return finish(nil, origin, err)
+	}
+	p, err := ent.apply(req)
+	if err != nil {
+		// Canonical transfer failed (isomorphic-in-hash but not
+		// transfer-compatible, or a genuine hash collision): solve this
+		// graph directly rather than serving a wrong answer.
+		s.cache.noteRemapFallback()
+		p, err = be.Solve(ctx, req)
+		return finish(p, OriginMiss, err)
+	}
+	return finish(p, origin, nil)
+}
+
+// --- HTTP plumbing ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// errStatus maps solve-path errors to HTTP codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, tempart.ErrNoSolution), errors.Is(err, tempart.ErrTaskTooLarge):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var sr SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return nil, false
+	}
+	req, err := sr.Parse()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return req, true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.sched.RunSync(r.Context(), req)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// batchRequest wraps many solves in one call; responses preserve order.
+type batchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+type batchItem struct {
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var br batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if len(br.Requests) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("service: empty batch"))
+		return
+	}
+	resp := batchResponse{Items: make([]batchItem, len(br.Requests))}
+	done := make(chan int, len(br.Requests))
+	for i := range br.Requests {
+		go func(i int) {
+			defer func() { done <- i }()
+			req, err := br.Requests[i].Parse()
+			if err != nil {
+				resp.Items[i].Error = err.Error()
+				return
+			}
+			res, err := s.sched.RunSync(r.Context(), req)
+			if err != nil {
+				resp.Items[i].Error = err.Error()
+				return
+			}
+			resp.Items[i].Result = res
+		}(i)
+	}
+	for range br.Requests {
+		<-done
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.sched.Submit(req)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":         job.ID,
+		"status_url": "/v1/jobs/" + job.ID,
+	})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("service: unknown job"))
+		return
+	}
+	job.Cancel()
+	s.metrics.RecordCancelled()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// healthResponse is the /healthz payload: liveness plus the headline
+// operational numbers.
+type healthResponse struct {
+	Status     string     `json:"status"`
+	Engines    []string   `json:"engines"`
+	Workers    int        `json:"workers"`
+	QueueDepth int        `json:"queue_depth"`
+	Running    int        `json:"running"`
+	Cache      CacheStats `json:"cache"`
+	Metrics    Snapshot   `json:"metrics"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Engines:    BackendNames(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.sched.QueueDepth(),
+		Running:    s.sched.Running(),
+		Cache:      s.cache.Stats(),
+		Metrics:    s.metrics.Snapshot(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.Exposition(
+		s.cache.Stats(), s.sched.QueueDepth(), s.sched.Running()))
+}

@@ -1,0 +1,553 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dfg"
+)
+
+// --- graph fixtures -------------------------------------------------------
+
+// chainGraph: forced into one partition per task pair on the small board.
+func chainGraph() *dfg.Graph {
+	g := dfg.New("chain")
+	g.MustAddTask(dfg.Task{Name: "a", Resources: 60, Delay: 50, ReadEnv: 2})
+	g.MustAddTask(dfg.Task{Name: "b", Resources: 60, Delay: 70})
+	g.MustAddTask(dfg.Task{Name: "c", Resources: 60, Delay: 40})
+	g.MustAddTask(dfg.Task{Name: "d", Resources: 60, Delay: 90, WriteEnv: 2})
+	g.MustAddEdge("a", "b", 4)
+	g.MustAddEdge("b", "c", 4)
+	g.MustAddEdge("c", "d", 4)
+	return g
+}
+
+// pairsGraph: fast/slow parallel pairs where greedy packing is suboptimal.
+func pairsGraph() *dfg.Graph {
+	g := dfg.New("pairs")
+	for i := 0; i < 3; i++ {
+		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("f%d", i), Type: "F", Resources: 30, Delay: 10, ReadEnv: 1})
+		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("s%d", i), Type: "S", Resources: 30, Delay: 500, WriteEnv: 1})
+		g.MustAddEdge(fmt.Sprintf("f%d", i), fmt.Sprintf("s%d", i), 2)
+	}
+	return g
+}
+
+// diamondGraph: a fork/join with memory-weighted edges.
+func diamondGraph() *dfg.Graph {
+	g := dfg.New("diamond")
+	g.MustAddTask(dfg.Task{Name: "src", Resources: 50, Delay: 30, ReadEnv: 4})
+	g.MustAddTask(dfg.Task{Name: "l", Resources: 50, Delay: 60})
+	g.MustAddTask(dfg.Task{Name: "r", Resources: 50, Delay: 80})
+	g.MustAddTask(dfg.Task{Name: "sink", Resources: 50, Delay: 20, WriteEnv: 4})
+	g.MustAddEdge("src", "l", 8)
+	g.MustAddEdge("src", "r", 8)
+	g.MustAddEdge("l", "sink", 8)
+	g.MustAddEdge("r", "sink", 8)
+	return g
+}
+
+// wideGraph: independent tasks, pure packing.
+func wideGraph() *dfg.Graph {
+	g := dfg.New("wide")
+	for i := 0; i < 6; i++ {
+		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("w%d", i), Resources: 30, Delay: float64(20 + 10*i), ReadEnv: 1, WriteEnv: 1})
+	}
+	return g
+}
+
+// hardGraphJSON is an instance whose branch-and-bound runs for minutes if
+// not cancelled: 24 interchangeable tasks with symmetry breaking disabled.
+func hardGraphJSON(t *testing.T) json.RawMessage {
+	g := dfg.New("hard")
+	for i := 0; i < 24; i++ {
+		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
+			Resources: 30, Delay: 100, ReadEnv: 1, WriteEnv: 1})
+	}
+	return marshalGraph(t, g)
+}
+
+func marshalGraph(t testing.TB, g *dfg.Graph) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func mustMarshal(g *dfg.Graph) json.RawMessage {
+	data, err := json.Marshal(g)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// directOptimum solves g with the flow the service wraps, for comparison.
+func directOptimum(t testing.TB, g *dfg.Graph) (int, float64) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Board = mustBoard(t, "small")
+	d, err := core.Build(g, cfg)
+	if err != nil {
+		t.Fatalf("direct core.Build(%s): %v", g.Name, err)
+	}
+	return d.Partitioning.N, d.Partitioning.Latency
+}
+
+func mustBoard(t testing.TB, name string) arch.Board {
+	t.Helper()
+	b, err := arch.BoardByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// --- HTTP helpers ---------------------------------------------------------
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown()
+	})
+	return svc, ts
+}
+
+func postJSON(t testing.TB, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t testing.TB, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// --- the acceptance test --------------------------------------------------
+
+// TestE2EBatchCacheAndCancel is the end-to-end acceptance test of the
+// service PR: a batch of 100 requests over 4 distinct graphs completes with
+// >= 96 cache/singleflight hits and optima identical to direct core calls,
+// and a cancelled async job stops the underlying branch-and-bound search
+// (observed through the threaded context) without affecting other in-flight
+// jobs.
+func TestE2EBatchCacheAndCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	graphs := []*dfg.Graph{chainGraph(), pairsGraph(), diamondGraph(), wideGraph()}
+	type want struct {
+		n   int
+		lat float64
+	}
+	wants := make(map[string]want, len(graphs))
+	for _, g := range graphs {
+		n, lat := directOptimum(t, g)
+		wants[g.Name] = want{n, lat}
+	}
+
+	// 100 requests cycling over the 4 graphs, in one batch call.
+	var batch batchRequest
+	for i := 0; i < 100; i++ {
+		batch.Requests = append(batch.Requests, SolveRequest{
+			Graph: marshalGraph(t, graphs[i%len(graphs)]),
+			Board: "small",
+		})
+	}
+	code, body := postJSON(t, ts.URL+"/v1/batch", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch: HTTP %d: %s", code, body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 100 {
+		t.Fatalf("batch returned %d items", len(resp.Items))
+	}
+	served := map[string]int{}
+	for i, item := range resp.Items {
+		if item.Error != "" {
+			t.Fatalf("batch item %d failed: %s", i, item.Error)
+		}
+		w := wants[item.Result.Graph]
+		if item.Result.N != w.n || item.Result.LatencyNS != w.lat {
+			t.Fatalf("batch item %d (%s): N=%d lat=%g, direct core gives N=%d lat=%g",
+				i, item.Result.Graph, item.Result.N, item.Result.LatencyNS, w.n, w.lat)
+		}
+		if !item.Result.Optimal {
+			t.Fatalf("batch item %d (%s) not proven optimal", i, item.Result.Graph)
+		}
+		served[item.Result.Cache]++
+	}
+	if served[string(OriginMiss)] != len(graphs) {
+		t.Errorf("want exactly %d misses (one per distinct graph), got %v", len(graphs), served)
+	}
+	if hits := served[string(OriginHit)] + served[string(OriginShared)]; hits < 96 {
+		t.Errorf("want >= 96 cache/singleflight hits, got %d (%v)", hits, served)
+	}
+
+	// An isomorphic copy (renamed tasks, shuffled insertion order) of a
+	// solved graph must hit the cache and come back with its own names.
+	iso := dfg.New("chain-iso")
+	src := chainGraph()
+	order := []int{3, 1, 0, 2}
+	for _, ti := range order {
+		task := *src.Task(ti)
+		task.Name = "re_" + task.Name
+		iso.MustAddTask(task)
+	}
+	for _, e := range src.Edges() {
+		iso.MustAddEdge("re_"+src.Task(e.From).Name, "re_"+src.Task(e.To).Name, e.Data)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: marshalGraph(t, iso), Board: "small"})
+	if code != http.StatusOK {
+		t.Fatalf("iso solve: HTTP %d: %s", code, body)
+	}
+	var isoRes Result
+	if err := json.Unmarshal(body, &isoRes); err != nil {
+		t.Fatal(err)
+	}
+	if isoRes.Cache != string(OriginHit) {
+		t.Errorf("isomorphic graph got cache=%q, want hit", isoRes.Cache)
+	}
+	w := wants["chain"]
+	if isoRes.N != w.n || isoRes.LatencyNS != w.lat {
+		t.Errorf("isomorphic result N=%d lat=%g, want N=%d lat=%g", isoRes.N, isoRes.LatencyNS, w.n, w.lat)
+	}
+	if _, ok := isoRes.Assign["re_a"]; !ok {
+		t.Errorf("isomorphic result lost the request's task names: %v", isoRes.Assign)
+	}
+
+	// Async cancellation: a hard job whose search would run for minutes is
+	// cancelled mid-solve; the threaded context stops the B&B promptly,
+	// and an easy job in flight at the same time is untouched.
+	var sub struct {
+		ID string `json:"id"`
+	}
+	code, body = postJSON(t, ts.URL+"/v1/jobs", SolveRequest{
+		Graph: hardGraphJSON(t), Board: "small", NoSymmetryBreaking: true, NoCache: true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("job submit: HTTP %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	hardID := sub.ID
+	waitState(t, ts.URL, hardID, JobRunning, 10*time.Second)
+
+	code, body = postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Graph: marshalGraph(t, diamondGraph()), Board: "small"})
+	if code != http.StatusAccepted {
+		t.Fatalf("easy job submit: HTTP %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	easyID := sub.ID
+
+	cancelStart := time.Now()
+	code, _ = postJSON(t, ts.URL+"/v1/jobs/"+hardID+"/cancel", struct{}{})
+	if code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", code)
+	}
+	hardSt := waitState(t, ts.URL, hardID, JobCancelled, 10*time.Second)
+	if d := time.Since(cancelStart); d > 10*time.Second {
+		t.Errorf("cancellation took %v to stop the search", d)
+	}
+	if !strings.Contains(hardSt.Error, "context canceled") {
+		t.Errorf("cancelled job error = %q, want the threaded context's cancellation", hardSt.Error)
+	}
+
+	easySt := waitState(t, ts.URL, easyID, JobDone, 30*time.Second)
+	w = wants["diamond"]
+	if easySt.Result == nil || easySt.Result.N != w.n || easySt.Result.LatencyNS != w.lat {
+		t.Errorf("easy job perturbed by cancel: %+v, want N=%d lat=%g", easySt.Result, w.n, w.lat)
+	}
+}
+
+// waitState polls a job until it reaches state (fatal on timeout or on
+// reaching a different terminal state).
+func waitState(t *testing.T, baseURL, id string, state JobState, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st JobStatus
+		if code := getJSON(t, baseURL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("job %s: HTTP %d", id, code)
+		}
+		if st.State == state {
+			return st
+		}
+		terminal := st.State == JobDone || st.State == JobFailed || st.State == JobCancelled
+		if terminal {
+			t.Fatalf("job %s reached %q (err=%q), want %q", id, st.State, st.Error, state)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, st.State, state)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// --- focused endpoint tests ----------------------------------------------
+
+func TestSolveMatchesListBackend(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	g := pairsGraph()
+	code, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Graph: marshalGraph(t, g), Board: "small", Engine: "list",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Board = mustBoard(t, "small")
+	cfg.Partitioner = core.ListPartitioner
+	d, err := core.Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != d.Partitioning.N || res.LatencyNS != d.Partitioning.Latency {
+		t.Fatalf("list engine: N=%d lat=%g, direct N=%d lat=%g",
+			res.N, res.LatencyNS, d.Partitioning.N, d.Partitioning.Latency)
+	}
+	if res.Engine != "list" {
+		t.Fatalf("engine = %q", res.Engine)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed-json", `{`, http.StatusBadRequest},
+		{"no-graph", `{}`, http.StatusBadRequest},
+		{"bad-graph-cycle", `{"graph":{"tasks":[{"name":"a"},{"name":"b"}],
+			"edges":[{"from":"a","to":"b","data":1},{"from":"b","to":"a","data":1}]}}`, http.StatusBadRequest},
+		{"dup-task", `{"graph":{"tasks":[{"name":"a"},{"name":"a"}]}}`, http.StatusBadRequest},
+		{"unknown-board", `{"graph":{"tasks":[{"name":"a"}]},"board":"nope"}`, http.StatusBadRequest},
+		{"unknown-engine", `{"graph":{"tasks":[{"name":"a"}]},"engine":"magic"}`, http.StatusBadRequest},
+		{"negative-knob", `{"graph":{"tasks":[{"name":"a"}]},"workers":-1}`, http.StatusBadRequest},
+		{"task-too-large", `{"graph":{"tasks":[{"name":"a","resources":9999,"delay":1}]},"board":"small"}`,
+			http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("HTTP %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/doesnotexist", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", code)
+	}
+}
+
+func TestQueueFullReturns503(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	hard := hardGraphJSON(t)
+	submit := func() (int, string) {
+		code, body := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{
+			Graph: hard, Board: "small", NoSymmetryBreaking: true, NoCache: true,
+		})
+		var sub struct {
+			ID string `json:"id"`
+		}
+		_ = json.Unmarshal(body, &sub)
+		return code, sub.ID
+	}
+	var ids []string
+	got503 := false
+	for i := 0; i < 4; i++ {
+		code, id := submit()
+		switch code {
+		case http.StatusAccepted:
+			ids = append(ids, id)
+		case http.StatusServiceUnavailable:
+			got503 = true
+		default:
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+	}
+	if !got503 {
+		t.Error("queue never overflowed into 503")
+	}
+	for _, id := range ids {
+		postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", struct{}{})
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: marshalGraph(t, wideGraph()), Board: "small"})
+	if code != http.StatusOK {
+		t.Fatalf("solve: HTTP %d: %s", code, body)
+	}
+	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: marshalGraph(t, wideGraph()), Board: "small"})
+
+	var health healthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if health.Status != "ok" || len(health.Engines) < 2 {
+		t.Fatalf("healthz payload: %+v", health)
+	}
+	if health.Cache.Misses != 1 || health.Cache.Hits != 1 {
+		t.Errorf("cache stats after identical solves: %+v", health.Cache)
+	}
+	if health.Metrics.Solves["ilp"] != 2 {
+		t.Errorf("metrics solves: %+v", health.Metrics.Solves)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{
+		"sparcsd_solve_total{engine=\"ilp\"} 2",
+		"sparcsd_cache_hits_total 1",
+		"sparcsd_cache_misses_total 1",
+		"sparcsd_queue_depth 0",
+		"sparcsd_solve_latency_seconds{quantile=\"0.5\"}",
+		"sparcsd_solve_latency_seconds{quantile=\"0.99\"}",
+	} {
+		if !strings.Contains(string(text), key) {
+			t.Errorf("metrics exposition missing %q:\n%s", key, text)
+		}
+	}
+}
+
+// TestCacheKeyExcludesParallelismKnobs pins that requests differing only in
+// Workers/SpeculateN share an entry (the knobs are result-equivalent).
+func TestCacheKeyExcludesParallelismKnobs(t *testing.T) {
+	g := chainGraph()
+	base := SolveRequest{Graph: marshalGraph(t, g), Board: "small"}
+	r1, err := base.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers, par.SpeculateN = 4, 3
+	r2, err := par.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheKey() != r2.CacheKey() {
+		t.Error("workers/speculate_n changed the cache key")
+	}
+	for name, mut := range map[string]func(*SolveRequest){
+		"board":       func(sr *SolveRequest) { sr.Board = "paper" },
+		"engine":      func(sr *SolveRequest) { sr.Engine = "list" },
+		"max-nodes":   func(sr *SolveRequest) { sr.MaxNodes = 7 },
+		"path-cap":    func(sr *SolveRequest) { sr.PathCap = 9 },
+		"no-symmetry": func(sr *SolveRequest) { sr.NoSymmetryBreaking = true },
+		"max-parts":   func(sr *SolveRequest) { sr.MaxPartitions = 5 },
+	} {
+		sr := base
+		mut(&sr)
+		r3, err := sr.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r3.CacheKey() == r1.CacheKey() {
+			t.Errorf("knob %s did not change the cache key", name)
+		}
+	}
+}
+
+// TestGracefulShutdownUnderLoad drives concurrent traffic into Shutdown and
+// expects no panic, deadlock, or lost worker.
+func TestGracefulShutdownUnderLoad(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueCap: 8})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := []*dfg.Graph{chainGraph(), pairsGraph(), diamondGraph(), wideGraph()}[rng.Intn(4)]
+				data, _ := json.Marshal(SolveRequest{Graph: mustMarshal(g), Board: "small"})
+				// Errors are fine here: the server is being torn down under us.
+				if resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(data)); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond)
+	svc.Shutdown()
+	close(stop)
+	wg.Wait()
+	// After shutdown, new work is refused cleanly.
+	code, _ := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: marshalGraph(t, wideGraph()), Board: "small"})
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown solve: HTTP %d, want 503", code)
+	}
+}

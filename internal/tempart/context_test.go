@@ -1,0 +1,80 @@
+package tempart
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+)
+
+// hardInput builds an instance whose B&B search runs far longer than the
+// test timeout when not cancelled: many interchangeable tasks with symmetry
+// breaking and the warm start disabled, so the search has to enumerate
+// permutations of equivalent placements.
+func hardInput(nTasks int) Input {
+	g := dfg.New("hard")
+	for i := 0; i < nTasks; i++ {
+		g.MustAddTask(dfg.Task{
+			Name: fmt.Sprintf("t%02d", i), Type: "T",
+			Resources: 30, Delay: 100, ReadEnv: 1, WriteEnv: 1,
+		})
+	}
+	b := arch.SmallTestBoard() // 100 CLBs: three tasks per partition
+	return Input{Graph: g, Board: b, NoSymmetryBreaking: true, DisableWarmStart: true}
+}
+
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := SolveContext(ctx, hardInput(24))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled solve returned %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("pre-cancelled solve took %v", el)
+	}
+}
+
+func TestSolveContextCancelStopsSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := SolveContext(ctx, hardInput(24))
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled solve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("solve did not observe cancellation (running %v)", time.Since(start))
+	}
+}
+
+// TestSolveContextCompletesUncancelled pins that a live context does not
+// perturb results: same optimum as the plain Solve path.
+func TestSolveContextCompletesUncancelled(t *testing.T) {
+	in := randomDAG(3, 10)
+	b := arch.SmallTestBoard()
+	want, err := Solve(Input{Graph: in, Board: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveContext(context.Background(), Input{Graph: in, Board: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.Latency != want.Latency {
+		t.Fatalf("ctx solve diverged: N=%d lat=%g vs N=%d lat=%g",
+			got.N, got.Latency, want.N, want.Latency)
+	}
+}

@@ -28,6 +28,7 @@
 package tempart
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -139,6 +140,23 @@ func MinPartitions(g *dfg.Graph, board arch.Board) int {
 		n = 1
 	}
 	return n
+}
+
+// SolveContext is Solve with request-scoped cancellation: ctx is installed
+// as the branch-and-bound's ilp.Options.Context (replacing any Context
+// already present in in.ILP), so cancelling it aborts every search worker
+// and every speculative relax-N probe at its next limit check. A cancelled
+// solve returns ctx.Err() even when the aborted search had already found a
+// feasible (but unproven) incumbent.
+func SolveContext(ctx context.Context, in Input) (*Partitioning, error) {
+	if ctx != nil {
+		in.ILP.Context = ctx
+	}
+	part, err := Solve(in)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return part, err
 }
 
 // Solve runs the full temporal partitioning tool: preprocessing, model
