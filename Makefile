@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test vet bench bench-smoke race loadtest
+.PHONY: all build test vet bench bench-smoke bench-gate race loadtest
 
 all: vet build test
 
@@ -16,15 +16,24 @@ vet:
 test:
 	$(GO) test ./...
 
-# bench runs the full benchmark suite once and archives the machine-readable
-# result as BENCH_<date>.json, so the perf trajectory accumulates in-tree.
+# bench runs the full benchmark suite once with a pinned -benchtime and
+# archives the machine-readable result as BENCH_<date>.json, so the perf
+# trajectory accumulates in-tree. The deterministic search metrics
+# (B&B-nodes, nodes-pruned-combinatorial, lp-solves-skipped, pivots/op)
+# make pruning wins visible run over run even when wall-clock is noisy.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . > BENCH_$(DATE).json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 -benchmem -json . > BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
 # bench-smoke is the quick CI variant: just the tempart solver-core benches.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkTempart -benchtime 1x -benchmem .
+
+# bench-gate runs the suite fresh and fails when nodes/sec or allocs/op
+# regress >20% against the newest committed BENCH_*.json baseline.
+bench-gate:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 -benchmem -json . > /tmp/bench-current.json
+	$(GO) run ./cmd/benchgate -old $$(ls BENCH_*.json | sort | tail -1) -new /tmp/bench-current.json
 
 # race runs the concurrency-heavy packages under the race detector.
 race:

@@ -214,6 +214,9 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	b.ReportMetric(float64(p.N), "partitions")
 	b.ReportMetric(float64(p.Stats.Nodes), "B&B-nodes")
 	b.ReportMetric(float64(p.Stats.Nodes)/p.Stats.SolveTime.Seconds(), "nodes/sec")
+	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
+	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
+	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
 	b.ReportMetric(p.Latency, "latency-ns")
 }
 
@@ -239,6 +242,9 @@ func BenchmarkTempartDCTWarmStart(b *testing.B) {
 	b.ReportMetric(float64(st.WarmSolves), "warm-solves")
 	b.ReportMetric(float64(st.ColdSolves), "cold-solves")
 	b.ReportMetric(float64(st.DualPivots), "dual-pivots")
+	b.ReportMetric(float64(st.Pivots), "pivots/op")
+	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
+	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
 }
 
 // BenchmarkTempartDCTParallel runs the same solve with the parallel subtree
@@ -486,6 +492,9 @@ func BenchmarkILP_FIRBank(b *testing.B) {
 	}
 	b.ReportMetric(float64(p.N), "partitions")
 	b.ReportMetric(float64(p.Stats.Nodes), "B&B-nodes")
+	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
+	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
+	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
 }
 
 // BenchmarkDCT8x8Greedy partitions the 128-task 8x8 DCT generalization

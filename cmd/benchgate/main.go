@@ -1,0 +1,212 @@
+// Command benchgate is the CI bench-regression gate: it compares a fresh
+// benchmark run against the committed baseline and fails (exit 1) when a
+// gated metric regresses by more than the threshold.
+//
+// Both inputs are `go test -json` streams as written by `make bench`
+// (BENCH_<date>.json). Gated metrics, per benchmark present in both files:
+//
+//   - allocs/op:    higher is a regression (deterministic)
+//   - B&B-nodes:    higher is a regression (deterministic search size)
+//   - pivots/op:    higher is a regression (deterministic simplex work)
+//   - nodes/sec:    lower is a regression (search throughput; wall-clock
+//     derived, so it carries machine noise — the deterministic counters
+//     above are the machine-independent teeth of the gate)
+//
+// Metrics are only gated when both runs report a nonzero value (a solve
+// the presolve fully fathoms legitimately reports zero nodes), so a
+// benchmark that stops searching altogether never trips the gate. ns/op is
+// printed for context but not gated: a single -benchtime 1x sample on a
+// shared CI runner is too noisy for a hard wall-clock gate.
+//
+// Usage:
+//
+//	benchgate -old BENCH_20260728.json -new /tmp/bench.json [-threshold 0.20]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema we need.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// benchResult holds one benchmark's parsed metrics, keyed by unit
+// ("ns/op", "allocs/op", "nodes/sec", ...).
+type benchResult map[string]float64
+
+// parseBenchFile groups the -json output lines per benchmark and parses the
+// "value unit" pairs of each result line. Benchmark output may be split
+// across several events (the runner flushes mid-line), so outputs are
+// concatenated per test before parsing.
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	outputs := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise
+		}
+		if ev.Action != "output" || ev.Test == "" || !strings.HasPrefix(ev.Test, "Benchmark") {
+			continue
+		}
+		b, ok := outputs[ev.Test]
+		if !ok {
+			b = &strings.Builder{}
+			outputs[ev.Test] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := map[string]benchResult{}
+	for name, b := range outputs {
+		if r := parseBenchOutput(b.String()); len(r) > 0 {
+			results[name] = r
+		}
+	}
+	return results, nil
+}
+
+// parseBenchOutput extracts "value unit" pairs from a benchmark result
+// line like
+//
+//	BenchmarkX  \t 1 \t 123456 ns/op \t 37.00 B&B-nodes \t 97088 B/op \t 1154 allocs/op
+func parseBenchOutput(s string) benchResult {
+	fields := strings.Fields(s)
+	r := benchResult{}
+	for i := 0; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if strings.HasPrefix(unit, "Benchmark") || unit == "PASS" || unit == "ok" {
+			continue
+		}
+		// The iteration count has no unit token after it that looks like a
+		// unit; only keep pairs whose unit contains a non-numeric rune.
+		if _, err := strconv.ParseFloat(unit, 64); err == nil {
+			continue
+		}
+		if _, dup := r[unit]; !dup {
+			r[unit] = v
+		}
+		i++
+	}
+	return r
+}
+
+// gate describes one gated metric.
+type gate struct {
+	unit        string
+	higherIsBad bool
+}
+
+var gates = []gate{
+	{"allocs/op", true},
+	{"B&B-nodes", true},
+	{"pivots/op", true},
+	{"nodes/sec", false},
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline go test -json bench file (committed BENCH_<date>.json)")
+	newPath := flag.String("new", "", "fresh go test -json bench file to check")
+	threshold := flag.Float64("threshold", 0.20, "relative regression threshold")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRes, err := parseBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newRes, err := parseBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if _, ok := oldRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between baseline and fresh run")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		o, n := oldRes[name], newRes[name]
+		for _, g := range gates {
+			ov, okO := o[g.unit]
+			nv, okN := n[g.unit]
+			if !okO || !okN {
+				continue
+			}
+			if g.higherIsBad && ov == 0 && nv > 0 {
+				// A deterministic counter springing from zero is an
+				// unbounded relative regression: a search that the presolve
+				// used to fathom completely has started exploring again.
+				fmt.Printf("%-36s %-12s old=%-14.4g new=%-14.4g   +inf%%  REGRESSION\n",
+					name, g.unit, ov, nv)
+				failed = true
+				continue
+			}
+			if ov == 0 || nv == 0 {
+				// Remaining zero cases carry no gateable ratio: a metric
+				// dropping to zero is an improvement for the higher-is-bad
+				// counters, and nodes/sec is meaningless without nodes.
+				continue
+			}
+			var reg float64
+			if g.higherIsBad {
+				reg = nv/ov - 1
+			} else {
+				reg = ov/nv - 1
+			}
+			status := "ok"
+			if reg > *threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-36s %-12s old=%-14.4g new=%-14.4g %+6.1f%%  %s\n",
+				name, g.unit, ov, nv, 100*reg, status)
+		}
+		if ns, ok := n["ns/op"]; ok {
+			if os_, ok2 := o["ns/op"]; ok2 {
+				fmt.Printf("%-36s %-12s old=%-14.4g new=%-14.4g %+6.1f%%  (info)\n",
+					name, "ns/op", os_, ns, 100*(ns/os_-1))
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: regression beyond %.0f%% threshold\n", 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	line := "BenchmarkILP_DCTPartitioning \t       1\t 562724284 ns/op\t        37.00 B&B-nodes\t 300001330 latency-ns\t        65.77 nodes/sec\t 2844856 B/op\t    2227 allocs/op\n"
+	r := parseBenchOutput(line)
+	for unit, want := range map[string]float64{
+		"ns/op": 562724284, "B&B-nodes": 37, "nodes/sec": 65.77,
+		"B/op": 2844856, "allocs/op": 2227, "latency-ns": 300001330,
+	} {
+		if got := r[unit]; got != want {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+}
+
+// writeFixture emits a minimal `go test -json` stream with one benchmark,
+// split across two output events like the real runner does.
+func writeFixture(t *testing.T, dir, name, head, tail string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data := `{"Action":"run","Test":"BenchmarkX"}
+{"Action":"output","Test":"BenchmarkX","Output":"` + head + `"}
+{"Action":"output","Test":"BenchmarkX","Output":"` + tail + `"}
+{"Action":"pass","Test":"BenchmarkX"}
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchFileJoinsSplitOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "a.json",
+		`BenchmarkX \t`, `       1\t 1000 ns/op\t 50.0 nodes/sec\t 120 allocs/op\n`)
+	res, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["BenchmarkX"]
+	if !ok {
+		t.Fatalf("BenchmarkX missing: %v", res)
+	}
+	if r["ns/op"] != 1000 || r["nodes/sec"] != 50 || r["allocs/op"] != 120 {
+		t.Errorf("parsed %v", r)
+	}
+}

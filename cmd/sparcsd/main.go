@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,25 +42,40 @@ func main() {
 		cacheArg   = flag.Int("cache", 1024, "memo cache capacity (entries)")
 		drainArg   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		maxBodyArg = flag.Int64("max-body", 8<<20, "max request body bytes")
+		pprofArg   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling of live solves)")
 	)
 	flag.Parse()
 
-	if err := run(*addrArg, *workersArg, *queueArg, *cacheArg, *maxBodyArg, *drainArg); err != nil {
+	if err := run(*addrArg, *workersArg, *queueArg, *cacheArg, *maxBodyArg, *drainArg, *pprofArg); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, maxBody int64, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, maxBody int64, drain time.Duration, enablePprof bool) error {
 	svc := service.New(service.Config{
 		Workers:      workers,
 		QueueCap:     queue,
 		CacheSize:    cache,
 		MaxBodyBytes: maxBody,
 	})
+	handler := svc.Handler()
+	if enablePprof {
+		// Guarded behind the flag: profiling endpoints expose internals and
+		// cost CPU, so production deployments opt in explicitly.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+		fmt.Println("sparcsd: pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,5 +1,5 @@
 // Package ilp implements a branch-and-bound integer linear programming
-// solver on top of the warm-started simplex solver in internal/lp.
+// solver on top of the warm-started revised simplex solver in internal/lp.
 //
 // It supports mixed problems in which a subset of the variables is marked
 // integral (in practice, the 0-1 placement variables of the temporal
@@ -12,8 +12,17 @@
 // their parent's basis snapshot so a worker picking up a foreign subtree
 // can seed its solver via ResolveFrom.
 //
-// The search runs depth-first with best-bound child ordering. With
-// Options.Workers > 1 independent subtrees are farmed out to worker
+// The search is organised prune-first: open nodes live on a bound-ordered
+// priority heap (best-first, with LIFO tie-breaking so equal-bound children
+// dive like DFS and keep the warm-start locality), every node is screened
+// against the incumbent — and, when Options.NodeBound is set, against a
+// caller-supplied combinatorial lower bound — before its LP relaxation is
+// ever solved, and once the heap minimum cannot beat the incumbent the
+// whole remaining frontier is discarded in one step. Branching prefers SOS1
+// groups; leftover fractional integer variables are chosen by pseudo-cost
+// scores learned during the search.
+//
+// With Options.Workers > 1 independent subtrees are farmed out to worker
 // goroutines that share one incumbent; the objective value found is
 // identical to the sequential search (the set of explored nodes may
 // differ). The solver keeps the best incumbent and its bound, honours node
@@ -96,6 +105,17 @@ type Options struct {
 	// Incumbent optionally provides a known feasible point to warm-start
 	// pruning. Its objective is evaluated against the LP objective.
 	Incumbent []float64
+	// NodeBound, when non-nil, supplies an LP-free combinatorial lower
+	// bound on the objective over a node's bound box. bounds is the node's
+	// variable-bound accessor (the root bounds with the node's branching
+	// fixes applied). feasible=false asserts the box provably contains no
+	// feasible point; otherwise bnd must be a valid lower bound on every
+	// feasible objective value in the box (it is compared against the
+	// incumbent to fathom the node before the simplex runs). A callback
+	// that overclaims makes the search wrongly prune subtrees, so it must
+	// err on the side of weaker bounds. It must be safe for concurrent use
+	// when Workers > 1.
+	NodeBound func(bounds func(j int) (lo, hi float64)) (bnd float64, feasible bool)
 	// Workers sets the number of concurrent search workers (<= 1 means the
 	// sequential search). Each worker owns its own lp.Solver over the shared
 	// model and the workers share one incumbent, so the optimal objective
@@ -143,8 +163,17 @@ type Solution struct {
 	BoundTrusted bool
 	// Dropped counts discarded (unexplorable) nodes.
 	Dropped int
-	// Nodes is the number of B&B nodes explored.
+	// Nodes is the number of B&B nodes explored (LP relaxation solved).
 	Nodes int
+	// PrunedCombinatorial counts nodes fathomed by Options.NodeBound — the
+	// combinatorial bound proved the box infeasible or no better than the
+	// incumbent — without ever running the simplex.
+	PrunedCombinatorial int
+	// LPSolvesSkipped counts all nodes discarded without an LP solve:
+	// combinatorially fathomed nodes plus nodes whose parent bound already
+	// matched the incumbent when they were popped (including frontier
+	// drains once the heap minimum cannot improve the incumbent).
+	LPSolvesSkipped int
 	// LPIterations accumulates simplex pivots across all nodes.
 	LPIterations int
 	// Solver aggregates the underlying lp.Solver activity across all search
@@ -165,9 +194,16 @@ const intTol = 1e-6
 // node is one open branch-and-bound subproblem.
 type node struct {
 	fixes []fix   // bound changes relative to the root
-	bound float64 // parent LP bound (priority hint, valid subtree bound)
+	bound float64 // parent LP bound (heap priority, valid subtree bound)
 	depth int
+	seq   int64     // push order; ties on bound pop LIFO (dive like DFS)
 	basis *lp.Basis // parent basis (warm-start seed for foreign workers)
+
+	// Pseudo-cost bookkeeping: the single-variable branch that created this
+	// node (branchVar < 0 for the root and SOS1 children).
+	branchVar  int
+	branchUp   bool
+	branchFrac float64 // fractional part of branchVar at the parent
 }
 
 type fix struct {
@@ -180,6 +216,7 @@ type fix struct {
 type searcher struct {
 	p       *Problem
 	opt     *Options
+	st      *searchState
 	solver  *lp.Solver
 	rootLo  []float64
 	rootHi  []float64
@@ -187,11 +224,12 @@ type searcher struct {
 	isInt   []bool
 }
 
-func newSearcher(p *Problem, opt *Options, isInt []bool) *searcher {
+func newSearcher(p *Problem, opt *Options, st *searchState, isInt []bool) *searcher {
 	n := p.LP.NumVars()
 	w := &searcher{
 		p:      p,
 		opt:    opt,
+		st:     st,
 		solver: lp.NewSolver(p.LP),
 		rootLo: make([]float64, n),
 		rootHi: make([]float64, n),
@@ -226,9 +264,11 @@ func (w *searcher) applyFixes(fixes []fix) bool {
 
 // nodeResult is what processing one node produces. Exactly one of the
 // following is meaningful depending on lpStatus:
-// children/incumbent (Optimal), nothing (Infeasible/IterLimit/Unbounded).
+// children/incumbent (Optimal), nothing (Infeasible/IterLimit/Unbounded),
+// pruned (fathomed before the LP ran).
 type nodeResult struct {
 	lpStatus lp.Status
+	pruned   bool    // fathomed by the combinatorial bound; no LP was run
 	obj      float64 // node LP bound (valid when lpStatus == Optimal)
 	iters    int
 	children []node
@@ -238,15 +278,26 @@ type nodeResult struct {
 	incObj    float64
 }
 
-// processNode solves one node's LP and applies the branching rules. incObj
-// is the incumbent objective known to the caller (used for pruning and for
-// filtering incumbent candidates; the caller revalidates under its own
-// lock before accepting).
+// processNode screens one node (combinatorial bound first), then solves its
+// LP and applies the branching rules. incObj is the incumbent objective
+// known to the caller (used for pruning and for filtering incumbent
+// candidates; the caller revalidates under its own lock before accepting).
 func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 	r := &nodeResult{incObj: math.Inf(1)}
 	if !w.applyFixes(nd.fixes) {
 		r.lpStatus = lp.Infeasible
 		return r, nil
+	}
+
+	// LP-free fathoming: if the caller's combinatorial bound already proves
+	// the box infeasible or no better than the incumbent, the simplex never
+	// runs for this node.
+	if w.opt.NodeBound != nil {
+		if bnd, feasible := w.opt.NodeBound(w.solver.Bounds); !feasible || bnd > incObj-w.opt.AbsGap {
+			r.pruned = true
+			r.lpStatus = lp.Infeasible
+			return r, nil
+		}
 	}
 
 	var res *lp.Solution
@@ -266,7 +317,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 			return r, nil
 		}
 		// Guard against numerical drift of the incrementally updated warm
-		// tableau: an "optimal" point that violates the original rows forces
+		// basis: an "optimal" point that violates the original rows forces
 		// one from-scratch re-solve of the node.
 		if attempt == 0 && !w.p.LP.RowsSatisfied(res.X, 1e-6) {
 			w.solver.Invalidate()
@@ -301,20 +352,32 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 		}
 	}
 
-	// Find the most fractional integer variable (closest to .5).
+	// Pseudo-cost selection among the fractional integer variables: score
+	// each candidate by the estimated objective degradation of its two
+	// children (product rule); unobserved directions fall back to the
+	// global average, and with no history at all the rule degrades to
+	// most-fractional.
 	branchVar := -1
-	bestDist := math.Inf(1)
-	for _, j := range w.p.Integers {
-		f := res.X[j] - math.Floor(res.X[j])
-		if f > intTol && f < 1-intTol {
-			if d := math.Abs(f - 0.5); d < bestDist {
-				bestDist = d
+	branchFrac := 0.0
+	if bestGroup < 0 {
+		bestScore := -1.0
+		w.st.pcMu.Lock()
+		for _, j := range w.p.Integers {
+			f := res.X[j] - math.Floor(res.X[j])
+			if f <= intTol || f >= 1-intTol {
+				continue
+			}
+			score := math.Max(w.st.pcDownEst(j)*f, 1e-9) * math.Max(w.st.pcUpEst(j)*(1-f), 1e-9)
+			if score > bestScore*(1+1e-9) {
+				bestScore = score
 				branchVar = j
+				branchFrac = f
 			}
 		}
+		w.st.pcMu.Unlock()
 	}
 
-	if branchVar == -1 {
+	if bestGroup < 0 && branchVar == -1 {
 		// Integral: candidate incumbent.
 		if res.Obj < incObj-w.opt.AbsGap {
 			r.incumbent = roundInts(res.X, w.isInt)
@@ -334,7 +397,8 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 
 	// A parent-basis snapshot is only ever consumed by a worker whose own
 	// solver has gone cold, which needs Workers > 1 to happen with foreign
-	// subtrees; the sequential search always warm starts from its own
+	// subtrees; the sequential best-first search pops equal-bound children
+	// right after their parent (LIFO ties) and warm starts from its own
 	// previous basis, so skip the two O(n+2m) copies per branched node.
 	var parentBasis *lp.Basis
 	if w.opt.Workers > 1 {
@@ -344,8 +408,8 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 	if bestGroup >= 0 {
 		grp := w.p.SOS1[bestGroup]
 		// One child per member, fixing it to 1 and siblings to 0. Children
-		// are ordered ascending by LP value so the most promising child ends
-		// up on top of the DFS stack (explored first).
+		// are ordered ascending by LP value so the most promising child is
+		// pushed last and pops first among equal bounds.
 		order := make([]int, len(grp))
 		for i := range order {
 			order[i] = i
@@ -365,7 +429,8 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 				}
 			}
 			r.children = append(r.children, node{
-				fixes: fixes, bound: res.Obj, depth: nd.depth + 1, basis: parentBasis,
+				fixes: fixes, bound: res.Obj, depth: nd.depth + 1,
+				basis: parentBasis, branchVar: -1,
 			})
 		}
 		return r, nil
@@ -374,18 +439,20 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 	v := res.X[branchVar]
 	fl := math.Floor(v)
 	down := node{
-		fixes: appendFix(nd.fixes, fix{branchVar, math.Inf(-1), fl}),
-		bound: res.Obj,
-		depth: nd.depth + 1,
-		basis: parentBasis,
+		fixes:     appendFix(nd.fixes, fix{branchVar, math.Inf(-1), fl}),
+		bound:     res.Obj,
+		depth:     nd.depth + 1,
+		basis:     parentBasis,
+		branchVar: branchVar, branchUp: false, branchFrac: branchFrac,
 	}
 	up := node{
-		fixes: appendFix(nd.fixes, fix{branchVar, fl + 1, math.Inf(1)}),
-		bound: res.Obj,
-		depth: nd.depth + 1,
-		basis: parentBasis,
+		fixes:     appendFix(nd.fixes, fix{branchVar, fl + 1, math.Inf(1)}),
+		bound:     res.Obj,
+		depth:     nd.depth + 1,
+		basis:     parentBasis,
+		branchVar: branchVar, branchUp: true, branchFrac: branchFrac,
 	}
-	// Push the side nearer the LP value last so it is explored first.
+	// Push the side nearer the LP value last so it pops first on a tie.
 	if v-fl > 0.5 {
 		r.children = append(r.children, down, up)
 	} else {
@@ -416,6 +483,10 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		opt:          &opt,
 		incObj:       math.Inf(1),
 		droppedBound: math.Inf(1),
+		pcUpSum:      make([]float64, nVars),
+		pcDownSum:    make([]float64, nVars),
+		pcUpN:        make([]int32, nVars),
+		pcDownN:      make([]int32, nVars),
 	}
 	if opt.TimeLimit > 0 {
 		st.deadline = time.Now().Add(opt.TimeLimit)
@@ -432,16 +503,16 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		}
 	}
 
-	root := newSearcher(p, &opt, isInt)
+	root := newSearcher(p, &opt, st, isInt)
 	searchers := []*searcher{root}
-	st.stack = []node{{bound: math.Inf(-1)}}
+	st.pushNode(node{bound: math.Inf(-1), branchVar: -1})
 
 	// The root node is always processed sequentially: it decides Unbounded,
-	// establishes the root bound, and seeds the stack with first children.
+	// establishes the root bound, and seeds the heap with first children.
 	// A pre-closed Stop channel (a speculative probe already made moot) or a
 	// zero budget skips even that.
 	if st.limitHit() {
-		st.stack = nil
+		st.heap = nil
 	} else if err := st.step(root); err != nil {
 		return nil, err
 	}
@@ -450,12 +521,12 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 			LPIterations: st.lpIters, BoundTrusted: true}, nil
 	}
 
-	if opt.Workers > 1 && len(st.stack) > 0 {
+	if opt.Workers > 1 && len(st.heap) > 0 {
 		var wg sync.WaitGroup
 		for i := 0; i < opt.Workers; i++ {
 			w := root
 			if i > 0 {
-				w = newSearcher(p, &opt, isInt)
+				w = newSearcher(p, &opt, st, isInt)
 				searchers = append(searchers, w)
 			}
 			wg.Add(1)
@@ -469,7 +540,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 			return nil, st.err
 		}
 	} else {
-		for len(st.stack) > 0 && !st.limitHit() {
+		for len(st.heap) > 0 && !st.limitHit() {
 			if err := st.step(root); err != nil {
 				return nil, err
 			}
@@ -489,12 +560,14 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 }
 
 // searchState is the shared branch-and-bound state. The sequential search
-// uses it without locking; workers serialize on mu.
+// uses it without locking (except the pseudo-cost tables); workers
+// serialize on mu.
 type searchState struct {
 	opt      *Options
 	mu       sync.Mutex
 	cond     *sync.Cond
-	stack    []node
+	heap     []node // bound-ordered min-heap, ties pop LIFO
+	seq      int64
 	active   int
 	stopped  bool
 	err      error
@@ -503,9 +576,24 @@ type searchState struct {
 	incumbent []float64
 	incObj    float64
 
-	nodes   int
-	lpIters int
-	dropped int
+	// Pseudo-cost tables (per integer variable, both directions), guarded
+	// by pcMu because workers read them outside mu. The g* aggregates keep
+	// the unobserved-variable fallback O(1) per lookup.
+	pcMu      sync.Mutex
+	pcUpSum   []float64
+	pcDownSum []float64
+	pcUpN     []int32
+	pcDownN   []int32
+	gUpSum    float64
+	gDownSum  float64
+	gUpN      int32
+	gDownN    int32
+
+	nodes      int
+	lpIters    int
+	dropped    int
+	prunedComb int
+	lpSkipped  int
 	// droppedBound tracks the min parent bound among dropped nodes so the
 	// reported Bound stays valid even when subtrees are discarded.
 	droppedBound float64
@@ -513,6 +601,110 @@ type searchState struct {
 	rootSolved bool
 	rootBound  float64
 	unbounded  bool
+}
+
+// ---- bound-ordered node heap (min bound first, LIFO on ties) ----
+
+// nodeBefore reports whether a should pop before b.
+func nodeBefore(a, b *node) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	return a.seq > b.seq
+}
+
+func (st *searchState) pushNode(nd node) {
+	nd.seq = st.seq
+	st.seq++
+	st.heap = append(st.heap, nd)
+	i := len(st.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeBefore(&st.heap[i], &st.heap[p]) {
+			break
+		}
+		st.heap[i], st.heap[p] = st.heap[p], st.heap[i]
+		i = p
+	}
+}
+
+func (st *searchState) popNode() node {
+	h := st.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = node{} // release fix/basis references
+	st.heap = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && nodeBefore(&h[l], &h[best]) {
+			best = l
+		}
+		if r < last && nodeBefore(&h[r], &h[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
+
+// pcUpEst / pcDownEst estimate the per-unit objective degradation of
+// branching variable j up/down. Unobserved variables fall back to the
+// running average over all observations of that direction, or a neutral 1
+// (reducing the product rule to most-fractional) at the very start.
+// Callers hold pcMu.
+func (st *searchState) pcUpEst(j int) float64 {
+	return pcEst(st.pcUpSum, st.pcUpN, j, st.gUpSum, st.gUpN)
+}
+
+func (st *searchState) pcDownEst(j int) float64 {
+	return pcEst(st.pcDownSum, st.pcDownN, j, st.gDownSum, st.gDownN)
+}
+
+func pcEst(sum []float64, n []int32, j int, gSum float64, gN int32) float64 {
+	if n[j] > 0 {
+		return sum[j] / float64(n[j])
+	}
+	if gN > 0 {
+		return gSum / float64(gN)
+	}
+	return 1
+}
+
+// recordPseudoCost folds the observed LP degradation of a branched child
+// into the tables.
+func (st *searchState) recordPseudoCost(nd *node, childObj float64) {
+	j := nd.branchVar
+	if j < 0 || math.IsInf(nd.bound, -1) {
+		return
+	}
+	delta := childObj - nd.bound
+	if delta < 0 {
+		delta = 0
+	}
+	f := nd.branchFrac
+	if f <= intTol || f >= 1-intTol {
+		return
+	}
+	st.pcMu.Lock()
+	if nd.branchUp {
+		st.pcUpSum[j] += delta / (1 - f)
+		st.pcUpN[j]++
+		st.gUpSum += delta / (1 - f)
+		st.gUpN++
+	} else {
+		st.pcDownSum[j] += delta / f
+		st.pcDownN[j]++
+		st.gDownSum += delta / f
+		st.gDownN++
+	}
+	st.pcMu.Unlock()
 }
 
 func (st *searchState) limitHit() bool {
@@ -535,19 +727,30 @@ func (st *searchState) limitHit() bool {
 	return false
 }
 
+// pruneFrontier discards the popped node and — because the heap is
+// bound-ordered — every other open node: none of them can improve the
+// incumbent once the heap minimum cannot. The discarded count is folded
+// into st.lpSkipped. Callers in the parallel path hold st.mu.
+func (st *searchState) pruneFrontier() {
+	st.lpSkipped += 1 + len(st.heap)
+	for i := range st.heap {
+		st.heap[i] = node{} // release fix/basis references
+	}
+	st.heap = st.heap[:0]
+}
+
 // step pops and processes one node sequentially (no locking).
 func (st *searchState) step(w *searcher) error {
-	nd := st.stack[len(st.stack)-1]
-	st.stack = st.stack[:len(st.stack)-1]
+	nd := st.popNode()
 
 	if nd.bound > st.incObj-st.opt.AbsGap && !math.IsInf(nd.bound, -1) {
+		st.pruneFrontier()
 		return nil
 	}
 	r, err := w.processNode(&nd, st.incObj)
 	if err != nil {
 		return err
 	}
-	st.nodes++
 	st.lpIters += r.iters
 	st.absorb(&nd, r)
 	return nil
@@ -556,6 +759,12 @@ func (st *searchState) step(w *searcher) error {
 // absorb merges one node's result into the shared state. Callers in the
 // parallel path hold st.mu.
 func (st *searchState) absorb(nd *node, r *nodeResult) {
+	if r.pruned {
+		st.prunedComb++
+		st.lpSkipped++
+		return
+	}
+	st.nodes++
 	switch r.lpStatus {
 	case lp.Infeasible:
 		return
@@ -580,6 +789,7 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 		return
 	}
 
+	st.recordPseudoCost(nd, r.obj)
 	if nd.depth == 0 && !st.rootSolved {
 		st.rootBound = r.obj
 		st.rootSolved = true
@@ -591,7 +801,9 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 			st.opt.Log("ilp: incumbent obj=%g after %d nodes", st.incObj, st.nodes)
 		}
 	}
-	st.stack = append(st.stack, r.children...)
+	for i := range r.children {
+		st.pushNode(r.children[i])
+	}
 }
 
 // runWorker is the parallel search loop: pop under the lock, solve outside
@@ -599,10 +811,10 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 func (st *searchState) runWorker(w *searcher) {
 	st.mu.Lock()
 	for {
-		for len(st.stack) == 0 && st.active > 0 && !st.stopped && st.err == nil {
+		for len(st.heap) == 0 && st.active > 0 && !st.stopped && st.err == nil {
 			st.cond.Wait()
 		}
-		if st.err != nil || st.stopped || (len(st.stack) == 0 && st.active == 0) {
+		if st.err != nil || st.stopped || (len(st.heap) == 0 && st.active == 0) {
 			st.cond.Broadcast()
 			st.mu.Unlock()
 			return
@@ -613,9 +825,9 @@ func (st *searchState) runWorker(w *searcher) {
 			st.mu.Unlock()
 			return
 		}
-		nd := st.stack[len(st.stack)-1]
-		st.stack = st.stack[:len(st.stack)-1]
+		nd := st.popNode()
 		if nd.bound > st.incObj-st.opt.AbsGap && !math.IsInf(nd.bound, -1) {
+			st.pruneFrontier()
 			continue
 		}
 		st.active++
@@ -634,10 +846,9 @@ func (st *searchState) runWorker(w *searcher) {
 			st.mu.Unlock()
 			return
 		}
-		st.nodes++
 		st.lpIters += r.iters
 		st.absorb(&nd, r)
-		if len(st.stack) > 0 || st.active == 0 {
+		if len(st.heap) > 0 || st.active == 0 {
 			st.cond.Broadcast()
 		}
 	}
@@ -646,22 +857,24 @@ func (st *searchState) runWorker(w *searcher) {
 // finish assembles the Solution from the final search state.
 func (st *searchState) finish() *Solution {
 	sol := &Solution{
-		Status:       Limit,
-		Bound:        math.Inf(-1),
-		Nodes:        st.nodes,
-		LPIterations: st.lpIters,
-		Dropped:      st.dropped,
-		BoundTrusted: st.dropped == 0,
+		Status:              Limit,
+		Bound:               math.Inf(-1),
+		Nodes:               st.nodes,
+		LPIterations:        st.lpIters,
+		Dropped:             st.dropped,
+		PrunedCombinatorial: st.prunedComb,
+		LPSolvesSkipped:     st.lpSkipped,
+		BoundTrusted:        st.dropped == 0,
 	}
-	exhausted := len(st.stack) == 0 && st.dropped == 0
+	exhausted := len(st.heap) == 0 && st.dropped == 0
 
 	// The proven bound is the min over remaining open (and dropped) nodes;
 	// when the tree was fully explored it equals the incumbent.
 	bound := st.incObj
 	if !exhausted {
-		for i := range st.stack {
-			if st.stack[i].bound < bound {
-				bound = st.stack[i].bound
+		for i := range st.heap {
+			if st.heap[i].bound < bound {
+				bound = st.heap[i].bound
 			}
 		}
 		if st.droppedBound < bound {

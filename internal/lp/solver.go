@@ -3,16 +3,25 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Solver is a reusable bounded-variable simplex solver bound to one Problem.
 //
-// The tableau storage is allocated once at NewSolver and reused across
-// solves, and the basis of the previous solve is kept so that subsequent
-// solves after bound changes warm start with the dual simplex instead of a
-// from-scratch two-phase solve. This is the core primitive of the
-// branch-and-bound layer in internal/ilp: a B&B node is a handful of
-// SetVarBounds calls followed by Solve, not a problem copy.
+// It is a *revised* simplex: the constraint matrix is stored once in sparse
+// column-major (CSC) form and the basis inverse is represented as an
+// eta-file (product form). Every quantity the simplex needs — basic-variable
+// values, dual prices, a pivot column, a pivot row — is computed on demand
+// with sparse FTRAN/BTRAN passes over the eta file instead of being carried
+// in a dense m×n tableau. On the ~95%-sparse partitioning models of
+// internal/tempart this cuts the per-pivot cost by an order of magnitude:
+// a pivot touches O(nnz) entries, not O(m·n).
+//
+// The basis of the previous solve is kept so that subsequent solves after
+// bound changes warm start with the dual simplex instead of a from-scratch
+// two-phase solve. This is the core primitive of the branch-and-bound layer
+// in internal/ilp: a B&B node is a handful of SetVarBounds calls followed
+// by Solve, not a problem copy.
 //
 // Contract:
 //
@@ -35,27 +44,41 @@ type Solver struct {
 	// artificial bounds are opened only during cold phase 1.
 	lo, hi []float64
 
-	a      [][]float64 // m x nTotal working tableau (B^-1 A)
-	b0     []float64   // B^-1 rhs, maintained through pivots
-	b      []float64   // current basic-variable values
-	basis  []int       // m, column basic in each row
-	status []varStatus // nTotal
-	cost   []float64   // active cost row (phase-dependent)
-	d      []float64   // pricing scratch
+	// CSC storage of the structural and slack columns (fixed at NewSolver).
+	// Column j's nonzeros are colRow/colVal[colPtr[j]:colPtr[j+1]].
+	// Artificial columns are implicit unit columns: column nStruct+m+i has
+	// the single entry artSign[i] at row i.
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+	rhs    []float64
 
-	artUsed []bool // per row: artificial column in use (cold build)
+	artUsed []bool    // per row: artificial column in use (cold build)
+	artSign []float64 // per row: ±1 entry of the artificial column
 
-	// colLimit bounds the columns the simplex machinery touches. Artificial
-	// columns (>= nStruct+m) only matter while one of them is basic — i.e.
-	// during cold phase 1 and for redundant rows — so outside that window
-	// the hot loops stop at nStruct+m, skipping a third of the tableau.
-	colLimit int
+	basis   []int       // m, column basic in each row slot
+	status  []varStatus // nTotal
+	xb      []float64   // basic-variable value per row slot
+	cost    []float64   // active cost row (phase-dependent)
+	objCols []int32     // columns with nonzero active cost (objective scan)
 
-	valid     bool // tableau holds a dual-feasible basis from a prior solve
-	factorAge int  // pivots applied since the last from-scratch factorization
-	dValid    bool // d holds exact reduced costs for the current basis+cost
+	// etas is the product-form factorization: B⁻¹ = Eₖ⁻¹…E₁⁻¹, rebuilt from
+	// the original column data by refactor() (reinversion), extended by one
+	// eta per pivot.
+	etas      etaFile
+	spare     etaFile // refactor builds here, swapped in on success
+	factorAge int     // pivots since the last reinversion
+
+	// Scratch (allocated once, length m).
+	alpha    []float64 // FTRAN pivot column
+	y        []float64 // BTRAN dual prices
+	rho      []float64 // BTRAN unit row
+	order    []int     // refactor: column installation order
+	newBasis []int     // refactor: permuted slot assignment
+	assigned []bool    // refactor: rows already pivoted
+
+	valid     bool // basis + eta file reusable for a warm start
 	costPhase int  // 0 unset, 1 phase-1 cost row, 2 phase-2 (true objective)
-	warmCount int  // warm solves since the last from-scratch factorization
 	iter      int  // pivots in the current solve
 	maxIter   int
 
@@ -67,7 +90,7 @@ type Solver struct {
 type SolverStats struct {
 	Solves     int // total Solve calls
 	WarmSolves int // solves served by the warm-start path
-	ColdSolves int // solves that (re)built the tableau from scratch
+	ColdSolves int // solves that (re)built the basis from scratch
 	Pivots     int // total simplex pivots (primal + dual)
 	DualPivots int // pivots spent in the dual-simplex repair
 }
@@ -80,19 +103,100 @@ type Basis struct {
 	status []varStatus
 }
 
-// refactorEvery bounds how many consecutive warm solves may reuse the
-// incrementally updated tableau before it is refactorized from the original
-// row data, limiting numerical drift.
-const refactorEvery = 256
-
-// infeasTrustAge is the factorization age (in pivots) up to which a warm
-// dual-simplex infeasibility certificate is trusted without a confirming
-// cold solve. An Infeasible verdict prunes a whole B&B subtree, so beyond
-// this drift budget the verdict is re-derived from the original row data.
-const infeasTrustAge = 1000
+// refactorPivots bounds how many pivots may extend the eta file before it is
+// rebuilt from the original column data (reinversion), limiting both the
+// FTRAN/BTRAN cost of a long eta file and accumulated roundoff.
+const refactorPivots = 64
 
 // feasTol is the primal feasibility tolerance used by the warm-start path.
 const feasTol = 1e-7
+
+// ---- eta file ----
+
+// etaFile is a product-form representation of the basis: a sequence of
+// elementary matrices, each the identity with one column replaced. Entries
+// of all etas share two arena slices so a pivot costs O(nnz) appends and no
+// per-eta allocations.
+type etaFile struct {
+	r     []int32   // pivot row per eta
+	pivot []float64 // pivot value per eta
+	start []int32   // len(r)+1 offsets into idx/val
+	idx   []int32   // off-pivot row indices
+	val   []float64 // off-pivot values
+}
+
+func (e *etaFile) reset() {
+	e.r = e.r[:0]
+	e.pivot = e.pivot[:0]
+	if len(e.start) == 0 {
+		e.start = append(e.start, 0)
+	}
+	e.start = e.start[:1]
+	e.idx = e.idx[:0]
+	e.val = e.val[:0]
+}
+
+// etaDropTol discards near-zero off-pivot entries when an eta is stored.
+// Roundoff noise would otherwise densify the eta file pivot after pivot and
+// dominate the FTRAN/BTRAN cost; the periodic reinversion (refactor) and
+// the row-feasibility guard in internal/ilp bound the resulting error.
+const etaDropTol = 1e-12
+
+// push appends the eta with pivot row r taken from the dense column alpha.
+// When skipTrivial is set, an identity eta (pivot 1, no off-pivot entries)
+// is dropped — reinversion uses this for untouched unit basis columns.
+func (e *etaFile) push(r int, alpha []float64, skipTrivial bool) {
+	mark := len(e.idx)
+	for i, v := range alpha {
+		if i != r && (v > etaDropTol || v < -etaDropTol) {
+			e.idx = append(e.idx, int32(i))
+			e.val = append(e.val, v)
+		}
+	}
+	if skipTrivial && len(e.idx) == mark && alpha[r] == 1 {
+		return
+	}
+	e.r = append(e.r, int32(r))
+	e.pivot = append(e.pivot, alpha[r])
+	e.start = append(e.start, int32(len(e.idx)))
+}
+
+// pushUnit appends a diagonal eta (used for the ±1 artificial columns).
+func (e *etaFile) pushUnit(r int, pivot float64) {
+	e.r = append(e.r, int32(r))
+	e.pivot = append(e.pivot, pivot)
+	e.start = append(e.start, int32(len(e.idx)))
+}
+
+// ftran solves B x = v in place: x = Eₖ⁻¹…E₁⁻¹ v.
+func (e *etaFile) ftran(v []float64) {
+	for k := range e.r {
+		r := e.r[k]
+		t := v[r]
+		if t == 0 {
+			continue
+		}
+		t /= e.pivot[k]
+		v[r] = t
+		for q := e.start[k]; q < e.start[k+1]; q++ {
+			v[e.idx[q]] -= e.val[q] * t
+		}
+	}
+}
+
+// btran solves yᵀ B = c in place: y = E₁⁻ᵀ…Eₖ⁻ᵀ c applied in reverse.
+func (e *etaFile) btran(y []float64) {
+	for k := len(e.r) - 1; k >= 0; k-- {
+		r := e.r[k]
+		t := y[r]
+		for q := e.start[k]; q < e.start[k+1]; q++ {
+			t -= e.val[q] * y[e.idx[q]]
+		}
+		y[r] = t / e.pivot[k]
+	}
+}
+
+// ---- construction ----
 
 // NewSolver builds a reusable solver for p. The Problem's rows and objective
 // are captured by reference and must not be modified afterwards; variable
@@ -108,23 +212,61 @@ func NewSolver(p *Problem) *Solver {
 		nTotal:   nTotal,
 		lo:       make([]float64, nTotal),
 		hi:       make([]float64, nTotal),
-		a:        make([][]float64, m),
-		b0:       make([]float64, m),
-		b:        make([]float64, m),
+		rhs:      make([]float64, m),
+		artUsed:  make([]bool, m),
+		artSign:  make([]float64, m),
 		basis:    make([]int, m),
 		status:   make([]varStatus, nTotal),
+		xb:       make([]float64, m),
 		cost:     make([]float64, nTotal),
-		d:        make([]float64, nTotal),
-		artUsed:  make([]bool, m),
-		colLimit: nTotal,
+		alpha:    make([]float64, m),
+		y:        make([]float64, m),
+		rho:      make([]float64, m),
+		order:    make([]int, m),
+		newBasis: make([]int, m),
+		assigned: make([]bool, m),
 		maxIter:  2000 + 200*(m+nTotal),
 	}
-	for i := range s.a {
-		s.a[i] = make([]float64, nTotal)
-	}
+	s.etas.reset()
+	s.spare.reset()
 	for j := 0; j < n; j++ {
 		s.lo[j] = p.lower[j]
 		s.hi[j] = p.upper[j]
+	}
+	// CSC assembly: structural columns from the sparse rows, then one unit
+	// slack column per row.
+	nnz := m
+	for _, r := range p.rows {
+		nnz += len(r.coeffs)
+	}
+	s.colPtr = make([]int32, n+m+1)
+	s.colRow = make([]int32, nnz)
+	s.colVal = make([]float64, nnz)
+	for _, r := range p.rows {
+		for _, c := range r.coeffs {
+			s.colPtr[c.j+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		s.colPtr[n+i+1] = 1
+	}
+	for j := 0; j < n+m; j++ {
+		s.colPtr[j+1] += s.colPtr[j]
+	}
+	fill := make([]int32, n+m)
+	copy(fill, s.colPtr[:n+m])
+	for i, r := range p.rows {
+		s.rhs[i] = r.rhs
+		for _, c := range r.coeffs {
+			k := fill[c.j]
+			s.colRow[k] = int32(i)
+			s.colVal[k] = c.v
+			fill[c.j]++
+		}
+		k := fill[n+i]
+		s.colRow[k] = int32(i)
+		s.colVal[k] = 1
+		fill[n+i]++
 	}
 	for i, r := range p.rows {
 		sc := n + i
@@ -148,7 +290,7 @@ func (s *Solver) NumVars() int { return s.nStruct }
 func (s *Solver) Bounds(j int) (lo, hi float64) { return s.lo[j], s.hi[j] }
 
 // SetVarBounds updates the working bounds of structural variable j. The
-// change takes effect at the next Solve; the tableau factorization is
+// change takes effect at the next Solve; the basis factorization is
 // unaffected (bounds do not enter the constraint matrix), which is what
 // makes per-node bound fixing cheap.
 func (s *Solver) SetVarBounds(j int, lo, hi float64) {
@@ -195,7 +337,7 @@ func (s *Solver) Solve() (*Solution, error) {
 	}
 	s.Stats.Solves++
 	s.iter = 0
-	if s.valid && s.warmCount < refactorEvery {
+	if s.valid {
 		if sol, ok := s.solveWarm(); ok {
 			return sol, nil
 		}
@@ -241,19 +383,6 @@ func (s *Solver) precheck() (*Solution, error, bool) {
 	return nil, nil, false
 }
 
-// updateColLimit shrinks the active column window to exclude artificial
-// columns whenever none of them is basic.
-func (s *Solver) updateColLimit() {
-	firstArt := s.nStruct + s.m
-	s.colLimit = firstArt
-	for _, jb := range s.basis {
-		if jb >= firstArt {
-			s.colLimit = s.nTotal
-			return
-		}
-	}
-}
-
 // val returns the current value of nonbasic column j (its resting bound).
 func (s *Solver) val(j int) float64 {
 	if s.status[j] == atUpper {
@@ -265,6 +394,145 @@ func (s *Solver) val(j int) float64 {
 // movable reports whether column j has a nonzero feasible range.
 func (s *Solver) movable(j int) bool { return s.hi[j]-s.lo[j] > eps }
 
+// colDot returns column j's dot product with the dense row vector v.
+func (s *Solver) colDot(j int, v []float64) float64 {
+	if j < s.nStruct+s.m {
+		sum := 0.0
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			sum += s.colVal[k] * v[s.colRow[k]]
+		}
+		return sum
+	}
+	i := j - s.nStruct - s.m
+	return s.artSign[i] * v[i]
+}
+
+// loadCol writes column j densely into v (v is fully overwritten).
+func (s *Solver) loadCol(j int, v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+	if j < s.nStruct+s.m {
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			v[s.colRow[k]] = s.colVal[k]
+		}
+		return
+	}
+	i := j - s.nStruct - s.m
+	v[i] = s.artSign[i]
+}
+
+// ftranCol computes alpha = B⁻¹ A_j into the alpha scratch.
+func (s *Solver) ftranCol(j int) []float64 {
+	s.loadCol(j, s.alpha)
+	s.etas.ftran(s.alpha)
+	return s.alpha
+}
+
+// computeY prices the basis: y = BTRAN(cost_B), the dual prices under the
+// active cost row.
+func (s *Solver) computeY() {
+	for i := 0; i < s.m; i++ {
+		s.y[i] = s.cost[s.basis[i]]
+	}
+	s.etas.btran(s.y)
+}
+
+// reducedCost returns d_j = cost_j - y·A_j (computeY must be current).
+func (s *Solver) reducedCost(j int) float64 {
+	return s.cost[j] - s.colDot(j, s.y)
+}
+
+// computeB derives the basic-variable values for the current bounds:
+// xb = B⁻¹ (rhs - Σ over nonbasic columns of A_j · val(j)).
+func (s *Solver) computeB() {
+	r := s.alpha
+	copy(r, s.rhs)
+	for j := 0; j < s.nStruct+s.m; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		v := s.val(j)
+		if v == 0 {
+			continue
+		}
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			r[s.colRow[k]] -= s.colVal[k] * v
+		}
+	}
+	// Nonbasic artificials rest at 0 and contribute nothing.
+	s.etas.ftran(r)
+	copy(s.xb, r)
+}
+
+// refactor rebuilds the eta file from the original column data for the
+// current basis (reinversion). Pivot rows are chosen by partial pivoting, so
+// the basis slots may be permuted; xb must be recomputed afterwards. It
+// returns false — leaving the existing eta file untouched — when the basis
+// is numerically singular.
+func (s *Solver) refactor() bool {
+	s.spare.reset()
+	m := s.m
+	// Markowitz-lite: install thin columns first to limit fill.
+	order := s.order
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.colNNZ(s.basis[order[a]]) < s.colNNZ(s.basis[order[b]])
+	})
+	newBasis := s.newBasis
+	assigned := s.assigned
+	for i := range assigned {
+		assigned[i] = false
+	}
+	v := s.alpha
+	for _, slot := range order {
+		j := s.basis[slot]
+		s.loadCol(j, v)
+		s.spare.ftran(v)
+		best, bestAbs := -1, pivotEps
+		for r := 0; r < m; r++ {
+			if assigned[r] {
+				continue
+			}
+			if a := math.Abs(v[r]); a > bestAbs {
+				bestAbs = a
+				best = r
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		s.spare.push(best, v, true)
+		newBasis[best] = j
+		assigned[best] = true
+	}
+	copy(s.basis, newBasis)
+	s.etas, s.spare = s.spare, s.etas
+	s.factorAge = 0
+	return true
+}
+
+func (s *Solver) colNNZ(j int) int {
+	if j < s.nStruct+s.m {
+		return int(s.colPtr[j+1] - s.colPtr[j])
+	}
+	return 1
+}
+
+// maybeRefactor reinverts once the eta file has grown past the pivot budget.
+// A (rare) singular reinversion is ignored: the current eta file stays valid
+// and the next attempt happens after the following pivot.
+func (s *Solver) maybeRefactor() {
+	if s.factorAge < refactorPivots {
+		return
+	}
+	if s.refactor() {
+		s.computeB()
+	}
+}
+
 // ---- warm path ----
 
 // solveWarm repairs the existing basis for the current bounds with the dual
@@ -274,7 +542,6 @@ func (s *Solver) movable(j int) bool { return s.hi[j]-s.lo[j] > eps }
 // handed to the cold fallback so Stats.Pivots and Solution.Iterations keep
 // counting all work done for the node.
 func (s *Solver) solveWarm() (*Solution, bool) {
-	s.updateColLimit()
 	// Bound edits may have stranded a nonbasic variable on a bound that is
 	// now infinite; move it to the finite side.
 	for j := 0; j < s.nTotal; j++ {
@@ -296,17 +563,10 @@ func (s *Solver) solveWarm() (*Solution, bool) {
 		return nil, false
 	}
 	if st == Infeasible {
-		// An infeasibility verdict prunes a whole B&B subtree, and unlike
-		// the Optimal path there is no cheap point-feasibility check to
-		// guard it against drift of the incrementally updated tableau.
-		// Trust it only while the factorization is fresh; otherwise confirm
-		// with a from-scratch solve (the pivots spent so far are carried
-		// into the cold solve's count).
-		if s.factorAge > infeasTrustAge {
-			return nil, false
-		}
+		// The dual() loop has already re-derived this verdict from a fresh
+		// reinversion of the original column data (see the verify step
+		// there), so it is safe to let it prune a whole B&B subtree.
 		s.Stats.WarmSolves++
-		s.warmCount++
 		s.Stats.Pivots += s.iter
 		// The basis is still dual feasible: keep it for the next solve.
 		return &Solution{Status: Infeasible, Iterations: s.iter}, true
@@ -322,42 +582,17 @@ func (s *Solver) solveWarm() (*Solution, bool) {
 		return nil, false
 	}
 	s.Stats.WarmSolves++
-	s.warmCount++
 	s.Stats.Pivots += s.iter
 	return s.finish(), true
 }
 
-// computeB derives the basic-variable values from the factorized tableau:
-// b = B^-1 rhs - sum over nonbasic columns of (B^-1 A_j) * val(j).
-func (s *Solver) computeB() {
-	copy(s.b, s.b0)
-	for j := 0; j < s.colLimit; j++ {
-		if s.status[j] == basic {
-			continue
-		}
-		v := s.val(j)
-		if v == 0 {
-			continue
-		}
-		for i := 0; i < s.m; i++ {
-			if aij := s.a[i][j]; aij != 0 {
-				s.b[i] -= aij * v
-			}
-		}
-	}
-}
-
 // dual runs the bounded-variable dual simplex until the basis is primal
 // feasible (returns Optimal), proven infeasible, or the repair budget is
-// exhausted (IterLimit; the caller then rebuilds cold). It assumes the
-// reduced costs are (near) dual feasible, which holds for any basis that
-// was primal optimal under the same objective. Reduced costs are priced
-// once and updated incrementally per pivot.
+// exhausted (IterLimit; the caller then rebuilds cold). It assumes the basis
+// is dual feasible, which holds for any basis that was primal optimal under
+// the same (immutable) objective.
 func (s *Solver) dual() Status {
 	s.setPhase2Cost()
-	if !s.dValid {
-		s.priceAll()
-	}
 	// Degenerate assignment-style models can make the dual repair thrash on
 	// zero-progress pivots; past this budget a cold rebuild is cheaper.
 	budget := s.iter + 60 + s.m/6
@@ -370,45 +605,65 @@ func (s *Solver) dual() Status {
 		below := false
 		for i := 0; i < s.m; i++ {
 			jb := s.basis[i]
-			if v := s.lo[jb] - s.b[i]; v > worst && !math.IsInf(s.lo[jb], -1) {
+			if v := s.lo[jb] - s.xb[i]; v > worst && !math.IsInf(s.lo[jb], -1) {
 				worst, r, below = v, i, true
 			}
-			if v := s.b[i] - s.hi[jb]; v > worst && !math.IsInf(s.hi[jb], 1) {
+			if v := s.xb[i] - s.hi[jb]; v > worst && !math.IsInf(s.hi[jb], 1) {
 				worst, r, below = v, i, false
 			}
 		}
 		if r < 0 {
 			return Optimal // primal feasible
 		}
-		// Entering column: dual ratio test over columns that can move the
-		// leaving variable back toward its violated bound.
+		// Entering column: dual ratio test over the pivot row
+		// ρ = BTRAN(e_r), restricted to columns that can move the leaving
+		// variable back toward its violated bound.
+		s.computeY()
+		for i := range s.rho {
+			s.rho[i] = 0
+		}
+		s.rho[r] = 1
+		s.etas.btran(s.rho)
 		enter := -1
 		best := math.Inf(1)
-		ar := s.a[r]
-		for j := 0; j < s.colLimit; j++ {
+		for j := 0; j < s.nStruct+s.m; j++ {
 			if s.status[j] == basic || !s.movable(j) {
 				continue
 			}
-			alpha := ar[j]
+			alpha := s.colDot(j, s.rho)
 			var ok bool
-			if below { // b[r] must increase
+			if below { // xb[r] must increase
 				ok = (s.status[j] == atLower && alpha < -pivotEps) ||
 					(s.status[j] == atUpper && alpha > pivotEps)
-			} else { // b[r] must decrease
+			} else { // xb[r] must decrease
 				ok = (s.status[j] == atLower && alpha > pivotEps) ||
 					(s.status[j] == atUpper && alpha < -pivotEps)
 			}
 			if !ok {
 				continue
 			}
-			ratio := math.Abs(s.d[j] / alpha)
+			ratio := math.Abs(s.reducedCost(j) / alpha)
 			if ratio < best-eps || (ratio < best+eps && (enter < 0 || j < enter)) {
 				best = ratio
 				enter = j
 			}
 		}
 		if enter < 0 {
-			// No column can repair the violated row: primal infeasible.
+			// No column can repair the violated row: primal infeasible. An
+			// infeasibility verdict prunes a whole B&B subtree, so it is
+			// only trusted when derived from a factorization with zero
+			// incremental pivots on top (factorAge == 0); otherwise
+			// reinvert from the original column data and re-derive. Every
+			// pivot resets the requirement, so a verdict reached after
+			// post-reinversion pivots is re-verified again; the pivot
+			// budget bounds the loop.
+			if s.factorAge > 0 {
+				if !s.refactor() {
+					return IterLimit
+				}
+				s.computeB()
+				continue
+			}
 			return Infeasible
 		}
 		var target float64
@@ -418,42 +673,42 @@ func (s *Solver) dual() Status {
 		} else {
 			target, leaveStatus = s.hi[s.basis[r]], atUpper
 		}
-		alpha := ar[enter]
-		t := (s.b[r] - target) / alpha
+		col := s.ftranCol(enter)
+		if math.Abs(col[r]) <= pivotEps {
+			// The FTRAN'd pivot disagrees with the BTRAN'd row: numerical
+			// trouble, rebuild cold.
+			return IterLimit
+		}
+		t := (s.xb[r] - target) / col[r]
 		enterVal := s.val(enter) + t
-		for i := 0; i < s.m; i++ {
-			if aie := s.a[i][enter]; aie != 0 {
-				s.b[i] -= aie * t
+		if t != 0 {
+			for i := 0; i < s.m; i++ {
+				if a := col[i]; a != 0 {
+					s.xb[i] -= a * t
+				}
 			}
 		}
 		out := s.basis[r]
 		s.status[out] = leaveStatus
 		s.status[enter] = basic
 		s.basis[r] = enter
-		s.b[r] = enterVal
-		dEnter := s.d[enter]
-		s.pivotMatrix(r, enter)
-		s.updateD(r, enter, dEnter)
+		s.xb[r] = enterVal
+		s.etas.push(r, col, false)
+		s.factorAge++
 		s.iter++
 		s.Stats.DualPivots++
+		s.maybeRefactor()
 	}
 }
 
 // ---- cold path ----
 
-// solveCold rebuilds the tableau from the Problem's rows and runs the
-// two-phase primal simplex.
+// solveCold rebuilds the basis from scratch (all-slack where feasible,
+// artificials elsewhere) and runs the two-phase primal simplex.
 func (s *Solver) solveCold() (*Solution, error) {
 	s.Stats.ColdSolves++
 	s.valid = false
-	s.dValid = false
-	s.warmCount = 0
 	nArt := s.build()
-	s.factorAge = 0
-	s.colLimit = s.nTotal
-	if nArt == 0 {
-		s.colLimit = s.nStruct + s.m
-	}
 
 	if nArt > 0 {
 		s.setPhase1Cost()
@@ -466,8 +721,7 @@ func (s *Solver) solveCold() (*Solution, error) {
 			s.Stats.Pivots += s.iter
 			return &Solution{Status: Infeasible, Iterations: s.iter}, nil
 		}
-		s.driveOutArtificials() // pivots without d maintenance
-		s.dValid = false
+		s.driveOutArtificials()
 		// Artificials may never re-enter.
 		for i := 0; i < s.m; i++ {
 			ac := s.nStruct + s.m + i
@@ -476,7 +730,6 @@ func (s *Solver) solveCold() (*Solution, error) {
 				s.status[ac] = atLower
 			}
 		}
-		s.updateColLimit()
 	}
 
 	s.setPhase2Cost()
@@ -491,36 +744,28 @@ func (s *Solver) solveCold() (*Solution, error) {
 	return s.finish(), nil
 }
 
-// build (re)constructs the tableau for the current bounds: structural
-// columns from the sparse rows, one slack per row, and artificial columns
-// where the all-slack start is infeasible. It returns the number of
-// artificials opened.
+// build (re)constructs the initial basis for the current bounds: structural
+// variables rest at their lower bound, each row is covered by its slack
+// where the resulting residual is feasible, and an artificial column (±1
+// unit) is opened elsewhere. It returns the number of artificials opened.
 func (s *Solver) build() int {
-	n, m := s.nStruct, s.m
-	for i := range s.a {
-		row := s.a[i]
-		for k := range row {
-			row[k] = 0
-		}
-	}
-	// Structural variables rest at their (finite) lower bound.
-	for j := 0; j < n; j++ {
+	s.etas.reset()
+	s.factorAge = 0
+	for j := 0; j < s.nStruct; j++ {
 		s.status[j] = atLower
 	}
 	nArt := 0
 	for i, r := range s.p.rows {
-		ai := s.a[i]
 		resid := r.rhs
 		for _, c := range r.coeffs {
-			ai[c.j] = c.v
 			resid -= c.v * s.lo[c.j]
 		}
-		sc := n + i
-		ai[sc] = 1
-		ac := n + m + i
+		sc := s.nStruct + i
+		ac := s.nStruct + s.m + i
 		s.lo[ac], s.hi[ac] = 0, 0
 		s.status[ac] = atLower
 		s.artUsed[i] = false
+		s.artSign[i] = 1
 		slackOK := false
 		switch r.kind {
 		case LE:
@@ -535,86 +780,46 @@ func (s *Solver) build() int {
 		if slackOK {
 			s.basis[i] = sc
 			s.status[sc] = basic
-			s.b[i] = resid
-			s.b0[i] = r.rhs
 			continue
 		}
-		// Open the artificial for this row; negate the row when the residual
-		// is negative so the artificial's basic value is nonnegative.
+		// Open the artificial for this row, signed so its basic value is
+		// nonnegative.
 		s.artUsed[i] = true
 		nArt++
 		s.hi[ac] = Inf
-		sign := 1.0
 		if resid < 0 {
-			sign = -1
-			for k := range ai {
-				ai[k] = -ai[k]
-			}
-			resid = -resid
+			s.artSign[i] = -1
+			s.etas.pushUnit(i, -1)
 		}
-		ai[ac] = 1
 		s.basis[i] = ac
 		s.status[ac] = basic
-		s.b[i] = resid
-		s.b0[i] = r.rhs * sign
 	}
+	s.computeB()
 	return nArt
 }
 
-// install replays a basis snapshot: the tableau is rebuilt from the original
-// rows and Gaussian-eliminated into the snapshot's basis. Returns false when
-// a pivot is numerically unusable (caller falls back to cold).
+// install replays a basis snapshot by reinversion from the original column
+// data. Returns false when the snapshot is not replayable (basic artificial)
+// or numerically singular (caller falls back to cold).
 func (s *Solver) install(bs *Basis) bool {
-	n, m := s.nStruct, s.m
-	for i := range s.a {
-		row := s.a[i]
-		for k := range row {
-			row[k] = 0
+	for _, jb := range bs.basis {
+		if jb >= s.nStruct+s.m {
+			return false
 		}
-	}
-	for i, r := range s.p.rows {
-		ai := s.a[i]
-		for _, c := range r.coeffs {
-			ai[c.j] = c.v
-		}
-		ai[n+i] = 1
-		s.b0[i] = r.rhs
-		ac := n + m + i
-		s.lo[ac], s.hi[ac] = 0, 0
-		s.artUsed[i] = false
 	}
 	copy(s.basis, bs.basis)
 	copy(s.status, bs.status)
-	for i := 0; i < m; i++ {
-		jb := s.basis[i]
-		if jb >= n+m { // artificial in snapshot basis: not replayable
-			return false
-		}
-		if math.Abs(s.a[i][jb]) <= pivotEps {
-			// Partial pivoting: swap in a not-yet-factorized row where this
-			// column has a usable pivot. Only the row contents move — the
-			// snapshot's column-to-row assignment stays, so the displaced
-			// row is simply factorized later under its own basis column.
-			swapped := false
-			for r := i + 1; r < m; r++ {
-				if math.Abs(s.a[r][jb]) > pivotEps {
-					s.a[i], s.a[r] = s.a[r], s.a[i]
-					s.b0[i], s.b0[r] = s.b0[r], s.b0[i]
-					swapped = true
-					break
-				}
-			}
-			if !swapped {
-				return false
-			}
-		}
-		s.pivotMatrix(i, jb)
+	for i := 0; i < s.m; i++ {
+		ac := s.nStruct + s.m + i
+		s.lo[ac], s.hi[ac] = 0, 0
+		s.artUsed[i] = false
+		s.artSign[i] = 1
 	}
-	s.warmCount = 0
-	s.factorAge = 0
+	if !s.refactor() {
+		s.valid = false
+		return false
+	}
 	s.valid = true
-	s.dValid = false
-	s.updateColLimit()
 	return true
 }
 
@@ -624,13 +829,15 @@ func (s *Solver) setPhase1Cost() {
 	for j := range s.cost {
 		s.cost[j] = 0
 	}
+	s.objCols = s.objCols[:0]
 	for i := 0; i < s.m; i++ {
 		if s.artUsed[i] {
-			s.cost[s.nStruct+s.m+i] = 1
+			ac := s.nStruct + s.m + i
+			s.cost[ac] = 1
+			s.objCols = append(s.objCols, int32(ac))
 		}
 	}
 	s.costPhase = 1
-	s.dValid = false
 }
 
 func (s *Solver) setPhase2Cost() {
@@ -640,96 +847,56 @@ func (s *Solver) setPhase2Cost() {
 	for j := range s.cost {
 		s.cost[j] = 0
 	}
+	s.objCols = s.objCols[:0]
 	for j := 0; j < s.nStruct; j++ {
-		s.cost[j] = s.p.obj[j]
+		if c := s.p.obj[j]; c != 0 {
+			s.cost[j] = c
+			s.objCols = append(s.objCols, int32(j))
+		}
 	}
 	s.costPhase = 2
-	s.dValid = false
 }
 
 // objective returns the current value of the active cost row.
 func (s *Solver) objective() float64 {
 	z := 0.0
 	for i := 0; i < s.m; i++ {
-		z += s.cost[s.basis[i]] * s.b[i]
+		z += s.cost[s.basis[i]] * s.xb[i]
 	}
-	for j := 0; j < s.colLimit; j++ {
-		if s.status[j] != basic && s.cost[j] != 0 {
+	for _, jc := range s.objCols {
+		j := int(jc)
+		if s.status[j] != basic {
 			z += s.cost[j] * s.val(j)
 		}
 	}
 	return z
 }
 
-// priceAll computes reduced costs d[j] = cost[j] - cost_B . (B^-1 A_j) from
-// scratch. Pivots afterwards keep d current incrementally (see updateD), so
-// this full pass only runs when the cost row or factorization changed.
-func (s *Solver) priceAll() {
-	copy(s.d, s.cost)
-	for i := 0; i < s.m; i++ {
-		cb := s.cost[s.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		ai := s.a[i]
-		for j := 0; j < s.colLimit; j++ {
-			if ai[j] != 0 {
-				s.d[j] -= cb * ai[j]
-			}
-		}
-	}
-	s.dValid = true
-}
-
-// updateD applies the rank-one reduced-cost update after a pivot in row r:
-// d'_k = d_k - d_enter * a'[r][k], with a' the post-pivot row (scaled so
-// a'[r][enter] == 1). dEnter is the entering column's reduced cost read
-// before the pivot.
-func (s *Solver) updateD(r, enter int, dEnter float64) {
-	if dEnter != 0 {
-		ar := s.a[r]
-		for k := 0; k < s.colLimit; k++ {
-			if ar[k] != 0 {
-				s.d[k] -= dEnter * ar[k]
-			}
-		}
-	}
-	s.d[enter] = 0
-}
-
 // primal runs bounded-variable primal simplex pivots under the active cost
-// row until optimal, unbounded, or the iteration limit.
+// row until optimal, unbounded, or the iteration limit. Reduced costs are
+// priced exactly every iteration from BTRAN'd dual prices (one sparse pass
+// over the CSC columns), so no incremental d maintenance is needed.
 func (s *Solver) primal() Status {
 	stall := 0
 	lastObj := math.Inf(1)
-	sinceReprice := 0
-	if !s.dValid {
-		s.priceAll()
-	}
 	for {
 		if s.iter >= s.maxIter {
 			return IterLimit
 		}
-		// Reduced costs are maintained incrementally; refresh periodically
-		// to bound accumulated roundoff.
-		if sinceReprice >= 64 {
-			s.priceAll()
-			sinceReprice = 0
-		}
-
+		s.computeY()
 		useBland := stall > 50
 		enter := -1
 		best := -eps
-		for j := 0; j < s.colLimit; j++ {
+		for j := 0; j < s.nTotal; j++ {
 			if s.status[j] == basic || !s.movable(j) {
 				continue
 			}
 			var improve float64
 			switch s.status[j] {
 			case atLower:
-				improve = s.d[j] // want d[j] < 0
+				improve = s.reducedCost(j) // want d[j] < 0
 			case atUpper:
-				improve = -s.d[j] // want d[j] > 0
+				improve = -s.reducedCost(j) // want d[j] > 0
 			}
 			if improve < best-eps || (useBland && improve < -eps) {
 				if useBland {
@@ -745,24 +912,25 @@ func (s *Solver) primal() Status {
 		}
 
 		// Entering variable moves up from its lower bound or down from its
-		// upper bound; basic values change by -a[i][enter]*dir*delta.
+		// upper bound; basic values change by -alpha[i]*dir*delta.
 		dir := 1.0
 		if s.status[enter] == atUpper {
 			dir = -1.0
 		}
+		col := s.ftranCol(enter)
 
 		leave := -1
 		leaveBound := atLower
 		limit := s.hi[enter] - s.lo[enter] // bound-flip distance (may be Inf)
 		for i := 0; i < s.m; i++ {
-			aie := s.a[i][enter] * dir
+			aie := col[i] * dir
 			jb := s.basis[i]
 			if aie > pivotEps {
 				// Basic variable decreases toward its lower bound.
 				if math.IsInf(s.lo[jb], -1) {
 					continue
 				}
-				ratio := (s.b[i] - s.lo[jb]) / aie
+				ratio := (s.xb[i] - s.lo[jb]) / aie
 				if ratio < -eps {
 					ratio = 0
 				}
@@ -776,7 +944,7 @@ func (s *Solver) primal() Status {
 				if math.IsInf(s.hi[jb], 1) {
 					continue
 				}
-				ratio := (s.hi[jb] - s.b[i]) / (-aie)
+				ratio := (s.hi[jb] - s.xb[i]) / (-aie)
 				if ratio < -eps {
 					ratio = 0
 				}
@@ -793,13 +961,37 @@ func (s *Solver) primal() Status {
 		}
 
 		s.iter++
-		sinceReprice++
 		if leave < 0 {
-			s.boundFlip(enter, dir, limit) // d is unaffected: no basis change
+			// Bound flip: no basis change.
+			if limit != 0 {
+				for i := 0; i < s.m; i++ {
+					if a := col[i]; a != 0 {
+						s.xb[i] -= a * dir * limit
+					}
+				}
+			}
+			if s.status[enter] == atLower {
+				s.status[enter] = atUpper
+			} else {
+				s.status[enter] = atLower
+			}
 		} else {
-			dEnter := s.d[enter]
-			s.stepAndPivot(enter, dir, limit, leave, leaveBound)
-			s.updateD(leave, enter, dEnter)
+			enterVal := s.val(enter) + dir*limit
+			if limit != 0 {
+				for i := 0; i < s.m; i++ {
+					if a := col[i]; a != 0 {
+						s.xb[i] -= a * dir * limit
+					}
+				}
+			}
+			out := s.basis[leave]
+			s.status[out] = leaveBound
+			s.status[enter] = basic
+			s.basis[leave] = enter
+			s.xb[leave] = enterVal
+			s.etas.push(leave, col, false)
+			s.factorAge++
+			s.maybeRefactor()
 		}
 
 		obj := s.objective()
@@ -812,55 +1004,26 @@ func (s *Solver) primal() Status {
 	}
 }
 
-// boundFlip moves nonbasic variable j across its range without a pivot.
-func (s *Solver) boundFlip(j int, dir, delta float64) {
-	for i := 0; i < s.m; i++ {
-		if aij := s.a[i][j]; aij != 0 {
-			s.b[i] -= aij * dir * delta
-		}
-	}
-	if s.status[j] == atLower {
-		s.status[j] = atUpper
-	} else {
-		s.status[j] = atLower
-	}
-}
-
-// stepAndPivot advances entering variable j by delta, makes it basic in the
-// leaving row, and parks the leaving variable at the indicated bound.
-func (s *Solver) stepAndPivot(enter int, dir, delta float64, leave int, leaveBound varStatus) {
-	enterVal := s.val(enter) + dir*delta
-	if delta != 0 {
-		for i := 0; i < s.m; i++ {
-			if aie := s.a[i][enter]; aie != 0 {
-				s.b[i] -= aie * dir * delta
-			}
-		}
-	}
-	out := s.basis[leave]
-	s.status[out] = leaveBound
-	s.status[enter] = basic
-	s.basis[leave] = enter
-	s.b[leave] = enterVal
-	s.pivotMatrix(leave, enter)
-}
-
 // driveOutArtificials pivots basic artificials (at value 0 after a
 // successful phase 1) out of the basis where possible. Rows whose artificial
 // cannot leave are redundant and keep it basic at 0.
 func (s *Solver) driveOutArtificials() {
 	firstArt := s.nStruct + s.m
 	for i := 0; i < s.m; i++ {
-		jb := s.basis[i]
-		if jb < firstArt {
+		if s.basis[i] < firstArt {
 			continue
 		}
+		for k := range s.rho {
+			s.rho[k] = 0
+		}
+		s.rho[i] = 1
+		s.etas.btran(s.rho)
 		piv := -1
 		for j := 0; j < firstArt; j++ {
 			if s.status[j] == basic {
 				continue
 			}
-			if math.Abs(s.a[i][j]) > pivotEps {
+			if math.Abs(s.colDot(j, s.rho)) > pivotEps {
 				piv = j
 				break
 			}
@@ -869,45 +1032,18 @@ func (s *Solver) driveOutArtificials() {
 			continue
 		}
 		// Degenerate pivot: the entering variable keeps its resting value.
+		col := s.ftranCol(piv)
+		if math.Abs(col[i]) <= pivotEps {
+			continue
+		}
 		out := s.basis[i]
 		s.status[out] = atLower
-		enterVal := s.val(piv)
+		enterVal := s.val(piv) // resting value, read before piv turns basic
 		s.status[piv] = basic
 		s.basis[i] = piv
-		s.b[i] = enterVal
-		s.pivotMatrix(i, piv)
-	}
-}
-
-// pivotMatrix eliminates column j from all rows except row i and scales row
-// i so a[i][j] == 1. b0 (= B^-1 rhs) is transformed alongside; b holds
-// basic-variable values and is maintained by the callers.
-func (s *Solver) pivotMatrix(i, j int) {
-	ri := s.a[i][:s.colLimit]
-	inv := 1.0 / s.a[i][j]
-	for k := range ri {
-		ri[k] *= inv
-	}
-	ri[j] = 1 // exact
-	s.b0[i] *= inv
-	s.factorAge++
-
-	for r := 0; r < s.m; r++ {
-		if r == i {
-			continue
-		}
-		f := s.a[r][j]
-		if f == 0 {
-			continue
-		}
-		// Branchless update: the tableau rows are dense after a few pivots,
-		// so testing each ri[k] for zero costs more than the multiply.
-		rr := s.a[r][:len(ri)]
-		for k, v := range ri {
-			rr[k] -= f * v
-		}
-		rr[j] = 0 // exact
-		s.b0[r] -= f * s.b0[i]
+		s.xb[i] = enterVal
+		s.etas.push(i, col, false)
+		s.factorAge++
 	}
 }
 
@@ -920,7 +1056,7 @@ func (s *Solver) finish() *Solution {
 	}
 	for i := 0; i < s.m; i++ {
 		if jb := s.basis[i]; jb < s.nStruct {
-			x[jb] = s.b[i]
+			x[jb] = s.xb[i]
 		}
 	}
 	obj := 0.0

@@ -88,20 +88,25 @@ type entry struct {
 	// (dfg.CanonicalOrder) of the solved graph.
 	assignCanon []int
 	latencyNS   float64
-	// nodes/lpIters are the original solve's search statistics, reported
-	// on hits for observability (a hit did zero search of its own).
-	nodes   int
-	lpIters int
+	// nodes/prunedComb/lpSkipped/lpIters are the original solve's search
+	// statistics, reported on hits for observability (a hit did zero
+	// search of its own).
+	nodes      int
+	prunedComb int
+	lpSkipped  int
+	lpIters    int
 }
 
 // newEntry canonicalizes a partitioning of g into a cache entry.
 func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 	e := &entry{
-		n:         p.N,
-		optimal:   p.Optimal,
-		latencyNS: p.Latency,
-		nodes:     p.Stats.Nodes,
-		lpIters:   p.Stats.LPIterations,
+		n:          p.N,
+		optimal:    p.Optimal,
+		latencyNS:  p.Latency,
+		nodes:      p.Stats.Nodes,
+		prunedComb: p.Stats.PrunedCombinatorial,
+		lpSkipped:  p.Stats.LPSolvesSkipped,
+		lpIters:    p.Stats.LPIterations,
 	}
 	if p.N > 0 {
 		ord := g.CanonicalOrder()
@@ -154,7 +159,10 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 	}
 	return &tempart.Partitioning{
 		N: e.n, Assign: assign, Delays: delays, Latency: lat, Optimal: e.optimal,
-		Stats: tempart.SolveStats{N: e.n, Nodes: e.nodes, LPIterations: e.lpIters},
+		Stats: tempart.SolveStats{
+			N: e.n, Nodes: e.nodes, LPIterations: e.lpIters,
+			PrunedCombinatorial: e.prunedComb, LPSolvesSkipped: e.lpSkipped,
+		},
 	}, nil
 }
 

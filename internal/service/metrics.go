@@ -18,6 +18,9 @@ type Metrics struct {
 	mu        sync.Mutex
 	started   time.Time
 	solves    map[string]uint64 // per engine
+	nodes     map[string]uint64 // per engine: B&B nodes explored (LP solved)
+	pruned    map[string]uint64 // per engine: nodes fathomed combinatorially
+	lpSkipped map[string]uint64 // per engine: nodes discarded without an LP solve
 	errors    uint64
 	cancelled uint64
 	ring      [latencySamples]time.Duration
@@ -27,7 +30,13 @@ type Metrics struct {
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{started: time.Now(), solves: map[string]uint64{}}
+	return &Metrics{
+		started:   time.Now(),
+		solves:    map[string]uint64{},
+		nodes:     map[string]uint64{},
+		pruned:    map[string]uint64{},
+		lpSkipped: map[string]uint64{},
+	}
 }
 
 // RecordSolve notes one completed solve request and its end-to-end latency.
@@ -46,6 +55,19 @@ func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
 	}
 }
 
+// RecordSearch folds one fresh solve's branch-and-bound activity into the
+// per-engine counters: nodes whose LP relaxation was solved, nodes fathomed
+// by the presolve's combinatorial bound, and nodes discarded without any LP
+// solve. Cache hits and shared solves are not recorded (their search ran at
+// most once, elsewhere).
+func (m *Metrics) RecordSearch(engine string, nodes, prunedCombinatorial, lpSolvesSkipped int) {
+	m.mu.Lock()
+	m.nodes[engine] += uint64(nodes)
+	m.pruned[engine] += uint64(prunedCombinatorial)
+	m.lpSkipped[engine] += uint64(lpSolvesSkipped)
+	m.mu.Unlock()
+}
+
 // RecordCancelled notes a job cancelled by the client.
 func (m *Metrics) RecordCancelled() {
 	m.mu.Lock()
@@ -57,6 +79,9 @@ func (m *Metrics) RecordCancelled() {
 type Snapshot struct {
 	UptimeMS  int64             `json:"uptime_ms"`
 	Solves    map[string]uint64 `json:"solves"`
+	Nodes     map[string]uint64 `json:"bb_nodes,omitempty"`
+	Pruned    map[string]uint64 `json:"bb_pruned_combinatorial,omitempty"`
+	LPSkipped map[string]uint64 `json:"lp_solves_skipped,omitempty"`
 	Errors    uint64            `json:"errors"`
 	Cancelled uint64            `json:"cancelled"`
 	P50MS     float64           `json:"latency_p50_ms"`
@@ -70,11 +95,23 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		UptimeMS:  time.Since(m.started).Milliseconds(),
 		Solves:    make(map[string]uint64, len(m.solves)),
+		Nodes:     make(map[string]uint64, len(m.nodes)),
+		Pruned:    make(map[string]uint64, len(m.pruned)),
+		LPSkipped: make(map[string]uint64, len(m.lpSkipped)),
 		Errors:    m.errors,
 		Cancelled: m.cancelled,
 	}
 	for k, v := range m.solves {
 		s.Solves[k] = v
+	}
+	for k, v := range m.nodes {
+		s.Nodes[k] = v
+	}
+	for k, v := range m.pruned {
+		s.Pruned[k] = v
+	}
+	for k, v := range m.lpSkipped {
+		s.LPSkipped[k] = v
 	}
 	if m.ringLen > 0 {
 		sorted := make([]time.Duration, m.ringLen)
@@ -100,6 +137,19 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	}
 	for _, eng := range sortedKeys(s.Solves) {
 		fmt.Fprintf(&b, "sparcsd_solve_total{engine=%q} %d\n", eng, s.Solves[eng])
+	}
+	// Per-engine search counters: how much branch-and-bound work fresh
+	// solves did, and how much of it the presolve pruned before the simplex
+	// ran. A healthy prune-first deployment shows pruned+skipped growing
+	// much faster than nodes.
+	for _, eng := range sortedKeys(s.Nodes) {
+		fmt.Fprintf(&b, "sparcsd_bb_nodes_total{engine=%q} %d\n", eng, s.Nodes[eng])
+	}
+	for _, eng := range sortedKeys(s.Pruned) {
+		fmt.Fprintf(&b, "sparcsd_bb_pruned_combinatorial_total{engine=%q} %d\n", eng, s.Pruned[eng])
+	}
+	for _, eng := range sortedKeys(s.LPSkipped) {
+		fmt.Fprintf(&b, "sparcsd_lp_solves_skipped_total{engine=%q} %d\n", eng, s.LPSkipped[eng])
 	}
 	emit("solve_errors_total", s.Errors)
 	emit("jobs_cancelled_total", s.Cancelled)

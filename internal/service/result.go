@@ -95,10 +95,14 @@ type Result struct {
 	// Assign maps task name -> 0-based partition.
 	Assign map[string]int `json:"assign,omitempty"`
 
-	// Solver statistics (zero for pure cache hits).
-	Nodes        int     `json:"nodes,omitempty"`
-	LPIterations int     `json:"lp_iterations,omitempty"`
-	SolveMS      float64 `json:"solve_ms"`
+	// Solver statistics (zero for pure cache hits). PrunedCombinatorial and
+	// LPSolvesSkipped report how much of the branch-and-bound tree the
+	// presolve fathomed without running the simplex.
+	Nodes               int     `json:"nodes,omitempty"`
+	PrunedCombinatorial int     `json:"nodes_pruned_combinatorial,omitempty"`
+	LPSolvesSkipped     int     `json:"lp_solves_skipped,omitempty"`
+	LPIterations        int     `json:"lp_iterations,omitempty"`
+	SolveMS             float64 `json:"solve_ms"`
 
 	// Cache reports how the service produced the result: "miss" (fresh
 	// solve), "hit" (memo cache), "shared" (deduplicated onto another
@@ -109,14 +113,16 @@ type Result struct {
 // NewResult assembles the shared payload from a partitioning.
 func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) *Result {
 	r := &Result{
-		Graph:        g.Name,
-		Engine:       engine,
-		Board:        boardName,
-		N:            p.N,
-		Optimal:      p.Optimal,
-		LatencyNS:    p.Latency,
-		Nodes:        p.Stats.Nodes,
-		LPIterations: p.Stats.LPIterations,
+		Graph:               g.Name,
+		Engine:              engine,
+		Board:               boardName,
+		N:                   p.N,
+		Optimal:             p.Optimal,
+		LatencyNS:           p.Latency,
+		Nodes:               p.Stats.Nodes,
+		PrunedCombinatorial: p.Stats.PrunedCombinatorial,
+		LPSolvesSkipped:     p.Stats.LPSolvesSkipped,
+		LPIterations:        p.Stats.LPIterations,
 	}
 	if p.N == 0 {
 		return r

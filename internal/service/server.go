@@ -90,12 +90,17 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if origin == OriginMiss {
+			s.metrics.RecordSearch(be.Name(), p.Stats.Nodes,
+				p.Stats.PrunedCombinatorial, p.Stats.LPSolvesSkipped)
+		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
 		res.Cache = string(origin)
 		if origin == OriginHit || origin == OriginShared {
 			// The search ran (at most) once, elsewhere; report zero local
 			// search so aggregate node counts stay meaningful.
 			res.Nodes, res.LPIterations = 0, 0
+			res.PrunedCombinatorial, res.LPSolvesSkipped = 0, 0
 		}
 		res.SolveMS = float64(time.Since(start).Microseconds()) / 1e3
 		return res, nil

@@ -68,12 +68,18 @@ func wideGraph() *dfg.Graph {
 }
 
 // hardGraphJSON is an instance whose branch-and-bound runs for minutes if
-// not cancelled: 24 interchangeable tasks with symmetry breaking disabled.
+// not cancelled: task sizes cycle 34/35/36 CLBs on the 100-CLB "small"
+// board, so at most two fit a partition while the area bound N0 = ⌈Σ/100⌉
+// undershoots the integral minimum by several partitions — the relax loop
+// must prove packing infeasibility at N0, N0+1, … with no incumbent for
+// the presolve bounds or the LP to prune with. (The earlier equal-sized
+// variant became trivial once the presolve's layer-cake bound proved the
+// greedy solution optimal at the root.)
 func hardGraphJSON(t *testing.T) json.RawMessage {
 	g := dfg.New("hard")
 	for i := 0; i < 24; i++ {
 		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
-			Resources: 30, Delay: 100, ReadEnv: 1, WriteEnv: 1})
+			Resources: 34 + i%3, Delay: 100, ReadEnv: 1, WriteEnv: 1})
 	}
 	return marshalGraph(t, g)
 }

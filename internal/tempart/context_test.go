@@ -12,18 +12,24 @@ import (
 )
 
 // hardInput builds an instance whose B&B search runs far longer than the
-// test timeout when not cancelled: many interchangeable tasks with symmetry
-// breaking and the warm start disabled, so the search has to enumerate
-// permutations of equivalent placements.
+// test timeout when not cancelled. Sizes cycle 34/35/36 CLBs on a 100-CLB
+// board: any three tasks overflow a partition, so each holds at most two
+// and the area bound N0 = ⌈Σ/100⌉ undershoots the true minimum by several
+// partitions. The relax loop therefore has to prove integral packing
+// infeasibility at N0, N0+1, … — searches with no incumbent, which neither
+// the presolve's combinatorial bounds nor the LP relaxation (both happy
+// fractionally) can prune, and whose slightly-varied sizes defeat the
+// packing pre-check's symmetry pruning. Symmetry breaking and the warm
+// start are disabled on top to keep the tree maximal.
 func hardInput(nTasks int) Input {
 	g := dfg.New("hard")
 	for i := 0; i < nTasks; i++ {
 		g.MustAddTask(dfg.Task{
 			Name: fmt.Sprintf("t%02d", i), Type: "T",
-			Resources: 30, Delay: 100, ReadEnv: 1, WriteEnv: 1,
+			Resources: 34 + i%3, Delay: 100, ReadEnv: 1, WriteEnv: 1,
 		})
 	}
-	b := arch.SmallTestBoard() // 100 CLBs: three tasks per partition
+	b := arch.SmallTestBoard() // 100 CLBs: two tasks per partition
 	return Input{Graph: g, Board: b, NoSymmetryBreaking: true, DisableWarmStart: true}
 }
 

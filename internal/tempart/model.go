@@ -81,6 +81,17 @@ type SolveStats struct {
 	BuildTime    time.Duration
 	SolveTime    time.Duration
 	RelaxSteps   int
+	// PrunedCombinatorial counts B&B nodes fathomed by the presolve's
+	// combinatorial bound (DAG longest chains + area packing) without an
+	// LP solve.
+	PrunedCombinatorial int
+	// LPSolvesSkipped counts all B&B nodes discarded without running the
+	// simplex (combinatorial fathoming plus incumbent-bound pruning).
+	LPSolvesSkipped int
+	// NProbesPruned counts candidate partition counts rejected by presolve
+	// (packing infeasibility or greedy-feasibility dominance) without
+	// building or solving a model.
+	NProbesPruned int
 	// Solver aggregates the warm/cold solve and pivot counts of the
 	// underlying simplex engine across the whole B&B search.
 	Solver lp.SolverStats
@@ -198,29 +209,37 @@ func Solve(in Input) (*Partitioning, error) {
 	if maxN == 0 {
 		maxN = n0 + 8
 	}
-	resources := make([]int, g.NumTasks())
-	for i := range resources {
-		resources[i] = g.Task(i).Resources
+	pre := newPresolve(g, in.Board)
+	prunedN := 0
+	// Dominance clamp: a feasible greedy partitioning at gn partitions
+	// proves the ILP feasible at every N >= gn (feasibility is monotone in
+	// N), so the relax loop never needs to probe beyond gn — those
+	// candidate counts are rejected without building a model.
+	if gn := pre.maxFeasibleN(); gn > 0 && gn >= n0 && gn < maxN {
+		prunedN += maxN - gn
+		maxN = gn
 	}
 	if in.SpeculateN > 1 {
-		return solveSpeculative(in, paths, resources, n0, maxN)
+		return solveSpeculative(in, pre, paths, n0, maxN, prunedN)
 	}
 	relax := 0
 	for n := n0; n <= maxN; n++ {
 		relax++
-		// Resource-only bin-packing pre-check: ignoring temporal order and
+		// Multi-resource bin-packing pre-check: ignoring temporal order and
 		// memory can only make the problem easier, so packing
 		// infeasibility proves ILP infeasibility at this N without paying
 		// for a branch-and-bound infeasibility proof.
-		if !packingFeasible(resources, in.Board.FPGA.CLBs, n) {
+		if !pre.packingFeasibleAll(n) {
+			prunedN++
 			continue
 		}
-		part, err := solveForN(in, paths, n)
+		part, err := solveForN(in, pre, paths, n)
 		if err != nil {
 			return nil, err
 		}
 		if part != nil {
 			part.Stats.RelaxSteps = relax
+			part.Stats.NProbesPruned = prunedN
 			return part, nil
 		}
 	}
@@ -233,10 +252,11 @@ func Solve(in Input) (*Partitioning, error) {
 // the sequential loop would have found. Probes for N values made moot by a
 // lower feasible N are cancelled; their goroutines drain into buffered
 // channels and are discarded.
-func solveSpeculative(in Input, paths [][]int, resources []int, n0, maxN int) (*Partitioning, error) {
+func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN int) (*Partitioning, error) {
 	type probe struct {
-		part *Partitioning
-		err  error
+		part       *Partitioning
+		err        error
+		packPruned bool
 	}
 	stop := make(chan struct{})
 	defer close(stop)
@@ -262,12 +282,12 @@ func solveSpeculative(in Input, paths [][]int, resources []int, n0, maxN int) (*
 			// The packing pre-check of the sequential loop, hoisted into the
 			// probe so a cheap infeasibility proof also runs off the
 			// consumer's critical path.
-			if !packingFeasible(resources, in.Board.FPGA.CLBs, n) {
-				ch <- probe{}
+			if !pre.packingFeasibleAll(n) {
+				ch <- probe{packPruned: true}
 				return
 			}
-			part, err := solveForN(spec, paths, n)
-			ch <- probe{part, err}
+			part, err := solveForN(spec, pre, paths, n)
+			ch <- probe{part: part, err: err}
 		}()
 		return ch
 	}
@@ -287,8 +307,12 @@ func solveSpeculative(in Input, paths [][]int, resources []int, n0, maxN int) (*
 			// in ascending N order before stop closes.
 			return nil, r.err
 		}
+		if r.packPruned {
+			prunedN++
+		}
 		if r.part != nil {
 			r.part.Stats.RelaxSteps = n - n0 + 1
+			r.part.Stats.NProbesPruned = prunedN
 			return r.part, nil
 		}
 		if next <= maxN {
@@ -299,11 +323,25 @@ func solveSpeculative(in Input, paths [][]int, resources []int, n0, maxN int) (*
 	return nil, fmt.Errorf("%w (tried N=%d..%d)", ErrNoSolution, n0, maxN)
 }
 
-// solveForN builds and solves the model for a fixed partition bound.
-// It returns (nil, nil) when the model is infeasible at this N.
-func solveForN(in Input, paths [][]int, N int) (*Partitioning, error) {
+// tpModel is one generated instance of the Eqs. 1-8 model for a fixed
+// partition bound, together with its variable layout.
+type tpModel struct {
+	prob    *lp.Problem
+	ilp     *ilp.Problem
+	nVars   int
+	needMem bool
+	yv      func(t, p int) int
+	wv      func(p, e int) int
+	dv      func(p int) int
+}
+
+// buildModel generates the temporal partitioning ILP for a fixed N.
+// withPresolveCut controls the aggregate Σ d_p >= sumDelayFloor cut: solves
+// always include it, while the presolve property tests build the raw
+// relaxation without it so the combinatorial bounds can be compared against
+// the pure LP bound.
+func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut bool) *tpModel {
 	g := in.Graph
-	buildStart := time.Now()
 	nT := g.NumTasks()
 	edges := g.Edges()
 	nE := len(edges)
@@ -452,35 +490,76 @@ func solveForN(in Input, paths [][]int, N int) (*Partitioning, error) {
 		}
 	}
 
-	// Symmetry breaking between interchangeable tasks:
-	// Σ_p p·y[a][p] <= Σ_p p·y[b][p] for consecutive group members a < b.
+	// Presolve cut: Σ_p d_p >= max(critical path, layer-cake area×delay
+	// bound). Valid for every integral assignment (see presolve.go), so the
+	// optimum is unchanged, but it lifts every node's LP bound to at least
+	// the combinatorial floor — the LP stops undercutting what the DAG and
+	// the areas already prove.
+	if floor := pre.sumDelayFloor(); withPresolveCut && floor > 0 {
+		row := map[int]float64{}
+		for p := 0; p < N; p++ {
+			row[dv(p)] = 1
+		}
+		prob.AddRow(lp.GE, row, floor)
+	}
+
+	// Symmetry breaking between interchangeable tasks: consecutive group
+	// members a < b must satisfy part(a) <= part(b), written in the tight
+	// per-partition prefix form
+	//
+	//	y[b][p] <= Σ_{q<=p} y[a][q]   for p = 0..N-2
+	//
+	// (the p = N-1 row is implied by uniqueness). The integral solution set
+	// is exactly the lexicographically-least representative of each
+	// permutation class — the same set the old aggregated form
+	// Σ_p p·y[a][p] <= Σ_p p·y[b][p] admits — but the LP relaxation is
+	// strictly tighter, which raises node bounds and shrinks the search.
 	if !in.NoSymmetryBreaking {
 		for _, group := range g.InterchangeableGroups() {
 			for i := 0; i+1 < len(group); i++ {
 				a, b := group[i], group[i+1]
-				row := map[int]float64{}
-				for p := 1; p < N; p++ {
-					row[yv(a, p)] += float64(p)
-					row[yv(b, p)] -= float64(p)
-				}
-				if len(row) > 0 {
+				for p := 0; p < N-1; p++ {
+					row := map[int]float64{yv(b, p): 1}
+					for q := 0; q <= p; q++ {
+						row[yv(a, q)] -= 1
+					}
 					prob.AddRow(lp.LE, row, 0)
 				}
 			}
 		}
 	}
 
-	iprob := &ilp.Problem{LP: prob, Integers: intVars, SOS1: sos}
+	return &tpModel{
+		prob:    prob,
+		ilp:     &ilp.Problem{LP: prob, Integers: intVars, SOS1: sos},
+		nVars:   nVars,
+		needMem: needMem,
+		yv:      yv,
+		wv:      wv,
+		dv:      dv,
+	}
+}
+
+// solveForN builds and solves the model for a fixed partition bound.
+// It returns (nil, nil) when the model is infeasible at this N.
+func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, error) {
+	g := in.Graph
+	nT := g.NumTasks()
+	buildStart := time.Now()
+	m := buildModel(in, pre, paths, N, true)
 	opts := in.ILP
 	if !in.DisableWarmStart {
-		if inc := warmStart(g, in.Board, paths, N, nVars, needMem, yv, wv, dv); inc != nil {
+		if inc := warmStart(g, in.Board, paths, N, m.nVars, m.needMem, m.yv, m.wv, m.dv); inc != nil {
 			opts.Incumbent = inc
 		}
 	}
+	// LP-free fathoming: the presolve's combinatorial bound screens every
+	// B&B node before its LP relaxation is solved.
+	opts.NodeBound = pre.nodeBoundFunc(N, m.yv)
 	buildTime := time.Since(buildStart)
 
 	solveStart := time.Now()
-	sol, err := ilp.Solve(iprob, opts)
+	sol, err := ilp.Solve(m.ilp, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -499,7 +578,7 @@ func solveForN(in Input, paths [][]int, N int) (*Partitioning, error) {
 	for t := 0; t < nT; t++ {
 		assign[t] = -1
 		for p := 0; p < N; p++ {
-			if sol.X[yv(t, p)] > 0.5 {
+			if sol.X[m.yv(t, p)] > 0.5 {
 				assign[t] = p
 				break
 			}
@@ -516,9 +595,11 @@ func solveForN(in Input, paths [][]int, N int) (*Partitioning, error) {
 		Latency: Latency(in.Board, delays),
 		Optimal: sol.Status == ilp.Optimal,
 		Stats: SolveStats{
-			N: N, Vars: nVars, Rows: prob.NumRows(), Paths: len(paths),
+			N: N, Vars: m.nVars, Rows: m.prob.NumRows(), Paths: len(paths),
 			Nodes: sol.Nodes, LPIterations: sol.LPIterations,
-			BuildTime: buildTime, SolveTime: solveTime,
+			PrunedCombinatorial: sol.PrunedCombinatorial,
+			LPSolvesSkipped:     sol.LPSolvesSkipped,
+			BuildTime:           buildTime, SolveTime: solveTime,
 			Solver: sol.Solver,
 		},
 	}

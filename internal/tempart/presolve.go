@@ -1,0 +1,365 @@
+package tempart
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+)
+
+// presolve holds the combinatorial view of one partitioning instance,
+// computed once per Solve and shared by every relax-N probe and every
+// branch-and-bound node. It exists so that the cheap, LP-free facts about
+// the instance — DAG longest paths, transitive reachability, and area
+// totals — can reject candidate partition counts and fathom B&B subtrees
+// before the simplex ever runs:
+//
+//   - Relax loop: the area-packing lower bound (MinPartitions) and the
+//     greedy-feasibility upper bound (maxFeasibleN) bracket the useful N
+//     range, so infeasible and dominated N probes are rejected without an
+//     LP solve.
+//   - Search tree: nodeBoundFunc maps a node's y-variable box to a valid
+//     lower bound on Σ d_p (critical path and per-partition longest fixed
+//     chains) plus per-partition area feasibility; ilp uses it to skip the
+//     LP entirely (Options.NodeBound).
+//
+// All bounds are conservative: they never exceed the true LP relaxation
+// bound of the same box, which the presolve property tests pin down.
+type presolve struct {
+	g     *dfg.Graph
+	board arch.Board
+
+	topo        []int      // topological order of task indices
+	reach       [][]uint64 // reach[t]: bitset of ancestors of t (tasks with a path to t)
+	delays      []float64  // D(t)
+	res         []int      // R(t)
+	extraKinds  []string   // capped extra resource kinds, aligned with extraDemand
+	extraDemand [][]int    // extraDemand[k][t]: demand of task t for kind k
+	extraCap    []int      // board capacity per kind
+
+	critical  float64 // max root-leaf path delay (DAG longest path)
+	areaDelay float64 // layer-cake area×delay lower bound on Σ_p d_p
+	totalRes  int
+}
+
+// newPresolve builds the presolve view. The graph must already be validated
+// (acyclic).
+func newPresolve(g *dfg.Graph, board arch.Board) *presolve {
+	nT := g.NumTasks()
+	topo, err := g.TopoOrder()
+	if err != nil {
+		topo = nil // unreachable for validated graphs
+	}
+	words := (nT + 63) / 64
+	pr := &presolve{
+		g:      g,
+		board:  board,
+		topo:   topo,
+		reach:  make([][]uint64, nT),
+		delays: make([]float64, nT),
+		res:    make([]int, nT),
+	}
+	flat := make([]uint64, nT*words)
+	for t := 0; t < nT; t++ {
+		pr.reach[t] = flat[t*words : (t+1)*words]
+		pr.delays[t] = g.Task(t).Delay
+		pr.res[t] = g.Task(t).Resources
+		pr.totalRes += pr.res[t]
+	}
+	// Ancestor bitsets in topological order: reach[t] = ∪_{u→t} reach[u] ∪ {u}.
+	for _, t := range topo {
+		rt := pr.reach[t]
+		for _, u := range g.Preds(t) {
+			ru := pr.reach[u]
+			for w := range rt {
+				rt[w] |= ru[w]
+			}
+			rt[u/64] |= 1 << uint(u%64)
+		}
+	}
+	pr.critical, _ = g.CriticalPath()
+	pr.areaDelay = areaDelayBound(g, board)
+	for _, kind := range g.ExtraTypes() {
+		cap, capped := board.FPGA.ExtraCapacity[kind]
+		if !capped {
+			continue
+		}
+		demand := make([]int, nT)
+		for t := 0; t < nT; t++ {
+			demand[t] = g.Task(t).Extra[kind]
+		}
+		pr.extraKinds = append(pr.extraKinds, kind)
+		pr.extraDemand = append(pr.extraDemand, demand)
+		pr.extraCap = append(pr.extraCap, cap)
+	}
+	return pr
+}
+
+// latencyLowerBound is the combinatorial latency floor for a partition
+// count: N reconfigurations plus the DAG critical path (any partitioning
+// executes every root-leaf path across its partitions, so Σ d_p can never
+// undercut the longest one).
+func (pr *presolve) latencyLowerBound(n int) float64 {
+	return float64(n)*pr.board.FPGA.ReconfigTime + pr.critical
+}
+
+// sumDelayFloor is the strongest instance-wide lower bound on Σ_p d_p the
+// presolve knows: the DAG critical path and the layer-cake area×delay
+// bound. Unlike the critical path, the layer-cake bound uses integrality
+// (⌈area/capacity⌉ partitions must carry slow tasks), so it can exceed the
+// LP relaxation bound — that is exactly what lets it fathom nodes the LP
+// would have had to solve.
+func (pr *presolve) sumDelayFloor() float64 {
+	if pr.areaDelay > pr.critical {
+		return pr.areaDelay
+	}
+	return pr.critical
+}
+
+// areaDelayBound is the layer-cake bound: for any threshold x, every
+// partition holds at most the board capacity, so the tasks with delay ≥ x
+// occupy at least need(x) = max over capped resource kinds of
+// ⌈Σ demand / capacity⌉ distinct partitions, each of which has d_p ≥ x
+// (a single task is a chain). Integrating over x:
+//
+//	Σ_p d_p  ≥  Σ_i (D_i − D_{i+1}) · need(D_i)
+//
+// over the distinct task delays D_1 > D_2 > … (D_{last+1} = 0).
+func areaDelayBound(g *dfg.Graph, board arch.Board) float64 {
+	nT := g.NumTasks()
+	if nT == 0 {
+		return 0
+	}
+	order := make([]int, nT)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return g.Task(order[a]).Delay > g.Task(order[b]).Delay
+	})
+	kinds := make([]string, 0, len(board.FPGA.ExtraCapacity))
+	for kind, cap := range board.FPGA.ExtraCapacity {
+		if cap > 0 {
+			kinds = append(kinds, kind)
+		}
+	}
+	sort.Strings(kinds)
+	clbs := 0
+	extra := make([]int, len(kinds))
+	need := func() int {
+		n := 0
+		if board.FPGA.CLBs > 0 {
+			n = (clbs + board.FPGA.CLBs - 1) / board.FPGA.CLBs
+		}
+		for k, kind := range kinds {
+			cap := board.FPGA.ExtraCapacity[kind]
+			if m := (extra[k] + cap - 1) / cap; m > n {
+				n = m
+			}
+		}
+		return n
+	}
+	bound := 0.0
+	for i := 0; i < nT; {
+		d := g.Task(order[i]).Delay
+		for i < nT && g.Task(order[i]).Delay == d {
+			t := order[i]
+			clbs += g.Task(t).Resources
+			for k, kind := range kinds {
+				extra[k] += g.Task(t).Extra[kind]
+			}
+			i++
+		}
+		next := 0.0
+		if i < nT {
+			next = g.Task(order[i]).Delay
+		}
+		bound += (d - next) * float64(need())
+	}
+	return bound
+}
+
+// maxFeasibleN returns the lowest partition count at which the greedy
+// heuristics produce a feasible partitioning, or 0 when they fail. Because
+// model feasibility is monotone in N (a partitioning using K ≤ N partitions
+// is feasible for the N-partition model), the relax loop never needs to
+// probe beyond this value: every higher N is dominated by the greedy
+// certificate.
+func (pr *presolve) maxFeasibleN() int {
+	best := 0
+	for _, homogeneous := range []bool{false, true} {
+		assign, usedN := greedyAssign(pr.g, pr.board, homogeneous)
+		if assign == nil || usedN <= 0 {
+			continue
+		}
+		if CheckFeasible(pr.g, pr.board, assign, usedN) != nil {
+			continue
+		}
+		if best == 0 || usedN < best {
+			best = usedN
+		}
+	}
+	return best
+}
+
+// packingFeasibleAll runs the bin-packing feasibility pre-check for every
+// capped resource dimension (CLBs plus the board's capped extra kinds).
+// false proves the ILP infeasible at this N without an LP solve.
+func (pr *presolve) packingFeasibleAll(n int) bool {
+	if !packingFeasible(pr.res, pr.board.FPGA.CLBs, n) {
+		return false
+	}
+	for k, demand := range pr.extraDemand {
+		if !packingFeasible(demand, pr.extraCap[k], n) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeScratch is the per-call workspace of the node bound, pooled because
+// the callback runs on every B&B node (concurrently with Workers > 1).
+type nodeScratch struct {
+	assigned  []int     // task -> fixed partition, or -1
+	used      []int     // CLBs fixed per partition
+	chain     []float64 // longest fixed-chain delay ending at task t
+	maxChain  []float64 // per-partition longest fixed chain
+	extraUsed [][]int   // per kind: fixed demand per partition
+}
+
+// nodeBoundFunc builds the ilp.Options.NodeBound callback for one model
+// layout (partition count N, y-variable indexer yv). The returned bound is
+// a valid lower bound on Σ_p d_p over the node's box:
+//
+//	Σ_p d_p  ≥  max( critical path delay,
+//	                 Σ_p longest delay-weighted chain among tasks fixed to p )
+//
+// (a chain in the ancestor partial order extends to a root-leaf path, so
+// each partition's delay d_p is at least the delay of any chain fixed to
+// it). feasible=false is returned only on certain infeasibility: a task
+// with no allowed partition left, a partition whose fixed tasks exceed a
+// resource capacity, or a task that no longer fits anywhere.
+func (pr *presolve) nodeBoundFunc(N int, yv func(t, p int) int) func(bounds func(j int) (lo, hi float64)) (float64, bool) {
+	nT := pr.g.NumTasks()
+	pool := &sync.Pool{New: func() any {
+		sc := &nodeScratch{
+			assigned: make([]int, nT),
+			used:     make([]int, N),
+			chain:    make([]float64, nT),
+			maxChain: make([]float64, N),
+		}
+		for range pr.extraKinds {
+			sc.extraUsed = append(sc.extraUsed, make([]int, N))
+		}
+		return sc
+	}}
+	clbCap := pr.board.FPGA.CLBs
+	return func(bounds func(j int) (lo, hi float64)) (float64, bool) {
+		sc := pool.Get().(*nodeScratch)
+		defer pool.Put(sc)
+		for p := 0; p < N; p++ {
+			sc.used[p] = 0
+			sc.maxChain[p] = 0
+		}
+		for k := range sc.extraUsed {
+			for p := 0; p < N; p++ {
+				sc.extraUsed[k][p] = 0
+			}
+		}
+		// Decode the box: fixed partition (lo > ½) and allowed set per task.
+		for t := 0; t < nT; t++ {
+			sc.assigned[t] = -1
+			allowed := 0
+			for p := 0; p < N; p++ {
+				lo, hi := bounds(yv(t, p))
+				if hi > 0.5 {
+					allowed++
+				}
+				if lo > 0.5 {
+					sc.assigned[t] = p
+				}
+			}
+			if allowed == 0 {
+				return 0, false
+			}
+			if p := sc.assigned[t]; p >= 0 {
+				sc.used[p] += pr.res[t]
+				for k := range pr.extraDemand {
+					sc.extraUsed[k][p] += pr.extraDemand[k][t]
+				}
+			}
+		}
+		// Area feasibility of the fixed assignment.
+		for p := 0; p < N; p++ {
+			if sc.used[p] > clbCap {
+				return 0, false
+			}
+			for k := range sc.extraUsed {
+				if sc.extraUsed[k][p] > pr.extraCap[k] {
+					return 0, false
+				}
+			}
+		}
+		// Every unfixed task must still fit in some allowed partition next
+		// to the tasks already fixed there.
+		for t := 0; t < nT; t++ {
+			if sc.assigned[t] >= 0 {
+				continue
+			}
+			fits := false
+			for p := 0; p < N && !fits; p++ {
+				if _, hi := bounds(yv(t, p)); hi <= 0.5 {
+					continue
+				}
+				if sc.used[p]+pr.res[t] > clbCap {
+					continue
+				}
+				ok := true
+				for k := range pr.extraDemand {
+					if sc.extraUsed[k][p]+pr.extraDemand[k][t] > pr.extraCap[k] {
+						ok = false
+						break
+					}
+				}
+				fits = ok
+			}
+			if !fits {
+				return 0, false
+			}
+		}
+		// Longest fixed chain per partition: chains in the ancestor order
+		// extend to root-leaf paths, so d_p ≥ maxChain[p] for any
+		// completion of this box.
+		for _, t := range pr.topo {
+			p := sc.assigned[t]
+			if p < 0 {
+				continue
+			}
+			best := 0.0
+			rt := pr.reach[t]
+			for w, word := range rt {
+				for word != 0 {
+					u := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if sc.assigned[u] == p && sc.chain[u] > best {
+						best = sc.chain[u]
+					}
+				}
+			}
+			sc.chain[t] = best + pr.delays[t]
+			if sc.chain[t] > sc.maxChain[p] {
+				sc.maxChain[p] = sc.chain[t]
+			}
+		}
+		sum := 0.0
+		for p := 0; p < N; p++ {
+			sum += sc.maxChain[p]
+		}
+		if floor := pr.sumDelayFloor(); floor > sum {
+			sum = floor
+		}
+		return sum, true
+	}
+}

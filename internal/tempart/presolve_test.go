@@ -1,0 +1,222 @@
+package tempart
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+	"repro/internal/lp"
+)
+
+// TestCriticalPathNeverExceedsLPBound is presolve property (a): on random
+// DAGs, the combinatorial latency bound (N·CT + critical path) never
+// exceeds the true LP relaxation bound (N·CT + LP optimum of the raw model
+// without the presolve cut), at every N the relax loop could probe. This is
+// what makes the critical path safe to use for fathoming before the LP has
+// run: it can only under-claim.
+func TestCriticalPathNeverExceedsLPBound(t *testing.T) {
+	b := board(100, 1024, 1000)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		if g.Validate() != nil {
+			return true
+		}
+		paths, err := g.Paths(0)
+		if err != nil {
+			return true
+		}
+		pre := newPresolve(g, b)
+		n0 := MinPartitions(g, b)
+		if n0 == 0 {
+			return true
+		}
+		for n := n0; n <= n0+2; n++ {
+			m := buildModel(Input{Graph: g, Board: b}, pre, paths, n, false)
+			sol, err := lp.Solve(m.prob)
+			if err != nil || sol.Status != lp.Optimal {
+				continue // infeasible/degenerate relaxations prove nothing here
+			}
+			if pre.critical > sol.Obj+1e-6 {
+				t.Logf("seed %d N=%d: critical path %g exceeds LP bound %g", seed, n, pre.critical, sol.Obj)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPresolveBoundsNeverExceedIntegerOptimum pins the soundness property
+// the LP-free fathoming actually relies on: every bound the presolve can
+// hand to ilp.Options.NodeBound — critical path, layer-cake area×delay
+// bound, and the root node bound itself — is a valid lower bound on the
+// brute-force optimal Σ d_p, and the area-packing bound never exceeds the
+// true minimum feasible partition count. (The layer-cake bound uses
+// integrality, so it may legitimately exceed the LP bound — that is its
+// whole point — but it must never exceed the integer optimum, or the
+// search would prune the true solution.)
+func TestPresolveBoundsNeverExceedIntegerOptimum(t *testing.T) {
+	b := board(100, 50, 1000)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		paths, err := g.Paths(0)
+		if err != nil {
+			return true
+		}
+		bestN, bestLat := bruteForce(g, b, paths, 4)
+		if bestN == 0 {
+			return true // infeasible instance
+		}
+		pre := newPresolve(g, b)
+		if n0 := MinPartitions(g, b); n0 > bestN {
+			t.Logf("seed %d: MinPartitions %d exceeds true minimum %d", seed, n0, bestN)
+			return false
+		}
+		sumD := bestLat - float64(bestN)*b.FPGA.ReconfigTime
+		if pre.critical > sumD+1e-6 {
+			t.Logf("seed %d: critical %g exceeds optimal Σd %g", seed, pre.critical, sumD)
+			return false
+		}
+		if pre.areaDelay > sumD+1e-6 {
+			t.Logf("seed %d: areaDelay %g exceeds optimal Σd %g", seed, pre.areaDelay, sumD)
+			return false
+		}
+		// Root node bound over the untouched box.
+		m := buildModel(Input{Graph: g, Board: b}, pre, paths, bestN, true)
+		nb := pre.nodeBoundFunc(bestN, m.yv)
+		bnd, feasible := nb(m.prob.Bounds)
+		if !feasible {
+			t.Logf("seed %d: root box declared infeasible despite optimum N=%d", seed, bestN)
+			return false
+		}
+		if bnd > sumD+1e-6 {
+			t.Logf("seed %d: root node bound %g exceeds optimal Σd %g", seed, bnd, sumD)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// cloneGraph builds a random DAG and then clones a few tasks into
+// interchangeable groups (same type, costs, and neighbourhoods), so the
+// symmetry-breaking rows have something to bite on.
+func cloneGraph(seed int64) *dfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := dfg.New(fmt.Sprintf("clone%d", seed))
+	base := 2 + rng.Intn(3)
+	for i := 0; i < base; i++ {
+		g.MustAddTask(dfg.Task{
+			Name:      fmt.Sprintf("b%d", i),
+			Resources: 20 + 10*rng.Intn(4),
+			Delay:     float64(50 * (1 + rng.Intn(4))),
+		})
+	}
+	// A clone family hanging off task 0: identical costs and neighbours.
+	fam := 2 + rng.Intn(3)
+	res := 20 + 10*rng.Intn(3)
+	delay := float64(50 * (1 + rng.Intn(3)))
+	for i := 0; i < fam; i++ {
+		id := g.MustAddTask(dfg.Task{
+			Name: fmt.Sprintf("c%d", i), Type: "C",
+			Resources: res, Delay: delay,
+		})
+		_ = g.AddEdgeByID(0, id, 1)
+	}
+	return g
+}
+
+// TestSymmetryBreakingPreservesOptimum is presolve property (b): the
+// symmetry-broken and unbroken models must reach identical optima (N and
+// latency) on the package fixtures and on random graphs with
+// interchangeable clone families.
+func TestSymmetryBreakingPreservesOptimum(t *testing.T) {
+	type fixture struct {
+		name  string
+		g     *dfg.Graph
+		board arch.Board
+	}
+	fixtures := []fixture{
+		{"pairs", parallelPairsGraph(), board(100, 1024, 500)},
+		{"wide-clones", cloneGraph(1), board(100, 1024, 1000)},
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		fixtures = append(fixtures, fixture{
+			fmt.Sprintf("clone%d", seed), cloneGraph(seed), board(100, 1024, 1000),
+		})
+		fixtures = append(fixtures, fixture{
+			fmt.Sprintf("rand%d", seed), randomDAG(seed, 7), board(100, 1024, 1000),
+		})
+	}
+	// Multi-resource fixture: BRAM-capped clones.
+	mrg := dfg.New("mr")
+	for i := 0; i < 5; i++ {
+		mrg.MustAddTask(dfg.Task{
+			Name: string(rune('a' + i)), Type: "M", Resources: 100, Delay: 10,
+			Extra: map[string]int{"BRAM": 2},
+		})
+	}
+	fixtures = append(fixtures, fixture{"multires", mrg, multiResBoard()})
+
+	for _, fx := range fixtures {
+		sym, err := Solve(Input{Graph: fx.g, Board: fx.board})
+		if err != nil {
+			t.Fatalf("%s (sym): %v", fx.name, err)
+		}
+		nosym, err := Solve(Input{Graph: fx.g, Board: fx.board, NoSymmetryBreaking: true})
+		if err != nil {
+			t.Fatalf("%s (nosym): %v", fx.name, err)
+		}
+		if sym.N != nosym.N || math.Abs(sym.Latency-nosym.Latency) > 1e-6 {
+			t.Errorf("%s: symmetry-broken N=%d lat=%g, unbroken N=%d lat=%g",
+				fx.name, sym.N, sym.Latency, nosym.N, nosym.Latency)
+		}
+		if !sym.Optimal || !nosym.Optimal {
+			t.Errorf("%s: optimality lost (sym=%v nosym=%v)", fx.name, sym.Optimal, nosym.Optimal)
+		}
+		if err := CheckFeasible(fx.g, fx.board, sym.Assign, sym.N); err != nil {
+			t.Errorf("%s: symmetry-broken assignment infeasible: %v", fx.name, err)
+		}
+	}
+}
+
+// TestGreedyClampNeverSkipsTheOptimum: the relax loop's greedy-feasibility
+// clamp (dominated-N rejection) must never change the answer. Solve always
+// applies the clamp, so the reference is clamp-free by construction: brute
+// force over every assignment, which would expose a maxFeasibleN that
+// over-claims (clamping maxN below the true minimum feasible N).
+func TestGreedyClampNeverSkipsTheOptimum(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomDAG(200+seed, 6)
+		b := board(100, 1024, 1000)
+		paths, err := g.Paths(0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		wantN, wantLat := bruteForce(g, b, paths, 6)
+		got, err := Solve(Input{Graph: g, Board: b, MaxPartitions: 6})
+		if wantN == 0 {
+			if err == nil {
+				t.Errorf("seed %d: solver found N=%d where brute force proves infeasibility", seed, got.N)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.N != wantN || math.Abs(got.Latency-wantLat) > 1e-6 {
+			t.Errorf("seed %d: clamped solve N=%d lat=%g, brute force N=%d lat=%g",
+				seed, got.N, got.Latency, wantN, wantLat)
+		}
+	}
+}
