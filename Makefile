@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test vet bench bench-smoke bench-gate race loadtest
+.PHONY: all build test vet bench bench-smoke bench-gate race loadtest stress
 
 all: vet build test
 
@@ -35,11 +35,25 @@ bench-gate:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 -benchmem -json . > /tmp/bench-current.json
 	$(GO) run ./cmd/benchgate -old $$(ls BENCH_*.json | sort | tail -1) -new /tmp/bench-current.json
 
-# race runs the concurrency-heavy packages under the race detector.
+# race runs the concurrency-heavy packages under the race detector:
+# service (scheduler/cache), ilp (parallel search + shared cut pool), and
+# tempart (separators invoked from concurrent workers).
+# tempart runs -short under race: the sequential brute-force property
+# tests and portfolio yardsticks add minutes of race overhead but no
+# concurrency coverage; the worker-equivalence and cancellation tests that
+# exercise the separators and the cut pool concurrently still run.
 race:
 	$(GO) test -race -count=1 ./internal/service/... ./internal/ilp/...
+	$(GO) test -race -count=1 -short ./internal/tempart/...
 
 # loadtest is the smoke load test: ~100 concurrent requests against an
 # in-process sparcsd server, asserting a >= 0.9 cache/singleflight hit rate.
 loadtest:
 	$(GO) test -race -count=1 -run TestLoadSmoke -v ./internal/service/
+
+# stress runs the committed hard-instance portfolio end to end (packing
+# infeasibility under node budgets, chained near-capacity instances, FIR
+# shapes) with a wall-clock budget — the durable yardstick for pruning and
+# cutting-plane work. See internal/tempart/testdata/portfolio/.
+stress:
+	$(GO) test -run '^$$' -bench BenchmarkHardPortfolio -benchtime 1x -count 1 -timeout 10m ./internal/tempart/

@@ -216,6 +216,8 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.Nodes)/p.Stats.SolveTime.Seconds(), "nodes/sec")
 	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
 	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
+	b.ReportMetric(float64(p.Stats.CutsAdded), "cuts-added")
+	b.ReportMetric(float64(p.Stats.SeparationRounds), "separation-rounds")
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
 	b.ReportMetric(p.Latency, "latency-ns")
 }
@@ -494,7 +496,10 @@ func BenchmarkILP_FIRBank(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.Nodes), "B&B-nodes")
 	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
 	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
+	b.ReportMetric(float64(p.Stats.CutsAdded), "cuts-added")
+	b.ReportMetric(float64(p.Stats.SeparationRounds), "separation-rounds")
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
+	b.ReportMetric(p.Stats.SolveTime.Seconds()*1e3, "solve-ms")
 }
 
 // BenchmarkDCT8x8Greedy partitions the 128-task 8x8 DCT generalization

@@ -127,6 +127,29 @@ var gates = []gate{
 	{"nodes/sec", false},
 }
 
+// thresholdOverrides tightens the gate for specific (benchmark, unit)
+// pairs. The FIR bank is the headline branch-and-cut benchmark: its node
+// count is deterministic and the cutting-plane engine exists to shrink it,
+// so ANY node-count growth over the committed baseline fails the gate
+// (threshold 0), not just the default 20%.
+var thresholdOverrides = map[string]map[string]float64{
+	"BenchmarkILP_FIRBank": {"B&B-nodes": 0},
+}
+
+// gateMetric computes the relative regression of one metric and whether it
+// trips the gate (per-benchmark overrides tighten the default threshold).
+func gateMetric(name string, g gate, ov, nv, threshold float64) (reg float64, bad bool) {
+	if g.higherIsBad {
+		reg = nv/ov - 1
+	} else {
+		reg = ov/nv - 1
+	}
+	if tight, ok := thresholdOverrides[name][g.unit]; ok {
+		threshold = tight
+	}
+	return reg, reg > threshold
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline go test -json bench file (committed BENCH_<date>.json)")
 	newPath := flag.String("new", "", "fresh go test -json bench file to check")
@@ -183,14 +206,9 @@ func main() {
 				// counters, and nodes/sec is meaningless without nodes.
 				continue
 			}
-			var reg float64
-			if g.higherIsBad {
-				reg = nv/ov - 1
-			} else {
-				reg = ov/nv - 1
-			}
+			reg, bad := gateMetric(name, g, ov, nv, *threshold)
 			status := "ok"
-			if reg > *threshold {
+			if bad {
 				status = "REGRESSION"
 				failed = true
 			}

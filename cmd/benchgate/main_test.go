@@ -51,3 +51,22 @@ func TestParseBenchFileJoinsSplitOutput(t *testing.T) {
 		t.Errorf("parsed %v", r)
 	}
 }
+
+func TestFIRNodeCountOverride(t *testing.T) {
+	nodes := gate{"B&B-nodes", true}
+	// Default benchmarks tolerate the 20% threshold...
+	if _, bad := gateMetric("BenchmarkOther", nodes, 100, 110, 0.20); bad {
+		t.Error("10% node growth tripped the default gate")
+	}
+	// ...but the FIR bank headline gates at zero: any node growth fails.
+	if _, bad := gateMetric("BenchmarkILP_FIRBank", nodes, 1, 2, 0.20); !bad {
+		t.Error("FIR node-count growth passed despite the zero-threshold override")
+	}
+	if _, bad := gateMetric("BenchmarkILP_FIRBank", nodes, 1, 1, 0.20); bad {
+		t.Error("unchanged FIR node count tripped the gate")
+	}
+	// Other FIR metrics keep the default threshold.
+	if _, bad := gateMetric("BenchmarkILP_FIRBank", gate{"pivots/op", true}, 100, 110, 0.20); bad {
+		t.Error("FIR pivots inherited the zero threshold")
+	}
+}

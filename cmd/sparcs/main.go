@@ -133,6 +133,9 @@ func run(o cliOptions) error {
 	st := d.Partitioning.Stats
 	fmt.Printf("  solver: %d B&B nodes, %d LP pivots, build %v, solve %v\n",
 		st.Nodes, st.LPIterations, st.BuildTime.Round(1e6), st.SolveTime.Round(1e6))
+	if st.CutsAdded > 0 {
+		fmt.Printf("  cuts: %d added over %d separation rounds\n", st.CutsAdded, st.SeparationRounds)
+	}
 	if st.Solver.Solves > 0 {
 		fmt.Printf("  simplex: %d warm / %d cold solves, %d dual repair pivots\n",
 			st.Solver.WarmSolves, st.Solver.ColdSolves, st.Solver.DualPivots)

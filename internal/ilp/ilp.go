@@ -3,14 +3,24 @@
 //
 // It supports mixed problems in which a subset of the variables is marked
 // integral (in practice, the 0-1 placement variables of the temporal
-// partitioning model). Branching fixes variable bounds, so no constraint
-// rows are added during the search — and because bounds are the only thing
-// that changes, a B&B node is a bound delta, not a problem copy: every
-// search worker owns a single lp.Solver, applies a node's bound fixes to
-// it, and warm starts from the basis of the previously solved node (the
-// dual simplex typically re-optimizes in a handful of pivots). Nodes carry
-// their parent's basis snapshot so a worker picking up a foreign subtree
-// can seed its solver via ResolveFrom.
+// partitioning model). Branching fixes variable bounds — a B&B node is a
+// bound delta, not a problem copy: every search worker owns a single
+// lp.Solver, applies a node's bound fixes to it, and warm starts from the
+// basis of the previously solved node (the dual simplex typically
+// re-optimizes in a handful of pivots). Nodes carry their parent's basis
+// snapshot so a worker picking up a foreign subtree can seed its solver
+// via ResolveFrom.
+//
+// The search is branch-and-cut: when Options.Separate is set, each node's
+// fractional LP point is handed to the callback in rounds, violated valid
+// inequalities it returns are appended to the live solver (lp.Solver.
+// AddRows keeps the basis, so each round re-enters through the dual
+// simplex), and branching happens only when separation dries up or the
+// round budget is exhausted. Global cuts flow through a shared, size-
+// bounded pool — deduplicated by normalized row hash, aged by
+// tight-at-optimum activity, compacted when full — so a cut found in one
+// subtree strengthens every worker; node-local cuts ride on the node and
+// its descendants. See cuts.go for the validity contract.
 //
 // The search is organised prune-first: open nodes live on a bound-ordered
 // priority heap (best-first, with LIFO tie-breaking so equal-bound children
@@ -116,6 +126,23 @@ type Options struct {
 	// err on the side of weaker bounds. It must be safe for concurrent use
 	// when Workers > 1.
 	NodeBound func(bounds func(j int) (lo, hi float64)) (bnd float64, feasible bool)
+	// Separate, when non-nil, turns the search into branch-and-cut: it is
+	// invoked in rounds at every node whose LP relaxation is fractional,
+	// before branching, and returns valid inequalities violated by the
+	// node's LP point (see the Cut validity contract in cuts.go). Cuts the
+	// point does not violate beyond a tolerance are dropped; the rest are
+	// added to the node's live LP, which is re-solved warm, and the next
+	// round begins. The node branches only when a round yields no new cut,
+	// the point turns integral, or the round budget is exhausted. The
+	// callback must be safe for concurrent use when Workers > 1.
+	Separate func(pt *SeparationPoint) []Cut
+	// MaxCutRounds caps separation rounds per node (0 = default: 8 at the
+	// root, 2 below — root cuts are shared by the whole tree and deserve
+	// the larger budget).
+	MaxCutRounds int
+	// MaxCuts bounds the global cut pool (0 = default 512). Past the bound
+	// the pool evicts its least active half.
+	MaxCuts int
 	// Workers sets the number of concurrent search workers (<= 1 means the
 	// sequential search). Each worker owns its own lp.Solver over the shared
 	// model and the workers share one incumbent, so the optimal objective
@@ -176,9 +203,38 @@ type Solution struct {
 	LPSolvesSkipped int
 	// LPIterations accumulates simplex pivots across all nodes.
 	LPIterations int
+	// CutsAdded counts distinct cuts generated by Options.Separate and
+	// admitted to the search (pool-deduplicated global cuts plus node-local
+	// cuts).
+	CutsAdded int
+	// SeparationRounds counts node LP re-solves triggered by cut rounds.
+	SeparationRounds int
 	// Solver aggregates the underlying lp.Solver activity across all search
 	// workers (warm vs cold solves, dual-repair pivots).
 	Solver lp.SolverStats
+}
+
+// SeparationPoint is the node state handed to Options.Separate. X is the
+// node's current (fractional) LP point; it must not be retained or
+// modified. Bounds exposes the node's variable-bound box (the root bounds
+// with the branching fixes applied) and is only valid during the call.
+type SeparationPoint struct {
+	X      []float64
+	Obj    float64
+	Depth  int
+	Round  int
+	Bounds func(j int) (lo, hi float64)
+}
+
+// maxCutRounds resolves the per-node separation round budget.
+func (o *Options) maxCutRounds(depth int) int {
+	if o.MaxCutRounds > 0 {
+		return o.MaxCutRounds
+	}
+	if depth == 0 {
+		return 8
+	}
+	return 2
 }
 
 // Gap returns Obj - Bound (0 for proven optimal solutions).
@@ -196,8 +252,9 @@ type node struct {
 	fixes []fix   // bound changes relative to the root
 	bound float64 // parent LP bound (heap priority, valid subtree bound)
 	depth int
-	seq   int64     // push order; ties on bound pop LIFO (dive like DFS)
-	basis *lp.Basis // parent basis (warm-start seed for foreign workers)
+	seq   int64       // push order; ties on bound pop LIFO (dive like DFS)
+	basis *lp.Basis   // parent basis (warm-start seed for foreign workers)
+	cuts  []lp.CutRow // node-local cuts inherited from ancestors (never mutated)
 
 	// Pseudo-cost bookkeeping: the single-variable branch that created this
 	// node (branchVar < 0 for the root and SOS1 children).
@@ -222,6 +279,30 @@ type searcher struct {
 	rootHi  []float64
 	applied []int // variables whose bounds currently differ from the root
 	isInt   []bool
+
+	// Cut bookkeeping: the solver's added-row block is the shared pool's
+	// prefix [0, poolApplied) (at generation poolGen), optionally followed
+	// by the current node's local cuts (localCuts rows). poolRows/poolHashes
+	// mirror the applied pool prefix for activity scoring.
+	poolApplied int
+	poolGen     int
+	poolRows    []lp.CutRow
+	poolHashes  []uint64
+	// localSet is the node-local cut slice currently applied (nd.cuts of
+	// the node that installed it). Node cut slices are never mutated —
+	// children copy-on-append — so slice identity (length + backing array)
+	// decides whether a popped node's inherited set is already applied,
+	// which keeps a whole subtree below a local cut warm instead of
+	// rebuilding the solver at every descendant.
+	localSet []lp.CutRow
+}
+
+// sameLocalCuts reports whether cuts is exactly the applied local set.
+func (w *searcher) sameLocalCuts(cuts []lp.CutRow) bool {
+	if len(cuts) != len(w.localSet) {
+		return false
+	}
+	return len(cuts) == 0 || &cuts[0] == &w.localSet[0]
 }
 
 func newSearcher(p *Problem, opt *Options, st *searchState, isInt []bool) *searcher {
@@ -262,16 +343,151 @@ func (w *searcher) applyFixes(fixes []fix) bool {
 	return true
 }
 
+// dropCuts removes every added row from the solver and resets the pool
+// bookkeeping (the basis goes cold; used on pool compaction and when the
+// node-local cut set changes).
+func (w *searcher) dropCuts() {
+	w.solver.DropAddedRows()
+	w.poolApplied = 0
+	w.poolRows = w.poolRows[:0]
+	w.poolHashes = w.poolHashes[:0]
+	w.localSet = nil
+}
+
+// bindCuts makes the solver's added rows hold the shared pool's cuts plus
+// exactly the given node-local set. It is the single rebind entry point:
+// a pool generation change inside syncPool drops everything (including
+// previously applied locals), and the re-check afterwards re-adds the
+// local set, so the node never silently loses its inherited cuts.
+func (w *searcher) bindCuts(cuts []lp.CutRow) error {
+	if !w.sameLocalCuts(cuts) {
+		w.dropCuts()
+	}
+	if err := w.syncPool(); err != nil {
+		return err
+	}
+	if len(cuts) > 0 && !w.sameLocalCuts(cuts) {
+		if err := w.solver.AddRows(cuts); err != nil {
+			return fmt.Errorf("ilp: applying node-local cuts: %w", err)
+		}
+		w.localSet = cuts
+	}
+	return nil
+}
+
+// syncPool pulls global cuts this solver has not applied yet. On a pool
+// generation change (compaction) the whole added-row block is rebuilt.
+func (w *searcher) syncPool() error {
+	cp := w.st.pool
+	if cp == nil {
+		return nil
+	}
+	rows, hashes, gen, total := cp.fetch(w.poolApplied, w.poolGen)
+	if gen != w.poolGen {
+		w.dropCuts()
+		w.poolGen = gen
+		rows, hashes, _, total = cp.fetch(0, gen)
+	}
+	if len(rows) > 0 {
+		if err := w.solver.AddRows(rows); err != nil {
+			return fmt.Errorf("ilp: applying pool cuts: %w", err)
+		}
+		w.poolRows = append(w.poolRows, rows...)
+		w.poolHashes = append(w.poolHashes, hashes...)
+		w.poolApplied = total
+	}
+	return nil
+}
+
+// recordCutActivity credits pool cuts binding at the node optimum x.
+func (w *searcher) recordCutActivity(x []float64) {
+	if w.st.pool == nil || len(w.poolRows) == 0 {
+		return
+	}
+	var tight []uint64
+	for i := range w.poolRows {
+		r := &w.poolRows[i]
+		if math.Abs(r.Eval(x)-r.RHS) <= cutTightTol {
+			tight = append(tight, w.poolHashes[i])
+		}
+	}
+	w.st.pool.touch(tight)
+}
+
+// applyCuts runs one separation round at a node: call Options.Separate on
+// the LP point, admit the violated valid cuts (global ones to the shared
+// pool, local ones to the solver and the node), and sync the solver with
+// the pool. It returns (admitted, progressed): admitted counts distinct
+// cuts this round generated, progressed reports whether the node's LP
+// gained any row (possibly from another worker's cuts) and a re-solve is
+// worthwhile.
+func (w *searcher) applyCuts(nd *node, res *lp.Solution, round int) (int, bool, error) {
+	before := w.solver.AddedRows()
+	cuts := w.opt.Separate(&SeparationPoint{
+		X: res.X, Obj: res.Obj, Depth: nd.depth, Round: round,
+		Bounds: w.solver.Bounds,
+	})
+	nVars := w.p.LP.NumVars()
+	admitted := 0
+	var locals []lp.CutRow
+	for i := range cuts {
+		c := &cuts[i]
+		if !validCut(nVars, c) || c.Violation(res.X) < cutViolationTol {
+			continue
+		}
+		if c.Global {
+			if w.st.pool.add(c.CutRow) {
+				admitted++
+			}
+		} else {
+			locals = append(locals, c.CutRow)
+			admitted++
+		}
+	}
+	// bindCuts (not a bare pool sync) so a pool compaction mid-round
+	// re-establishes the node's inherited local cuts after the drop.
+	if err := w.bindCuts(nd.cuts); err != nil {
+		return 0, false, err
+	}
+	if len(locals) > 0 {
+		if err := w.solver.AddRows(locals); err != nil {
+			return 0, false, fmt.Errorf("ilp: applying node-local cuts: %w", err)
+		}
+		merged := make([]lp.CutRow, 0, len(nd.cuts)+len(locals))
+		merged = append(append(merged, nd.cuts...), locals...)
+		nd.cuts = merged // fresh slice: siblings keep the old view
+		w.localSet = merged
+	}
+	// Progress means the node LP's row set changed and a re-solve is
+	// worthwhile: we admitted something ourselves (even if a pool
+	// compaction shrank the applied row count below `before`), or other
+	// workers' cuts arrived in the sync.
+	return admitted, admitted > 0 || w.solver.AddedRows() != before, nil
+}
+
+// integralPoint reports whether every integer variable is integral in x.
+func integralPoint(x []float64, ints []int) bool {
+	for _, j := range ints {
+		f := x[j] - math.Floor(x[j])
+		if f > intTol && f < 1-intTol {
+			return false
+		}
+	}
+	return true
+}
+
 // nodeResult is what processing one node produces. Exactly one of the
 // following is meaningful depending on lpStatus:
 // children/incumbent (Optimal), nothing (Infeasible/IterLimit/Unbounded),
 // pruned (fathomed before the LP ran).
 type nodeResult struct {
-	lpStatus lp.Status
-	pruned   bool    // fathomed by the combinatorial bound; no LP was run
-	obj      float64 // node LP bound (valid when lpStatus == Optimal)
-	iters    int
-	children []node
+	lpStatus  lp.Status
+	pruned    bool    // fathomed by the combinatorial bound; no LP was run
+	obj       float64 // node LP bound (valid when lpStatus == Optimal)
+	iters     int
+	cutsAdded int // cuts generated at this node (see Solution.CutsAdded)
+	sepRounds int // LP re-solves triggered by separation at this node
+	children  []node
 	// incumbent is a verified-feasible integral candidate with objective
 	// incObj (nil when the node produced none worth keeping).
 	incumbent []float64
@@ -284,6 +500,7 @@ type nodeResult struct {
 // candidates; the caller revalidates under its own lock before accepting).
 func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 	r := &nodeResult{incObj: math.Inf(1)}
+
 	if !w.applyFixes(nd.fixes) {
 		r.lpStatus = lp.Infeasible
 		return r, nil
@@ -291,7 +508,8 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 
 	// LP-free fathoming: if the caller's combinatorial bound already proves
 	// the box infeasible or no better than the incumbent, the simplex never
-	// runs for this node.
+	// runs for this node — and neither does the cut-view rebind below, so
+	// fathomed nodes pay no AddRows reinversion.
 	if w.opt.NodeBound != nil {
 		if bnd, feasible := w.opt.NodeBound(w.solver.Bounds); !feasible || bnd > incObj-w.opt.AbsGap {
 			r.pruned = true
@@ -300,31 +518,85 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 		}
 	}
 
-	var res *lp.Solution
-	var err error
-	for attempt := 0; ; attempt++ {
-		if !w.solver.Warm() && nd.basis != nil {
-			res, err = w.solver.ResolveFrom(nd.basis)
-		} else {
-			res, err = w.solver.Solve()
-		}
-		if err != nil {
-			return nil, fmt.Errorf("ilp: node LP: %w", err)
-		}
-		r.iters += res.Iterations
-		r.lpStatus = res.Status
-		if res.Status != lp.Optimal {
-			return r, nil
-		}
-		// Guard against numerical drift of the incrementally updated warm
-		// basis: an "optimal" point that violates the original rows forces
-		// one from-scratch re-solve of the node.
-		if attempt == 0 && !w.p.LP.RowsSatisfied(res.X, 1e-6) {
-			w.solver.Invalidate()
-			continue
-		}
-		break
+	// Rebind the solver's added-row block to this node's cut view: the
+	// shared pool's cuts plus the node's inherited local cuts. Nodes whose
+	// local set is already applied (no local cuts anywhere, or a dive
+	// within one subtree) reuse the standing rows and only append what
+	// other workers separated since.
+	if err := w.bindCuts(nd.cuts); err != nil {
+		return nil, err
 	}
+
+	solveLP := func(seed *lp.Basis) (*lp.Solution, error) {
+		for attempt := 0; ; attempt++ {
+			var res *lp.Solution
+			var err error
+			if !w.solver.Warm() && seed != nil {
+				res, err = w.solver.ResolveFrom(seed)
+			} else {
+				res, err = w.solver.Solve()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("ilp: node LP: %w", err)
+			}
+			r.iters += res.Iterations
+			r.lpStatus = res.Status
+			if res.Status != lp.Optimal {
+				return res, nil
+			}
+			// Guard against numerical drift of the incrementally updated
+			// warm basis: an "optimal" point that violates the original
+			// rows (or the node's cut rows) forces one from-scratch
+			// re-solve of the node.
+			if attempt == 0 && (!w.p.LP.RowsSatisfied(res.X, 1e-6) ||
+				!w.solver.AddedRowsSatisfied(res.X, 1e-6)) {
+				w.solver.Invalidate()
+				continue
+			}
+			return res, nil
+		}
+	}
+
+	res, err := solveLP(nd.basis)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return r, nil
+	}
+
+	// Separation rounds: while the point is fractional, could still beat
+	// the incumbent, and the round budget lasts, grow the node LP with
+	// violated cuts and re-solve warm (the dual simplex re-enters from the
+	// current basis; the new rows' slacks are the only infeasibilities).
+	// Branching below only happens when separation dries up.
+	if w.opt.Separate != nil {
+		maxRounds := w.opt.maxCutRounds(nd.depth)
+		for round := 0; round < maxRounds; round++ {
+			if res.Obj > incObj-w.opt.AbsGap || integralPoint(res.X, w.p.Integers) {
+				break
+			}
+			admitted, progressed, err := w.applyCuts(nd, res, round)
+			if err != nil {
+				return nil, err
+			}
+			r.cutsAdded += admitted
+			if !progressed {
+				break
+			}
+			r.sepRounds++
+			res, err = solveLP(nil)
+			if err != nil {
+				return nil, err
+			}
+			if res.Status != lp.Optimal {
+				// Valid cuts may legitimately empty a node box holding no
+				// integral point: the node is fathomed.
+				return r, nil
+			}
+		}
+	}
+	w.recordCutActivity(res.X)
 	r.obj = res.Obj
 
 	if res.Obj > incObj-w.opt.AbsGap {
@@ -430,7 +702,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 			}
 			r.children = append(r.children, node{
 				fixes: fixes, bound: res.Obj, depth: nd.depth + 1,
-				basis: parentBasis, branchVar: -1,
+				basis: parentBasis, branchVar: -1, cuts: nd.cuts,
 			})
 		}
 		return r, nil
@@ -443,6 +715,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 		bound:     res.Obj,
 		depth:     nd.depth + 1,
 		basis:     parentBasis,
+		cuts:      nd.cuts,
 		branchVar: branchVar, branchUp: false, branchFrac: branchFrac,
 	}
 	up := node{
@@ -450,6 +723,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 		bound:     res.Obj,
 		depth:     nd.depth + 1,
 		basis:     parentBasis,
+		cuts:      nd.cuts,
 		branchVar: branchVar, branchUp: true, branchFrac: branchFrac,
 	}
 	// Push the side nearer the LP value last so it pops first on a tie.
@@ -490,6 +764,9 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	}
 	if opt.TimeLimit > 0 {
 		st.deadline = time.Now().Add(opt.TimeLimit)
+	}
+	if opt.Separate != nil {
+		st.pool = newCutPool(opt.MaxCuts)
 	}
 	st.cond = sync.NewCond(&st.mu)
 
@@ -555,6 +832,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		sol.Solver.ColdSolves += s.ColdSolves
 		sol.Solver.Pivots += s.Pivots
 		sol.Solver.DualPivots += s.DualPivots
+		sol.Solver.RowsAdded += s.RowsAdded
 	}
 	return sol, nil
 }
@@ -589,11 +867,17 @@ type searchState struct {
 	gUpN      int32
 	gDownN    int32
 
+	// pool is the shared global-cut store (nil when Options.Separate is
+	// unset; its own mutex serializes access from workers).
+	pool *cutPool
+
 	nodes      int
 	lpIters    int
 	dropped    int
 	prunedComb int
 	lpSkipped  int
+	cutsAdded  int
+	sepRounds  int
 	// droppedBound tracks the min parent bound among dropped nodes so the
 	// reported Bound stays valid even when subtrees are discarded.
 	droppedBound float64
@@ -765,6 +1049,8 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 		return
 	}
 	st.nodes++
+	st.cutsAdded += r.cutsAdded
+	st.sepRounds += r.sepRounds
 	switch r.lpStatus {
 	case lp.Infeasible:
 		return
@@ -864,6 +1150,8 @@ func (st *searchState) finish() *Solution {
 		Dropped:             st.dropped,
 		PrunedCombinatorial: st.prunedComb,
 		LPSolvesSkipped:     st.lpSkipped,
+		CutsAdded:           st.cutsAdded,
+		SeparationRounds:    st.sepRounds,
 		BoundTrusted:        st.dropped == 0,
 	}
 	exhausted := len(st.heap) == 0 && st.dropped == 0

@@ -1,0 +1,337 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements dynamic row growth on a live Solver — the primitive
+// the cutting-plane layer in internal/ilp is built on. A branch-and-bound
+// node that separates a violated valid inequality calls AddRows and
+// re-solves; because the appended row enters with its own slack basic, the
+// existing basis stays a basis of the extended system and the re-solve is a
+// dual-simplex repair from the current point (the new slack is the only
+// infeasible basic variable) instead of a cold two-phase rebuild.
+//
+// Added rows are solver-local: the shared Problem is never modified, so the
+// concurrent search workers of internal/ilp can hold different cut sets
+// over one Problem. Integer-feasibility checks keep using the Problem's
+// rows — added rows are cutting planes, i.e. redundant for every integral
+// feasible point, which is exactly why a buggy (invalid) cut can cost
+// correctness of *pruning* but can never smuggle an infeasible incumbent
+// through the ilp layer's row checks.
+
+// CutRow is one constraint row appended to a live Solver by AddRows.
+// Cols/Vals hold the nonzero coefficients over structural variables.
+type CutRow struct {
+	Kind RowKind
+	Cols []int
+	Vals []float64
+	RHS  float64
+}
+
+// Eval returns the left-hand-side value of the row at point x.
+func (r *CutRow) Eval(x []float64) float64 {
+	lhs := 0.0
+	for k, j := range r.Cols {
+		lhs += r.Vals[k] * x[j]
+	}
+	return lhs
+}
+
+// Satisfied reports whether x satisfies the row within tol.
+func (r *CutRow) Satisfied(x []float64, tol float64) bool {
+	lhs := r.Eval(x)
+	switch r.Kind {
+	case LE:
+		return lhs <= r.RHS+tol
+	case GE:
+		return lhs >= r.RHS-tol
+	default:
+		return math.Abs(lhs-r.RHS) <= tol
+	}
+}
+
+// Violation returns how much x violates the row (0 when satisfied). For LE
+// rows it is lhs-rhs, for GE rows rhs-lhs, for EQ rows |lhs-rhs|.
+func (r *CutRow) Violation(x []float64) float64 {
+	lhs := r.Eval(x)
+	var v float64
+	switch r.Kind {
+	case LE:
+		v = lhs - r.RHS
+	case GE:
+		v = r.RHS - lhs
+	default:
+		v = math.Abs(lhs - r.RHS)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// addedRow is the internal storage of one dynamically added row.
+type addedRow struct {
+	kind RowKind
+	rhs  float64
+	cols []int32
+	vals []float64
+}
+
+// extEntry is one nonzero of a structural column inside an added row.
+type extEntry struct {
+	i int32 // row index (>= mBase)
+	v float64
+}
+
+// Rows returns the current total row count (base rows + added rows).
+func (s *Solver) Rows() int { return s.m }
+
+// BaseRows returns the number of rows captured from the Problem.
+func (s *Solver) BaseRows() int { return s.mBase }
+
+// AddedRows returns the number of dynamically added rows.
+func (s *Solver) AddedRows() int { return len(s.added) }
+
+// AddedRowsSatisfied reports whether x satisfies every dynamically added
+// row within tol (the added-row counterpart of Problem.RowsSatisfied, used
+// by the ilp drift guard).
+func (s *Solver) AddedRowsSatisfied(x []float64, tol float64) bool {
+	for ai := range s.added {
+		r := &s.added[ai]
+		lhs := 0.0
+		for k, j := range r.cols {
+			lhs += r.vals[k] * x[j]
+		}
+		switch r.kind {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AddRows appends constraint rows to the live solver. The rows reference
+// structural variables only; duplicate column indices are merged and zero
+// coefficients dropped. When the solver holds a valid basis the rows enter
+// with their slacks basic — the old basis columns plus the new unit slacks
+// form a block-triangular, provably nonsingular basis of the extended
+// system — so the factorization is rebuilt once (the same reinversion the
+// solver performs every refactorPivots pivots anyway) and the next Solve
+// warm starts with the dual simplex from the current point, where the only
+// primal infeasibilities are the slacks of the violated new rows. Without a
+// valid basis the rows are only recorded and the next Solve builds cold.
+func (s *Solver) AddRows(rows []CutRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	add := make([]addedRow, 0, len(rows))
+	for ri := range rows {
+		r := &rows[ri]
+		if len(r.Cols) != len(r.Vals) {
+			return fmt.Errorf("lp: AddRows: row %d has %d cols but %d vals", ri, len(r.Cols), len(r.Vals))
+		}
+		ar := addedRow{kind: r.Kind, rhs: r.RHS}
+		for k, j := range r.Cols {
+			if j < 0 || j >= s.nStruct {
+				return fmt.Errorf("lp: AddRows: row %d references variable %d out of range [0,%d)", ri, j, s.nStruct)
+			}
+			if v := r.Vals[k]; v != 0 {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("lp: AddRows: row %d has non-finite coefficient on variable %d", ri, j)
+				}
+				ar.cols = append(ar.cols, int32(j))
+				ar.vals = append(ar.vals, v)
+			}
+		}
+		mergeDupCols(&ar)
+		add = append(add, ar)
+	}
+
+	wasValid := s.valid
+	mOld := s.m
+	k := len(add)
+	s.m += k
+	s.nTotal = s.nStruct + 2*s.m
+	s.maxIter = 2000 + 200*(s.m+s.nTotal)
+	s.Stats.RowsAdded += k
+
+	// Per-row arrays grow by k.
+	s.rhs = append(s.rhs, make([]float64, k)...)
+	s.artUsed = append(s.artUsed, make([]bool, k)...)
+	s.artSign = append(s.artSign, make([]float64, k)...)
+	s.basis = append(s.basis, make([]int, k)...)
+	s.xb = append(s.xb, make([]float64, k)...)
+	s.alpha = append(s.alpha, make([]float64, k)...)
+	s.y = append(s.y, make([]float64, k)...)
+	s.rho = append(s.rho, make([]float64, k)...)
+	s.order = append(s.order, make([]int, k)...)
+	s.newBasis = append(s.newBasis, make([]int, k)...)
+	s.assigned = append(s.assigned, make([]bool, k)...)
+
+	// Per-column arrays grow by 2k; the artificial block shifts up by k.
+	// Artificial columns carry no state between solves (a valid basis never
+	// contains one, and the cold build reinitializes them), so the whole
+	// region is simply reset at its new position.
+	s.lo = append(s.lo, make([]float64, 2*k)...)
+	s.hi = append(s.hi, make([]float64, 2*k)...)
+	s.status = append(s.status, make([]varStatus, 2*k)...)
+	s.cost = append(s.cost, make([]float64, 2*k)...)
+	for i := 0; i < s.m; i++ {
+		ac := s.nStruct + s.m + i
+		s.lo[ac], s.hi[ac] = 0, 0
+		s.status[ac] = atLower
+		s.cost[ac] = 0
+	}
+	if s.costPhase == 1 {
+		// The phase-1 cost row indexed the old artificial block; force a
+		// rebuild on the next solve.
+		s.costPhase = 0
+		s.objCols = s.objCols[:0]
+	}
+
+	if s.extCols == nil {
+		s.extCols = make([][]extEntry, s.nStruct)
+	}
+	for ai := range add {
+		i := mOld + ai
+		r := &add[ai]
+		s.rhs[i] = r.rhs
+		s.artSign[i] = 1
+		sc := s.nStruct + i
+		s.cost[sc] = 0
+		switch r.kind {
+		case LE:
+			s.lo[sc], s.hi[sc] = 0, Inf
+			s.status[sc] = atLower
+		case GE:
+			s.lo[sc], s.hi[sc] = math.Inf(-1), 0
+			s.status[sc] = atUpper
+		case EQ:
+			s.lo[sc], s.hi[sc] = 0, 0
+			s.status[sc] = atLower
+		}
+		for ci, j := range r.cols {
+			s.extCols[j] = append(s.extCols[j], extEntry{i: int32(i), v: r.vals[ci]})
+		}
+		s.added = append(s.added, *r)
+	}
+
+	if !wasValid {
+		return nil
+	}
+	// A valid basis may keep an artificial basic at 0 (redundant row after
+	// a cold solve). The artificial block just shifted up by k, so remap
+	// those basis references and restore their basic status (the region
+	// reset above marked every artificial nonbasic).
+	firstArtOld := s.nStruct + mOld
+	for i := 0; i < mOld; i++ {
+		if jb := s.basis[i]; jb >= firstArtOld {
+			s.basis[i] = jb + k
+			s.status[jb+k] = basic
+		}
+	}
+	// Keep the warm basis: the new slacks enter the basis in their own
+	// rows, then one reinversion rebuilds the eta file over the extended
+	// column data. Dual feasibility is preserved — the new slacks cost 0
+	// and carry zero dual prices, so every old reduced cost is unchanged —
+	// and the next Solve repairs primal feasibility with the dual simplex.
+	for ai := range add {
+		i := mOld + ai
+		sc := s.nStruct + i
+		s.basis[i] = sc
+		s.status[sc] = basic
+	}
+	if !s.refactor() {
+		// Cannot happen for a nonsingular old basis (the extended basis is
+		// block triangular with a unit diagonal block), but a numerically
+		// borderline old factorization may fail partial pivoting; fall back
+		// to a cold rebuild on the next solve.
+		s.valid = false
+		return nil
+	}
+	s.computeB()
+	return nil
+}
+
+// mergeDupCols sorts a row's coefficients by column and merges duplicates.
+func mergeDupCols(r *addedRow) {
+	if len(r.cols) < 2 {
+		return
+	}
+	ord := make([]int, len(r.cols))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return r.cols[ord[a]] < r.cols[ord[b]] })
+	cols := make([]int32, 0, len(r.cols))
+	vals := make([]float64, 0, len(r.vals))
+	for _, i := range ord {
+		if n := len(cols); n > 0 && cols[n-1] == r.cols[i] {
+			vals[n-1] += r.vals[i]
+			continue
+		}
+		cols = append(cols, r.cols[i])
+		vals = append(vals, r.vals[i])
+	}
+	r.cols, r.vals = cols, vals
+}
+
+// DropAddedRows removes every dynamically added row, returning the solver
+// to the Problem's base row set. The basis is invalidated (a basis of the
+// extended system is not generally a basis of the truncated one), so the
+// next Solve rebuilds cold. The ilp layer uses this when the cut pool
+// compacts or a node-local cut set changes; both are rare enough that one
+// cold solve is cheaper than bookkeeping an incremental removal.
+func (s *Solver) DropAddedRows() {
+	if len(s.added) == 0 {
+		return
+	}
+	s.m = s.mBase
+	s.nTotal = s.nStruct + 2*s.m
+	s.maxIter = 2000 + 200*(s.m+s.nTotal)
+	s.added = s.added[:0]
+	s.extCols = nil
+
+	s.rhs = s.rhs[:s.m]
+	s.artUsed = s.artUsed[:s.m]
+	s.artSign = s.artSign[:s.m]
+	s.basis = s.basis[:s.m]
+	s.xb = s.xb[:s.m]
+	s.alpha = s.alpha[:s.m]
+	s.y = s.y[:s.m]
+	s.rho = s.rho[:s.m]
+	s.order = s.order[:s.m]
+	s.newBasis = s.newBasis[:s.m]
+	s.assigned = s.assigned[:s.m]
+
+	s.lo = s.lo[:s.nTotal]
+	s.hi = s.hi[:s.nTotal]
+	s.status = s.status[:s.nTotal]
+	s.cost = s.cost[:s.nTotal]
+	for i := 0; i < s.m; i++ {
+		ac := s.nStruct + s.m + i
+		s.lo[ac], s.hi[ac] = 0, 0
+		s.status[ac] = atLower
+		s.cost[ac] = 0
+	}
+	if s.costPhase == 1 {
+		s.costPhase = 0
+		s.objCols = s.objCols[:0]
+	}
+	s.etas.reset()
+	s.factorAge = 0
+	s.valid = false
+}

@@ -28,16 +28,29 @@ import (
 //   - Rows and objective coefficients are captured at NewSolver time; the
 //     Problem's rows and objective must not change afterwards (bounds may —
 //     that is the point). Changing the objective would silently invalidate
-//     the dual feasibility the warm start relies on.
+//     the dual feasibility the warm start relies on. The *Solver* can still
+//     grow rows on the fly: AddRows appends solver-local rows (cutting
+//     planes) without touching the shared Problem, keeping the current
+//     basis so the next Solve re-enters through the dual simplex (see
+//     dynrows.go).
 //   - Solve returns a Solution whose X slice is freshly allocated and safe
 //     to retain.
 //   - A Solver is not safe for concurrent use; create one per goroutine
 //     (they share the Problem's immutable row storage).
 type Solver struct {
 	p       *Problem
-	m       int // constraint rows
+	m       int // constraint rows (mBase + dynamically added rows)
+	mBase   int // rows captured from the Problem at NewSolver time
 	nStruct int // structural variables
 	nTotal  int // structural + m slacks + m artificial slots
+
+	// Dynamically added rows (AddRows): row-major storage plus a
+	// per-structural-column extension index so the CSC accessors see the
+	// extra nonzeros without rewriting the base CSC arrays. added rows are
+	// solver-local — the shared Problem is never touched, so concurrent
+	// Solvers over one Problem can hold different cut sets.
+	added   []addedRow
+	extCols [][]extEntry // extCols[j]: entries of structural column j in added rows
 
 	// Working bounds of every column. Structural bounds are seeded from the
 	// Problem and mutated by SetVarBounds; slack bounds encode the row kind;
@@ -93,6 +106,7 @@ type SolverStats struct {
 	ColdSolves int // solves that (re)built the basis from scratch
 	Pivots     int // total simplex pivots (primal + dual)
 	DualPivots int // pivots spent in the dual-simplex repair
+	RowsAdded  int // constraint rows appended to the live solver (AddRows)
 }
 
 // Basis is a compact snapshot of a Solver basis, suitable for storing in a
@@ -208,6 +222,7 @@ func NewSolver(p *Problem) *Solver {
 	s := &Solver{
 		p:        p,
 		m:        m,
+		mBase:    m,
 		nStruct:  n,
 		nTotal:   nTotal,
 		lo:       make([]float64, nTotal),
@@ -368,9 +383,9 @@ func (s *Solver) ResolveFrom(bs *Basis) (*Solution, error) {
 
 // precheck validates bounds; done=true short-circuits the solve.
 func (s *Solver) precheck() (*Solution, error, bool) {
-	if len(s.p.rows) != s.m || s.p.n != s.nStruct {
+	if len(s.p.rows) != s.mBase || s.p.n != s.nStruct {
 		return nil, fmt.Errorf("lp: problem shape changed after NewSolver (rows %d->%d, vars %d->%d)",
-			s.m, len(s.p.rows), s.nStruct, s.p.n), true
+			s.mBase, len(s.p.rows), s.nStruct, s.p.n), true
 	}
 	for j := 0; j < s.nStruct; j++ {
 		if s.lo[j] > s.hi[j]+eps {
@@ -396,15 +411,31 @@ func (s *Solver) movable(j int) bool { return s.hi[j]-s.lo[j] > eps }
 
 // colDot returns column j's dot product with the dense row vector v.
 func (s *Solver) colDot(j int, v []float64) float64 {
-	if j < s.nStruct+s.m {
+	switch {
+	case j < s.nStruct:
+		sum := 0.0
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			sum += s.colVal[k] * v[s.colRow[k]]
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				sum += e.v * v[e.i]
+			}
+		}
+		return sum
+	case j < s.nStruct+s.mBase:
 		sum := 0.0
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			sum += s.colVal[k] * v[s.colRow[k]]
 		}
 		return sum
+	case j < s.nStruct+s.m:
+		// Slack of a dynamically added row: implicit unit column.
+		return v[j-s.nStruct]
+	default:
+		i := j - s.nStruct - s.m
+		return s.artSign[i] * v[i]
 	}
-	i := j - s.nStruct - s.m
-	return s.artSign[i] * v[i]
 }
 
 // loadCol writes column j densely into v (v is fully overwritten).
@@ -412,14 +443,26 @@ func (s *Solver) loadCol(j int, v []float64) {
 	for i := range v {
 		v[i] = 0
 	}
-	if j < s.nStruct+s.m {
+	switch {
+	case j < s.nStruct:
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			v[s.colRow[k]] = s.colVal[k]
 		}
-		return
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				v[e.i] = e.v
+			}
+		}
+	case j < s.nStruct+s.mBase:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			v[s.colRow[k]] = s.colVal[k]
+		}
+	case j < s.nStruct+s.m:
+		v[j-s.nStruct] = 1
+	default:
+		i := j - s.nStruct - s.m
+		v[i] = s.artSign[i]
 	}
-	i := j - s.nStruct - s.m
-	v[i] = s.artSign[i]
 }
 
 // ftranCol computes alpha = B⁻¹ A_j into the alpha scratch.
@@ -456,8 +499,17 @@ func (s *Solver) computeB() {
 		if v == 0 {
 			continue
 		}
-		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-			r[s.colRow[k]] -= s.colVal[k] * v
+		if j < s.nStruct+s.mBase {
+			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+				r[s.colRow[k]] -= s.colVal[k] * v
+			}
+			if j < s.nStruct && s.extCols != nil {
+				for _, e := range s.extCols[j] {
+					r[e.i] -= e.v * v
+				}
+			}
+		} else {
+			r[j-s.nStruct] -= v // added-row slack: implicit unit column
 		}
 	}
 	// Nonbasic artificials rest at 0 and contribute nothing.
@@ -515,10 +567,18 @@ func (s *Solver) refactor() bool {
 }
 
 func (s *Solver) colNNZ(j int) int {
-	if j < s.nStruct+s.m {
+	switch {
+	case j < s.nStruct:
+		n := int(s.colPtr[j+1] - s.colPtr[j])
+		if s.extCols != nil {
+			n += len(s.extCols[j])
+		}
+		return n
+	case j < s.nStruct+s.mBase:
 		return int(s.colPtr[j+1] - s.colPtr[j])
+	default:
+		return 1
 	}
-	return 1
 }
 
 // maybeRefactor reinverts once the eta file has grown past the pivot budget.
@@ -755,11 +815,7 @@ func (s *Solver) build() int {
 		s.status[j] = atLower
 	}
 	nArt := 0
-	for i, r := range s.p.rows {
-		resid := r.rhs
-		for _, c := range r.coeffs {
-			resid -= c.v * s.lo[c.j]
-		}
+	cover := func(i int, kind RowKind, resid float64) {
 		sc := s.nStruct + i
 		ac := s.nStruct + s.m + i
 		s.lo[ac], s.hi[ac] = 0, 0
@@ -767,7 +823,7 @@ func (s *Solver) build() int {
 		s.artUsed[i] = false
 		s.artSign[i] = 1
 		slackOK := false
-		switch r.kind {
+		switch kind {
 		case LE:
 			slackOK = resid >= 0
 			s.status[sc] = atLower // resting value 0 when not basic
@@ -780,7 +836,7 @@ func (s *Solver) build() int {
 		if slackOK {
 			s.basis[i] = sc
 			s.status[sc] = basic
-			continue
+			return
 		}
 		// Open the artificial for this row, signed so its basic value is
 		// nonnegative.
@@ -793,6 +849,21 @@ func (s *Solver) build() int {
 		}
 		s.basis[i] = ac
 		s.status[ac] = basic
+	}
+	for i, r := range s.p.rows {
+		resid := r.rhs
+		for _, c := range r.coeffs {
+			resid -= c.v * s.lo[c.j]
+		}
+		cover(i, r.kind, resid)
+	}
+	for ai := range s.added {
+		r := &s.added[ai]
+		resid := r.rhs
+		for k, j := range r.cols {
+			resid -= r.vals[k] * s.lo[j]
+		}
+		cover(s.mBase+ai, r.kind, resid)
 	}
 	s.computeB()
 	return nArt

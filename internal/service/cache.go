@@ -88,12 +88,14 @@ type entry struct {
 	// (dfg.CanonicalOrder) of the solved graph.
 	assignCanon []int
 	latencyNS   float64
-	// nodes/prunedComb/lpSkipped/lpIters are the original solve's search
-	// statistics, reported on hits for observability (a hit did zero
-	// search of its own).
+	// nodes/prunedComb/lpSkipped/cutsAdded/sepRounds/lpIters are the
+	// original solve's search statistics, reported on hits for
+	// observability (a hit did zero search of its own).
 	nodes      int
 	prunedComb int
 	lpSkipped  int
+	cutsAdded  int
+	sepRounds  int
 	lpIters    int
 }
 
@@ -106,6 +108,8 @@ func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 		nodes:      p.Stats.Nodes,
 		prunedComb: p.Stats.PrunedCombinatorial,
 		lpSkipped:  p.Stats.LPSolvesSkipped,
+		cutsAdded:  p.Stats.CutsAdded,
+		sepRounds:  p.Stats.SeparationRounds,
 		lpIters:    p.Stats.LPIterations,
 	}
 	if p.N > 0 {
@@ -162,6 +166,7 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 		Stats: tempart.SolveStats{
 			N: e.n, Nodes: e.nodes, LPIterations: e.lpIters,
 			PrunedCombinatorial: e.prunedComb, LPSolvesSkipped: e.lpSkipped,
+			CutsAdded: e.cutsAdded, SeparationRounds: e.sepRounds,
 		},
 	}, nil
 }

@@ -73,6 +73,8 @@ func TestDCTInvariantThroughService(t *testing.T) {
 		`sparcsd_bb_nodes_total{engine="ilp"}`,
 		`sparcsd_bb_pruned_combinatorial_total{engine="ilp"}`,
 		`sparcsd_lp_solves_skipped_total{engine="ilp"}`,
+		`sparcsd_cuts_added_total{engine="ilp"}`,
+		`sparcsd_separation_rounds_total{engine="ilp"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %s\n%s", want, metrics)

@@ -21,6 +21,8 @@ type Metrics struct {
 	nodes     map[string]uint64 // per engine: B&B nodes explored (LP solved)
 	pruned    map[string]uint64 // per engine: nodes fathomed combinatorially
 	lpSkipped map[string]uint64 // per engine: nodes discarded without an LP solve
+	cutsAdded map[string]uint64 // per engine: cutting planes added by separation
+	sepRounds map[string]uint64 // per engine: node LP re-solves from cut rounds
 	errors    uint64
 	cancelled uint64
 	ring      [latencySamples]time.Duration
@@ -36,6 +38,8 @@ func NewMetrics() *Metrics {
 		nodes:     map[string]uint64{},
 		pruned:    map[string]uint64{},
 		lpSkipped: map[string]uint64{},
+		cutsAdded: map[string]uint64{},
+		sepRounds: map[string]uint64{},
 	}
 }
 
@@ -57,14 +61,16 @@ func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
 
 // RecordSearch folds one fresh solve's branch-and-bound activity into the
 // per-engine counters: nodes whose LP relaxation was solved, nodes fathomed
-// by the presolve's combinatorial bound, and nodes discarded without any LP
-// solve. Cache hits and shared solves are not recorded (their search ran at
-// most once, elsewhere).
-func (m *Metrics) RecordSearch(engine string, nodes, prunedCombinatorial, lpSolvesSkipped int) {
+// by the presolve's combinatorial bound, nodes discarded without any LP
+// solve, and the cutting-plane engine's cuts/rounds. Cache hits and shared
+// solves are not recorded (their search ran at most once, elsewhere).
+func (m *Metrics) RecordSearch(engine string, nodes, prunedCombinatorial, lpSolvesSkipped, cutsAdded, separationRounds int) {
 	m.mu.Lock()
 	m.nodes[engine] += uint64(nodes)
 	m.pruned[engine] += uint64(prunedCombinatorial)
 	m.lpSkipped[engine] += uint64(lpSolvesSkipped)
+	m.cutsAdded[engine] += uint64(cutsAdded)
+	m.sepRounds[engine] += uint64(separationRounds)
 	m.mu.Unlock()
 }
 
@@ -82,6 +88,8 @@ type Snapshot struct {
 	Nodes     map[string]uint64 `json:"bb_nodes,omitempty"`
 	Pruned    map[string]uint64 `json:"bb_pruned_combinatorial,omitempty"`
 	LPSkipped map[string]uint64 `json:"lp_solves_skipped,omitempty"`
+	CutsAdded map[string]uint64 `json:"cuts_added,omitempty"`
+	SepRounds map[string]uint64 `json:"separation_rounds,omitempty"`
 	Errors    uint64            `json:"errors"`
 	Cancelled uint64            `json:"cancelled"`
 	P50MS     float64           `json:"latency_p50_ms"`
@@ -98,6 +106,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Nodes:     make(map[string]uint64, len(m.nodes)),
 		Pruned:    make(map[string]uint64, len(m.pruned)),
 		LPSkipped: make(map[string]uint64, len(m.lpSkipped)),
+		CutsAdded: make(map[string]uint64, len(m.cutsAdded)),
+		SepRounds: make(map[string]uint64, len(m.sepRounds)),
 		Errors:    m.errors,
 		Cancelled: m.cancelled,
 	}
@@ -112,6 +122,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.lpSkipped {
 		s.LPSkipped[k] = v
+	}
+	for k, v := range m.cutsAdded {
+		s.CutsAdded[k] = v
+	}
+	for k, v := range m.sepRounds {
+		s.SepRounds[k] = v
 	}
 	if m.ringLen > 0 {
 		sorted := make([]time.Duration, m.ringLen)
@@ -150,6 +166,15 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	}
 	for _, eng := range sortedKeys(s.LPSkipped) {
 		fmt.Fprintf(&b, "sparcsd_lp_solves_skipped_total{engine=%q} %d\n", eng, s.LPSkipped[eng])
+	}
+	// Cutting-plane engine: cuts the separators admitted and the node LP
+	// re-solves they triggered (branch-and-cut grows the model instead of
+	// the tree; rising cuts with flat nodes is the engine working).
+	for _, eng := range sortedKeys(s.CutsAdded) {
+		fmt.Fprintf(&b, "sparcsd_cuts_added_total{engine=%q} %d\n", eng, s.CutsAdded[eng])
+	}
+	for _, eng := range sortedKeys(s.SepRounds) {
+		fmt.Fprintf(&b, "sparcsd_separation_rounds_total{engine=%q} %d\n", eng, s.SepRounds[eng])
 	}
 	emit("solve_errors_total", s.Errors)
 	emit("jobs_cancelled_total", s.Cancelled)

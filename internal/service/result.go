@@ -97,10 +97,14 @@ type Result struct {
 
 	// Solver statistics (zero for pure cache hits). PrunedCombinatorial and
 	// LPSolvesSkipped report how much of the branch-and-bound tree the
-	// presolve fathomed without running the simplex.
+	// presolve fathomed without running the simplex; CutsAdded and
+	// SeparationRounds how much the cutting-plane engine grew the node LPs
+	// instead of branching.
 	Nodes               int     `json:"nodes,omitempty"`
 	PrunedCombinatorial int     `json:"nodes_pruned_combinatorial,omitempty"`
 	LPSolvesSkipped     int     `json:"lp_solves_skipped,omitempty"`
+	CutsAdded           int     `json:"cuts_added,omitempty"`
+	SeparationRounds    int     `json:"separation_rounds,omitempty"`
 	LPIterations        int     `json:"lp_iterations,omitempty"`
 	SolveMS             float64 `json:"solve_ms"`
 
@@ -122,6 +126,8 @@ func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) 
 		Nodes:               p.Stats.Nodes,
 		PrunedCombinatorial: p.Stats.PrunedCombinatorial,
 		LPSolvesSkipped:     p.Stats.LPSolvesSkipped,
+		CutsAdded:           p.Stats.CutsAdded,
+		SeparationRounds:    p.Stats.SeparationRounds,
 		LPIterations:        p.Stats.LPIterations,
 	}
 	if p.N == 0 {

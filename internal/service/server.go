@@ -92,7 +92,8 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 		}
 		if origin == OriginMiss {
 			s.metrics.RecordSearch(be.Name(), p.Stats.Nodes,
-				p.Stats.PrunedCombinatorial, p.Stats.LPSolvesSkipped)
+				p.Stats.PrunedCombinatorial, p.Stats.LPSolvesSkipped,
+				p.Stats.CutsAdded, p.Stats.SeparationRounds)
 		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
 		res.Cache = string(origin)
@@ -101,6 +102,7 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 			// search so aggregate node counts stay meaningful.
 			res.Nodes, res.LPIterations = 0, 0
 			res.PrunedCombinatorial, res.LPSolvesSkipped = 0, 0
+			res.CutsAdded, res.SeparationRounds = 0, 0
 		}
 		res.SolveMS = float64(time.Since(start).Microseconds()) / 1e3
 		return res, nil

@@ -1,0 +1,472 @@
+package tempart
+
+import (
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// This file is the cutting-plane side of the temporal partitioning model:
+// the uniform cut-row representation shared by the presolve (root cuts
+// baked into the model at build time) and the separation callback (cuts
+// added to the live node LPs during branch and bound), plus the three
+// separator families over the ilp.Options.Separate hook:
+//
+//   - knapsack cover cuts, lifted (extended covers) from the per-partition
+//     resource rows Σ_t R(t)·y[t][p] ≤ cap;
+//   - temporal-order clique cuts: for a chain a_1 ≺ a_2 ≺ … ≺ a_k in the
+//     ancestor partial order (straight from the presolve's reachability
+//     bitsets) and descending partition bands I_1 > I_2 > … > I_k, at most
+//     one of the variables {y[a_i][p] : p ∈ I_i} can be 1 — an ancestor
+//     placed late excludes every descendant placed early — so
+//     Σ_i Σ_{p∈I_i} y[a_i][p] ≤ 1. The band choice per chain is an exact
+//     O(k·N²) DP on the fractional point. Chains are seeded two ways:
+//     the k longest (delay-weighted) enumerated paths — the cheap stand-in
+//     for a k-longest-paths enumeration since the model already owns the
+//     full path list — and chains grown greedily through the most
+//     fractional tasks using the bitsets ("path" vs "clique" tags);
+//   - per-subset lifted layer-cake cuts Σ_{p∈S} d_p ≥ c_{|S|},
+//     generalizing the aggregate presolve row to every partition subset
+//     (see presolve.subsetDelayFloor for the validity argument; the
+//     lifting is the integrality ceiling inside need()).
+//
+// Every family is globally valid — derived from the instance data and
+// integrality alone, never from branching decisions — so all cuts enter
+// the shared ilp pool and strengthen every worker's relaxation. The
+// cut-validity property tests brute-force this against all integral
+// feasible assignments of random instances.
+
+// modelCut is the uniform cut-row representation: a named lp.CutRow that
+// can be baked into an lp.Problem at build time (root cuts) or handed to
+// the branch-and-cut layer as an ilp.Cut (separation).
+type modelCut struct {
+	name string
+	lp.CutRow
+}
+
+// addTo appends the cut as an ordinary model row (build-time root cuts).
+func (c *modelCut) addTo(p *lp.Problem) {
+	row := make(map[int]float64, len(c.Cols))
+	for k, j := range c.Cols {
+		row[j] += c.Vals[k]
+	}
+	p.AddRow(c.Kind, row, c.RHS)
+}
+
+// toCut converts the cut for the ilp separation hook. All tempart cuts are
+// globally valid.
+func (c *modelCut) toCut() ilp.Cut {
+	return ilp.Cut{CutRow: c.CutRow, Global: true, Name: c.name}
+}
+
+// rootCuts returns the presolve cuts added to every model at build time,
+// expressed in the shared cut-row representation: the aggregate
+// Σ_p d_p ≥ max(critical path, layer-cake) row that PR 3 introduced, plus
+// — when withBoundary is set — one boundary chain-area cut per
+// prefix/suffix of the partition sequence (see boundaryChainFloor). The
+// boundary cuts are what close the FIR-bank root: they couple the area
+// each side of a boundary must absorb with the ancestor/descendant chains
+// that placement drags along — structure the plain LP relaxation spreads
+// away fractionally. withBoundary=false is the Input.NoCuts ablation,
+// which reproduces the PR 3 model exactly.
+func rootCuts(pre *presolve, N int, dv func(p int) int, withBoundary bool) []modelCut {
+	var cuts []modelCut
+	if floor := pre.sumDelayFloor(); floor > 0 {
+		c := modelCut{name: "presolve-aggregate", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
+		for p := 0; p < N; p++ {
+			c.Cols = append(c.Cols, dv(p))
+			c.Vals = append(c.Vals, 1)
+		}
+		cuts = append(cuts, c)
+	}
+	if !withBoundary {
+		return cuts
+	}
+	for p := 1; p < N; p++ {
+		if floor := pre.boundaryChainFloor(N, p, false); floor > 0 {
+			c := modelCut{name: "chain-prefix", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
+			for q := 0; q < p; q++ {
+				c.Cols = append(c.Cols, dv(q))
+				c.Vals = append(c.Vals, 1)
+			}
+			cuts = append(cuts, c)
+		}
+		if floor := pre.boundaryChainFloor(N, p, true); floor > 0 {
+			c := modelCut{name: "chain-suffix", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
+			for q := p; q < N; q++ {
+				c.Cols = append(c.Cols, dv(q))
+				c.Vals = append(c.Vals, 1)
+			}
+			cuts = append(cuts, c)
+		}
+	}
+	return cuts
+}
+
+const (
+	// sepMinViolation is the separator-side violation filter; weaker cuts
+	// are noise that costs LP rows without moving the bound.
+	sepMinViolation = 1e-4
+	// sepMaxCutsPerRound caps what one separation round may return (the
+	// most violated cuts win).
+	sepMaxCutsPerRound = 24
+	// sepKLongestPaths seeds the path-based clique cuts with the k
+	// longest delay-weighted root-leaf paths.
+	sepKLongestPaths = 16
+	// sepMaxChains bounds the bitset-grown fractional chains per round.
+	sepMaxChains = 6
+)
+
+// resDim is one capped resource dimension (CLBs or an extra kind).
+type resDim struct {
+	name   string
+	demand []int
+	cap    int
+}
+
+// separator owns the per-model separation state: the variable layout, the
+// capped resource dimensions, the longest-path chain seeds, and the
+// precomputed per-subset layer-cake floors. It is stateless per call and
+// safe for concurrent use from parallel search workers.
+type separator struct {
+	pre *presolve
+	g   *dfg.Graph
+	N   int
+	nT  int
+	yv  func(t, p int) int
+	dv  func(p int) int
+
+	dims      []resDim
+	longPaths [][]int
+	subsetRHS []float64 // subsetRHS[s]: layer-cake floor for s-subsets, s in [1,N)
+}
+
+// newSeparator builds the separator for one generated model.
+func newSeparator(pre *presolve, g *dfg.Graph, N int, yv func(t, p int) int, dv func(p int) int, paths [][]int) *separator {
+	s := &separator{pre: pre, g: g, N: N, nT: g.NumTasks(), yv: yv, dv: dv}
+	if pre.board.FPGA.CLBs > 0 {
+		s.dims = append(s.dims, resDim{name: "clb", demand: pre.res, cap: pre.board.FPGA.CLBs})
+	}
+	for k, kind := range pre.extraKinds {
+		s.dims = append(s.dims, resDim{name: kind, demand: pre.extraDemand[k], cap: pre.extraCap[k]})
+	}
+	// k longest delay-weighted paths (the full path set is already
+	// enumerated for Eq. 7, so "k longest" is a sort, not a search).
+	type pw struct {
+		i int
+		d float64
+	}
+	pws := make([]pw, 0, len(paths))
+	for i, path := range paths {
+		if len(path) < 2 {
+			continue
+		}
+		d := 0.0
+		for _, t := range path {
+			d += g.Task(t).Delay
+		}
+		pws = append(pws, pw{i, d})
+	}
+	sort.Slice(pws, func(a, b int) bool { return pws[a].d > pws[b].d })
+	for i := 0; i < len(pws) && i < sepKLongestPaths; i++ {
+		s.longPaths = append(s.longPaths, paths[pws[i].i])
+	}
+	s.subsetRHS = make([]float64, N)
+	for sz := 1; sz < N; sz++ {
+		s.subsetRHS[sz] = pre.subsetDelayFloor(N, sz)
+	}
+	return s
+}
+
+// scoredCut pairs a candidate cut with its violation at the current point.
+type scoredCut struct {
+	mc   modelCut
+	viol float64
+}
+
+// separate is the ilp.Options.Separate callback: run every family on the
+// fractional point and return the most violated candidates.
+func (s *separator) separate(pt *ilp.SeparationPoint) []ilp.Cut {
+	var cand []scoredCut
+	cand = s.coverCuts(pt.X, cand)
+	cand = s.chainCuts(pt.X, cand)
+	cand = s.layerCakeCuts(pt.X, cand)
+	if len(cand) == 0 {
+		return nil
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a].viol > cand[b].viol })
+	if len(cand) > sepMaxCutsPerRound {
+		cand = cand[:sepMaxCutsPerRound]
+	}
+	out := make([]ilp.Cut, len(cand))
+	for i := range cand {
+		out[i] = cand[i].mc.toCut()
+	}
+	return out
+}
+
+// coverCuts separates extended cover inequalities from each partition's
+// resource rows: if C is a set of tasks whose total demand exceeds the
+// capacity (a cover), no partition can host all of C, so
+// Σ_{t∈C} y[t][p] ≤ |C|-1; the lifting extends the left-hand side with
+// every task at least as large as the largest cover member (any |C| of the
+// extended set also overflow), which strengthens the cut for free.
+func (s *separator) coverCuts(x []float64, cand []scoredCut) []scoredCut {
+	type item struct {
+		t, w int
+		v    float64
+	}
+	for _, dim := range s.dims {
+		items := make([]item, 0, s.nT)
+		for t := 0; t < s.nT; t++ {
+			if dim.demand[t] > 0 {
+				items = append(items, item{t: t, w: dim.demand[t]})
+			}
+		}
+		if len(items) < 2 {
+			continue
+		}
+		for p := 0; p < s.N; p++ {
+			for i := range items {
+				items[i].v = x[s.yv(items[i].t, p)]
+			}
+			sort.Slice(items, func(a, b int) bool {
+				if items[a].v != items[b].v {
+					return items[a].v > items[b].v
+				}
+				return items[a].w > items[b].w
+			})
+			sum, mass, k := 0, 0.0, 0
+			for k < len(items) && sum <= dim.cap {
+				sum += items[k].w
+				mass += items[k].v
+				k++
+			}
+			if sum <= dim.cap {
+				continue // all tasks together fit: no cover exists
+			}
+			cover := items[:k]
+			// Minimalize from the low-value end: dropping a member keeps
+			// the cover when the rest still overflow, and each drop raises
+			// the violation by 1 - v ≥ 0.
+			for len(cover) > 2 {
+				last := cover[len(cover)-1]
+				if sum-last.w <= dim.cap {
+					break
+				}
+				sum -= last.w
+				mass -= last.v
+				cover = cover[:len(cover)-1]
+			}
+			viol := mass - float64(len(cover)-1)
+			if viol <= sepMinViolation {
+				continue
+			}
+			maxw := 0
+			for _, c := range cover {
+				if c.w > maxw {
+					maxw = c.w
+				}
+			}
+			mc := modelCut{name: "cover-" + dim.name, CutRow: lp.CutRow{Kind: lp.LE, RHS: float64(len(cover) - 1)}}
+			for _, c := range cover {
+				mc.Cols = append(mc.Cols, s.yv(c.t, p))
+				mc.Vals = append(mc.Vals, 1)
+			}
+			// Lifting: items[k:] is disjoint from the cover (a subset of
+			// items[:k]), so membership needs no check.
+			for _, c := range items[k:] {
+				if c.w >= maxw {
+					mc.Cols = append(mc.Cols, s.yv(c.t, p))
+					mc.Vals = append(mc.Vals, 1)
+					viol += c.v // lifting terms only add violation
+				}
+			}
+			cand = append(cand, scoredCut{mc: mc, viol: viol})
+		}
+	}
+	return cand
+}
+
+// chainCuts separates the temporal-order clique cuts over chains from the
+// long-path seeds and from chains grown through the most fractional tasks.
+func (s *separator) chainCuts(x []float64, cand []scoredCut) []scoredCut {
+	for _, chain := range s.longPaths {
+		cand = s.bandCut(x, chain, "path", cand)
+	}
+	for _, chain := range s.grownChains(x) {
+		cand = s.bandCut(x, chain, "clique", cand)
+	}
+	return cand
+}
+
+// grownChains builds up to sepMaxChains chains through the comparability
+// order, greedily extending from the most fractionally-placed tasks using
+// the presolve's ancestor bitsets. Unlike the path seeds these chains may
+// use transitive (non-edge) comparabilities.
+func (s *separator) grownChains(x []float64) [][]int {
+	if s.nT == 0 || len(s.pre.reach) == 0 {
+		return nil
+	}
+	frac := make([]float64, s.nT)
+	for t := 0; t < s.nT; t++ {
+		maxv := 0.0
+		for p := 0; p < s.N; p++ {
+			if v := x[s.yv(t, p)]; v > maxv {
+				maxv = v
+			}
+		}
+		frac[t] = 1 - maxv
+	}
+	seeds := make([]int, s.nT)
+	for t := range seeds {
+		seeds[t] = t
+	}
+	sort.Slice(seeds, func(a, b int) bool { return frac[seeds[a]] > frac[seeds[b]] })
+
+	isAncestor := func(a, t int) bool { // a ≺ t?
+		return s.pre.reach[t][a/64]&(1<<uint(a%64)) != 0
+	}
+	var chains [][]int
+	for _, seed := range seeds {
+		if len(chains) >= sepMaxChains || frac[seed] < 0.05 {
+			break
+		}
+		chain := []int{seed}
+		// Extend toward descendants of the tail...
+		for {
+			tail, best := chain[len(chain)-1], -1
+			for u := 0; u < s.nT; u++ {
+				if u != tail && isAncestor(tail, u) && (best < 0 || frac[u] > frac[best]) {
+					best = u
+				}
+			}
+			if best < 0 {
+				break
+			}
+			chain = append(chain, best)
+		}
+		// ...and ancestors of the head (transitivity keeps it a chain).
+		for {
+			head, best := chain[0], -1
+			for u := 0; u < s.nT; u++ {
+				if u != head && isAncestor(u, head) && (best < 0 || frac[u] > frac[best]) {
+					best = u
+				}
+			}
+			if best < 0 {
+				break
+			}
+			chain = append([]int{best}, chain...)
+		}
+		if len(chain) >= 2 {
+			chains = append(chains, chain)
+		}
+	}
+	return chains
+}
+
+// bandCut runs the exact band-assignment DP for one chain: choose a
+// subsequence of the chain and strictly descending partition intervals
+// (ancestors get the high bands — an ancestor placed late conflicts with
+// every descendant placed early) maximizing the fractional mass
+// Σ_i Σ_{p∈I_i} x[y[a_i][p]]. Mass > 1 is a violated clique cut
+// Σ_i Σ_{p∈I_i} y[a_i][p] ≤ 1.
+func (s *separator) bandCut(x []float64, chain []int, tag string, cand []scoredCut) []scoredCut {
+	k, N := len(chain), s.N
+	if k < 2 || N < 2 {
+		return cand
+	}
+	// prefix[i][p+1] = Σ_{q<=p} x[y[chain[i]][q]]
+	prefix := make([][]float64, k)
+	for i, t := range chain {
+		row := make([]float64, N+1)
+		for p := 0; p < N; p++ {
+			row[p+1] = row[p] + x[s.yv(t, p)]
+		}
+		prefix[i] = row
+	}
+	// g[i][t]: best mass from chain[i:] with all bands inside [0..t].
+	// Chain position i takes band [l..t] (or is skipped), later positions
+	// continue inside [0..l-1] — descendants strictly below ancestors.
+	g := make([][]float64, k+1)
+	choice := make([][]int, k) // chosen l for band [l..t], or -1 = skip
+	g[k] = make([]float64, N+1)
+	for i := k - 1; i >= 0; i-- {
+		g[i] = make([]float64, N+1)
+		choice[i] = make([]int, N+1)
+		for t := 0; t < N; t++ {
+			best, bestL := g[i+1][t+1], -1
+			for l := 0; l <= t; l++ {
+				v := prefix[i][t+1] - prefix[i][l]
+				if l > 0 {
+					v += g[i+1][l]
+				}
+				if v > best+1e-12 {
+					best, bestL = v, l
+				}
+			}
+			g[i][t+1] = best
+			choice[i][t+1] = bestL
+		}
+	}
+	viol := g[0][N] - 1
+	if viol <= sepMinViolation {
+		return cand
+	}
+	mc := modelCut{name: "order-" + tag, CutRow: lp.CutRow{Kind: lp.LE, RHS: 1}}
+	tasks := 0
+	t := N
+	for i := 0; i < k && t > 0; i++ {
+		l := choice[i][t]
+		if l < 0 {
+			continue
+		}
+		tasks++
+		for p := l; p < t; p++ {
+			mc.Cols = append(mc.Cols, s.yv(chain[i], p))
+			mc.Vals = append(mc.Vals, 1)
+		}
+		t = l
+	}
+	if tasks < 2 {
+		return cand // single-task band: implied by the uniqueness row
+	}
+	cand = append(cand, scoredCut{mc: mc, viol: viol})
+	return cand
+}
+
+// layerCakeCuts separates the per-subset layer-cake cuts: for every
+// subset size s the most violated subset under the current point is the s
+// partitions with the smallest d values; if their sum undercuts the
+// subset floor c_s, emit Σ_{p∈S} d_p ≥ c_s.
+func (s *separator) layerCakeCuts(x []float64, cand []scoredCut) []scoredCut {
+	N := s.N
+	if N < 2 {
+		return cand
+	}
+	order := make([]int, N)
+	for p := range order {
+		order[p] = p
+	}
+	sort.Slice(order, func(a, b int) bool { return x[s.dv(order[a])] < x[s.dv(order[b])] })
+	lhs := 0.0
+	for sz := 1; sz < N; sz++ {
+		lhs += x[s.dv(order[sz-1])]
+		rhs := s.subsetRHS[sz]
+		if rhs <= 0 {
+			continue
+		}
+		if viol := rhs - lhs; viol > sepMinViolation {
+			mc := modelCut{name: "layercake", CutRow: lp.CutRow{Kind: lp.GE, RHS: rhs}}
+			for _, p := range order[:sz] {
+				mc.Cols = append(mc.Cols, s.dv(p))
+				mc.Vals = append(mc.Vals, 1)
+			}
+			cand = append(cand, scoredCut{mc: mc, viol: viol})
+		}
+	}
+	return cand
+}

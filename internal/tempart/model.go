@@ -66,6 +66,14 @@ type Input struct {
 	// DisableWarmStart suppresses the list-partitioner warm start (for
 	// ablation benchmarks).
 	DisableWarmStart bool
+	// NoCuts disables the whole cutting-plane contribution of this PR: the
+	// cover / temporal-order clique / layer-cake subset separators inside
+	// the branch and bound AND the build-time boundary chain-area root
+	// cuts, reproducing the PR 3 model and search exactly. The optimum
+	// never depends on it — cuts are valid inequalities — so this exists
+	// for ablation benchmarks and the cut-validity equivalence tests. The
+	// PR 3 aggregate presolve cut (Σ d_p ≥ combinatorial floor) stays on.
+	NoCuts bool
 	// ILP tunes the branch-and-bound search.
 	ILP ilp.Options
 }
@@ -92,6 +100,11 @@ type SolveStats struct {
 	// (packing infeasibility or greedy-feasibility dominance) without
 	// building or solving a model.
 	NProbesPruned int
+	// CutsAdded counts the cutting planes the separators added to the
+	// search (pool-deduplicated), and SeparationRounds the node LP
+	// re-solves they triggered.
+	CutsAdded        int
+	SeparationRounds int
 	// Solver aggregates the warm/cold solve and pivot counts of the
 	// underlying simplex engine across the whole B&B search.
 	Solver lp.SolverStats
@@ -490,17 +503,16 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 		}
 	}
 
-	// Presolve cut: Σ_p d_p >= max(critical path, layer-cake area×delay
-	// bound). Valid for every integral assignment (see presolve.go), so the
-	// optimum is unchanged, but it lifts every node's LP bound to at least
-	// the combinatorial floor — the LP stops undercutting what the DAG and
-	// the areas already prove.
-	if floor := pre.sumDelayFloor(); withPresolveCut && floor > 0 {
-		row := map[int]float64{}
-		for p := 0; p < N; p++ {
-			row[dv(p)] = 1
+	// Root presolve cuts: Σ_p d_p >= max(critical path, layer-cake
+	// area×delay bound), expressed through the same cut-row representation
+	// the separation layer uses (cuts.go). Valid for every integral
+	// assignment (see presolve.go), so the optimum is unchanged, but it
+	// lifts every node's LP bound to at least the combinatorial floor —
+	// the LP stops undercutting what the DAG and the areas already prove.
+	if withPresolveCut {
+		for _, c := range rootCuts(pre, N, dv, !in.NoCuts) {
+			c.addTo(prob)
 		}
-		prob.AddRow(lp.GE, row, floor)
 	}
 
 	// Symmetry breaking between interchangeable tasks: consecutive group
@@ -556,6 +568,12 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, er
 	// LP-free fathoming: the presolve's combinatorial bound screens every
 	// B&B node before its LP relaxation is solved.
 	opts.NodeBound = pre.nodeBoundFunc(N, m.yv)
+	// Branch and cut: grow node LPs with violated cover / temporal-order
+	// clique / layer-cake subset cuts, branching only when separation
+	// dries up.
+	if !in.NoCuts {
+		opts.Separate = newSeparator(pre, g, N, m.yv, m.dv, paths).separate
+	}
 	buildTime := time.Since(buildStart)
 
 	solveStart := time.Now()
@@ -599,6 +617,8 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, er
 			Nodes: sol.Nodes, LPIterations: sol.LPIterations,
 			PrunedCombinatorial: sol.PrunedCombinatorial,
 			LPSolvesSkipped:     sol.LPSolvesSkipped,
+			CutsAdded:           sol.CutsAdded,
+			SeparationRounds:    sol.SeparationRounds,
 			BuildTime:           buildTime, SolveTime: solveTime,
 			Solver: sol.Solver,
 		},

@@ -1,0 +1,168 @@
+package tempart
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/dfg"
+	"repro/internal/ilp"
+)
+
+// The hard-instance portfolio (ROADMAP open item): a committed corpus of
+// the two regimes that stay exponential after the presolve and cut work —
+// near-capacity packing infeasibility and FIR-bank-shaped instances — so
+// pruning/cut changes have a durable yardstick. testdata/portfolio/gen.go
+// regenerates the graphs; manifest.json pins board parameters, solver
+// knobs, and expectations per instance.
+
+// portfolioEntry is one manifest row.
+type portfolioEntry struct {
+	File       string `json:"file"`
+	CLBs       int    `json:"clbs"`
+	MemWords   int    `json:"mem_words"`
+	ReconfigNS int    `json:"reconfig_ns"`
+	MaxNodes   int    `json:"max_nodes"`
+	NoSymmetry bool   `json:"no_symmetry"`
+	NoWarm     bool   `json:"no_warm_start"`
+	Expect     string `json:"expect"` // "solve" or "limit"
+	WantN      int    `json:"want_n"`
+	MaxBBNodes int    `json:"max_bb_nodes"`
+	Quick      bool   `json:"quick"`
+	Note       string `json:"note"`
+
+	graph *dfg.Graph
+	board arch.Board
+}
+
+// loadPortfolio reads the manifest and its graphs.
+func loadPortfolio(tb testing.TB) []portfolioEntry {
+	tb.Helper()
+	dir := filepath.Join("testdata", "portfolio")
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var entries []portfolioEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		tb.Fatalf("manifest: %v", err)
+	}
+	for i := range entries {
+		e := &entries[i]
+		data, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var g dfg.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			tb.Fatalf("%s: %v", e.File, err)
+		}
+		e.graph = &g
+		e.board = arch.SmallTestBoard()
+		e.board.FPGA.CLBs = e.CLBs
+		e.board.Memory.Words = e.MemWords
+		e.board.FPGA.ReconfigTime = float64(e.ReconfigNS)
+	}
+	return entries
+}
+
+// runEntry solves one portfolio instance under its manifest knobs.
+func runEntry(e *portfolioEntry) (*Partitioning, error) {
+	return Solve(Input{
+		Graph:              e.graph,
+		Board:              e.board,
+		NoSymmetryBreaking: e.NoSymmetry,
+		DisableWarmStart:   e.NoWarm,
+		ILP:                ilp.Options{MaxNodes: e.MaxNodes},
+	})
+}
+
+// TestHardPortfolio pins every quick instance's expected outcome: solvable
+// instances reach their known optimum partition count with a feasible
+// assignment (FIR shapes additionally within the root-cut node budget),
+// and node-budgeted packing instances hit their search limit — if one ever
+// *solves* inside the budget, the regime got easier and the manifest
+// should be re-tightened.
+func TestHardPortfolio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("portfolio searches are sequential throughput yardsticks; skipped under -short (the race lane)")
+	}
+	entries := loadPortfolio(t)
+	for i := range entries {
+		e := entries[i]
+		if !e.Quick {
+			continue // stress-only instances run via BenchmarkHardPortfolio (make stress)
+		}
+		t.Run(strings.TrimSuffix(e.File, ".json"), func(t *testing.T) {
+			p, err := runEntry(&e)
+			switch e.Expect {
+			case "limit":
+				if err == nil {
+					t.Fatalf("expected the node budget (%d) to bind, but solved N=%d in %d nodes — tighten the manifest",
+						e.MaxNodes, p.N, p.Stats.Nodes)
+				}
+				if !strings.Contains(err.Error(), "search limit") {
+					t.Fatalf("expected a search-limit error, got: %v", err)
+				}
+			case "solve":
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.N != e.WantN {
+					t.Errorf("N=%d, want %d", p.N, e.WantN)
+				}
+				if !p.Optimal {
+					t.Error("not proven optimal")
+				}
+				if err := CheckFeasible(e.graph, e.board, p.Assign, p.N); err != nil {
+					t.Error(err)
+				}
+				if e.MaxBBNodes > 0 && p.Stats.Nodes > e.MaxBBNodes {
+					t.Errorf("explored %d nodes, budget %d (cut engine regression)", p.Stats.Nodes, e.MaxBBNodes)
+				}
+			default:
+				t.Fatalf("manifest: unknown expect %q", e.Expect)
+			}
+		})
+	}
+}
+
+// BenchmarkHardPortfolio is the stress yardstick (`make stress`): every
+// portfolio instance end to end, reporting aggregate search effort. The
+// deterministic counters (nodes, cuts) make pruning/cut wins visible run
+// over run even when wall-clock is noisy.
+func BenchmarkHardPortfolio(b *testing.B) {
+	entries := loadPortfolio(b)
+	var nodes, cuts, rounds, pruned int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		nodes, cuts, rounds, pruned = 0, 0, 0, 0
+		for j := range entries {
+			e := entries[j]
+			p, err := runEntry(&e)
+			if err != nil {
+				if e.Expect != "limit" {
+					b.Fatalf("%s: %v", e.File, err)
+				}
+				continue
+			}
+			if e.Expect == "limit" {
+				b.Fatalf("%s: expected the node budget to bind, solved N=%d", e.File, p.N)
+			}
+			nodes += p.Stats.Nodes
+			cuts += p.Stats.CutsAdded
+			rounds += p.Stats.SeparationRounds
+			pruned += p.Stats.PrunedCombinatorial
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "instances")
+	b.ReportMetric(float64(nodes), "portfolio-nodes")
+	b.ReportMetric(float64(cuts), "portfolio-cuts-added")
+	b.ReportMetric(float64(rounds), "portfolio-separation-rounds")
+	b.ReportMetric(float64(pruned), "portfolio-pruned-combinatorial")
+	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "sec/pass")
+}

@@ -1,6 +1,7 @@
 package tempart
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -41,7 +42,27 @@ type presolve struct {
 
 	critical  float64 // max root-leaf path delay (DAG longest path)
 	areaDelay float64 // layer-cake area×delay lower bound on Σ_p d_p
+	segments  []layerSeg
 	totalRes  int
+
+	// ancChain[t] / descChain[t]: longest delay-weighted chain ending /
+	// starting at t (inclusive). A task placed in partition q drags its
+	// whole ancestor chain into partitions <= q and its descendant chain
+	// into partitions >= q, which is what the boundary chain-area cuts
+	// exploit (see cuts.go).
+	ancChain  []float64
+	descChain []float64
+}
+
+// layerSeg is one slab of the layer-cake decomposition: tasks with delay
+// >= delay occupy at least need partitions, and the slab spans the delay
+// interval (next, delay]. areaDelayBound integrates need over the slabs;
+// the per-subset layer-cake cuts reuse them with a subset-adjusted need
+// (see subsetDelayFloor).
+type layerSeg struct {
+	delay float64 // threshold (a distinct task delay)
+	next  float64 // next smaller distinct delay (0 past the last)
+	need  int     // max over capped resource kinds of ⌈area(>=delay)/cap⌉
 }
 
 // newPresolve builds the presolve view. The graph must already be validated
@@ -80,7 +101,31 @@ func newPresolve(g *dfg.Graph, board arch.Board) *presolve {
 		}
 	}
 	pr.critical, _ = g.CriticalPath()
-	pr.areaDelay = areaDelayBound(g, board)
+	pr.segments = layerSegments(g, board)
+	for _, s := range pr.segments {
+		pr.areaDelay += (s.delay - s.next) * float64(s.need)
+	}
+	pr.ancChain = make([]float64, nT)
+	pr.descChain = make([]float64, nT)
+	for _, t := range topo {
+		best := 0.0
+		for _, u := range g.Preds(t) {
+			if pr.ancChain[u] > best {
+				best = pr.ancChain[u]
+			}
+		}
+		pr.ancChain[t] = best + pr.delays[t]
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for _, u := range g.Succs(t) {
+			if pr.descChain[u] > best {
+				best = pr.descChain[u]
+			}
+		}
+		pr.descChain[t] = best + pr.delays[t]
+	}
 	for _, kind := range g.ExtraTypes() {
 		cap, capped := board.FPGA.ExtraCapacity[kind]
 		if !capped {
@@ -118,19 +163,22 @@ func (pr *presolve) sumDelayFloor() float64 {
 	return pr.critical
 }
 
-// areaDelayBound is the layer-cake bound: for any threshold x, every
-// partition holds at most the board capacity, so the tasks with delay ≥ x
-// occupy at least need(x) = max over capped resource kinds of
-// ⌈Σ demand / capacity⌉ distinct partitions, each of which has d_p ≥ x
-// (a single task is a chain). Integrating over x:
+// layerSegments computes the layer-cake decomposition behind the
+// area×delay bound: for any threshold x, every partition holds at most the
+// board capacity, so the tasks with delay ≥ x occupy at least need(x) =
+// max over capped resource kinds of ⌈Σ demand / capacity⌉ distinct
+// partitions, each of which has d_p ≥ x (a single task is a chain).
+// Integrating over x:
 //
 //	Σ_p d_p  ≥  Σ_i (D_i − D_{i+1}) · need(D_i)
 //
-// over the distinct task delays D_1 > D_2 > … (D_{last+1} = 0).
-func areaDelayBound(g *dfg.Graph, board arch.Board) float64 {
+// over the distinct task delays D_1 > D_2 > … (D_{last+1} = 0). The
+// segments are returned so the separation layer can re-integrate them with
+// a subset-adjusted need (subsetDelayFloor).
+func layerSegments(g *dfg.Graph, board arch.Board) []layerSeg {
 	nT := g.NumTasks()
 	if nT == 0 {
-		return 0
+		return nil
 	}
 	order := make([]int, nT)
 	for i := range order {
@@ -161,7 +209,7 @@ func areaDelayBound(g *dfg.Graph, board arch.Board) float64 {
 		}
 		return n
 	}
-	bound := 0.0
+	var segs []layerSeg
 	for i := 0; i < nT; {
 		d := g.Task(order[i]).Delay
 		for i < nT && g.Task(order[i]).Delay == d {
@@ -176,9 +224,100 @@ func areaDelayBound(g *dfg.Graph, board arch.Board) float64 {
 		if i < nT {
 			next = g.Task(order[i]).Delay
 		}
-		bound += (d - next) * float64(need())
+		if d > next {
+			segs = append(segs, layerSeg{delay: d, next: next, need: need()})
+		}
 	}
-	return bound
+	return segs
+}
+
+// subsetDelayFloor is the per-subset generalization of the layer-cake
+// bound, valid for EVERY subset S of s out of N partitions:
+//
+//	Σ_{p∈S} d_p  ≥  Σ_i (D_i − D_{i+1}) · max(0, need(D_i) − (N − s))
+//
+// Proof sketch: the N−s partitions outside S can absorb at most (N−s)
+// partitions' worth of the area at delay ≥ D_i, so at least
+// need(D_i) − (N−s) partitions *inside S* carry a task of delay ≥ D_i and
+// therefore have d_p ≥ D_i; integrating over the thresholds gives the
+// bound on the sum (equivalently: the j-th largest partition delay is at
+// least X_j = max{D_i : need(D_i) ≥ j}, and any s delays sum to at least
+// X_{N-s+1} + … + X_N). s = N recovers the aggregate area×delay bound.
+func (pr *presolve) subsetDelayFloor(n, s int) float64 {
+	slack := n - s
+	sum := 0.0
+	for _, seg := range pr.segments {
+		if k := seg.need - slack; k > 0 {
+			sum += (seg.delay - seg.next) * float64(k)
+		}
+	}
+	return sum
+}
+
+// boundaryChainFloor bounds the partition delays on one side of boundary p
+// of an n-partition model: Σ_{q<p} d_q (suffix=false) or Σ_{q>=p} d_q
+// (suffix=true).
+//
+// The argument, for the prefix side: partitions p..n-1 absorb at most
+// (n-p)·cap area per capped resource kind, so the prefix must hold at
+// least A = total - (n-p)·cap of it. Any task t placed in the prefix has
+// its entire ancestor chain in the prefix too (temporal order), and that
+// chain decomposes into in-partition path segments, so
+// Σ_{q<p} d_q ≥ ancChain(t). The tasks with ancChain below some threshold
+// θ carry a bounded area; the smallest θ whose tasks reach A is therefore
+// a valid floor: any prefix with enough area contains a task with
+// ancChain ≥ θ. The suffix side is symmetric with descendant chains. The
+// bound uses integrality (which tasks exist, not fractions of them), so —
+// like the layer-cake bound — it can exceed the LP relaxation bound; the
+// cut-validity property tests pin it against brute force.
+func (pr *presolve) boundaryChainFloor(n, p int, suffix bool) float64 {
+	chain := pr.ancChain
+	outside := n - p
+	if suffix {
+		chain = pr.descChain
+		outside = p
+	}
+	floor := 0.0
+	dim := func(demand []int, cap int) {
+		total := 0
+		for _, d := range demand {
+			total += d
+		}
+		need := total - outside*cap
+		if need <= 0 {
+			return
+		}
+		if th := minMaxChainForArea(chain, demand, need); th > floor && !math.IsInf(th, 1) {
+			floor = th
+		}
+	}
+	dim(pr.res, pr.board.FPGA.CLBs)
+	for k := range pr.extraDemand {
+		dim(pr.extraDemand[k], pr.extraCap[k])
+	}
+	return floor
+}
+
+// minMaxChainForArea returns the smallest achievable maximum chain value
+// over any task set whose total demand reaches need: tasks sorted by
+// ascending chain are taken greedily, and the chain value at which the
+// running demand first reaches need is the threshold (any set with that
+// much area must include a task at or above it). +Inf when even all tasks
+// fall short (the caller's n is packing-infeasible and never solved).
+func minMaxChainForArea(chain []float64, demand []int, need int) float64 {
+	order := make([]int, len(chain))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return chain[order[a]] < chain[order[b]] })
+	cum := 0
+	for _, t := range order {
+		cum += demand[t]
+		if cum >= need {
+			return chain[t]
+		}
+	}
+	return math.Inf(1)
 }
 
 // maxFeasibleN returns the lowest partition count at which the greedy

@@ -141,6 +141,9 @@ func cloneGraph(seed int64) *dfg.Graph {
 // latency) on the package fixtures and on random graphs with
 // interchangeable clone families.
 func TestSymmetryBreakingPreservesOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sequential model-equivalence sweep; skipped under -short (the race lane)")
+	}
 	type fixture struct {
 		name  string
 		g     *dfg.Graph
