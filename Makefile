@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test vet bench bench-smoke bench-gate race loadtest stress
+.PHONY: all build test vet bench bench-smoke bench-gate race loadtest stress stress-short
 
 all: vet build test
 
@@ -57,3 +57,9 @@ loadtest:
 # cutting-plane work. See internal/tempart/testdata/portfolio/.
 stress:
 	$(GO) test -run '^$$' -bench BenchmarkHardPortfolio -benchtime 1x -count 1 -timeout 10m ./internal/tempart/
+
+# stress-short is the CI slice of the stress lane: pack12 — the canonical
+# near-capacity packing proof — must close within its manifest node budget
+# on every push (the full portfolio stays in the manual 10-minute lane).
+stress-short:
+	$(GO) test -run 'TestHardPortfolio/pack12' -count=1 -v ./internal/tempart/

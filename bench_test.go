@@ -12,8 +12,11 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -218,6 +221,9 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
 	b.ReportMetric(float64(p.Stats.CutsAdded), "cuts-added")
 	b.ReportMetric(float64(p.Stats.SeparationRounds), "separation-rounds")
+	b.ReportMetric(float64(p.Stats.ConflictCuts), "conflict-cuts")
+	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
+	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
 	b.ReportMetric(p.Latency, "latency-ns")
 }
@@ -498,9 +504,80 @@ func BenchmarkILP_FIRBank(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
 	b.ReportMetric(float64(p.Stats.CutsAdded), "cuts-added")
 	b.ReportMetric(float64(p.Stats.SeparationRounds), "separation-rounds")
+	b.ReportMetric(float64(p.Stats.ConflictCuts), "conflict-cuts")
+	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
+	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
 	b.ReportMetric(p.Stats.SolveTime.Seconds()*1e3, "solve-ms")
 }
+
+// benchPackPortfolio loads one pack instance of the committed
+// hard-instance portfolio through the schema the tempart portfolio tests
+// use (tempart.LoadPortfolioManifest), so the benchmark runs under exactly
+// the manifest knobs the tests pin and the two can never drift apart.
+func benchPackPortfolio(b *testing.B, file string) {
+	dir := filepath.Join("internal", "tempart", "testdata", "portfolio")
+	manifest, err := tempart.LoadPortfolioManifest(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var entry *tempart.PortfolioInstance
+	for i := range manifest.Instances {
+		if manifest.Instances[i].File == file {
+			entry = &manifest.Instances[i]
+			break
+		}
+	}
+	if entry == nil {
+		b.Fatalf("portfolio manifest has no entry %q", file)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, file))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var g dfg.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		b.Fatal(err)
+	}
+	board := arch.SmallTestBoard()
+	board.FPGA.CLBs = entry.CLBs
+	board.Memory.Words = entry.MemWords
+	board.FPGA.ReconfigTime = float64(entry.ReconfigNS)
+	var p *tempart.Partitioning
+	for i := 0; i < b.N; i++ {
+		p, err = tempart.Solve(tempart.Input{
+			Graph:              &g,
+			Board:              board,
+			NoSymmetryBreaking: entry.NoSymmetry,
+			DisableWarmStart:   entry.NoWarm,
+			ILP:                ilp.Options{MaxNodes: entry.MaxNodes},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p.N != entry.WantN || !p.Optimal {
+		b.Fatalf("N=%d optimal=%v, want %d/true", p.N, p.Optimal, entry.WantN)
+	}
+	b.ReportMetric(float64(p.N), "partitions")
+	b.ReportMetric(float64(p.Stats.Nodes), "B&B-nodes")
+	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
+	b.ReportMetric(float64(p.Stats.CutsAdded), "cuts-added")
+	b.ReportMetric(float64(p.Stats.ConflictCuts), "conflict-cuts")
+	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
+	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
+	b.ReportMetric(float64(p.Stats.NProbesPruned), "n-probes-pruned")
+	b.ReportMetric(p.Stats.SolveTime.Seconds()*1e3, "solve-ms")
+}
+
+// BenchmarkILP_Pack12/15/18 are the near-capacity packing proofs of the
+// hard-instance portfolio — the regime the infeasibility-proof engine (CG
+// cardinality cuts, conflict learning, bin-packing dual bound) exists for.
+// Before the engine they blew their 2000-node budgets; the bench gate now
+// fails ANY B&B-node growth over the committed baseline (threshold 0).
+func BenchmarkILP_Pack12(b *testing.B) { benchPackPortfolio(b, "pack12.json") }
+func BenchmarkILP_Pack15(b *testing.B) { benchPackPortfolio(b, "pack15.json") }
+func BenchmarkILP_Pack18(b *testing.B) { benchPackPortfolio(b, "pack18.json") }
 
 // BenchmarkDCT8x8Greedy partitions the 128-task 8x8 DCT generalization
 // with the greedy baseline (the scale regime beyond the paper's ILP).

@@ -128,12 +128,16 @@ var gates = []gate{
 }
 
 // thresholdOverrides tightens the gate for specific (benchmark, unit)
-// pairs. The FIR bank is the headline branch-and-cut benchmark: its node
-// count is deterministic and the cutting-plane engine exists to shrink it,
-// so ANY node-count growth over the committed baseline fails the gate
-// (threshold 0), not just the default 20%.
+// pairs. The FIR bank is the headline branch-and-cut benchmark and the
+// pack portfolio is the headline infeasibility-proof regime: their node
+// counts are deterministic and the cut/proof engines exist to shrink
+// them, so ANY node-count growth over the committed baseline fails the
+// gate (threshold 0), not just the default 20%.
 var thresholdOverrides = map[string]map[string]float64{
 	"BenchmarkILP_FIRBank": {"B&B-nodes": 0},
+	"BenchmarkILP_Pack12":  {"B&B-nodes": 0},
+	"BenchmarkILP_Pack15":  {"B&B-nodes": 0},
+	"BenchmarkILP_Pack18":  {"B&B-nodes": 0},
 }
 
 // gateMetric computes the relative regression of one metric and whether it

@@ -128,6 +128,17 @@ func (cp *cutPool) size() int {
 	return len(cp.cuts)
 }
 
+// snapshot copies the active cut rows (validity tests).
+func (cp *cutPool) snapshot() []lp.CutRow {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	rows := make([]lp.CutRow, len(cp.cuts))
+	for i := range cp.cuts {
+		rows[i] = cp.cuts[i].row
+	}
+	return rows
+}
+
 // compactLocked evicts the least active half of the pool and bumps the
 // generation. Hashes of evicted cuts leave the index, so a separator that
 // finds the same violation again may re-admit the cut.

@@ -22,6 +22,13 @@
 // subtree strengthens every worker; node-local cuts ride on the node and
 // its descendants. See cuts.go for the validity contract.
 //
+// The search also learns from failure: a subtree fathomed INFEASIBLE (an
+// empty bound box, an Options.NodeBound infeasibility proof, or an
+// infeasible node LP) is encoded as a no-good cut over its fixed 0-1
+// bounds and fed into the same pool, so symmetric copies of a dead
+// arrangement prune without re-proving it — see conflict.go for the
+// derivation, minimization, and why bound-dominated fathoms never learn.
+//
 // The search is organised prune-first: open nodes live on a bound-ordered
 // priority heap (best-first, with LIFO tie-breaking so equal-bound children
 // dive like DFS and keep the warm-start locality), every node is screened
@@ -126,6 +133,13 @@ type Options struct {
 	// err on the side of weaker bounds. It must be safe for concurrent use
 	// when Workers > 1.
 	NodeBound func(bounds func(j int) (lo, hi float64)) (bnd float64, feasible bool)
+	// NodeBoundProbe, when non-nil, is used instead of NodeBound for
+	// conflict-minimization probes (conflict.go re-queries the bound on fix
+	// subsets, many times per learned conflict). It must implement exactly
+	// the same bound, but a caller that counts NodeBound fathoms for
+	// telemetry can supply an uncounted twin here so minimization probes do
+	// not inflate the counters. Defaults to NodeBound.
+	NodeBoundProbe func(bounds func(j int) (lo, hi float64)) (bnd float64, feasible bool)
 	// Separate, when non-nil, turns the search into branch-and-cut: it is
 	// invoked in rounds at every node whose LP relaxation is fractional,
 	// before branching, and returns valid inequalities violated by the
@@ -136,13 +150,26 @@ type Options struct {
 	// the point turns integral, or the round budget is exhausted. The
 	// callback must be safe for concurrent use when Workers > 1.
 	Separate func(pt *SeparationPoint) []Cut
-	// MaxCutRounds caps separation rounds per node (0 = default: 8 at the
-	// root, 2 below — root cuts are shared by the whole tree and deserve
-	// the larger budget).
+	// MaxCutRounds caps separation rounds per node at every depth. It is
+	// the blunt override; leave it 0 and use RootCutRounds/NodeCutRounds
+	// for the split budget (root cuts are shared by the whole tree and
+	// deserve the larger one).
 	MaxCutRounds int
+	// RootCutRounds caps separation rounds at the root node (0 = default
+	// 8). Ignored when MaxCutRounds is set.
+	RootCutRounds int
+	// NodeCutRounds caps separation rounds at non-root nodes (0 = default
+	// 2). Ignored when MaxCutRounds is set.
+	NodeCutRounds int
 	// MaxCuts bounds the global cut pool (0 = default 512). Past the bound
 	// the pool evicts its least active half.
 	MaxCuts int
+	// MinConflictDepth sets the shallowest node depth at which conflict
+	// (no-good) learning applies; fathomed-infeasible nodes above it never
+	// emit conflict cuts. 0 selects the default 1 — every non-root node
+	// learns. Conflict learning is active whenever Separate is set (the
+	// learned no-goods ride the same shared cut pool); see conflict.go.
+	MinConflictDepth int
 	// Workers sets the number of concurrent search workers (<= 1 means the
 	// sequential search). Each worker owns its own lp.Solver over the shared
 	// model and the workers share one incumbent, so the optimal objective
@@ -162,6 +189,11 @@ type Options struct {
 	// Log, when non-nil, receives progress lines. With Workers > 1 it must
 	// be safe for concurrent use.
 	Log func(format string, args ...any)
+
+	// testCapturePool, when non-nil, receives the final global cut pool
+	// contents after the search (validity property tests only; unexported
+	// so it is invisible outside the package).
+	testCapturePool func([]lp.CutRow)
 }
 
 // DefaultOptions returns the options used when a zero Options is passed.
@@ -205,10 +237,18 @@ type Solution struct {
 	LPIterations int
 	// CutsAdded counts distinct cuts generated by Options.Separate and
 	// admitted to the search (pool-deduplicated global cuts plus node-local
-	// cuts).
+	// cuts). Conflict cuts are counted separately in ConflictCuts.
 	CutsAdded int
 	// SeparationRounds counts node LP re-solves triggered by cut rounds.
 	SeparationRounds int
+	// ConflictCuts counts no-good cuts learned from infeasibility-fathomed
+	// subtrees and admitted to the shared pool (see conflict.go).
+	ConflictCuts int
+	// CutsByName breaks CutsAdded down by the separator-assigned Cut.Name
+	// (nil when no cuts were admitted). This is what lets callers report
+	// per-family telemetry (e.g. how many Chvátal–Gomory cuts fired)
+	// without a side channel.
+	CutsByName map[string]int
 	// Solver aggregates the underlying lp.Solver activity across all search
 	// workers (warm vs cold solves, dual-repair pivots).
 	Solver lp.SolverStats
@@ -232,7 +272,13 @@ func (o *Options) maxCutRounds(depth int) int {
 		return o.MaxCutRounds
 	}
 	if depth == 0 {
+		if o.RootCutRounds > 0 {
+			return o.RootCutRounds
+		}
 		return 8
+	}
+	if o.NodeCutRounds > 0 {
+		return o.NodeCutRounds
 	}
 	return 2
 }
@@ -421,7 +467,7 @@ func (w *searcher) recordCutActivity(x []float64) {
 // cuts this round generated, progressed reports whether the node's LP
 // gained any row (possibly from another worker's cuts) and a re-solve is
 // worthwhile.
-func (w *searcher) applyCuts(nd *node, res *lp.Solution, round int) (int, bool, error) {
+func (w *searcher) applyCuts(nd *node, res *lp.Solution, round int, r *nodeResult) (int, bool, error) {
 	before := w.solver.AddedRows()
 	cuts := w.opt.Separate(&SeparationPoint{
 		X: res.X, Obj: res.Obj, Depth: nd.depth, Round: round,
@@ -429,6 +475,13 @@ func (w *searcher) applyCuts(nd *node, res *lp.Solution, round int) (int, bool, 
 	})
 	nVars := w.p.LP.NumVars()
 	admitted := 0
+	admit := func(name string) {
+		admitted++
+		if r.cutNames == nil {
+			r.cutNames = make(map[string]int)
+		}
+		r.cutNames[name]++
+	}
 	var locals []lp.CutRow
 	for i := range cuts {
 		c := &cuts[i]
@@ -437,11 +490,11 @@ func (w *searcher) applyCuts(nd *node, res *lp.Solution, round int) (int, bool, 
 		}
 		if c.Global {
 			if w.st.pool.add(c.CutRow) {
-				admitted++
+				admit(c.Name)
 			}
 		} else {
 			locals = append(locals, c.CutRow)
-			admitted++
+			admit(c.Name)
 		}
 	}
 	// bindCuts (not a bare pool sync) so a pool compaction mid-round
@@ -481,13 +534,15 @@ func integralPoint(x []float64, ints []int) bool {
 // children/incumbent (Optimal), nothing (Infeasible/IterLimit/Unbounded),
 // pruned (fathomed before the LP ran).
 type nodeResult struct {
-	lpStatus  lp.Status
-	pruned    bool    // fathomed by the combinatorial bound; no LP was run
-	obj       float64 // node LP bound (valid when lpStatus == Optimal)
-	iters     int
-	cutsAdded int // cuts generated at this node (see Solution.CutsAdded)
-	sepRounds int // LP re-solves triggered by separation at this node
-	children  []node
+	lpStatus     lp.Status
+	pruned       bool    // fathomed by the combinatorial bound; no LP was run
+	obj          float64 // node LP bound (valid when lpStatus == Optimal)
+	iters        int
+	cutsAdded    int            // cuts generated at this node (see Solution.CutsAdded)
+	cutNames     map[string]int // admitted cuts by separator name
+	sepRounds    int            // LP re-solves triggered by separation at this node
+	conflictCuts int            // no-goods learned from this node's fathoming
+	children     []node
 	// incumbent is a verified-feasible integral candidate with objective
 	// incObj (nil when the node produced none worth keeping).
 	incumbent []float64
@@ -503,17 +558,23 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 
 	if !w.applyFixes(nd.fixes) {
 		r.lpStatus = lp.Infeasible
+		r.conflictCuts = w.learnConflict(nd, false)
 		return r, nil
 	}
 
 	// LP-free fathoming: if the caller's combinatorial bound already proves
 	// the box infeasible or no better than the incumbent, the simplex never
 	// runs for this node — and neither does the cut-view rebind below, so
-	// fathomed nodes pay no AddRows reinversion.
+	// fathomed nodes pay no AddRows reinversion. Only the infeasible case
+	// learns a conflict: a bound-dominated box may still hold feasible
+	// (just not better) points, which a no-good would wrongly cut off.
 	if w.opt.NodeBound != nil {
 		if bnd, feasible := w.opt.NodeBound(w.solver.Bounds); !feasible || bnd > incObj-w.opt.AbsGap {
 			r.pruned = true
 			r.lpStatus = lp.Infeasible
+			if !feasible {
+				r.conflictCuts = w.learnConflict(nd, true)
+			}
 			return r, nil
 		}
 	}
@@ -562,6 +623,13 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 		return nil, err
 	}
 	if res.Status != lp.Optimal {
+		if res.Status == lp.Infeasible {
+			// The node LP (original rows plus valid cuts) admits no point at
+			// all, so the box holds no integral feasible solution either:
+			// learn the no-good. The LP proof gives no subset certificate,
+			// so the full fix set is kept (the pool dedups repeats).
+			r.conflictCuts = w.learnConflict(nd, false)
+		}
 		return r, nil
 	}
 
@@ -576,7 +644,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 			if res.Obj > incObj-w.opt.AbsGap || integralPoint(res.X, w.p.Integers) {
 				break
 			}
-			admitted, progressed, err := w.applyCuts(nd, res, round)
+			admitted, progressed, err := w.applyCuts(nd, res, round, r)
 			if err != nil {
 				return nil, err
 			}
@@ -591,7 +659,11 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 			}
 			if res.Status != lp.Optimal {
 				// Valid cuts may legitimately empty a node box holding no
-				// integral point: the node is fathomed.
+				// integral point: the node is fathomed (and, for a clean
+				// Infeasible verdict, its no-good learned).
+				if res.Status == lp.Infeasible {
+					r.conflictCuts += w.learnConflict(nd, false)
+				}
 				return r, nil
 			}
 		}
@@ -871,13 +943,15 @@ type searchState struct {
 	// unset; its own mutex serializes access from workers).
 	pool *cutPool
 
-	nodes      int
-	lpIters    int
-	dropped    int
-	prunedComb int
-	lpSkipped  int
-	cutsAdded  int
-	sepRounds  int
+	nodes        int
+	lpIters      int
+	dropped      int
+	prunedComb   int
+	lpSkipped    int
+	cutsAdded    int
+	cutNames     map[string]int
+	sepRounds    int
+	conflictCuts int
 	// droppedBound tracks the min parent bound among dropped nodes so the
 	// reported Bound stays valid even when subtrees are discarded.
 	droppedBound float64
@@ -1043,6 +1117,7 @@ func (st *searchState) step(w *searcher) error {
 // absorb merges one node's result into the shared state. Callers in the
 // parallel path hold st.mu.
 func (st *searchState) absorb(nd *node, r *nodeResult) {
+	st.conflictCuts += r.conflictCuts
 	if r.pruned {
 		st.prunedComb++
 		st.lpSkipped++
@@ -1051,6 +1126,14 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 	st.nodes++
 	st.cutsAdded += r.cutsAdded
 	st.sepRounds += r.sepRounds
+	if r.cutNames != nil {
+		if st.cutNames == nil {
+			st.cutNames = make(map[string]int)
+		}
+		for name, n := range r.cutNames {
+			st.cutNames[name] += n
+		}
+	}
 	switch r.lpStatus {
 	case lp.Infeasible:
 		return
@@ -1151,8 +1234,13 @@ func (st *searchState) finish() *Solution {
 		PrunedCombinatorial: st.prunedComb,
 		LPSolvesSkipped:     st.lpSkipped,
 		CutsAdded:           st.cutsAdded,
+		CutsByName:          st.cutNames,
 		SeparationRounds:    st.sepRounds,
+		ConflictCuts:        st.conflictCuts,
 		BoundTrusted:        st.dropped == 0,
+	}
+	if st.opt.testCapturePool != nil && st.pool != nil {
+		st.opt.testCapturePool(st.pool.snapshot())
 	}
 	exhausted := len(st.heap) == 0 && st.dropped == 0
 

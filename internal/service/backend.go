@@ -36,12 +36,16 @@ type Request struct {
 
 	// Solver knobs, all optional. Workers and SpeculateN tune the search
 	// without changing its answer and are excluded from the cache key;
-	// the remaining knobs can change the reported result and are keyed.
+	// the remaining knobs — including the cutting-plane budgets — can
+	// change the reported result and are keyed.
 	Workers            int
 	SpeculateN         int
 	MaxPartitions      int
 	PathCap            int
 	MaxNodes           int
+	CutRoundsRoot      int
+	CutRoundsNode      int
+	MaxCuts            int
 	NoSymmetryBreaking bool
 
 	// NoCache bypasses the memo cache (always a fresh solve, result not
@@ -121,8 +125,11 @@ func (ilpBackend) Solve(ctx context.Context, req *Request) (*tempart.Partitionin
 		NoSymmetryBreaking: req.NoSymmetryBreaking,
 		SpeculateN:         req.SpeculateN,
 		ILP: ilp.Options{
-			Workers:  req.Workers,
-			MaxNodes: req.MaxNodes,
+			Workers:       req.Workers,
+			MaxNodes:      req.MaxNodes,
+			RootCutRounds: req.CutRoundsRoot,
+			NodeCutRounds: req.CutRoundsNode,
+			MaxCuts:       req.MaxCuts,
 		},
 	})
 }

@@ -42,6 +42,9 @@ func (r *Request) CacheKey() string {
 	put(uint64(r.MaxPartitions))
 	put(uint64(r.PathCap))
 	put(uint64(r.MaxNodes))
+	put(uint64(r.CutRoundsRoot))
+	put(uint64(r.CutRoundsNode))
+	put(uint64(r.MaxCuts))
 	if r.NoSymmetryBreaking {
 		put(1)
 	} else {
@@ -88,29 +91,34 @@ type entry struct {
 	// (dfg.CanonicalOrder) of the solved graph.
 	assignCanon []int
 	latencyNS   float64
-	// nodes/prunedComb/lpSkipped/cutsAdded/sepRounds/lpIters are the
-	// original solve's search statistics, reported on hits for
+	// The original solve's search statistics, reported on hits for
 	// observability (a hit did zero search of its own).
-	nodes      int
-	prunedComb int
-	lpSkipped  int
-	cutsAdded  int
-	sepRounds  int
-	lpIters    int
+	nodes        int
+	prunedComb   int
+	lpSkipped    int
+	cutsAdded    int
+	sepRounds    int
+	conflictCuts int
+	cgCuts       int
+	dualFathoms  int
+	lpIters      int
 }
 
 // newEntry canonicalizes a partitioning of g into a cache entry.
 func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 	e := &entry{
-		n:          p.N,
-		optimal:    p.Optimal,
-		latencyNS:  p.Latency,
-		nodes:      p.Stats.Nodes,
-		prunedComb: p.Stats.PrunedCombinatorial,
-		lpSkipped:  p.Stats.LPSolvesSkipped,
-		cutsAdded:  p.Stats.CutsAdded,
-		sepRounds:  p.Stats.SeparationRounds,
-		lpIters:    p.Stats.LPIterations,
+		n:            p.N,
+		optimal:      p.Optimal,
+		latencyNS:    p.Latency,
+		nodes:        p.Stats.Nodes,
+		prunedComb:   p.Stats.PrunedCombinatorial,
+		lpSkipped:    p.Stats.LPSolvesSkipped,
+		cutsAdded:    p.Stats.CutsAdded,
+		sepRounds:    p.Stats.SeparationRounds,
+		conflictCuts: p.Stats.ConflictCuts,
+		cgCuts:       p.Stats.CGCuts,
+		dualFathoms:  p.Stats.DualBoundFathoms,
+		lpIters:      p.Stats.LPIterations,
 	}
 	if p.N > 0 {
 		ord := g.CanonicalOrder()
@@ -167,6 +175,8 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 			N: e.n, Nodes: e.nodes, LPIterations: e.lpIters,
 			PrunedCombinatorial: e.prunedComb, LPSolvesSkipped: e.lpSkipped,
 			CutsAdded: e.cutsAdded, SeparationRounds: e.sepRounds,
+			ConflictCuts: e.conflictCuts, CGCuts: e.cgCuts,
+			DualBoundFathoms: e.dualFathoms,
 		},
 	}, nil
 }

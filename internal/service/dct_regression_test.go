@@ -75,6 +75,9 @@ func TestDCTInvariantThroughService(t *testing.T) {
 		`sparcsd_lp_solves_skipped_total{engine="ilp"}`,
 		`sparcsd_cuts_added_total{engine="ilp"}`,
 		`sparcsd_separation_rounds_total{engine="ilp"}`,
+		`sparcsd_conflict_cuts_total{engine="ilp"}`,
+		`sparcsd_cg_cuts_total{engine="ilp"}`,
+		`sparcsd_dual_bound_fathoms_total{engine="ilp"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %s\n%s", want, metrics)

@@ -15,31 +15,37 @@ const latencySamples = 1024
 
 // Metrics aggregates service counters. Safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	started   time.Time
-	solves    map[string]uint64 // per engine
-	nodes     map[string]uint64 // per engine: B&B nodes explored (LP solved)
-	pruned    map[string]uint64 // per engine: nodes fathomed combinatorially
-	lpSkipped map[string]uint64 // per engine: nodes discarded without an LP solve
-	cutsAdded map[string]uint64 // per engine: cutting planes added by separation
-	sepRounds map[string]uint64 // per engine: node LP re-solves from cut rounds
-	errors    uint64
-	cancelled uint64
-	ring      [latencySamples]time.Duration
-	ringLen   int
-	ringPos   int
+	mu           sync.Mutex
+	started      time.Time
+	solves       map[string]uint64 // per engine
+	nodes        map[string]uint64 // per engine: B&B nodes explored (LP solved)
+	pruned       map[string]uint64 // per engine: nodes fathomed combinatorially
+	lpSkipped    map[string]uint64 // per engine: nodes discarded without an LP solve
+	cutsAdded    map[string]uint64 // per engine: cutting planes added by separation
+	sepRounds    map[string]uint64 // per engine: node LP re-solves from cut rounds
+	conflictCuts map[string]uint64 // per engine: no-goods learned from infeasible subtrees
+	cgCuts       map[string]uint64 // per engine: Chvátal–Gomory cardinality cuts in play
+	dualFathoms  map[string]uint64 // per engine: bin-packing dual-bound fathoms
+	errors       uint64
+	cancelled    uint64
+	ring         [latencySamples]time.Duration
+	ringLen      int
+	ringPos      int
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		started:   time.Now(),
-		solves:    map[string]uint64{},
-		nodes:     map[string]uint64{},
-		pruned:    map[string]uint64{},
-		lpSkipped: map[string]uint64{},
-		cutsAdded: map[string]uint64{},
-		sepRounds: map[string]uint64{},
+		started:      time.Now(),
+		solves:       map[string]uint64{},
+		nodes:        map[string]uint64{},
+		pruned:       map[string]uint64{},
+		lpSkipped:    map[string]uint64{},
+		cutsAdded:    map[string]uint64{},
+		sepRounds:    map[string]uint64{},
+		conflictCuts: map[string]uint64{},
+		cgCuts:       map[string]uint64{},
+		dualFathoms:  map[string]uint64{},
 	}
 }
 
@@ -59,18 +65,35 @@ func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
 	}
 }
 
-// RecordSearch folds one fresh solve's branch-and-bound activity into the
-// per-engine counters: nodes whose LP relaxation was solved, nodes fathomed
-// by the presolve's combinatorial bound, nodes discarded without any LP
-// solve, and the cutting-plane engine's cuts/rounds. Cache hits and shared
-// solves are not recorded (their search ran at most once, elsewhere).
-func (m *Metrics) RecordSearch(engine string, nodes, prunedCombinatorial, lpSolvesSkipped, cutsAdded, separationRounds int) {
+// SearchCounters is one fresh solve's branch-and-bound activity: nodes
+// whose LP relaxation was solved, nodes fathomed by the presolve's
+// combinatorial bound, nodes discarded without any LP solve, the
+// cutting-plane engine's cuts/rounds, and the infeasibility-proof engine's
+// conflict cuts, CG cardinality cuts, and bin-packing dual-bound fathoms.
+type SearchCounters struct {
+	Nodes               int
+	PrunedCombinatorial int
+	LPSolvesSkipped     int
+	CutsAdded           int
+	SeparationRounds    int
+	ConflictCuts        int
+	CGCuts              int
+	DualBoundFathoms    int
+}
+
+// RecordSearch folds one fresh solve's search counters into the per-engine
+// aggregates. Cache hits and shared solves are not recorded (their search
+// ran at most once, elsewhere).
+func (m *Metrics) RecordSearch(engine string, c SearchCounters) {
 	m.mu.Lock()
-	m.nodes[engine] += uint64(nodes)
-	m.pruned[engine] += uint64(prunedCombinatorial)
-	m.lpSkipped[engine] += uint64(lpSolvesSkipped)
-	m.cutsAdded[engine] += uint64(cutsAdded)
-	m.sepRounds[engine] += uint64(separationRounds)
+	m.nodes[engine] += uint64(c.Nodes)
+	m.pruned[engine] += uint64(c.PrunedCombinatorial)
+	m.lpSkipped[engine] += uint64(c.LPSolvesSkipped)
+	m.cutsAdded[engine] += uint64(c.CutsAdded)
+	m.sepRounds[engine] += uint64(c.SeparationRounds)
+	m.conflictCuts[engine] += uint64(c.ConflictCuts)
+	m.cgCuts[engine] += uint64(c.CGCuts)
+	m.dualFathoms[engine] += uint64(c.DualBoundFathoms)
 	m.mu.Unlock()
 }
 
@@ -83,17 +106,20 @@ func (m *Metrics) RecordCancelled() {
 
 // Snapshot is a point-in-time metrics view used by /healthz and /metrics.
 type Snapshot struct {
-	UptimeMS  int64             `json:"uptime_ms"`
-	Solves    map[string]uint64 `json:"solves"`
-	Nodes     map[string]uint64 `json:"bb_nodes,omitempty"`
-	Pruned    map[string]uint64 `json:"bb_pruned_combinatorial,omitempty"`
-	LPSkipped map[string]uint64 `json:"lp_solves_skipped,omitempty"`
-	CutsAdded map[string]uint64 `json:"cuts_added,omitempty"`
-	SepRounds map[string]uint64 `json:"separation_rounds,omitempty"`
-	Errors    uint64            `json:"errors"`
-	Cancelled uint64            `json:"cancelled"`
-	P50MS     float64           `json:"latency_p50_ms"`
-	P99MS     float64           `json:"latency_p99_ms"`
+	UptimeMS     int64             `json:"uptime_ms"`
+	Solves       map[string]uint64 `json:"solves"`
+	Nodes        map[string]uint64 `json:"bb_nodes,omitempty"`
+	Pruned       map[string]uint64 `json:"bb_pruned_combinatorial,omitempty"`
+	LPSkipped    map[string]uint64 `json:"lp_solves_skipped,omitempty"`
+	CutsAdded    map[string]uint64 `json:"cuts_added,omitempty"`
+	SepRounds    map[string]uint64 `json:"separation_rounds,omitempty"`
+	ConflictCuts map[string]uint64 `json:"conflict_cuts,omitempty"`
+	CGCuts       map[string]uint64 `json:"cg_cuts,omitempty"`
+	DualFathoms  map[string]uint64 `json:"dual_bound_fathoms,omitempty"`
+	Errors       uint64            `json:"errors"`
+	Cancelled    uint64            `json:"cancelled"`
+	P50MS        float64           `json:"latency_p50_ms"`
+	P99MS        float64           `json:"latency_p99_ms"`
 }
 
 // Snapshot captures current counters and latency quantiles.
@@ -101,15 +127,18 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		UptimeMS:  time.Since(m.started).Milliseconds(),
-		Solves:    make(map[string]uint64, len(m.solves)),
-		Nodes:     make(map[string]uint64, len(m.nodes)),
-		Pruned:    make(map[string]uint64, len(m.pruned)),
-		LPSkipped: make(map[string]uint64, len(m.lpSkipped)),
-		CutsAdded: make(map[string]uint64, len(m.cutsAdded)),
-		SepRounds: make(map[string]uint64, len(m.sepRounds)),
-		Errors:    m.errors,
-		Cancelled: m.cancelled,
+		UptimeMS:     time.Since(m.started).Milliseconds(),
+		Solves:       make(map[string]uint64, len(m.solves)),
+		Nodes:        make(map[string]uint64, len(m.nodes)),
+		Pruned:       make(map[string]uint64, len(m.pruned)),
+		LPSkipped:    make(map[string]uint64, len(m.lpSkipped)),
+		CutsAdded:    make(map[string]uint64, len(m.cutsAdded)),
+		SepRounds:    make(map[string]uint64, len(m.sepRounds)),
+		ConflictCuts: make(map[string]uint64, len(m.conflictCuts)),
+		CGCuts:       make(map[string]uint64, len(m.cgCuts)),
+		DualFathoms:  make(map[string]uint64, len(m.dualFathoms)),
+		Errors:       m.errors,
+		Cancelled:    m.cancelled,
 	}
 	for k, v := range m.solves {
 		s.Solves[k] = v
@@ -128,6 +157,15 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.sepRounds {
 		s.SepRounds[k] = v
+	}
+	for k, v := range m.conflictCuts {
+		s.ConflictCuts[k] = v
+	}
+	for k, v := range m.cgCuts {
+		s.CGCuts[k] = v
+	}
+	for k, v := range m.dualFathoms {
+		s.DualFathoms[k] = v
 	}
 	if m.ringLen > 0 {
 		sorted := make([]time.Duration, m.ringLen)
@@ -175,6 +213,19 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	}
 	for _, eng := range sortedKeys(s.SepRounds) {
 		fmt.Fprintf(&b, "sparcsd_separation_rounds_total{engine=%q} %d\n", eng, s.SepRounds[eng])
+	}
+	// Infeasibility-proof engine: no-goods learned from fathomed-infeasible
+	// subtrees, Chvátal–Gomory cardinality cuts in play, and bin-packing
+	// dual-bound fathoms (N probes and B&B nodes killed LP-free). Rising
+	// fathoms with flat nodes is the proof engine doing the pruning.
+	for _, eng := range sortedKeys(s.ConflictCuts) {
+		fmt.Fprintf(&b, "sparcsd_conflict_cuts_total{engine=%q} %d\n", eng, s.ConflictCuts[eng])
+	}
+	for _, eng := range sortedKeys(s.CGCuts) {
+		fmt.Fprintf(&b, "sparcsd_cg_cuts_total{engine=%q} %d\n", eng, s.CGCuts[eng])
+	}
+	for _, eng := range sortedKeys(s.DualFathoms) {
+		fmt.Fprintf(&b, "sparcsd_dual_bound_fathoms_total{engine=%q} %d\n", eng, s.DualFathoms[eng])
 	}
 	emit("solve_errors_total", s.Errors)
 	emit("jobs_cancelled_total", s.Cancelled)

@@ -27,6 +27,15 @@ type SolveRequest struct {
 	MaxNodes           int  `json:"max_nodes,omitempty"`
 	NoSymmetryBreaking bool `json:"no_symmetry_breaking,omitempty"`
 	NoCache            bool `json:"no_cache,omitempty"`
+
+	// Cutting-plane budgets (0 = engine defaults). CutRoundsRoot and
+	// CutRoundsNode bound separation rounds per node at the root and
+	// below; MaxCuts bounds the shared cut pool before compaction. They
+	// shape the search (and with pathological values its node counts), so
+	// they are part of the solve-cache key.
+	CutRoundsRoot int `json:"cut_rounds_root,omitempty"`
+	CutRoundsNode int `json:"cut_rounds_node,omitempty"`
+	MaxCuts       int `json:"max_cuts,omitempty"`
 }
 
 // Parse validates the wire request into a Request.
@@ -54,7 +63,8 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		return nil, err
 	}
 	if sr.Workers < 0 || sr.SpeculateN < 0 || sr.MaxPartitions < 0 ||
-		sr.PathCap < 0 || sr.MaxNodes < 0 {
+		sr.PathCap < 0 || sr.MaxNodes < 0 ||
+		sr.CutRoundsRoot < 0 || sr.CutRoundsNode < 0 || sr.MaxCuts < 0 {
 		return nil, fmt.Errorf("service: negative solver knob")
 	}
 	return &Request{
@@ -69,6 +79,9 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		MaxPartitions:      sr.MaxPartitions,
 		PathCap:            sr.PathCap,
 		MaxNodes:           sr.MaxNodes,
+		CutRoundsRoot:      sr.CutRoundsRoot,
+		CutRoundsNode:      sr.CutRoundsNode,
+		MaxCuts:            sr.MaxCuts,
 		NoSymmetryBreaking: sr.NoSymmetryBreaking,
 		NoCache:            sr.NoCache,
 	}, nil
@@ -105,6 +118,9 @@ type Result struct {
 	LPSolvesSkipped     int     `json:"lp_solves_skipped,omitempty"`
 	CutsAdded           int     `json:"cuts_added,omitempty"`
 	SeparationRounds    int     `json:"separation_rounds,omitempty"`
+	ConflictCuts        int     `json:"conflict_cuts,omitempty"`
+	CGCuts              int     `json:"cg_cuts,omitempty"`
+	DualBoundFathoms    int     `json:"dual_bound_fathoms,omitempty"`
 	LPIterations        int     `json:"lp_iterations,omitempty"`
 	SolveMS             float64 `json:"solve_ms"`
 
@@ -128,6 +144,9 @@ func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) 
 		LPSolvesSkipped:     p.Stats.LPSolvesSkipped,
 		CutsAdded:           p.Stats.CutsAdded,
 		SeparationRounds:    p.Stats.SeparationRounds,
+		ConflictCuts:        p.Stats.ConflictCuts,
+		CGCuts:              p.Stats.CGCuts,
+		DualBoundFathoms:    p.Stats.DualBoundFathoms,
 		LPIterations:        p.Stats.LPIterations,
 	}
 	if p.N == 0 {

@@ -91,9 +91,16 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 			return nil, err
 		}
 		if origin == OriginMiss {
-			s.metrics.RecordSearch(be.Name(), p.Stats.Nodes,
-				p.Stats.PrunedCombinatorial, p.Stats.LPSolvesSkipped,
-				p.Stats.CutsAdded, p.Stats.SeparationRounds)
+			s.metrics.RecordSearch(be.Name(), SearchCounters{
+				Nodes:               p.Stats.Nodes,
+				PrunedCombinatorial: p.Stats.PrunedCombinatorial,
+				LPSolvesSkipped:     p.Stats.LPSolvesSkipped,
+				CutsAdded:           p.Stats.CutsAdded,
+				SeparationRounds:    p.Stats.SeparationRounds,
+				ConflictCuts:        p.Stats.ConflictCuts,
+				CGCuts:              p.Stats.CGCuts,
+				DualBoundFathoms:    p.Stats.DualBoundFathoms,
+			})
 		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
 		res.Cache = string(origin)
@@ -103,6 +110,7 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 			res.Nodes, res.LPIterations = 0, 0
 			res.PrunedCombinatorial, res.LPSolvesSkipped = 0, 0
 			res.CutsAdded, res.SeparationRounds = 0, 0
+			res.ConflictCuts, res.CGCuts, res.DualBoundFathoms = 0, 0, 0
 		}
 		res.SolveMS = float64(time.Since(start).Microseconds()) / 1e3
 		return res, nil

@@ -68,18 +68,24 @@ func wideGraph() *dfg.Graph {
 }
 
 // hardGraphJSON is an instance whose branch-and-bound runs for minutes if
-// not cancelled: task sizes cycle 34/35/36 CLBs on the 100-CLB "small"
-// board, so at most two fit a partition while the area bound N0 = ⌈Σ/100⌉
-// undershoots the integral minimum by several partitions — the relax loop
-// must prove packing infeasibility at N0, N0+1, … with no incumbent for
-// the presolve bounds or the LP to prune with. (The earlier equal-sized
-// variant became trivial once the presolve's layer-cake bound proved the
-// greedy solution optimal at the root.)
+// not cancelled: task sizes alternate 26/38 CLBs on the 100-CLB "small"
+// board — a mixed-cardinality packing whose true minimum (9 partitions)
+// exceeds every proof-engine bound (area and CG cardinality both say 8),
+// and whose N=9 optimum Σd = 900 sits above the 800 layer-cake/CG-delay
+// floor, so both the infeasibility proof at N=8 and the optimality proof
+// at N=9 are exponential enumerations. (The earlier 34/35/36 variant died
+// to PR 5's CG cardinality engine — uniform near-capacity sizes make the
+// cardinality bound exact; the equal-sized variant before it died to the
+// PR 3 layer-cake bound.)
 func hardGraphJSON(t *testing.T) json.RawMessage {
 	g := dfg.New("hard")
 	for i := 0; i < 24; i++ {
+		r := 26
+		if i%2 == 1 {
+			r = 38
+		}
 		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
-			Resources: 34 + i%3, Delay: 100, ReadEnv: 1, WriteEnv: 1})
+			Resources: r, Delay: 100, ReadEnv: 1, WriteEnv: 1})
 	}
 	return marshalGraph(t, g)
 }

@@ -12,24 +12,34 @@ import (
 )
 
 // hardInput builds an instance whose B&B search runs far longer than the
-// test timeout when not cancelled. Sizes cycle 34/35/36 CLBs on a 100-CLB
-// board: any three tasks overflow a partition, so each holds at most two
-// and the area bound N0 = ⌈Σ/100⌉ undershoots the true minimum by several
-// partitions. The relax loop therefore has to prove integral packing
-// infeasibility at N0, N0+1, … — searches with no incumbent, which neither
-// the presolve's combinatorial bounds nor the LP relaxation (both happy
-// fractionally) can prune, and whose slightly-varied sizes defeat the
-// packing pre-check's symmetry pruning. Symmetry breaking and the warm
-// start are disabled on top to keep the tree maximal.
+// test timeout when not cancelled. Sizes alternate 26/38 CLBs on a 100-CLB
+// board: three 26s or (26,26,38) share a partition but two 38s exclude
+// everything else, a mixed-cardinality regime where every proof engine
+// bound is strictly loose — the area bound and the CG cardinality dual
+// bound both say 8 partitions, yet the true minimum is 9: with a bins of
+// (38,38), b of (38,26,26), c of (26,26,26) — the only non-dominated
+// patterns — covering the twelve 38s needs 2a+b ≥ 12 and the twelve 26s
+// need 2b+3c ≥ 12, so a+b+c ≥ (12−b)/2 + b + (12−2b)/3 = 10 − b/6 ≥ 9
+// (b ≤ 6 from the 26s), and at N=9 the layer-cake
+// and CG-delay floors sit at 800 while the integral optimum is 900. Proving
+// either side is an exponential enumeration that no incumbent, cut family,
+// conflict clause, or packing bound shortcuts. (The earlier 34/35/36
+// variant died to the CG cardinality engine: uniform near-capacity sizes
+// make the cardinality bound exact.) Symmetry breaking and the warm start
+// are disabled on top to keep the tree maximal.
 func hardInput(nTasks int) Input {
 	g := dfg.New("hard")
 	for i := 0; i < nTasks; i++ {
+		r := 26
+		if i%2 == 1 {
+			r = 38
+		}
 		g.MustAddTask(dfg.Task{
 			Name: fmt.Sprintf("t%02d", i), Type: "T",
-			Resources: 34 + i%3, Delay: 100, ReadEnv: 1, WriteEnv: 1,
+			Resources: r, Delay: 100, ReadEnv: 1, WriteEnv: 1,
 		})
 	}
-	b := arch.SmallTestBoard() // 100 CLBs: two tasks per partition
+	b := arch.SmallTestBoard() // 100 CLBs
 	return Input{Graph: g, Board: b, NoSymmetryBreaking: true, DisableWarmStart: true}
 }
 

@@ -1,6 +1,7 @@
 package tempart
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/dfg"
@@ -32,11 +33,16 @@ import (
 //     (see presolve.subsetDelayFloor for the validity argument; the
 //     lifting is the integrality ceiling inside need()).
 //
-// Every family is globally valid — derived from the instance data and
-// integrality alone, never from branching decisions — so all cuts enter
-// the shared ilp pool and strengthen every worker's relaxation. The
-// cut-validity property tests brute-force this against all integral
-// feasible assignments of random instances.
+// Every family above is globally valid — derived from the instance data
+// and integrality alone, never from branching decisions — so those cuts
+// enter the shared ilp pool and strengthen every worker's relaxation. The
+// one exception is the residual CG cardinality separator (cgResidualCuts):
+// its cuts use the node's fixed assignments, are valid only inside the
+// emitting node's bound box, and are therefore marked node-local
+// (scoredCut.local → ilp.Cut.Global=false) so they ride the node and its
+// descendants instead of the pool. The cut-validity property tests
+// brute-force all of this against all integral feasible assignments of
+// random instances.
 
 // modelCut is the uniform cut-row representation: a named lp.CutRow that
 // can be baked into an lp.Problem at build time (root cuts) or handed to
@@ -61,17 +67,218 @@ func (c *modelCut) toCut() ilp.Cut {
 	return ilp.Cut{CutRow: c.CutRow, Global: true, Name: c.name}
 }
 
+// cgFamily is one Chvátal–Gomory cardinality family: a task set S (a size
+// threshold in one capped resource dimension, or a delay threshold
+// restricted to the dimension's positive demands) of which at most kappa
+// fit any single partition — kappa is the largest k whose k smallest
+// members still fit the capacity, i.e. the integer-rounding strengthening
+// ⌊cap/minsize(S)⌋ of the rank-1 CG cut tightened by the actual sizes. Two
+// rows follow per partition p:
+//
+//	cardinality   Σ_{t∈S} y[t][p] ≤ κ
+//	delay-coupled δ·Σ_{t∈S} y[t][p] ≤ κ·d_p   (δ = min delay over S)
+//
+// The first is the CG rounding of the resource row Σ R(t)·y[t][p] ≤ cap
+// (every member has ⌊R(t)/m⌋ ≥ 1); summed over p against the uniqueness
+// rows it proves LP infeasibility outright when |S| > N·κ. The second is
+// its sequential lifting into the objective space: an integral partition
+// hosting k ≤ κ members has d_p ≥ δ (a single task is a chain), so
+// δ·k ≤ κ·d_p — which is what stops the LP from spreading near-capacity
+// items fractionally while keeping every d_p at the layer-cake floor.
+type cgFamily struct {
+	name  string
+	tasks []int
+	kappa int
+	delta float64 // min delay over tasks; 0 disables the delay-coupled row
+}
+
+// maxFitCount returns the largest k such that the k smallest of sizes sum
+// to at most cap (sizes must be sorted ascending). 0 when none fit.
+func maxFitCount(sizes []int, cap int) int {
+	sum, k := 0, 0
+	for k < len(sizes) && sum+sizes[k] <= cap {
+		sum += sizes[k]
+		k++
+	}
+	return k
+}
+
+// cgFamilies derives the instance's CG cardinality families: for every
+// capped dimension, the size-threshold sets (one per distinct kappa, the
+// largest such set winning — a superset with equal kappa strictly
+// dominates) and the delay-threshold sets from the layer-cake segments.
+// Families with kappa ≥ |S| are trivial (the cut cannot bind below the
+// uniqueness rows) and dropped, and families with identical (task set,
+// kappa) are merged keeping the larger delay floor (on uniform-delay
+// instances the first segment's set IS the full size-threshold set, and
+// duplicate rows would otherwise be baked into every model twice).
+// Independent of N, so they are computed once per presolve and shared by
+// root emission and separation.
+func cgFamilies(pre *presolve) []cgFamily {
+	var fams []cgFamily
+	dims := presolveDims(pre)
+	for _, dim := range dims {
+		type ts struct {
+			t, size int
+		}
+		items := make([]ts, 0, len(dim.demand))
+		for t, d := range dim.demand {
+			if d > 0 {
+				items = append(items, ts{t, d})
+			}
+		}
+		if len(items) < 2 {
+			continue
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a].size < items[b].size })
+		sizes := make([]int, len(items))
+		for i, it := range items {
+			sizes[i] = it.size
+		}
+		// Size thresholds ascending: S shrinks, kappa never grows. Keep the
+		// first (largest) S per kappa value.
+		lastKappa := -1
+		for i := 0; i < len(items); i++ {
+			if i > 0 && items[i].size == items[i-1].size {
+				continue
+			}
+			kappa := maxFitCount(sizes[i:], dim.cap)
+			if kappa < 1 {
+				kappa = 1 // unreachable for validated tasks
+			}
+			if kappa == lastKappa || kappa >= len(items)-i {
+				continue
+			}
+			lastKappa = kappa
+			fam := cgFamily{name: "cg-card-" + dim.name, kappa: kappa, delta: math.Inf(1)}
+			for _, it := range items[i:] {
+				fam.tasks = append(fam.tasks, it.t)
+				if d := pre.delays[it.t]; d < fam.delta {
+					fam.delta = d
+				}
+			}
+			if math.IsInf(fam.delta, 1) || fam.delta < 0 {
+				fam.delta = 0
+			}
+			fams = append(fams, fam)
+		}
+		// Delay thresholds from the layer-cake segments: the tasks with
+		// delay ≥ δ and positive demand in this dimension.
+		for _, seg := range pre.segments {
+			var tasks []int
+			var segSizes []int
+			for t, d := range dim.demand {
+				if d > 0 && pre.delays[t] >= seg.delay {
+					tasks = append(tasks, t)
+					segSizes = append(segSizes, d)
+				}
+			}
+			if len(tasks) < 2 {
+				continue
+			}
+			sort.Ints(segSizes)
+			kappa := maxFitCount(segSizes, dim.cap)
+			if kappa < 1 {
+				kappa = 1
+			}
+			if kappa >= len(tasks) {
+				continue
+			}
+			fams = append(fams, cgFamily{
+				name: "cg-delay-" + dim.name, tasks: tasks, kappa: kappa, delta: seg.delay,
+			})
+		}
+	}
+	return dedupeCGFamilies(fams)
+}
+
+// dedupeCGFamilies merges families with identical (task set, kappa),
+// keeping the largest valid delay floor (both candidates' deltas are ≤ the
+// set's minimum delay, so the larger one gives the strictly stronger
+// delay-coupled row).
+func dedupeCGFamilies(fams []cgFamily) []cgFamily {
+	index := make(map[string]int, len(fams))
+	out := fams[:0]
+	var key []byte
+	var ids []int
+	for _, fam := range fams {
+		// Canonical key: kappa + the SORTED member ids (the size- and
+		// delay-threshold builders enumerate the same set in different
+		// orders).
+		ids = append(ids[:0], fam.tasks...)
+		sort.Ints(ids)
+		key = key[:0]
+		key = append(key, byte(fam.kappa), byte(fam.kappa>>8))
+		for _, t := range ids {
+			key = append(key, byte(t), byte(t>>8), byte(t>>16))
+		}
+		if at, dup := index[string(key)]; dup {
+			if fam.delta > out[at].delta {
+				out[at].delta = fam.delta
+			}
+			continue
+		}
+		index[string(key)] = len(out)
+		out = append(out, fam)
+	}
+	return out
+}
+
+// presolveDims lists the capped resource dimensions of an instance in the
+// uniform form the cut layer consumes (CLBs first, then the board's capped
+// extra kinds).
+func presolveDims(pre *presolve) []resDim {
+	var dims []resDim
+	if pre.board.FPGA.CLBs > 0 {
+		dims = append(dims, resDim{name: "clb", demand: pre.res, cap: pre.board.FPGA.CLBs})
+	}
+	for k, kind := range pre.extraKinds {
+		dims = append(dims, resDim{name: kind, demand: pre.extraDemand[k], cap: pre.extraCap[k]})
+	}
+	return dims
+}
+
+// cgRows expands the families into per-partition rows: the cardinality row
+// always, the delay-coupled row when the family has a positive delay floor.
+func cgRows(fams []cgFamily, N int, yv func(t, p int) int, dv func(p int) int) []modelCut {
+	var cuts []modelCut
+	for _, fam := range fams {
+		for p := 0; p < N; p++ {
+			card := modelCut{name: fam.name, CutRow: lp.CutRow{Kind: lp.LE, RHS: float64(fam.kappa)}}
+			for _, t := range fam.tasks {
+				card.Cols = append(card.Cols, yv(t, p))
+				card.Vals = append(card.Vals, 1)
+			}
+			cuts = append(cuts, card)
+			if fam.delta > 0 {
+				dc := modelCut{name: fam.name + "-d", CutRow: lp.CutRow{Kind: lp.LE, RHS: 0}}
+				for _, t := range fam.tasks {
+					dc.Cols = append(dc.Cols, yv(t, p))
+					dc.Vals = append(dc.Vals, fam.delta)
+				}
+				dc.Cols = append(dc.Cols, dv(p))
+				dc.Vals = append(dc.Vals, -float64(fam.kappa))
+				cuts = append(cuts, dc)
+			}
+		}
+	}
+	return cuts
+}
+
 // rootCuts returns the presolve cuts added to every model at build time,
 // expressed in the shared cut-row representation: the aggregate
 // Σ_p d_p ≥ max(critical path, layer-cake) row that PR 3 introduced, plus
-// — when withBoundary is set — one boundary chain-area cut per
-// prefix/suffix of the partition sequence (see boundaryChainFloor). The
-// boundary cuts are what close the FIR-bank root: they couple the area
-// each side of a boundary must absorb with the ancestor/descendant chains
-// that placement drags along — structure the plain LP relaxation spreads
-// away fractionally. withBoundary=false is the Input.NoCuts ablation,
-// which reproduces the PR 3 model exactly.
-func rootCuts(pre *presolve, N int, dv func(p int) int, withBoundary bool) []modelCut {
+// — when withCuts is set — one boundary chain-area cut per prefix/suffix
+// of the partition sequence (see boundaryChainFloor) and the per-partition
+// Chvátal–Gomory cardinality rows (cgFamilies). The boundary cuts are what
+// close the FIR-bank root; the CG rows are what make near-capacity packing
+// infeasibility visible to the LP itself — at a too-small N they
+// contradict the uniqueness rows, so the root relaxation is infeasible
+// with no search at all, and at the feasible N the delay-coupled forms
+// hold every partition's d_p to its share of the cardinality floor.
+// withCuts=false is the Input.NoCuts ablation, which reproduces the PR 3
+// model exactly.
+func rootCuts(pre *presolve, N int, yv func(t, p int) int, dv func(p int) int, withCuts bool) []modelCut {
 	var cuts []modelCut
 	if floor := pre.sumDelayFloor(); floor > 0 {
 		c := modelCut{name: "presolve-aggregate", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
@@ -81,7 +288,7 @@ func rootCuts(pre *presolve, N int, dv func(p int) int, withBoundary bool) []mod
 		}
 		cuts = append(cuts, c)
 	}
-	if !withBoundary {
+	if !withCuts {
 		return cuts
 	}
 	for p := 1; p < N; p++ {
@@ -102,6 +309,7 @@ func rootCuts(pre *presolve, N int, dv func(p int) int, withBoundary bool) []mod
 			cuts = append(cuts, c)
 		}
 	}
+	cuts = append(cuts, cgRows(pre.cgFams, N, yv, dv)...)
 	return cuts
 }
 
@@ -146,12 +354,7 @@ type separator struct {
 // newSeparator builds the separator for one generated model.
 func newSeparator(pre *presolve, g *dfg.Graph, N int, yv func(t, p int) int, dv func(p int) int, paths [][]int) *separator {
 	s := &separator{pre: pre, g: g, N: N, nT: g.NumTasks(), yv: yv, dv: dv}
-	if pre.board.FPGA.CLBs > 0 {
-		s.dims = append(s.dims, resDim{name: "clb", demand: pre.res, cap: pre.board.FPGA.CLBs})
-	}
-	for k, kind := range pre.extraKinds {
-		s.dims = append(s.dims, resDim{name: kind, demand: pre.extraDemand[k], cap: pre.extraCap[k]})
-	}
+	s.dims = presolveDims(pre)
 	// k longest delay-weighted paths (the full path set is already
 	// enumerated for Eq. 7, so "k longest" is a sort, not a search).
 	type pw struct {
@@ -181,9 +384,12 @@ func newSeparator(pre *presolve, g *dfg.Graph, N int, yv func(t, p int) int, dv 
 }
 
 // scoredCut pairs a candidate cut with its violation at the current point.
+// local marks cuts valid only inside the emitting node's bound box (the
+// residual CG cuts); they ride the node instead of the shared pool.
 type scoredCut struct {
-	mc   modelCut
-	viol float64
+	mc    modelCut
+	viol  float64
+	local bool
 }
 
 // separate is the ilp.Options.Separate callback: run every family on the
@@ -193,6 +399,7 @@ func (s *separator) separate(pt *ilp.SeparationPoint) []ilp.Cut {
 	cand = s.coverCuts(pt.X, cand)
 	cand = s.chainCuts(pt.X, cand)
 	cand = s.layerCakeCuts(pt.X, cand)
+	cand = s.cgResidualCuts(pt, cand)
 	if len(cand) == 0 {
 		return nil
 	}
@@ -203,8 +410,67 @@ func (s *separator) separate(pt *ilp.SeparationPoint) []ilp.Cut {
 	out := make([]ilp.Cut, len(cand))
 	for i := range cand {
 		out[i] = cand[i].mc.toCut()
+		if cand[i].local {
+			out[i].Global = false
+		}
 	}
 	return out
+}
+
+// cgResidualCuts separates node-local CG cardinality cuts from the node's
+// residual capacities: with the box's fixed tasks occupying used(p) of a
+// dimension, at most κ_p more of the still-eligible tasks — the largest
+// count whose smallest members fit cap − used(p) — can join partition p,
+// so Σ_{t eligible} y[t][p] ≤ κ_p inside this box. At the root the cut
+// degenerates to the global cardinality row already in the model (never
+// violated there); below the root the shrunken residues make it strictly
+// sharper than anything globally valid, which is exactly why it is a
+// node-local cut inherited by the subtree only.
+func (s *separator) cgResidualCuts(pt *ilp.SeparationPoint, cand []scoredCut) []scoredCut {
+	type elig struct {
+		t, size int
+		v       float64
+	}
+	for _, dim := range s.dims {
+		for p := 0; p < s.N; p++ {
+			used := 0
+			var items []elig
+			mass := 0.0
+			for t := 0; t < s.nT; t++ {
+				d := dim.demand[t]
+				if d <= 0 {
+					continue
+				}
+				lo, hi := pt.Bounds(s.yv(t, p))
+				switch {
+				case lo > 0.5:
+					used += d
+				case hi > 0.5:
+					items = append(items, elig{t, d, pt.X[s.yv(t, p)]})
+					mass += pt.X[s.yv(t, p)]
+				}
+			}
+			if len(items) < 2 {
+				continue
+			}
+			sizes := make([]int, len(items))
+			for i, it := range items {
+				sizes[i] = it.size
+			}
+			sort.Ints(sizes)
+			kappa := maxFitCount(sizes, dim.cap-used)
+			if kappa >= len(items) || mass-float64(kappa) <= sepMinViolation {
+				continue
+			}
+			mc := modelCut{name: "cg-res-" + dim.name, CutRow: lp.CutRow{Kind: lp.LE, RHS: float64(kappa)}}
+			for _, it := range items {
+				mc.Cols = append(mc.Cols, s.yv(it.t, p))
+				mc.Vals = append(mc.Vals, 1)
+			}
+			cand = append(cand, scoredCut{mc: mc, viol: mass - float64(kappa), local: true})
+		}
+	}
+	return cand
 }
 
 // coverCuts separates extended cover inequalities from each partition's

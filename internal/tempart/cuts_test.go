@@ -121,7 +121,7 @@ func TestCutsNeverExcludeFeasibleSolutions(t *testing.T) {
 			// on several fractional points (random ones and the LP
 			// relaxation optimum).
 			var cuts []modelCut
-			cuts = append(cuts, rootCuts(pre, N, m.dv, true)...)
+			cuts = append(cuts, rootCuts(pre, N, m.yv, m.dv, true)...)
 			points := make([][]float64, 0, 5)
 			for i := 0; i < 3; i++ {
 				points = append(points, randomFractionalPoint(rng, g, m, N))

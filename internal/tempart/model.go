@@ -32,6 +32,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -105,6 +107,17 @@ type SolveStats struct {
 	// re-solves they triggered.
 	CutsAdded        int
 	SeparationRounds int
+	// ConflictCuts counts the no-good cuts learned from
+	// infeasibility-fathomed subtrees across every relax-N probe (including
+	// probes that ended in an infeasibility proof), CGCuts the
+	// Chvátal–Gomory cardinality cuts in play (root rows baked into the
+	// winning model plus cg-* cuts separated during search), and
+	// DualBoundFathoms how often the bin-packing dual bound fired: N probes
+	// rejected because packingNeed exceeded the candidate count, plus B&B
+	// nodes whose residual packing proved the box empty LP-free.
+	ConflictCuts     int
+	CGCuts           int
+	DualBoundFathoms int
 	// Solver aggregates the warm/cold solve and pivot counts of the
 	// underlying simplex engine across the whole B&B search.
 	Solver lp.SolverStats
@@ -232,12 +245,22 @@ func Solve(in Input) (*Partitioning, error) {
 		prunedN += maxN - gn
 		maxN = gn
 	}
+	tally := &proofTally{packNeed: pre.packingNeed()}
 	if in.SpeculateN > 1 {
-		return solveSpeculative(in, pre, paths, n0, maxN, prunedN)
+		return solveSpeculative(in, pre, paths, n0, maxN, prunedN, tally)
 	}
 	relax := 0
 	for n := n0; n <= maxN; n++ {
 		relax++
+		// Bin-packing dual bound: a candidate count below the packing need
+		// is infeasible outright — cheaper than both the exact packing DFS
+		// below and any branch-and-bound infeasibility proof, and immune to
+		// the DFS's node budget.
+		if n < tally.packNeed {
+			prunedN++
+			tally.dualFathoms.Add(1)
+			continue
+		}
 		// Multi-resource bin-packing pre-check: ignoring temporal order and
 		// memory can only make the problem easier, so packing
 		// infeasibility proves ILP infeasibility at this N without paying
@@ -246,17 +269,55 @@ func Solve(in Input) (*Partitioning, error) {
 			prunedN++
 			continue
 		}
-		part, err := solveForN(in, pre, paths, n)
+		part, err := solveForN(in, pre, paths, n, tally)
 		if err != nil {
 			return nil, err
 		}
 		if part != nil {
 			part.Stats.RelaxSteps = relax
 			part.Stats.NProbesPruned = prunedN
+			tally.stampProofStats(part)
 			return part, nil
 		}
 	}
 	return nil, fmt.Errorf("%w (tried N=%d..%d)", ErrNoSolution, n0, maxN)
+}
+
+// proofTally accumulates the infeasibility-proof telemetry of one Solve
+// across every relax-N probe (probes run concurrently under SpeculateN,
+// hence the atomics): bin-packing dual-bound fathoms (rejected N probes
+// plus LP-free node fathoms), learned conflict cuts, and separated
+// Chvátal–Gomory cuts — including the probes that ended in an
+// infeasibility proof, whose search effort would otherwise be invisible.
+type proofTally struct {
+	packNeed     int // instance-wide bin-packing dual bound (presolve)
+	dualFathoms  atomic.Int64
+	conflictCuts atomic.Int64
+	cgCuts       atomic.Int64
+}
+
+// absorb folds a consumed probe's sub-tally into the aggregate (the
+// speculative consumer's accumulation path; probes never consumed — moot
+// higher-N searches — never reach it).
+func (tally *proofTally) absorb(sub *proofTally) {
+	if sub == nil {
+		return
+	}
+	tally.dualFathoms.Add(sub.dualFathoms.Load())
+	tally.conflictCuts.Add(sub.conflictCuts.Load())
+	tally.cgCuts.Add(sub.cgCuts.Load())
+}
+
+// stampProofStats folds the tally into a winning partitioning's stats. It
+// must run at acceptance — in the sequential loop that is right after
+// solveForN, in the speculative loop after every consumed probe's
+// sub-tally has been absorbed (the consumer accepts in ascending N order,
+// so all infeasibility proofs below the winner have already contributed
+// and moot higher-N probes never do).
+func (tally *proofTally) stampProofStats(part *Partitioning) {
+	part.Stats.ConflictCuts = int(tally.conflictCuts.Load())
+	part.Stats.CGCuts += int(tally.cgCuts.Load())
+	part.Stats.DualBoundFathoms = int(tally.dualFathoms.Load())
 }
 
 // solveSpeculative is the parallel relax-N loop: a sliding window of
@@ -265,11 +326,18 @@ func Solve(in Input) (*Partitioning, error) {
 // the sequential loop would have found. Probes for N values made moot by a
 // lower feasible N are cancelled; their goroutines drain into buffered
 // channels and are discarded.
-func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN int) (*Partitioning, error) {
+func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN int, tally *proofTally) (*Partitioning, error) {
+	// Each probe gets its own sub-tally; the consumer folds a probe's
+	// counts into the shared tally only when it CONSUMES the probe, in
+	// ascending N order. Cancelled higher-N probes are never consumed, so
+	// the stamped proof telemetry covers exactly the probes the sequential
+	// loop would have run — deterministic, and free of contamination from
+	// moot goroutines still winding down.
 	type probe struct {
 		part       *Partitioning
 		err        error
 		packPruned bool
+		tally      *proofTally
 	}
 	stop := make(chan struct{})
 	defer close(stop)
@@ -291,16 +359,22 @@ func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN 
 
 	launch := func(n int) chan probe {
 		ch := make(chan probe, 1)
+		pt := &proofTally{packNeed: tally.packNeed}
 		go func() {
-			// The packing pre-check of the sequential loop, hoisted into the
-			// probe so a cheap infeasibility proof also runs off the
-			// consumer's critical path.
-			if !pre.packingFeasibleAll(n) {
-				ch <- probe{packPruned: true}
+			// The dual-bound and packing pre-checks of the sequential loop,
+			// hoisted into the probe so a cheap infeasibility proof also
+			// runs off the consumer's critical path.
+			if n < pt.packNeed {
+				pt.dualFathoms.Add(1)
+				ch <- probe{packPruned: true, tally: pt}
 				return
 			}
-			part, err := solveForN(spec, pre, paths, n)
-			ch <- probe{part: part, err: err}
+			if !pre.packingFeasibleAll(n) {
+				ch <- probe{packPruned: true, tally: pt}
+				return
+			}
+			part, err := solveForN(spec, pre, paths, n, pt)
+			ch <- probe{part: part, err: err, tally: pt}
 		}()
 		return ch
 	}
@@ -320,12 +394,14 @@ func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN 
 			// in ascending N order before stop closes.
 			return nil, r.err
 		}
+		tally.absorb(r.tally)
 		if r.packPruned {
 			prunedN++
 		}
 		if r.part != nil {
 			r.part.Stats.RelaxSteps = n - n0 + 1
 			r.part.Stats.NProbesPruned = prunedN
+			tally.stampProofStats(r.part)
 			return r.part, nil
 		}
 		if next <= maxN {
@@ -343,6 +419,7 @@ type tpModel struct {
 	ilp     *ilp.Problem
 	nVars   int
 	needMem bool
+	cgRoot  int // Chvátal–Gomory cardinality rows baked in at build time
 	yv      func(t, p int) int
 	wv      func(p, e int) int
 	dv      func(p int) int
@@ -504,13 +581,19 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 	}
 
 	// Root presolve cuts: Σ_p d_p >= max(critical path, layer-cake
-	// area×delay bound), expressed through the same cut-row representation
+	// area×delay bound) plus the boundary chain-area and Chvátal–Gomory
+	// cardinality rows, expressed through the same cut-row representation
 	// the separation layer uses (cuts.go). Valid for every integral
-	// assignment (see presolve.go), so the optimum is unchanged, but it
-	// lifts every node's LP bound to at least the combinatorial floor —
-	// the LP stops undercutting what the DAG and the areas already prove.
+	// assignment (see presolve.go), so the optimum is unchanged, but they
+	// lift every node's LP bound to at least the combinatorial floor —
+	// and at a packing-infeasible N the CG rows contradict uniqueness, so
+	// the root LP is infeasible with no branching at all.
+	cgRoot := 0
 	if withPresolveCut {
-		for _, c := range rootCuts(pre, N, dv, !in.NoCuts) {
+		for _, c := range rootCuts(pre, N, yv, dv, !in.NoCuts) {
+			if strings.HasPrefix(c.name, "cg-") {
+				cgRoot++
+			}
 			c.addTo(prob)
 		}
 	}
@@ -546,6 +629,7 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 		ilp:     &ilp.Problem{LP: prob, Integers: intVars, SOS1: sos},
 		nVars:   nVars,
 		needMem: needMem,
+		cgRoot:  cgRoot,
 		yv:      yv,
 		wv:      wv,
 		dv:      dv,
@@ -554,7 +638,7 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 
 // solveForN builds and solves the model for a fixed partition bound.
 // It returns (nil, nil) when the model is infeasible at this N.
-func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, error) {
+func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally) (*Partitioning, error) {
 	g := in.Graph
 	nT := g.NumTasks()
 	buildStart := time.Now()
@@ -566,11 +650,16 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, er
 		}
 	}
 	// LP-free fathoming: the presolve's combinatorial bound screens every
-	// B&B node before its LP relaxation is solved.
-	opts.NodeBound = pre.nodeBoundFunc(N, m.yv)
-	// Branch and cut: grow node LPs with violated cover / temporal-order
-	// clique / layer-cake subset cuts, branching only when separation
-	// dries up.
+	// B&B node before its LP relaxation is solved; its bin-packing
+	// dual-bound fathoms land in the tally. Conflict minimization re-probes
+	// the same bound many times per learned conflict, so it gets an
+	// uncounted twin — only genuine node fathoms reach DualBoundFathoms.
+	opts.NodeBound = pre.nodeBoundFunc(N, m.yv, &tally.dualFathoms)
+	opts.NodeBoundProbe = pre.nodeBoundFunc(N, m.yv, nil)
+	// Branch and cut: grow node LPs with violated CG cardinality / cover /
+	// temporal-order clique / layer-cake subset cuts, branching only when
+	// separation dries up; infeasibility-fathomed subtrees feed no-good
+	// cuts back into the shared pool.
 	if !in.NoCuts {
 		opts.Separate = newSeparator(pre, g, N, m.yv, m.dv, paths).separate
 	}
@@ -582,6 +671,12 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, er
 		return nil, err
 	}
 	solveTime := time.Since(solveStart)
+	tally.conflictCuts.Add(int64(sol.ConflictCuts))
+	for name, n := range sol.CutsByName {
+		if strings.HasPrefix(name, "cg-") {
+			tally.cgCuts.Add(int64(n))
+		}
+	}
 
 	switch sol.Status {
 	case ilp.Infeasible:
@@ -619,7 +714,14 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int) (*Partitioning, er
 			LPSolvesSkipped:     sol.LPSolvesSkipped,
 			CutsAdded:           sol.CutsAdded,
 			SeparationRounds:    sol.SeparationRounds,
-			BuildTime:           buildTime, SolveTime: solveTime,
+			// CGCuts carries only this model's root rows here; the
+			// tally-based counters are stamped by the relax loop at
+			// acceptance time (stampProofStats), after every lower-N
+			// probe has finished contributing — a winning speculative
+			// probe must not snapshot the shared tally while an
+			// infeasibility proof below it is still running.
+			CGCuts:    m.cgRoot,
+			BuildTime: buildTime, SolveTime: solveTime,
 			Solver: sol.Solver,
 		},
 	}

@@ -1,0 +1,132 @@
+package tempart
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dfg"
+)
+
+// This file is the hard-instance portfolio generator, shared by the
+// regeneration command (testdata/portfolio/gen.go) and the determinism
+// test: the committed corpus must be byte-identical to what
+// PortfolioGraphs produces for the gen_seed pinned in manifest.json, so a
+// fixture can never silently drift from its generator.
+//
+// The corpus covers the regimes the solver's proof machinery is graded on:
+//
+//   - packNN: near-capacity packing instances — items drawn from
+//     {34,35,36} CLBs on a 100-CLB board, so every pair fits a partition
+//     and every triple overflows. The area bound ⌈Σ/100⌉ undershoots the
+//     integral minimum ⌈n/2⌉; before PR 5 the search enumerated an
+//     exponential frontier against the layer-cake floor, now the CG
+//     cardinality engine and the bin-packing dual bound close them in a
+//     handful of nodes (the manifest budgets pin that).
+//   - chainNN: the same near-capacity items arranged in 3-task chains with
+//     mixed delays — the regime where the temporal-order and cover
+//     separators bite; solved to optimality.
+//   - firN: the FIR-bank shape of the headline bench with pinned synthesis
+//     estimates — the boundary chain-area cuts must keep closing these at
+//     the root.
+type portfolioSizes struct{ rng *rand.Rand }
+
+func (ps portfolioSizes) clbs() int { return 34 + ps.rng.Intn(3) }
+
+func portfolioPack(rng *rand.Rand, n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("pack%d", n))
+	ps := portfolioSizes{rng}
+	for i := 0; i < n; i++ {
+		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
+			Resources: ps.clbs(), Delay: 100, ReadEnv: 1, WriteEnv: 1})
+	}
+	return g
+}
+
+func portfolioChain(rng *rand.Rand, n int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("chain%d", n))
+	ps := portfolioSizes{rng}
+	delays := [3]float64{80, 100, 120}
+	for i := 0; i < n; i++ {
+		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
+			Resources: ps.clbs(), Delay: delays[rng.Intn(3)], ReadEnv: 1, WriteEnv: 1})
+	}
+	for i := 0; i+1 < n; i += 3 {
+		g.MustAddEdge(fmt.Sprintf("t%02d", i), fmt.Sprintf("t%02d", i+1), 1)
+		if i+2 < n {
+			g.MustAddEdge(fmt.Sprintf("t%02d", i+1), fmt.Sprintf("t%02d", i+2), 1)
+		}
+	}
+	return g
+}
+
+func portfolioFIR(channels int) *dfg.Graph {
+	g := dfg.New(fmt.Sprintf("fir%d", channels))
+	for c := 0; c < channels; c++ {
+		fn, dn, en := fmt.Sprintf("fir%d", c), fmt.Sprintf("dec%d", c), fmt.Sprintf("eng%d", c)
+		g.MustAddTask(dfg.Task{Name: fn, Type: "fir", Resources: 140, Delay: 1140, ReadEnv: 4})
+		g.MustAddTask(dfg.Task{Name: dn, Type: "dec", Resources: 100, Delay: 420})
+		g.MustAddTask(dfg.Task{Name: en, Type: "eng", Resources: 110, Delay: 800, WriteEnv: 1})
+		g.MustAddEdge(fn, dn, 4)
+		g.MustAddEdge(dn, en, 2)
+	}
+	return g
+}
+
+// PortfolioInstance is one manifest row of the committed hard-instance
+// corpus: the fixture file, its board parameters, the solver knobs it is
+// run under, and the pinned expectations. This is the single schema every
+// consumer decodes — the portfolio tests, the root-package pack
+// benchmarks, and the regeneration command — so a new manifest knob can
+// never be honoured by one of them and silently ignored by another.
+type PortfolioInstance struct {
+	File       string `json:"file"`
+	CLBs       int    `json:"clbs"`
+	MemWords   int    `json:"mem_words"`
+	ReconfigNS int    `json:"reconfig_ns"`
+	MaxNodes   int    `json:"max_nodes"`
+	NoSymmetry bool   `json:"no_symmetry"`
+	NoWarm     bool   `json:"no_warm_start"`
+	Expect     string `json:"expect"` // "solve" or "limit"
+	WantN      int    `json:"want_n"`
+	MaxBBNodes int    `json:"max_bb_nodes"`
+	Quick      bool   `json:"quick"`
+	// ExpectProof asserts the infeasibility-proof machinery carried the
+	// solve: ConflictCuts or DualBoundFathoms must be nonzero.
+	ExpectProof bool   `json:"expect_proof"`
+	Note        string `json:"note"`
+}
+
+// PortfolioManifest is the committed manifest: the generator seed the
+// fixtures are pinned to, plus the instance rows.
+type PortfolioManifest struct {
+	GenSeed   int64               `json:"gen_seed"`
+	Instances []PortfolioInstance `json:"instances"`
+}
+
+// LoadPortfolioManifest reads the manifest from the portfolio directory.
+func LoadPortfolioManifest(dir string) (*PortfolioManifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m PortfolioManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("portfolio manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// PortfolioGraphs regenerates the hard-instance corpus for a pinned seed,
+// in committed-file order. One RNG is consumed sequentially, so the output
+// is a pure function of the seed.
+func PortfolioGraphs(seed int64) []*dfg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return []*dfg.Graph{
+		portfolioPack(rng, 12), portfolioPack(rng, 15), portfolioPack(rng, 18),
+		portfolioChain(rng, 9), portfolioChain(rng, 10), portfolioChain(rng, 11),
+		portfolioFIR(6), portfolioFIR(8),
+	}
+}

@@ -1,6 +1,7 @@
 package tempart
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -20,20 +21,11 @@ import (
 // regenerates the graphs; manifest.json pins board parameters, solver
 // knobs, and expectations per instance.
 
-// portfolioEntry is one manifest row.
+// portfolioEntry is one hydrated manifest row: the shared schema
+// (tempart.PortfolioInstance, also decoded by the root-package pack
+// benchmarks) plus the loaded graph and board.
 type portfolioEntry struct {
-	File       string `json:"file"`
-	CLBs       int    `json:"clbs"`
-	MemWords   int    `json:"mem_words"`
-	ReconfigNS int    `json:"reconfig_ns"`
-	MaxNodes   int    `json:"max_nodes"`
-	NoSymmetry bool   `json:"no_symmetry"`
-	NoWarm     bool   `json:"no_warm_start"`
-	Expect     string `json:"expect"` // "solve" or "limit"
-	WantN      int    `json:"want_n"`
-	MaxBBNodes int    `json:"max_bb_nodes"`
-	Quick      bool   `json:"quick"`
-	Note       string `json:"note"`
+	PortfolioInstance
 
 	graph *dfg.Graph
 	board arch.Board
@@ -42,32 +34,68 @@ type portfolioEntry struct {
 // loadPortfolio reads the manifest and its graphs.
 func loadPortfolio(tb testing.TB) []portfolioEntry {
 	tb.Helper()
+	_, entries := loadPortfolioHydrated(tb)
+	return entries
+}
+
+func loadPortfolioHydrated(tb testing.TB) (*PortfolioManifest, []portfolioEntry) {
+	tb.Helper()
 	dir := filepath.Join("testdata", "portfolio")
-	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	m, err := LoadPortfolioManifest(dir)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	var entries []portfolioEntry
-	if err := json.Unmarshal(raw, &entries); err != nil {
-		tb.Fatalf("manifest: %v", err)
-	}
-	for i := range entries {
+	entries := make([]portfolioEntry, len(m.Instances))
+	for i, inst := range m.Instances {
 		e := &entries[i]
-		data, err := os.ReadFile(filepath.Join(dir, e.File))
+		e.PortfolioInstance = inst
+		data, err := os.ReadFile(filepath.Join(dir, inst.File))
 		if err != nil {
 			tb.Fatal(err)
 		}
 		var g dfg.Graph
 		if err := json.Unmarshal(data, &g); err != nil {
-			tb.Fatalf("%s: %v", e.File, err)
+			tb.Fatalf("%s: %v", inst.File, err)
 		}
 		e.graph = &g
 		e.board = arch.SmallTestBoard()
-		e.board.FPGA.CLBs = e.CLBs
-		e.board.Memory.Words = e.MemWords
-		e.board.FPGA.ReconfigTime = float64(e.ReconfigNS)
+		e.board.FPGA.CLBs = inst.CLBs
+		e.board.Memory.Words = inst.MemWords
+		e.board.FPGA.ReconfigTime = float64(inst.ReconfigNS)
 	}
-	return entries
+	return m, entries
+}
+
+// TestPortfolioRegenDeterminism pins the corpus to its generator: the
+// committed fixtures must be byte-identical to what PortfolioGraphs
+// produces for the manifest's gen_seed, so `go run ./internal/tempart/
+// testdata/portfolio` is always a no-op on a clean tree and a fixture can
+// never drift from the generator that documents it.
+func TestPortfolioRegenDeterminism(t *testing.T) {
+	m, _ := loadPortfolioHydrated(t)
+	regen := map[string][]byte{}
+	for _, g := range PortfolioGraphs(m.GenSeed) {
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		regen[g.Name+".json"] = append(data, '\n')
+	}
+	for _, e := range m.Instances {
+		want, ok := regen[e.File]
+		if !ok {
+			t.Errorf("%s: not produced by PortfolioGraphs(%d)", e.File, m.GenSeed)
+			continue
+		}
+		got, err := os.ReadFile(filepath.Join("testdata", "portfolio", e.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: committed fixture differs from regeneration at seed %d — run `go run ./internal/tempart/testdata/portfolio`",
+				e.File, m.GenSeed)
+		}
+	}
 }
 
 // runEntry solves one portfolio instance under its manifest knobs.
@@ -83,10 +111,12 @@ func runEntry(e *portfolioEntry) (*Partitioning, error) {
 
 // TestHardPortfolio pins every quick instance's expected outcome: solvable
 // instances reach their known optimum partition count with a feasible
-// assignment (FIR shapes additionally within the root-cut node budget),
-// and node-budgeted packing instances hit their search limit — if one ever
-// *solves* inside the budget, the regime got easier and the manifest
-// should be re-tightened.
+// assignment, FIR shapes within the root-cut node budget, and the pack
+// instances — which blew their 2000-node budgets before the
+// infeasibility-proof engine — within their manifest max_nodes, with the
+// proof counters (conflict cuts / dual-bound fathoms) nonzero where the
+// manifest demands them. An entry may still declare expect "limit" for a
+// deliberately budget-bound yardstick.
 func TestHardPortfolio(t *testing.T) {
 	if testing.Short() {
 		t.Skip("portfolio searches are sequential throughput yardsticks; skipped under -short (the race lane)")
@@ -124,6 +154,9 @@ func TestHardPortfolio(t *testing.T) {
 				if e.MaxBBNodes > 0 && p.Stats.Nodes > e.MaxBBNodes {
 					t.Errorf("explored %d nodes, budget %d (cut engine regression)", p.Stats.Nodes, e.MaxBBNodes)
 				}
+				if e.ExpectProof && p.Stats.ConflictCuts == 0 && p.Stats.DualBoundFathoms == 0 {
+					t.Errorf("proof-regime instance closed with zero conflict cuts and zero dual-bound fathoms (stats %+v) — the infeasibility-proof engine did not engage", p.Stats)
+				}
 			default:
 				t.Fatalf("manifest: unknown expect %q", e.Expect)
 			}
@@ -139,8 +172,10 @@ func BenchmarkHardPortfolio(b *testing.B) {
 	entries := loadPortfolio(b)
 	var nodes, cuts, rounds, pruned int
 	start := time.Now()
+	var conflicts, dualFathoms int
 	for i := 0; i < b.N; i++ {
 		nodes, cuts, rounds, pruned = 0, 0, 0, 0
+		conflicts, dualFathoms = 0, 0
 		for j := range entries {
 			e := entries[j]
 			p, err := runEntry(&e)
@@ -153,10 +188,15 @@ func BenchmarkHardPortfolio(b *testing.B) {
 			if e.Expect == "limit" {
 				b.Fatalf("%s: expected the node budget to bind, solved N=%d", e.File, p.N)
 			}
+			if e.WantN > 0 && p.N != e.WantN {
+				b.Fatalf("%s: N=%d, want %d", e.File, p.N, e.WantN)
+			}
 			nodes += p.Stats.Nodes
 			cuts += p.Stats.CutsAdded
 			rounds += p.Stats.SeparationRounds
 			pruned += p.Stats.PrunedCombinatorial
+			conflicts += p.Stats.ConflictCuts
+			dualFathoms += p.Stats.DualBoundFathoms
 		}
 	}
 	b.ReportMetric(float64(len(entries)), "instances")
@@ -164,5 +204,7 @@ func BenchmarkHardPortfolio(b *testing.B) {
 	b.ReportMetric(float64(cuts), "portfolio-cuts-added")
 	b.ReportMetric(float64(rounds), "portfolio-separation-rounds")
 	b.ReportMetric(float64(pruned), "portfolio-pruned-combinatorial")
+	b.ReportMetric(float64(conflicts), "portfolio-conflict-cuts")
+	b.ReportMetric(float64(dualFathoms), "portfolio-dual-bound-fathoms")
 	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "sec/pass")
 }

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/dfg"
@@ -52,6 +53,11 @@ type presolve struct {
 	// exploit (see cuts.go).
 	ancChain  []float64
 	descChain []float64
+
+	// cgFams caches the Chvátal–Gomory cardinality families (cuts.go):
+	// they depend only on the instance, so every relax-N probe shares one
+	// computation.
+	cgFams []cgFamily
 }
 
 // layerSeg is one slab of the layer-cake decomposition: tasks with delay
@@ -139,6 +145,7 @@ func newPresolve(g *dfg.Graph, board arch.Board) *presolve {
 		pr.extraDemand = append(pr.extraDemand, demand)
 		pr.extraCap = append(pr.extraCap, cap)
 	}
+	pr.cgFams = cgFamilies(pr)
 	return pr
 }
 
@@ -165,16 +172,20 @@ func (pr *presolve) sumDelayFloor() float64 {
 
 // layerSegments computes the layer-cake decomposition behind the
 // area×delay bound: for any threshold x, every partition holds at most the
-// board capacity, so the tasks with delay ≥ x occupy at least need(x) =
-// max over capped resource kinds of ⌈Σ demand / capacity⌉ distinct
-// partitions, each of which has d_p ≥ x (a single task is a chain).
-// Integrating over x:
+// board capacity, so the tasks with delay ≥ x occupy at least need(x)
+// distinct partitions, each of which has d_p ≥ x (a single task is a
+// chain). Integrating over x:
 //
 //	Σ_p d_p  ≥  Σ_i (D_i − D_{i+1}) · need(D_i)
 //
-// over the distinct task delays D_1 > D_2 > … (D_{last+1} = 0). The
-// segments are returned so the separation layer can re-integrate them with
-// a subset-adjusted need (subsetDelayFloor).
+// over the distinct task delays D_1 > D_2 > … (D_{last+1} = 0). need(x) is
+// the bin-packing dual bound packingNeedDim over the ≥x task set — not
+// just the area ratio ⌈Σ demand / capacity⌉ of PR 3, but also the
+// Chvátal–Gomory cardinality bounds (near-capacity items cap how many of
+// them share a partition), which is what lifts the floor to the integer
+// optimum on the pack portfolio. The segments are returned so the
+// separation layer can re-integrate them with a subset-adjusted need
+// (subsetDelayFloor).
 func layerSegments(g *dfg.Graph, board arch.Board) []layerSeg {
 	nT := g.NumTasks()
 	if nT == 0 {
@@ -194,16 +205,53 @@ func layerSegments(g *dfg.Graph, board arch.Board) []layerSeg {
 		}
 	}
 	sort.Strings(kinds)
-	clbs := 0
-	extra := make([]int, len(kinds))
+	// One incrementally sorted accumulator per capped dimension: tasks
+	// arrive in descending delay order and each new positive demand is
+	// inserted in place (binary search + shift), so need() never re-sorts.
+	// The prefix sums ARE rebuilt per segment (an insertion invalidates
+	// every entry past its position anyway, so that O(n) pass is the
+	// floor); the win over the naive version is dropping the per-segment
+	// O(n log n) sort and the O(n²) kappa scan, which packingNeedSorted
+	// replaces with binary searches.
+	type accum struct {
+		cap    int
+		demand func(t int) int
+		sorted []int
+		prefix []int
+	}
+	accums := make([]*accum, 0, 1+len(kinds))
+	if board.FPGA.CLBs > 0 {
+		accums = append(accums, &accum{
+			cap:    board.FPGA.CLBs,
+			demand: func(t int) int { return g.Task(t).Resources },
+			prefix: []int{0},
+		})
+	}
+	for _, kind := range kinds {
+		kind := kind
+		accums = append(accums, &accum{
+			cap:    board.FPGA.ExtraCapacity[kind],
+			demand: func(t int) int { return g.Task(t).Extra[kind] },
+			prefix: []int{0},
+		})
+	}
+	insert := func(a *accum, d int) {
+		if d <= 0 {
+			return
+		}
+		at := sort.SearchInts(a.sorted, d)
+		a.sorted = append(a.sorted, 0)
+		copy(a.sorted[at+1:], a.sorted[at:])
+		a.sorted[at] = d
+	}
 	need := func() int {
 		n := 0
-		if board.FPGA.CLBs > 0 {
-			n = (clbs + board.FPGA.CLBs - 1) / board.FPGA.CLBs
-		}
-		for k, kind := range kinds {
-			cap := board.FPGA.ExtraCapacity[kind]
-			if m := (extra[k] + cap - 1) / cap; m > n {
+		for _, a := range accums {
+			a.prefix = a.prefix[:1]
+			for i, it := range a.sorted {
+				a.prefix = append(a.prefix, a.prefix[i]+it)
+			}
+			if m := packingNeedSorted(a.sorted, a.prefix, a.cap); m > n {
 				n = m
 			}
 		}
@@ -213,10 +261,8 @@ func layerSegments(g *dfg.Graph, board arch.Board) []layerSeg {
 	for i := 0; i < nT; {
 		d := g.Task(order[i]).Delay
 		for i < nT && g.Task(order[i]).Delay == d {
-			t := order[i]
-			clbs += g.Task(t).Resources
-			for k, kind := range kinds {
-				extra[k] += g.Task(t).Extra[kind]
+			for _, a := range accums {
+				insert(a, a.demand(order[i]))
 			}
 			i++
 		}
@@ -229,6 +275,97 @@ func layerSegments(g *dfg.Graph, board arch.Board) []layerSeg {
 		}
 	}
 	return segs
+}
+
+// packingNeedDim is the one-dimensional bin-packing dual bound: a lower
+// bound on the number of capacity-cap bins any packing of the items needs
+// (zero-demand items are ignored; they occupy no capacity). It is the max
+// of three families, each valid on its own:
+//
+//   - area: ⌈Σ items / cap⌉ (the paper's preprocessing bound);
+//   - CG cardinality: for every size threshold m, the items of size ≥ m fit
+//     at most κ(m) per bin, where κ(m) is the largest k whose k smallest
+//     such items still fit — so they need ⌈|≥m| / κ(m)⌉ bins. This is the
+//     dual counterpart of the Chvátal–Gomory cardinality cuts in cuts.go
+//     (rank-1 rounding of the resource row with multiplier 1/m), and it is
+//     what the area ratio misses on near-capacity packings: items of 34..36
+//     on a 100-cap bin pack two per bin, not 100/35 ≈ 2.9;
+//   - Martello–Toth L2: for every threshold K ≤ cap/2, items larger than
+//     cap−K get a bin each, items in (cap/2, cap−K] get a bin each and
+//     leave cap − size residue, and the remaining [K, cap/2] area that
+//     does not fit those residues needs ⌈·/cap⌉ more bins.
+//
+// Callers must have validated that every item fits a bin on its own.
+func packingNeedDim(items []int, cap int) int {
+	if cap <= 0 {
+		return 0
+	}
+	sorted := make([]int, 0, len(items))
+	for _, it := range items {
+		if it > 0 {
+			sorted = append(sorted, it)
+		}
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Ints(sorted)
+	prefix := make([]int, len(sorted)+1)
+	for i, it := range sorted {
+		prefix[i+1] = prefix[i] + it
+	}
+	return packingNeedSorted(sorted, prefix, cap)
+}
+
+// packingNeedSorted is the packingNeedDim core over pre-sorted positive
+// items with their prefix sums (prefix[0] = 0): callers that accumulate
+// items incrementally (layerSegments) skip the filter/sort/prefix work.
+func packingNeedSorted(sorted, prefix []int, cap int) int {
+	if len(sorted) == 0 || cap <= 0 {
+		return 0
+	}
+	total := prefix[len(sorted)]
+	need := (total + cap - 1) / cap
+
+	// CG cardinality family over distinct size thresholds: κ for the
+	// suffix set sorted[i:] is the largest k with prefix[i+k]−prefix[i] ≤
+	// cap, found by binary search on the monotone prefix sums.
+	for i := 0; i < len(sorted); i++ {
+		if i > 0 && sorted[i] == sorted[i-1] {
+			continue // same threshold set as the previous item
+		}
+		count := len(sorted) - i
+		k := sort.SearchInts(prefix[i+1:], prefix[i]+cap+1)
+		if k == 0 {
+			k = 1 // unreachable for validated items; stay safe
+		}
+		if m := (count + k - 1) / k; m > need {
+			need = m
+		}
+	}
+
+	// Martello–Toth L2 over the same thresholds.
+	for i := 0; i < len(sorted) && sorted[i]*2 <= cap; i++ {
+		if i > 0 && sorted[i] == sorted[i-1] {
+			continue
+		}
+		K := sorted[i]
+		// Partition [K, cap/2], (cap/2, cap−K], (cap−K, ∞) by index.
+		half := sort.SearchInts(sorted, cap/2+1) // first item > cap/2
+		big := sort.SearchInts(sorted, cap-K+1)  // first item > cap−K
+		n1 := len(sorted) - big                  // bin each, no sharing
+		n2 := big - half                         // bin each, residue cap−s
+		midArea := prefix[half] - prefix[i]      // [K, cap/2] area
+		residue := n2*cap - (prefix[big] - prefix[half])
+		m := n1 + n2
+		if over := midArea - residue; over > 0 {
+			m += (over + cap - 1) / cap
+		}
+		if m > need {
+			need = m
+		}
+	}
+	return need
 }
 
 // subsetDelayFloor is the per-subset generalization of the layer-cake
@@ -343,6 +480,22 @@ func (pr *presolve) maxFeasibleN() int {
 	return best
 }
 
+// packingNeed is the instance-wide bin-packing dual bound: the max of
+// packingNeedDim over every capped resource dimension. A candidate
+// partition count below it is provably infeasible — no LP, no search, not
+// even the exact packing DFS — which is how the relax loop fathoms the
+// too-small N probes of near-capacity packings whose area bound undershoots
+// the integral minimum.
+func (pr *presolve) packingNeed() int {
+	need := packingNeedDim(pr.res, pr.board.FPGA.CLBs)
+	for k, demand := range pr.extraDemand {
+		if m := packingNeedDim(demand, pr.extraCap[k]); m > need {
+			need = m
+		}
+	}
+	return need
+}
+
 // packingFeasibleAll runs the bin-packing feasibility pre-check for every
 // capped resource dimension (CLBs plus the board's capped extra kinds).
 // false proves the ILP infeasible at this N without an LP solve.
@@ -366,6 +519,50 @@ type nodeScratch struct {
 	chain     []float64 // longest fixed-chain delay ending at task t
 	maxChain  []float64 // per-partition longest fixed chain
 	extraUsed [][]int   // per kind: fixed demand per partition
+	unfixed   []int     // residual-packing scratch: unfixed item sizes
+	uprefix   []int     // prefix sums over the sorted unfixed sizes
+}
+
+// residualPackingInfeasible is the per-node bin-packing dual bound over one
+// capped dimension: the node's unfixed items must fit — by area and by
+// count — into the partitions' residual capacities. For the count bound,
+// each partition p can host at most maxFit(p) unfixed items, where
+// maxFit(p) is how many of the globally smallest unfixed items its residue
+// cap − used[p] admits (an overestimate per bin, since the same small
+// items are offered to every bin — which is exactly what keeps the bound
+// conservative). Σ_p maxFit(p) < #unfixed proves the box empty: no
+// completion can place every task. This is the node-level extension of
+// packingNeedDim, driven by the branching fixes ("fixed-chain occupancy"):
+// the deeper the node, the smaller the residues and the sooner a doomed
+// subtree fathoms LP-free.
+func residualPackingInfeasible(sc *nodeScratch, demand []int, used []int, cap, N int) bool {
+	sc.unfixed = sc.unfixed[:0]
+	totalUnfixed := 0
+	for t, d := range demand {
+		if sc.assigned[t] < 0 && d > 0 {
+			sc.unfixed = append(sc.unfixed, d)
+			totalUnfixed += d
+		}
+	}
+	if len(sc.unfixed) == 0 {
+		return false
+	}
+	sort.Ints(sc.unfixed)
+	sc.uprefix = append(sc.uprefix[:0], 0)
+	for _, d := range sc.unfixed {
+		sc.uprefix = append(sc.uprefix, sc.uprefix[len(sc.uprefix)-1]+d)
+	}
+	totalResidue, fit := 0, 0
+	for p := 0; p < N; p++ {
+		rcap := cap - used[p]
+		if rcap <= 0 {
+			continue
+		}
+		totalResidue += rcap
+		// Largest k with sum of the k smallest unfixed items <= rcap.
+		fit += sort.SearchInts(sc.uprefix[1:], rcap+1)
+	}
+	return totalUnfixed > totalResidue || fit < len(sc.unfixed)
 }
 
 // nodeBoundFunc builds the ilp.Options.NodeBound callback for one model
@@ -379,8 +576,12 @@ type nodeScratch struct {
 // each partition's delay d_p is at least the delay of any chain fixed to
 // it). feasible=false is returned only on certain infeasibility: a task
 // with no allowed partition left, a partition whose fixed tasks exceed a
-// resource capacity, or a task that no longer fits anywhere.
-func (pr *presolve) nodeBoundFunc(N int, yv func(t, p int) int) func(bounds func(j int) (lo, hi float64)) (float64, bool) {
+// resource capacity, a task that no longer fits anywhere, or — the
+// bin-packing dual bound — residual capacities that cannot absorb the
+// unfixed items by area or by count (residualPackingInfeasible; these
+// fathoms are tallied in dualFathoms when non-nil, feeding
+// SolveStats.DualBoundFathoms).
+func (pr *presolve) nodeBoundFunc(N int, yv func(t, p int) int, dualFathoms *atomic.Int64) func(bounds func(j int) (lo, hi float64)) (float64, bool) {
 	nT := pr.g.NumTasks()
 	pool := &sync.Pool{New: func() any {
 		sc := &nodeScratch{
@@ -439,6 +640,23 @@ func (pr *presolve) nodeBoundFunc(N int, yv func(t, p int) int) func(bounds func
 				if sc.extraUsed[k][p] > pr.extraCap[k] {
 					return 0, false
 				}
+			}
+		}
+		// Bin-packing dual bound on the residual packing: the unfixed items
+		// of every capped dimension must fit the partitions' residues by
+		// area and by count.
+		if residualPackingInfeasible(sc, pr.res, sc.used, clbCap, N) {
+			if dualFathoms != nil {
+				dualFathoms.Add(1)
+			}
+			return 0, false
+		}
+		for k := range pr.extraDemand {
+			if residualPackingInfeasible(sc, pr.extraDemand[k], sc.extraUsed[k], pr.extraCap[k], N) {
+				if dualFathoms != nil {
+					dualFathoms.Add(1)
+				}
+				return 0, false
 			}
 		}
 		// Every unfixed task must still fit in some allowed partition next

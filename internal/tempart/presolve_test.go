@@ -80,6 +80,10 @@ func TestPresolveBoundsNeverExceedIntegerOptimum(t *testing.T) {
 			t.Logf("seed %d: MinPartitions %d exceeds true minimum %d", seed, n0, bestN)
 			return false
 		}
+		if pn := pre.packingNeed(); pn > bestN {
+			t.Logf("seed %d: packing dual bound %d exceeds true minimum %d", seed, pn, bestN)
+			return false
+		}
 		sumD := bestLat - float64(bestN)*b.FPGA.ReconfigTime
 		if pre.critical > sumD+1e-6 {
 			t.Logf("seed %d: critical %g exceeds optimal Σd %g", seed, pre.critical, sumD)
@@ -91,7 +95,7 @@ func TestPresolveBoundsNeverExceedIntegerOptimum(t *testing.T) {
 		}
 		// Root node bound over the untouched box.
 		m := buildModel(Input{Graph: g, Board: b}, pre, paths, bestN, true)
-		nb := pre.nodeBoundFunc(bestN, m.yv)
+		nb := pre.nodeBoundFunc(bestN, m.yv, nil)
 		bnd, feasible := nb(m.prob.Bounds)
 		if !feasible {
 			t.Logf("seed %d: root box declared infeasible despite optimum N=%d", seed, bestN)
@@ -220,6 +224,130 @@ func TestGreedyClampNeverSkipsTheOptimum(t *testing.T) {
 		if got.N != wantN || math.Abs(got.Latency-wantLat) > 1e-6 {
 			t.Errorf("seed %d: clamped solve N=%d lat=%g, brute force N=%d lat=%g",
 				seed, got.N, got.Latency, wantN, wantLat)
+		}
+	}
+}
+
+// TestPackingNeedNeverExceedsBinOptimum is the L2/cardinality soundness
+// property: on random item sets, the bin-packing dual bound packingNeedDim
+// never exceeds the true minimum bin count (found by exhaustive search),
+// and is never below the area ratio it generalizes. An overclaim here
+// would make the relax loop skip a feasible partition count.
+func TestPackingNeedNeverExceedsBinOptimum(t *testing.T) {
+	minBins := func(items []int, cap int) int {
+		for bins := 1; ; bins++ {
+			if packingFeasibleExact(items, cap, bins) {
+				return bins
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		cap := 50 + rng.Intn(100)
+		n := 1 + rng.Intn(8)
+		items := make([]int, n)
+		area := 0
+		for i := range items {
+			items[i] = 1 + rng.Intn(cap)
+			area += items[i]
+		}
+		opt := minBins(items, cap)
+		need := packingNeedDim(items, cap)
+		if need > opt {
+			t.Fatalf("trial %d: packingNeedDim(%v, %d) = %d exceeds true minimum %d",
+				trial, items, cap, need, opt)
+		}
+		if areaNeed := (area + cap - 1) / cap; need < areaNeed {
+			t.Fatalf("trial %d: packingNeedDim(%v, %d) = %d undercuts the area bound %d",
+				trial, items, cap, need, areaNeed)
+		}
+	}
+}
+
+// packingFeasibleExact is an exhaustive (budget-free) bin-packing check
+// for the tiny item counts of the property tests.
+func packingFeasibleExact(items []int, cap, bins int) bool {
+	load := make([]int, bins)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(items) {
+			return true
+		}
+		for b := 0; b < bins; b++ {
+			if load[b]+items[i] > cap {
+				continue
+			}
+			load[b] += items[i]
+			if rec(i + 1) {
+				return true
+			}
+			load[b] -= items[i]
+			if load[b] == 0 {
+				break // identical empty bins are symmetric
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestNodeBoundNeverFathomsCompletableBoxes pins the residual-packing
+// screen (and every other infeasibility check in the node bound) against
+// brute force: for every feasible assignment and every prefix of its
+// fixes, the node bound must declare the box feasible — a completion
+// provably exists — and its bound must not exceed the completion's Σd.
+func TestNodeBoundNeverFathomsCompletableBoxes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sequential brute-force enumeration; skipped under -short (the race lane)")
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		g := randomDAG(300+seed, 6)
+		b := board(100, 1024, 1000)
+		paths, err := g.Paths(0)
+		if err != nil {
+			continue
+		}
+		pre := newPresolve(g, b)
+		n0 := MinPartitions(g, b)
+		if n0 == 0 {
+			continue
+		}
+		for N := n0; N <= n0+1 && N <= 4; N++ {
+			m := buildModel(Input{Graph: g, Board: b}, pre, paths, N, true)
+			nb := pre.nodeBoundFunc(N, m.yv, nil)
+			forEachFeasible(g, b, N, func(assign []int) {
+				d := EvaluateDelays(g, assign, N, paths)
+				sumD := 0.0
+				for _, v := range d {
+					sumD += v
+				}
+				for k := 0; k <= len(assign); k++ {
+					bounds := func(j int) (float64, float64) {
+						lo, hi := m.prob.Bounds(j)
+						for t := 0; t < k; t++ {
+							for p := 0; p < N; p++ {
+								if j != m.yv(t, p) {
+									continue
+								}
+								if assign[t] == p {
+									return 1, 1
+								}
+								return 0, 0
+							}
+						}
+						return lo, hi
+					}
+					bnd, feasible := nb(bounds)
+					if !feasible {
+						t.Fatalf("seed %d N=%d: node bound fathomed a box completable by %v (prefix %d)",
+							seed, N, assign, k)
+					}
+					if bnd > sumD+1e-6 {
+						t.Fatalf("seed %d N=%d: node bound %g exceeds completion Σd %g (assign %v, prefix %d)",
+							seed, N, bnd, sumD, assign, k)
+					}
+				}
+			})
 		}
 	}
 }

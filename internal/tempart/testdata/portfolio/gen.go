@@ -1,23 +1,12 @@
-// Command gen regenerates the hard-instance portfolio corpus. Run from the
-// repository root:
+// Command gen regenerates the hard-instance portfolio corpus from the RNG
+// seed pinned in manifest.json. Run from the repository root:
 //
 //	go run ./internal/tempart/testdata/portfolio
 //
-// The corpus covers the two regimes that stay exponential after the
-// presolve/cut work (ROADMAP "hard-instance portfolio" item):
-//
-//   - packNN: near-capacity packing-infeasibility instances — items of
-//     34/35/36 CLBs on a 100-CLB board, so any three tasks overflow a
-//     partition while every pair fits. The area bound undershoots the true
-//     minimum and the LP relaxation is happy fractionally, so the search
-//     has to fight for every integral packing. Run under a node budget
-//     (expect "limit") as a deterministic throughput yardstick.
-//   - chainNN: the same near-capacity items arranged in 3-task chains with
-//     mixed delays — the regime where the temporal-order and cover
-//     separators bite; solved to optimality.
-//   - firN: the FIR-bank shape of the headline bench with pinned synthesis
-//     estimates — the boundary chain-area cuts must keep closing these at
-//     the root.
+// The generators live in the tempart package (portfolio_gen.go) so the
+// regeneration-determinism test can verify that the committed JSON is
+// byte-identical to what this command would write — see
+// tempart.PortfolioGraphs for the corpus description.
 package main
 
 import (
@@ -26,53 +15,16 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/dfg"
+	"repro/internal/tempart"
 )
-
-func pack(n int) *dfg.Graph {
-	g := dfg.New(fmt.Sprintf("pack%d", n))
-	for i := 0; i < n; i++ {
-		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
-			Resources: 34 + i%3, Delay: 100, ReadEnv: 1, WriteEnv: 1})
-	}
-	return g
-}
-
-func chain(n int) *dfg.Graph {
-	g := dfg.New(fmt.Sprintf("chain%d", n))
-	for i := 0; i < n; i++ {
-		g.MustAddTask(dfg.Task{Name: fmt.Sprintf("t%02d", i), Type: "T",
-			Resources: 34 + i%3, Delay: float64(80 + 20*(i%3)), ReadEnv: 1, WriteEnv: 1})
-	}
-	for i := 0; i+1 < n; i += 3 {
-		g.MustAddEdge(fmt.Sprintf("t%02d", i), fmt.Sprintf("t%02d", i+1), 1)
-		if i+2 < n {
-			g.MustAddEdge(fmt.Sprintf("t%02d", i+1), fmt.Sprintf("t%02d", i+2), 1)
-		}
-	}
-	return g
-}
-
-func fir(channels int) *dfg.Graph {
-	g := dfg.New(fmt.Sprintf("fir%d", channels))
-	for c := 0; c < channels; c++ {
-		fn, dn, en := fmt.Sprintf("fir%d", c), fmt.Sprintf("dec%d", c), fmt.Sprintf("eng%d", c)
-		g.MustAddTask(dfg.Task{Name: fn, Type: "fir", Resources: 140, Delay: 1140, ReadEnv: 4})
-		g.MustAddTask(dfg.Task{Name: dn, Type: "dec", Resources: 100, Delay: 420})
-		g.MustAddTask(dfg.Task{Name: en, Type: "eng", Resources: 110, Delay: 800, WriteEnv: 1})
-		g.MustAddEdge(fn, dn, 4)
-		g.MustAddEdge(dn, en, 2)
-	}
-	return g
-}
 
 func main() {
 	dir := filepath.Join("internal", "tempart", "testdata", "portfolio")
-	for _, g := range []*dfg.Graph{
-		pack(12), pack(15), pack(18),
-		chain(9), chain(10), chain(11),
-		fir(6), fir(8),
-	} {
+	manifest, err := tempart.LoadPortfolioManifest(dir)
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range tempart.PortfolioGraphs(manifest.GenSeed) {
 		data, err := json.MarshalIndent(g, "", "  ")
 		if err != nil {
 			panic(err)
