@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test vet bench bench-smoke bench-gate race loadtest stress stress-short
+.PHONY: all build test vet bench bench-smoke bench-lp bench-gate race loadtest stress stress-short
 
 all: vet build test
 
@@ -29,8 +29,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkTempart -benchtime 1x -benchmem .
 
-# bench-gate runs the suite fresh and fails when nodes/sec or allocs/op
-# regress >20% against the newest committed BENCH_*.json baseline.
+# bench-lp runs the simplex-kernel micro-benches: a single FTRAN against the
+# live LU factor (must be 0 allocs/op) and the warm-start bound-fix/unfix
+# repair loop (reports pivots, refactorizations, and bound flips per op and
+# asserts >= 95% of solves stay on the warm path).
+bench-lp:
+	$(GO) test -run '^$$' -bench 'BenchmarkLP_(FTRAN|Warm)' -count 1 -benchmem ./internal/lp/
+
+# bench-gate runs the suite fresh and fails when a gated metric (allocs/op,
+# B&B-nodes, pivots/op, refactorizations/op, bound-flips/op, nodes/sec)
+# regresses >20% against the newest committed BENCH_*.json baseline.
 bench-gate:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 -benchmem -json . > /tmp/bench-current.json
 	$(GO) run ./cmd/benchgate -old $$(ls BENCH_*.json | sort | tail -1) -new /tmp/bench-current.json

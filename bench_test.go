@@ -225,6 +225,8 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
 	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
+	b.ReportMetric(float64(p.Stats.Solver.Refactorizations), "refactorizations/op")
+	b.ReportMetric(float64(p.Stats.Solver.BoundFlips), "bound-flips/op")
 	b.ReportMetric(p.Latency, "latency-ns")
 }
 
@@ -251,6 +253,8 @@ func BenchmarkTempartDCTWarmStart(b *testing.B) {
 	b.ReportMetric(float64(st.ColdSolves), "cold-solves")
 	b.ReportMetric(float64(st.DualPivots), "dual-pivots")
 	b.ReportMetric(float64(st.Pivots), "pivots/op")
+	b.ReportMetric(float64(st.Refactorizations), "refactorizations/op")
+	b.ReportMetric(float64(st.BoundFlips), "bound-flips/op")
 	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
 	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
 }
@@ -508,6 +512,8 @@ func BenchmarkILP_FIRBank(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
 	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
+	b.ReportMetric(float64(p.Stats.Solver.Refactorizations), "refactorizations/op")
+	b.ReportMetric(float64(p.Stats.Solver.BoundFlips), "bound-flips/op")
 	b.ReportMetric(p.Stats.SolveTime.Seconds()*1e3, "solve-ms")
 }
 
@@ -567,6 +573,8 @@ func benchPackPortfolio(b *testing.B, file string) {
 	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
 	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
 	b.ReportMetric(float64(p.Stats.NProbesPruned), "n-probes-pruned")
+	b.ReportMetric(float64(p.Stats.Solver.Refactorizations), "refactorizations/op")
+	b.ReportMetric(float64(p.Stats.Solver.BoundFlips), "bound-flips/op")
 	b.ReportMetric(p.Stats.SolveTime.Seconds()*1e3, "solve-ms")
 }
 

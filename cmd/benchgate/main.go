@@ -5,9 +5,13 @@
 // Both inputs are `go test -json` streams as written by `make bench`
 // (BENCH_<date>.json). Gated metrics, per benchmark present in both files:
 //
-//   - allocs/op:    higher is a regression (deterministic)
-//   - B&B-nodes:    higher is a regression (deterministic search size)
-//   - pivots/op:    higher is a regression (deterministic simplex work)
+//   - allocs/op:            higher is a regression (deterministic)
+//   - B&B-nodes:            higher is a regression (deterministic search size)
+//   - pivots/op:            higher is a regression (deterministic simplex work)
+//   - refactorizations/op:  higher is a regression (basis reinversions the
+//     Forrest–Tomlin update path failed to avoid)
+//   - bound-flips/op:       lower is a regression (dual long steps absorbed
+//     without a pivot)
 //   - nodes/sec:    lower is a regression (search throughput; wall-clock
 //     derived, so it carries machine noise — the deterministic counters
 //     above are the machine-independent teeth of the gate)
@@ -124,6 +128,14 @@ var gates = []gate{
 	{"allocs/op", true},
 	{"B&B-nodes", true},
 	{"pivots/op", true},
+	// Basis reinversions: the Forrest–Tomlin update path exists to keep
+	// these rare, so a count increase means the update/refactor policy (or
+	// update stability) regressed. Deterministic.
+	{"refactorizations/op", true},
+	// Dual long-step bound flips: infeasibility absorbed without a pivot.
+	// Fewer flips on the same search means the ratio test stopped taking
+	// long steps — gated like a throughput metric (lower is a regression).
+	{"bound-flips/op", false},
 	{"nodes/sec", false},
 }
 

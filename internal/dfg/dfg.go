@@ -419,36 +419,87 @@ func (g *Graph) EdgeData(from, to int) int {
 // constraints, which dramatically reduce the B&B search on regular DSP
 // graphs (e.g. the 16 T1 vector products of the DCT).
 func (g *Graph) InterchangeableGroups() [][]int {
-	type key struct {
-		typ        string
-		res        int
-		delay      float64
-		readEnv    int
-		writeEnv   int
-		neighbours string
+	n := len(g.tasks)
+	if n == 0 {
+		return nil
 	}
-	groups := map[key][]int{}
-	for i, t := range g.tasks {
-		p := append([]int(nil), g.pred[i]...)
-		s := append([]int(nil), g.succ[i]...)
-		sort.Ints(p)
-		sort.Ints(s)
-		var b strings.Builder
-		for _, v := range p {
-			fmt.Fprintf(&b, "p%d,", v)
-		}
-		for _, v := range s {
-			fmt.Fprintf(&b, "s%d,", v)
-		}
-		k := key{t.Type, t.Resources, t.Delay, t.ReadEnv, t.WriteEnv, b.String()}
-		groups[k] = append(groups[k], i)
+	// Sorted neighbour sets, packed into one backing array (this runs once
+	// per partitioning solve, on its hot path).
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(g.pred[i]) + len(g.succ[i])
 	}
+	flat := make([]int, 0, total)
+	pred := make([][]int, n)
+	succ := make([][]int, n)
+	for i := 0; i < n; i++ {
+		at := len(flat)
+		flat = append(flat, g.pred[i]...)
+		pred[i] = flat[at:len(flat):len(flat)]
+		sort.Ints(pred[i])
+		at = len(flat)
+		flat = append(flat, g.succ[i]...)
+		succ[i] = flat[at:len(flat):len(flat)]
+		sort.Ints(succ[i])
+	}
+	cmpInts := func(a, b []int) int {
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				if a[k] < b[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return len(a) - len(b)
+	}
+	// cmp orders tasks by their interchangeability key; equal keys mean the
+	// tasks are interchangeable.
+	cmp := func(a, b int) int {
+		ta, tb := g.tasks[a], g.tasks[b]
+		switch {
+		case ta.Type != tb.Type:
+			if ta.Type < tb.Type {
+				return -1
+			}
+			return 1
+		case ta.Resources != tb.Resources:
+			return ta.Resources - tb.Resources
+		case ta.Delay != tb.Delay:
+			if ta.Delay < tb.Delay {
+				return -1
+			}
+			return 1
+		case ta.ReadEnv != tb.ReadEnv:
+			return ta.ReadEnv - tb.ReadEnv
+		case ta.WriteEnv != tb.WriteEnv:
+			return ta.WriteEnv - tb.WriteEnv
+		}
+		if c := cmpInts(pred[a], pred[b]); c != 0 {
+			return c
+		}
+		return cmpInts(succ[a], succ[b])
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if c := cmp(order[a], order[b]); c != 0 {
+			return c < 0
+		}
+		return order[a] < order[b] // members of a run stay ascending
+	})
 	var out [][]int
-	for _, members := range groups {
-		if len(members) > 1 {
-			sort.Ints(members)
-			out = append(out, members)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && cmp(order[i], order[j]) == 0 {
+			j++
 		}
+		if j-i > 1 {
+			out = append(out, append([]int(nil), order[i:j]...))
+		}
+		i = j
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
 	return out

@@ -52,6 +52,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lp"
@@ -293,14 +294,32 @@ func (s *Solution) Gap() float64 {
 
 const intTol = 1e-6
 
+// sharedBasis is a refcounted basis snapshot shared by all children of one
+// branched node. The snapshot's slices come from (and return to) the search
+// state's basis pool: when the last child releases its reference the
+// snapshot is recycled, so the parallel search stops allocating two
+// O(n+2m) slices per branched node once the pool warms up.
+type sharedBasis struct {
+	bs   *lp.Basis
+	refs atomic.Int32
+}
+
+// get returns the underlying snapshot (nil-safe).
+func (sb *sharedBasis) get() *lp.Basis {
+	if sb == nil {
+		return nil
+	}
+	return sb.bs
+}
+
 // node is one open branch-and-bound subproblem.
 type node struct {
 	fixes []fix   // bound changes relative to the root
 	bound float64 // parent LP bound (heap priority, valid subtree bound)
 	depth int
-	seq   int64       // push order; ties on bound pop LIFO (dive like DFS)
-	basis *lp.Basis   // parent basis (warm-start seed for foreign workers)
-	cuts  []lp.CutRow // node-local cuts inherited from ancestors (never mutated)
+	seq   int64        // push order; ties on bound pop LIFO (dive like DFS)
+	basis *sharedBasis // parent basis (warm-start seed for foreign workers)
+	cuts  []lp.CutRow  // node-local cuts inherited from ancestors (never mutated)
 
 	// Pseudo-cost bookkeeping: the single-variable branch that created this
 	// node (branchVar < 0 for the root and SOS1 children).
@@ -362,6 +381,10 @@ func newSearcher(p *Problem, opt *Options, st *searchState, isInt []bool) *searc
 		rootHi: make([]float64, n),
 		isInt:  isInt,
 	}
+	// Node re-solves share the solver-owned Solution buffer; everything the
+	// search retains from a result (incumbents, rounding candidates) is
+	// copied out explicitly.
+	w.solver.SetReuseSolution(true)
 	for j := 0; j < n; j++ {
 		w.rootLo[j], w.rootHi[j] = p.LP.Bounds(j)
 	}
@@ -618,7 +641,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 		}
 	}
 
-	res, err := solveLP(nd.basis)
+	res, err := solveLP(nd.basis.get())
 	if err != nil {
 		return nil, err
 	}
@@ -744,9 +767,16 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 	// subtrees; the sequential best-first search pops equal-bound children
 	// right after their parent (LIFO ties) and warm starts from its own
 	// previous basis, so skip the two O(n+2m) copies per branched node.
-	var parentBasis *lp.Basis
+	// The snapshot's slices come from the shared pool and are refcounted
+	// back into it when the last child is consumed.
+	var parentBasis *sharedBasis
 	if w.opt.Workers > 1 {
-		parentBasis = w.solver.Basis() // may be nil; shared by all children
+		pooled := w.st.basisPool.Get().(*lp.Basis)
+		if bs := w.solver.BasisInto(pooled); bs != nil {
+			parentBasis = &sharedBasis{bs: bs} // shared by all children
+		} else {
+			w.st.basisPool.Put(pooled)
+		}
 	}
 
 	if bestGroup >= 0 {
@@ -777,6 +807,7 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 				basis: parentBasis, branchVar: -1, cuts: nd.cuts,
 			})
 		}
+		parentBasis.setRefs(len(r.children))
 		return r, nil
 	}
 
@@ -804,7 +835,16 @@ func (w *searcher) processNode(nd *node, incObj float64) (*nodeResult, error) {
 	} else {
 		r.children = append(r.children, up, down)
 	}
+	parentBasis.setRefs(len(r.children))
 	return r, nil
+}
+
+// setRefs arms the refcount once the number of sharing children is known
+// (nil-safe; every child release decrements, the last one recycles).
+func (sb *sharedBasis) setRefs(n int) {
+	if sb != nil {
+		sb.refs.Store(int32(n))
+	}
 }
 
 // Solve runs branch and bound and returns the best solution found.
@@ -841,6 +881,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		st.pool = newCutPool(opt.MaxCuts)
 	}
 	st.cond = sync.NewCond(&st.mu)
+	st.basisPool.New = func() any { return new(lp.Basis) }
 
 	if opt.Incumbent != nil {
 		if ok, obj := checkFeasibleBounds(p, p.LP.Bounds, opt.Incumbent); ok {
@@ -905,6 +946,9 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		sol.Solver.Pivots += s.Pivots
 		sol.Solver.DualPivots += s.DualPivots
 		sol.Solver.RowsAdded += s.RowsAdded
+		sol.Solver.Refactorizations += s.Refactorizations
+		sol.Solver.BoundFlips += s.BoundFlips
+		sol.Solver.UpdateNNZ += s.UpdateNNZ
 	}
 	return sol, nil
 }
@@ -942,6 +986,10 @@ type searchState struct {
 	// pool is the shared global-cut store (nil when Options.Separate is
 	// unset; its own mutex serializes access from workers).
 	pool *cutPool
+
+	// basisPool recycles the slice storage of parent-basis snapshots
+	// (parallel search only; see sharedBasis).
+	basisPool sync.Pool
 
 	nodes        int
 	lpIters      int
@@ -1085,6 +1133,15 @@ func (st *searchState) limitHit() bool {
 	return false
 }
 
+// releaseBasis drops one reference to a shared parent-basis snapshot,
+// recycling its storage into the pool when the last sharing child is
+// consumed (nil-safe).
+func (st *searchState) releaseBasis(sb *sharedBasis) {
+	if sb != nil && sb.refs.Add(-1) == 0 {
+		st.basisPool.Put(sb.bs)
+	}
+}
+
 // pruneFrontier discards the popped node and — because the heap is
 // bound-ordered — every other open node: none of them can improve the
 // incumbent once the heap minimum cannot. The discarded count is folded
@@ -1092,6 +1149,7 @@ func (st *searchState) limitHit() bool {
 func (st *searchState) pruneFrontier() {
 	st.lpSkipped += 1 + len(st.heap)
 	for i := range st.heap {
+		st.releaseBasis(st.heap[i].basis)
 		st.heap[i] = node{} // release fix/basis references
 	}
 	st.heap = st.heap[:0]
@@ -1102,10 +1160,12 @@ func (st *searchState) step(w *searcher) error {
 	nd := st.popNode()
 
 	if nd.bound > st.incObj-st.opt.AbsGap && !math.IsInf(nd.bound, -1) {
+		st.releaseBasis(nd.basis)
 		st.pruneFrontier()
 		return nil
 	}
 	r, err := w.processNode(&nd, st.incObj)
+	st.releaseBasis(nd.basis)
 	if err != nil {
 		return err
 	}
@@ -1196,6 +1256,7 @@ func (st *searchState) runWorker(w *searcher) {
 		}
 		nd := st.popNode()
 		if nd.bound > st.incObj-st.opt.AbsGap && !math.IsInf(nd.bound, -1) {
+			st.releaseBasis(nd.basis)
 			st.pruneFrontier()
 			continue
 		}
@@ -1204,6 +1265,7 @@ func (st *searchState) runWorker(w *searcher) {
 		st.mu.Unlock()
 
 		r, err := w.processNode(&nd, inc)
+		st.releaseBasis(nd.basis)
 
 		st.mu.Lock()
 		st.active--

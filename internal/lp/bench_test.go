@@ -1,0 +1,109 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a deterministic sparse covering LP:
+//
+//	min Σ c_j x_j   s.t.   Σ_{j∈S_i} a_ij x_j ≥ b_i,   0 ≤ x ≤ 1
+//
+// with rowLen random nonzeros per row. The shape mirrors the tempart
+// relaxations (unit-box variables, short GE rows) at a size where the LU
+// factor is genuinely sparse.
+func benchProblem(nVars, nRows, rowLen int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(nVars)
+	for j := 0; j < nVars; j++ {
+		p.SetBounds(j, 0, 1)
+		p.SetObj(j, 1+rng.Float64())
+	}
+	p.Reserve(nRows, nRows*rowLen)
+	cols := make([]int, 0, rowLen)
+	vals := make([]float64, 0, rowLen)
+	seen := make(map[int]bool, rowLen)
+	for i := 0; i < nRows; i++ {
+		cols, vals = cols[:0], vals[:0]
+		for k := range seen {
+			delete(seen, k)
+		}
+		for len(cols) < rowLen {
+			j := rng.Intn(nVars)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			cols = append(cols, j)
+			vals = append(vals, 1+rng.Float64())
+		}
+		p.AddRowCols(GE, cols, vals, float64(rowLen)/4)
+	}
+	return p
+}
+
+// BenchmarkLP_FTRAN times one sparse forward solve B⁻¹v against the live LU
+// factor of an optimal basis — the innermost kernel of every pricing step and
+// ratio test. The loop must not allocate: ftran works in place on the caller's
+// vector and the factor's depth-first stack is retained across calls.
+func BenchmarkLP_FTRAN(b *testing.B) {
+	p := benchProblem(240, 120, 8, 1)
+	s := NewSolver(p)
+	if _, err := s.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	rhs := make([]float64, s.m)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	work := make([]float64, s.m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, rhs)
+		s.lu.ftran(work)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.lu.fNNZ()), "factor-nnz")
+}
+
+// BenchmarkLP_Warm measures the warm-start repair path the branch-and-bound
+// search lives on: fix one variable to 1 (the branching move; always feasible
+// for a covering LP), dual-repair to the new optimum, unfix, and repair back.
+// Reported counters are per benchmark op (= two Solve calls). The dual repair
+// is allowed to stall onto the cold path on occasional degenerate fixings (a
+// deliberate budget in dual()), but the warm path must carry ≥95% of solves.
+func BenchmarkLP_Warm(b *testing.B) {
+	const nVars = 240
+	p := benchProblem(nVars, 120, 8, 1)
+	s := NewSolver(p)
+	if _, err := s.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	base := s.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % nVars
+		s.SetVarBounds(j, 1, 1)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		s.SetVarBounds(j, 0, 1)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d := s.Stats
+	n := float64(b.N)
+	cold, solves := d.ColdSolves-base.ColdSolves, d.Solves-base.Solves
+	if float64(cold) > 0.05*float64(solves) {
+		b.Fatalf("%d of %d solves fell off the warm path", cold, solves)
+	}
+	b.ReportMetric(float64(d.WarmSolves-base.WarmSolves)/float64(solves), "warm-fraction")
+	b.ReportMetric(float64(d.Pivots-base.Pivots)/n, "pivots/op")
+	b.ReportMetric(float64(d.Refactorizations-base.Refactorizations)/n, "refactorizations/op")
+	b.ReportMetric(float64(d.BoundFlips-base.BoundFlips)/n, "bound-flips/op")
+}

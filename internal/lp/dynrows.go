@@ -3,7 +3,6 @@ package lp
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // This file implements dynamic row growth on a live Solver — the primitive
@@ -129,66 +128,68 @@ func (s *Solver) AddedRowsSatisfied(x []float64, tol float64) bool {
 // with their slacks basic — the old basis columns plus the new unit slacks
 // form a block-triangular, provably nonsingular basis of the extended
 // system — so the factorization is rebuilt once (the same reinversion the
-// solver performs every refactorPivots pivots anyway) and the next Solve
-// warm starts with the dual simplex from the current point, where the only
+// fill-in trigger performs periodically anyway) and the next Solve warm
+// starts with the dual simplex from the current point, where the only
 // primal infeasibilities are the slacks of the violated new rows. Without a
 // valid basis the rows are only recorded and the next Solve builds cold.
+//
+// Row storage trimmed by DropAddedRows keeps its backing arrays, so the
+// ilp layer's drop/re-add cut cycles stop allocating once the high-water
+// mark is reached.
 func (s *Solver) AddRows(rows []CutRow) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	add := make([]addedRow, 0, len(rows))
+	// Row growth extends the engine arrays, so the engine must exist first
+	// (NewSolver defers its construction until a solve or a row addition).
+	s.ensureBuilt()
+	// Validation pass: reject the whole batch before any state mutates.
 	for ri := range rows {
 		r := &rows[ri]
 		if len(r.Cols) != len(r.Vals) {
 			return fmt.Errorf("lp: AddRows: row %d has %d cols but %d vals", ri, len(r.Cols), len(r.Vals))
 		}
-		ar := addedRow{kind: r.Kind, rhs: r.RHS}
 		for k, j := range r.Cols {
 			if j < 0 || j >= s.nStruct {
 				return fmt.Errorf("lp: AddRows: row %d references variable %d out of range [0,%d)", ri, j, s.nStruct)
 			}
-			if v := r.Vals[k]; v != 0 {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					return fmt.Errorf("lp: AddRows: row %d has non-finite coefficient on variable %d", ri, j)
-				}
-				ar.cols = append(ar.cols, int32(j))
-				ar.vals = append(ar.vals, v)
+			if v := r.Vals[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: AddRows: row %d has non-finite coefficient on variable %d", ri, j)
 			}
 		}
-		mergeDupCols(&ar)
-		add = append(add, ar)
 	}
 
 	wasValid := s.valid
 	mOld := s.m
-	k := len(add)
+	k := len(rows)
 	s.m += k
 	s.nTotal = s.nStruct + 2*s.m
 	s.maxIter = 2000 + 200*(s.m+s.nTotal)
 	s.Stats.RowsAdded += k
 
-	// Per-row arrays grow by k.
-	s.rhs = append(s.rhs, make([]float64, k)...)
-	s.artUsed = append(s.artUsed, make([]bool, k)...)
-	s.artSign = append(s.artSign, make([]float64, k)...)
-	s.basis = append(s.basis, make([]int, k)...)
-	s.xb = append(s.xb, make([]float64, k)...)
-	s.alpha = append(s.alpha, make([]float64, k)...)
-	s.y = append(s.y, make([]float64, k)...)
-	s.rho = append(s.rho, make([]float64, k)...)
-	s.order = append(s.order, make([]int, k)...)
-	s.newBasis = append(s.newBasis, make([]int, k)...)
-	s.assigned = append(s.assigned, make([]bool, k)...)
+	// Per-row arrays grow by k (zeroed; capacity reused when available).
+	s.rhs = growZero(s.rhs, k)
+	s.artUsed = growZero(s.artUsed, k)
+	s.artSign = growZero(s.artSign, k)
+	s.basis = growZero(s.basis, k)
+	s.xb = growZero(s.xb, k)
+	s.alpha = growZero(s.alpha, k)
+	s.y = growZero(s.y, k)
+	s.rho = growZero(s.rho, k)
+	s.flipCol = growZero(s.flipCol, k)
+	s.dualW = growZero(s.dualW, k)
 
 	// Per-column arrays grow by 2k; the artificial block shifts up by k.
 	// Artificial columns carry no state between solves (a valid basis never
 	// contains one, and the cold build reinitializes them), so the whole
-	// region is simply reset at its new position.
-	s.lo = append(s.lo, make([]float64, 2*k)...)
-	s.hi = append(s.hi, make([]float64, 2*k)...)
-	s.status = append(s.status, make([]varStatus, 2*k)...)
-	s.cost = append(s.cost, make([]float64, 2*k)...)
+	// region is simply reset at its new position. The pricing scratch d/dw
+	// is rebuilt at every primal entry and only needs the length.
+	s.lo = growZero(s.lo, 2*k)
+	s.hi = growZero(s.hi, 2*k)
+	s.status = growZero(s.status, 2*k)
+	s.cost = growZero(s.cost, 2*k)
+	s.d = growZero(s.d, 2*k)
+	s.dw = growZero(s.dw, 2*k)
 	for i := 0; i < s.m; i++ {
 		ac := s.nStruct + s.m + i
 		s.lo[ac], s.hi[ac] = 0, 0
@@ -205,9 +206,27 @@ func (s *Solver) AddRows(rows []CutRow) error {
 	if s.extCols == nil {
 		s.extCols = make([][]extEntry, s.nStruct)
 	}
-	for ai := range add {
-		i := mOld + ai
-		r := &add[ai]
+	for ri := range rows {
+		cr := &rows[ri]
+		i := mOld + ri
+		// Reuse the trimmed element (and its cols/vals backing) when the
+		// slice previously reached this length.
+		if cap(s.added) > len(s.added) {
+			s.added = s.added[:len(s.added)+1]
+		} else {
+			s.added = append(s.added, addedRow{})
+		}
+		r := &s.added[len(s.added)-1]
+		r.kind, r.rhs = cr.Kind, cr.RHS
+		r.cols, r.vals = r.cols[:0], r.vals[:0]
+		for ci, j := range cr.Cols {
+			if v := cr.Vals[ci]; v != 0 {
+				r.cols = append(r.cols, int32(j))
+				r.vals = append(r.vals, v)
+			}
+		}
+		mergeDupCols(r)
+
 		s.rhs[i] = r.rhs
 		s.artSign[i] = 1
 		sc := s.nStruct + i
@@ -226,7 +245,6 @@ func (s *Solver) AddRows(rows []CutRow) error {
 		for ci, j := range r.cols {
 			s.extCols[j] = append(s.extCols[j], extEntry{i: int32(i), v: r.vals[ci]})
 		}
-		s.added = append(s.added, *r)
 	}
 
 	if !wasValid {
@@ -244,12 +262,12 @@ func (s *Solver) AddRows(rows []CutRow) error {
 		}
 	}
 	// Keep the warm basis: the new slacks enter the basis in their own
-	// rows, then one reinversion rebuilds the eta file over the extended
-	// column data. Dual feasibility is preserved — the new slacks cost 0
-	// and carry zero dual prices, so every old reduced cost is unchanged —
-	// and the next Solve repairs primal feasibility with the dual simplex.
-	for ai := range add {
-		i := mOld + ai
+	// rows, then one reinversion rebuilds the factorization over the
+	// extended column data. Dual feasibility is preserved — the new slacks
+	// cost 0 and carry zero dual prices, so every old reduced cost is
+	// unchanged — and the next Solve repairs primal feasibility with the
+	// dual simplex.
+	for i := mOld; i < s.m; i++ {
 		sc := s.nStruct + i
 		s.basis[i] = sc
 		s.status[sc] = basic
@@ -257,8 +275,8 @@ func (s *Solver) AddRows(rows []CutRow) error {
 	if !s.refactor() {
 		// Cannot happen for a nonsingular old basis (the extended basis is
 		// block triangular with a unit diagonal block), but a numerically
-		// borderline old factorization may fail partial pivoting; fall back
-		// to a cold rebuild on the next solve.
+		// borderline old factorization may fail threshold pivoting; fall
+		// back to a cold rebuild on the next solve.
 		s.valid = false
 		return nil
 	}
@@ -266,27 +284,48 @@ func (s *Solver) AddRows(rows []CutRow) error {
 	return nil
 }
 
-// mergeDupCols sorts a row's coefficients by column and merges duplicates.
+// growZero extends s by k zeroed elements, reusing capacity when available
+// (append with a fresh make would allocate the k-element temporary even
+// when the target has room).
+func growZero[T any](s []T, k int) []T {
+	var zero T
+	n := len(s)
+	if cap(s) >= n+k {
+		s = s[:n+k]
+		for i := n; i < n+k; i++ {
+			s[i] = zero
+		}
+		return s
+	}
+	return append(s, make([]T, k)...)
+}
+
+// mergeDupCols sorts a row's coefficients by column and merges duplicates,
+// in place (cut rows are short; insertion sort, no allocation).
 func mergeDupCols(r *addedRow) {
-	if len(r.cols) < 2 {
+	cols, vals := r.cols, r.vals
+	if len(cols) < 2 {
 		return
 	}
-	ord := make([]int, len(r.cols))
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.Slice(ord, func(a, b int) bool { return r.cols[ord[a]] < r.cols[ord[b]] })
-	cols := make([]int32, 0, len(r.cols))
-	vals := make([]float64, 0, len(r.vals))
-	for _, i := range ord {
-		if n := len(cols); n > 0 && cols[n-1] == r.cols[i] {
-			vals[n-1] += r.vals[i]
-			continue
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
 		}
-		cols = append(cols, r.cols[i])
-		vals = append(vals, r.vals[i])
+		cols[j+1], vals[j+1] = c, v
 	}
-	r.cols, r.vals = cols, vals
+	w := 0
+	for i := 0; i < len(cols); {
+		c, v := cols[i], vals[i]
+		for i++; i < len(cols) && cols[i] == c; i++ {
+			v += vals[i]
+		}
+		cols[w], vals[w] = c, v
+		w++
+	}
+	r.cols, r.vals = cols[:w], vals[:w]
 }
 
 // DropAddedRows removes every dynamically added row, returning the solver
@@ -302,8 +341,13 @@ func (s *Solver) DropAddedRows() {
 	s.m = s.mBase
 	s.nTotal = s.nStruct + 2*s.m
 	s.maxIter = 2000 + 200*(s.m+s.nTotal)
+	// Truncations keep every backing array (including each trimmed
+	// addedRow's cols/vals and the per-column extension lists) so the next
+	// AddRows cycle reuses them instead of reallocating.
 	s.added = s.added[:0]
-	s.extCols = nil
+	for j := range s.extCols {
+		s.extCols[j] = s.extCols[j][:0]
+	}
 
 	s.rhs = s.rhs[:s.m]
 	s.artUsed = s.artUsed[:s.m]
@@ -313,14 +357,15 @@ func (s *Solver) DropAddedRows() {
 	s.alpha = s.alpha[:s.m]
 	s.y = s.y[:s.m]
 	s.rho = s.rho[:s.m]
-	s.order = s.order[:s.m]
-	s.newBasis = s.newBasis[:s.m]
-	s.assigned = s.assigned[:s.m]
+	s.flipCol = s.flipCol[:s.m]
+	s.dualW = s.dualW[:s.m]
 
 	s.lo = s.lo[:s.nTotal]
 	s.hi = s.hi[:s.nTotal]
 	s.status = s.status[:s.nTotal]
 	s.cost = s.cost[:s.nTotal]
+	s.d = s.d[:s.nTotal]
+	s.dw = s.dw[:s.nTotal]
 	for i := 0; i < s.m; i++ {
 		ac := s.nStruct + s.m + i
 		s.lo[ac], s.hi[ac] = 0, 0
@@ -331,7 +376,9 @@ func (s *Solver) DropAddedRows() {
 		s.costPhase = 0
 		s.objCols = s.objCols[:0]
 	}
-	s.etas.reset()
+	// The factorization is for the extended system; a basis of that system
+	// is not generally a basis of the truncated one, so the next Solve must
+	// rebuild (build() refactorizes at the new dimension).
 	s.factorAge = 0
 	s.valid = false
 }

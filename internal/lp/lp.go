@@ -119,6 +119,13 @@ type Problem struct {
 	lower []float64
 	upper []float64
 	rows  []row
+	// arena is the shared backing storage for coefficients of rows added
+	// via AddRowCols: each such row's coeffs slice is a view into it, so a
+	// model built row-by-row costs one arena allocation instead of one per
+	// row. Growing the arena reallocates its backing but leaves existing
+	// views valid (they keep the old array alive); rows never append
+	// through their views.
+	arena []coeff
 }
 
 // NewProblem returns a problem with n structural variables, zero objective,
@@ -224,6 +231,74 @@ func (p *Problem) AddRow(kind RowKind, coeffs map[int]float64, rhs float64) int 
 		}
 	}
 	p.rows = append(p.rows, r)
+	return len(p.rows) - 1
+}
+
+// Reserve preallocates capacity for about nRows more rows carrying nCoeffs
+// total nonzero coefficients (added via AddRowCols). Purely an optimization:
+// a model builder that knows its size gets single-allocation row storage.
+func (p *Problem) Reserve(nRows, nCoeffs int) {
+	if need := len(p.rows) + nRows; need > cap(p.rows) {
+		rows := make([]row, len(p.rows), need)
+		copy(rows, p.rows)
+		p.rows = rows
+	}
+	if need := len(p.arena) + nCoeffs; need > cap(p.arena) {
+		arena := make([]coeff, len(p.arena), need)
+		copy(arena, p.arena)
+		p.arena = arena
+	}
+}
+
+// AddRowCols appends a constraint row given parallel column-index and
+// coefficient slices (the allocation-light alternative to AddRow's map:
+// coefficients land in a shared arena). Zero coefficients are dropped and
+// duplicate column indices are merged by summation. The input slices are
+// not retained. It returns the row index.
+func (p *Problem) AddRowCols(kind RowKind, cols []int, vals []float64, rhs float64) int {
+	if len(cols) != len(vals) {
+		panic(fmt.Sprintf("lp: AddRowCols: %d cols but %d vals", len(cols), len(vals)))
+	}
+	start := len(p.arena)
+	sorted := true
+	for k, j := range cols {
+		if j < 0 || j >= p.n {
+			panic(fmt.Sprintf("lp: AddRowCols: variable index %d out of range [0,%d)", j, p.n))
+		}
+		if v := vals[k]; v != 0 {
+			if n := len(p.arena); sorted && n > start && p.arena[n-1].j >= j {
+				sorted = false
+			}
+			p.arena = append(p.arena, coeff{j, v})
+		}
+	}
+	seg := p.arena[start:]
+	if !sorted {
+		// Duplicate merging needs column order; cut rows are short, so an
+		// in-place insertion sort beats any allocating alternative.
+		for i := 1; i < len(seg); i++ {
+			c := seg[i]
+			k := i - 1
+			for k >= 0 && seg[k].j > c.j {
+				seg[k+1] = seg[k]
+				k--
+			}
+			seg[k+1] = c
+		}
+	}
+	// Merge duplicates in place (the solver's column loader overwrites
+	// rather than sums repeated entries, so rows must be duplicate-free).
+	w := 0
+	for i := 0; i < len(seg); {
+		c := seg[i]
+		for i++; i < len(seg) && seg[i].j == c.j; i++ {
+			c.v += seg[i].v
+		}
+		seg[w] = c
+		w++
+	}
+	p.arena = p.arena[:start+w]
+	p.rows = append(p.rows, row{kind: kind, rhs: rhs, coeffs: p.arena[start : start+w]})
 	return len(p.rows) - 1
 }
 

@@ -1,0 +1,515 @@
+package lp
+
+import "math"
+
+// This file implements the basis factorization behind the revised simplex:
+// a sparse LU decomposition B = L·F·U maintained across pivots by
+// Forrest–Tomlin updates.
+//
+//   - L is the unit-lower-triangular factor produced at factorization time,
+//     stored as a sequence of column etas in elimination order. It is fixed
+//     between refactorizations.
+//   - U is the upper-triangular factor, stored *doubly*: by pivot row
+//     (urows) for the FTRAN back-substitution and the update's row
+//     elimination, and by column (ucols) for the BTRAN forward pass.
+//     "Triangular" is with respect to the elimination order (pos/order),
+//     not the literal row indices: slot s pivots on row prow[s], and
+//     urows[s] only holds entries at slots with a higher position.
+//   - F is the Forrest–Tomlin update file: a sequence of elementary row
+//     transforms (target, source, multiplier) appended by each basis
+//     change. FTRAN applies them forward after L; BTRAN applies their
+//     transposes in reverse before Lᵀ.
+//
+// A Forrest–Tomlin update replacing the column in basis slot s works on U
+// only: delete slot s's row and column, move s to the last elimination
+// position, insert the spike F⁻¹L⁻¹a as its new column, and eliminate the
+// leftover row entries with row transforms that go to the F file. No other
+// U row changes, which is what keeps the update O(row nnz) and FTRAN/BTRAN
+// cost bounded by L+U+F fill instead of growing with every pivot the way a
+// product-form eta file does. When the new diagonal comes out unstable the
+// update reports failure and the solver refactorizes from the column data.
+//
+// Index spaces: FTRAN maps a row-space vector (a column of A) to a
+// slot-space vector (coefficients per basis position); BTRAN maps
+// slot-space (costs of the basic variables) to row-space (dual prices).
+// The solver's basis[] array is never permuted by a refactorization — the
+// factor keeps its own slot↔pivot-row maps — so xb, Basis snapshots, and
+// the B&B layer's bookkeeping all stay slot-stable.
+
+// uent is one off-diagonal nonzero of U, seen from a row (slot = column
+// owner) or from a column (slot = row owner).
+type uent struct {
+	slot int32
+	val  float64
+}
+
+const (
+	// luPivotThreshold is the threshold-pivoting relative tolerance: a row
+	// is pivot-eligible when its magnitude is within this factor of the
+	// column's largest. Among eligible rows the factorization picks the one
+	// with the fewest remaining nonzeros (Markowitz-style fill control).
+	luPivotThreshold = 0.1
+	// luDropTol discards roundoff-level entries when storing L, U, or F.
+	luDropTol = 1e-12
+	// luUpdateStabTol rejects a Forrest–Tomlin update whose new diagonal is
+	// smaller than this fraction of the largest spike entry: the caller
+	// refactorizes instead of carrying an unstable pivot forward.
+	luUpdateStabTol = 1e-8
+	// luMaxUpdates is a hard backstop on updates between refactorizations;
+	// the fill-based trigger in maybeRefactor normally fires first.
+	luMaxUpdates = 128
+)
+
+// luFactor is one basis factorization plus its update file.
+type luFactor struct {
+	m int
+
+	// L: column etas (unit diagonal; stored values are already divided by
+	// the pivot) in elimination order, arena-backed.
+	lR   []int32
+	lPtr []int32
+	lIdx []int32
+	lVal []float64
+
+	// U by basis slot.
+	upiv    []float64 // diagonal of slot s (at row prow[s])
+	urows   [][]uent  // row prow[s]: entries {slot t, U[prow[s], t]}
+	ucols   [][]uent  // column s: entries {slot t, U[prow[t], s]}
+	prow    []int32   // slot -> pivot row
+	rowSlot []int32   // pivot row -> slot
+	pos     []int32   // slot -> elimination position
+	order   []int32   // elimination position -> slot
+	unnz    int       // off-diagonal U entries
+
+	// F: Forrest–Tomlin row transforms, applied FTRAN-forward as
+	// v[tgt] -= val·v[src].
+	fSrc []int32
+	fTgt []int32
+	fVal []float64
+
+	updates int // FT updates since factorize
+	baseNNZ int // L+U nonzeros (incl. diagonals) at factorize time
+
+	// Scratch.
+	spike    []float64 // row-space spike F⁻¹L⁻¹a stashed by the last ftran
+	z        []float64 // dense solve workspace
+	rs       []float64 // update: spike-row accumulator by slot
+	queued   []bool    // update: slot already in the elimination heap
+	heap     []int32   // update: min-heap of slots by elimination position
+	keys     []int32   // factorize: column-ordering keys / row counts
+	assigned []bool    // factorize: rows already pivoted
+}
+
+// init (re)sizes the factor for dimension m and clears all stored data.
+func (f *luFactor) init(m int) {
+	f.m = m
+	f.lR = f.lR[:0]
+	if len(f.lPtr) == 0 {
+		f.lPtr = append(f.lPtr, 0)
+	}
+	f.lPtr = f.lPtr[:1]
+	f.lIdx = f.lIdx[:0]
+	f.lVal = f.lVal[:0]
+	f.fSrc, f.fTgt, f.fVal = f.fSrc[:0], f.fTgt[:0], f.fVal[:0]
+	f.updates = 0
+	f.unnz = 0
+
+	grow := func(v []float64) []float64 {
+		if cap(v) < m {
+			return make([]float64, m)
+		}
+		return v[:m]
+	}
+	growI := func(v []int32) []int32 {
+		if cap(v) < m {
+			return make([]int32, m)
+		}
+		return v[:m]
+	}
+	f.upiv = grow(f.upiv)
+	f.prow = growI(f.prow)
+	f.rowSlot = growI(f.rowSlot)
+	f.pos = growI(f.pos)
+	f.order = growI(f.order)
+	f.keys = growI(f.keys)
+	f.spike = grow(f.spike)
+	f.z = grow(f.z)
+	f.rs = grow(f.rs)
+	if cap(f.queued) < m {
+		f.queued = make([]bool, m)
+	} else {
+		f.queued = f.queued[:m]
+		for i := range f.queued {
+			f.queued[i] = false
+		}
+	}
+	if cap(f.assigned) < m {
+		f.assigned = make([]bool, m)
+	} else {
+		f.assigned = f.assigned[:m]
+	}
+	f.heap = f.heap[:0]
+	if cap(f.urows) < m {
+		urows := make([][]uent, m)
+		copy(urows, f.urows)
+		f.urows = urows
+		ucols := make([][]uent, m)
+		copy(ucols, f.ucols)
+		f.ucols = ucols
+	} else {
+		f.urows = f.urows[:m]
+		f.ucols = f.ucols[:m]
+	}
+	for i := 0; i < m; i++ {
+		f.urows[i] = f.urows[i][:0]
+		f.ucols[i] = f.ucols[i][:0]
+		f.rs[i] = 0
+	}
+}
+
+// fNNZ returns the size of the update file.
+func (f *luFactor) fNNZ() int { return len(f.fVal) }
+
+// ftran solves B x = v in place. Input v is in row space; output is in slot
+// space. The intermediate spike F⁻¹L⁻¹v is stashed for a following
+// Forrest–Tomlin update.
+func (f *luFactor) ftran(v []float64) {
+	// L pass.
+	for k := range f.lR {
+		t := v[f.lR[k]]
+		if t == 0 {
+			continue
+		}
+		for q := f.lPtr[k]; q < f.lPtr[k+1]; q++ {
+			v[f.lIdx[q]] -= f.lVal[q] * t
+		}
+	}
+	// F pass (forward, append order).
+	for k := range f.fVal {
+		if t := v[f.fSrc[k]]; t != 0 {
+			v[f.fTgt[k]] -= f.fVal[k] * t
+		}
+	}
+	copy(f.spike, v)
+	// U back-substitution, highest elimination position first.
+	z := f.z
+	for k := f.m - 1; k >= 0; k-- {
+		s := f.order[k]
+		t := v[f.prow[s]]
+		for _, e := range f.urows[s] {
+			t -= e.val * z[e.slot]
+		}
+		z[s] = t / f.upiv[s]
+	}
+	copy(v, z)
+}
+
+// btran solves yᵀB = c in place. Input v is in slot space (one coefficient
+// per basis position); output is in row space (dual prices).
+func (f *luFactor) btran(v []float64) {
+	// Uᵀ forward pass, lowest elimination position first. z is indexed by
+	// pivot row.
+	z := f.z
+	for k := 0; k < f.m; k++ {
+		s := f.order[k]
+		t := v[s]
+		for _, e := range f.ucols[s] {
+			t -= e.val * z[f.prow[e.slot]]
+		}
+		z[f.prow[s]] = t / f.upiv[s]
+	}
+	// Fᵀ pass (reverse append order).
+	for k := len(f.fVal) - 1; k >= 0; k-- {
+		if t := z[f.fTgt[k]]; t != 0 {
+			z[f.fSrc[k]] -= f.fVal[k] * t
+		}
+	}
+	// Lᵀ pass (reverse eta order; unit diagonal).
+	for k := len(f.lR) - 1; k >= 0; k-- {
+		r := f.lR[k]
+		t := z[r]
+		for q := f.lPtr[k]; q < f.lPtr[k+1]; q++ {
+			t -= f.lVal[q] * z[f.lIdx[q]]
+		}
+		z[r] = t
+	}
+	copy(v, z)
+}
+
+// factorizeBasis builds f from the solver's current basis columns. Columns
+// are installed thinnest-first; within a column the pivot row is chosen
+// among entries within luPivotThreshold of the largest by fewest remaining
+// row nonzeros (approximate Markowitz with threshold partial pivoting).
+// Returns false — leaving f unusable — when the basis is numerically
+// singular; the caller must keep using its previous factor or rebuild.
+func (s *Solver) factorizeBasis(f *luFactor) bool {
+	m := s.m
+	f.init(m)
+	// Remaining-nonzeros-per-row counts for the Markowitz tiebreak, from
+	// the sparse column data (fill-in is not counted: "Markowitz-lite").
+	rc := f.keys
+	for i := range rc {
+		rc[i] = 0
+	}
+	for slot := 0; slot < m; slot++ {
+		j := s.basis[slot]
+		switch {
+		case j < s.nStruct:
+			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+				rc[s.colRow[k]]++
+			}
+			if s.extCols != nil {
+				for _, e := range s.extCols[j] {
+					rc[e.i]++
+				}
+			}
+		case j < s.nStruct+s.mBase:
+			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+				rc[s.colRow[k]]++
+			}
+		case j < s.nStruct+s.m:
+			rc[j-s.nStruct]++
+		default:
+			rc[j-s.nStruct-s.m]++
+		}
+	}
+	// Install thin columns first to limit fill.
+	ord := f.order
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	insertionSortByKey(ord, func(slot int32) int32 { return int32(s.colNNZ(s.basis[slot])) })
+
+	assigned := f.assigned
+	for i := range assigned {
+		assigned[i] = false
+	}
+	x := s.alpha
+	for k := 0; k < m; k++ {
+		slot := int(ord[k])
+		j := s.basis[slot]
+		s.loadCol(j, x)
+		// Eliminate with the L columns built so far.
+		for e := range f.lR {
+			t := x[f.lR[e]]
+			if t == 0 {
+				continue
+			}
+			for q := f.lPtr[e]; q < f.lPtr[e+1]; q++ {
+				x[f.lIdx[q]] -= f.lVal[q] * t
+			}
+		}
+		// Threshold pivoting with a Markowitz row-count tiebreak.
+		maxAbs := 0.0
+		for i := 0; i < m; i++ {
+			if assigned[i] {
+				continue
+			}
+			if a := math.Abs(x[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs <= pivotEps {
+			return false
+		}
+		thresh := luPivotThreshold * maxAbs
+		best, bestCount, bestAbs := -1, int32(math.MaxInt32), 0.0
+		for i := 0; i < m; i++ {
+			if assigned[i] {
+				continue
+			}
+			a := math.Abs(x[i])
+			if a < thresh || a <= pivotEps {
+				continue
+			}
+			if rc[i] < bestCount || (rc[i] == bestCount && a > bestAbs) {
+				best, bestCount, bestAbs = i, rc[i], a
+			}
+		}
+		piv := x[best]
+		f.upiv[slot] = piv
+		f.prow[slot] = int32(best)
+		f.rowSlot[best] = int32(slot)
+		f.pos[slot] = int32(k)
+		f.order[k] = int32(slot) // ord aliases f.order; position k is final
+		assigned[best] = true
+		// Store U entries (already-pivoted rows) and the L eta (the rest).
+		for i := 0; i < m; i++ {
+			v := x[i]
+			if i == best || (v < luDropTol && v > -luDropTol) {
+				continue
+			}
+			if assigned[i] {
+				t := f.rowSlot[i]
+				f.urows[t] = append(f.urows[t], uent{slot: int32(slot), val: v})
+				f.ucols[slot] = append(f.ucols[slot], uent{slot: t, val: v})
+				f.unnz++
+				continue
+			}
+			f.lIdx = append(f.lIdx, int32(i))
+			f.lVal = append(f.lVal, v/piv)
+		}
+		f.lR = append(f.lR, int32(best))
+		f.lPtr = append(f.lPtr, int32(len(f.lIdx)))
+	}
+	f.baseNNZ = m + f.unnz + len(f.lVal)
+	return true
+}
+
+// insertionSortByKey stable-sorts ord ascending by key. The basis column
+// sizes it orders are tiny and nearly sorted across refactorizations, and
+// an insertion sort avoids the sort.Slice closure allocation on the node
+// hot path.
+func insertionSortByKey(ord []int32, key func(int32) int32) {
+	for i := 1; i < len(ord); i++ {
+		v := ord[i]
+		kv := key(v)
+		j := i - 1
+		for j >= 0 && key(ord[j]) > kv {
+			ord[j+1] = ord[j]
+			j--
+		}
+		ord[j+1] = v
+	}
+}
+
+// ftUpdate replaces the column of basis slot s with the one whose spike
+// F⁻¹L⁻¹a was stashed by the immediately preceding ftran, applying a
+// Forrest–Tomlin update to U and appending the elimination's row transforms
+// to the F file. It returns the number of F entries appended and ok=false
+// when the new diagonal fails the stability test — the factor is then
+// inconsistent and the caller MUST refactorize before the next solve.
+func (f *luFactor) ftUpdate(s int) (added int, ok bool) {
+	r := int(f.prow[s])
+	p := int(f.pos[s])
+
+	// Delete column s from U.
+	for _, e := range f.ucols[s] {
+		removeUEnt(&f.urows[e.slot], int32(s))
+	}
+	f.unnz -= len(f.ucols[s])
+	f.ucols[s] = f.ucols[s][:0]
+	// Delete row prow[s]: scatter it into the slot-indexed accumulator for
+	// the elimination below, and drop the transposed entries.
+	rs := f.rs
+	for _, e := range f.urows[s] {
+		removeUEnt(&f.ucols[e.slot], int32(s))
+		rs[e.slot] = e.val
+		f.heapPush(e.slot)
+	}
+	f.unnz -= len(f.urows[s])
+	f.urows[s] = f.urows[s][:0]
+
+	// Move slot s to the last elimination position.
+	for k := p + 1; k < f.m; k++ {
+		f.order[k-1] = f.order[k]
+		f.pos[f.order[k-1]]--
+	}
+	f.order[f.m-1] = int32(s)
+	f.pos[s] = int32(f.m - 1)
+
+	// Insert the spike as the new column s, tracking its largest entry for
+	// the stability test.
+	diag := f.spike[r]
+	maxAbs := math.Abs(diag)
+	for i := 0; i < f.m; i++ {
+		v := f.spike[i]
+		if i == r || (v < luDropTol && v > -luDropTol) {
+			continue
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		t := f.rowSlot[i]
+		f.urows[t] = append(f.urows[t], uent{slot: int32(s), val: v})
+		f.ucols[s] = append(f.ucols[s], uent{slot: t, val: v})
+		f.unnz++
+	}
+
+	// Eliminate the leftover row entries in elimination order, appending
+	// one row transform per eliminated entry. Fill-in lands back in rs and
+	// is eliminated in turn (heap keeps position order).
+	for len(f.heap) > 0 {
+		j := int(f.heapPop())
+		mu := rs[j] / f.upiv[j]
+		rs[j] = 0
+		if mu < luDropTol && mu > -luDropTol {
+			continue
+		}
+		f.fSrc = append(f.fSrc, f.prow[j])
+		f.fTgt = append(f.fTgt, int32(r))
+		f.fVal = append(f.fVal, mu)
+		added++
+		for _, e := range f.urows[j] {
+			if int(e.slot) == s {
+				diag -= mu * e.val
+				continue
+			}
+			rs[e.slot] -= mu * e.val
+			f.heapPush(e.slot)
+		}
+	}
+
+	f.updates++
+	if a := math.Abs(diag); a <= pivotEps || a < luUpdateStabTol*maxAbs {
+		return added, false
+	}
+	f.upiv[s] = diag
+	return added, true
+}
+
+// removeUEnt swap-deletes the entry with the given slot from a U row/column.
+func removeUEnt(ents *[]uent, slot int32) {
+	e := *ents
+	for k := range e {
+		if e[k].slot == slot {
+			last := len(e) - 1
+			e[k] = e[last]
+			*ents = e[:last]
+			return
+		}
+	}
+}
+
+// heapPush queues slot j for elimination, ordered by elimination position.
+func (f *luFactor) heapPush(j int32) {
+	if f.queued[j] {
+		return
+	}
+	f.queued[j] = true
+	f.heap = append(f.heap, j)
+	k := len(f.heap) - 1
+	for k > 0 {
+		par := (k - 1) / 2
+		if f.pos[f.heap[par]] <= f.pos[f.heap[k]] {
+			break
+		}
+		f.heap[par], f.heap[k] = f.heap[k], f.heap[par]
+		k = par
+	}
+}
+
+func (f *luFactor) heapPop() int32 {
+	top := f.heap[0]
+	f.queued[top] = false
+	last := len(f.heap) - 1
+	f.heap[0] = f.heap[last]
+	f.heap = f.heap[:last]
+	k := 0
+	for {
+		l, rr := 2*k+1, 2*k+2
+		small := k
+		if l < len(f.heap) && f.pos[f.heap[l]] < f.pos[f.heap[small]] {
+			small = l
+		}
+		if rr < len(f.heap) && f.pos[f.heap[rr]] < f.pos[f.heap[small]] {
+			small = rr
+		}
+		if small == k {
+			break
+		}
+		f.heap[k], f.heap[small] = f.heap[small], f.heap[k]
+		k = small
+	}
+	return top
+}

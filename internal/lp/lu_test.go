@@ -1,0 +1,399 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// luTestSolver builds a Solver whose structural columns are the given dense
+// m-vectors and installs cols[basis[i]] in basis slot i, factorized. The
+// Problem's rows are EQ rows encoding the matrix, so loadCol reproduces the
+// columns exactly.
+func luTestSolver(t *testing.T, cols [][]float64, basis []int) *Solver {
+	t.Helper()
+	m := len(cols[0])
+	p := NewProblem(len(cols))
+	for j := range cols {
+		if len(cols[j]) != m {
+			t.Fatalf("ragged column %d", j)
+		}
+		p.SetBounds(j, 0, 1)
+	}
+	for i := 0; i < m; i++ {
+		coeffs := map[int]float64{}
+		for j := range cols {
+			if cols[j][i] != 0 {
+				coeffs[j] = cols[j][i]
+			}
+		}
+		p.AddRow(EQ, coeffs, 0)
+	}
+	s := NewSolver(p)
+	s.ensureBuilt() // the tests poke basis/status directly
+	for i, j := range basis {
+		s.basis[i] = j
+		s.status[j] = basic
+	}
+	return s
+}
+
+// denseSolve solves A x = b by Gaussian elimination with partial pivoting.
+// Returns false when A is numerically singular.
+func denseSolve(A [][]float64, b []float64) ([]float64, bool) {
+	m := len(A)
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = append([]float64(nil), A[i]...)
+		a[i] = append(a[i], b[i])
+	}
+	for c := 0; c < m; c++ {
+		piv, best := -1, 0.0
+		for i := c; i < m; i++ {
+			if v := math.Abs(a[i][c]); v > best {
+				piv, best = i, v
+			}
+		}
+		if best <= 1e-11 {
+			return nil, false
+		}
+		a[c], a[piv] = a[piv], a[c]
+		for i := c + 1; i < m; i++ {
+			f := a[i][c] / a[c][c]
+			if f == 0 {
+				continue
+			}
+			for k := c; k <= m; k++ {
+				a[i][k] -= f * a[c][k]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		t := a[i][m]
+		for k := i + 1; k < m; k++ {
+			t -= a[i][k] * x[k]
+		}
+		x[i] = t / a[i][i]
+	}
+	return x, true
+}
+
+// basisMatrix materializes the dense basis matrix B[i][slot] for a set of
+// columns: B's column s is cols[basis[s]].
+func basisMatrix(cols [][]float64, basis []int) [][]float64 {
+	m := len(basis)
+	B := make([][]float64, m)
+	for i := range B {
+		B[i] = make([]float64, m)
+		for s, j := range basis {
+			B[i][s] = cols[j][i]
+		}
+	}
+	return B
+}
+
+// checkFactor verifies ftran and btran of s.lu against dense solves with the
+// materialized basis matrix, on nRHS random right-hand sides.
+func checkFactor(t *testing.T, s *Solver, cols [][]float64, rng *rand.Rand, nRHS int, tol float64) {
+	t.Helper()
+	m := s.m
+	B := basisMatrix(cols, s.basis)
+	for trial := 0; trial < nRHS; trial++ {
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, ok := denseSolve(B, b)
+		if !ok {
+			t.Fatalf("reference dense solve found basis singular")
+		}
+		got := append([]float64(nil), b...)
+		s.lu.ftran(got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > tol*(1+math.Abs(want[i])) {
+				t.Fatalf("ftran slot %d: got %g want %g (diff %g)", i, got[i], want[i], got[i]-want[i])
+			}
+		}
+		// BTRAN solves yB = c, i.e. Bᵀy = c.
+		Bt := make([][]float64, m)
+		for i := range Bt {
+			Bt[i] = make([]float64, m)
+			for k := 0; k < m; k++ {
+				Bt[i][k] = B[k][i]
+			}
+		}
+		wantY, ok := denseSolve(Bt, b)
+		if !ok {
+			t.Fatalf("reference dense transpose solve found basis singular")
+		}
+		gotY := append([]float64(nil), b...)
+		s.lu.btran(gotY)
+		for i := range gotY {
+			if math.Abs(gotY[i]-wantY[i]) > tol*(1+math.Abs(wantY[i])) {
+				t.Fatalf("btran row %d: got %g want %g", i, gotY[i], wantY[i])
+			}
+		}
+	}
+}
+
+func randCols(rng *rand.Rand, n, m int, density float64) [][]float64 {
+	cols := make([][]float64, n)
+	for j := range cols {
+		cols[j] = make([]float64, m)
+		nz := 0
+		for i := range cols[j] {
+			if rng.Float64() < density {
+				cols[j][i] = math.Round(rng.NormFloat64()*8) / 4
+				if cols[j][i] != 0 {
+					nz++
+				}
+			}
+		}
+		if nz == 0 {
+			cols[j][rng.Intn(m)] = 1 + rng.Float64()
+		}
+	}
+	return cols
+}
+
+// TestLUFactorizeRandom checks factorize+ftran+btran against dense Gaussian
+// elimination on random sparse bases of varying size and density.
+func TestLUFactorizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(30)
+		cols := randCols(rng, m, m, 0.1+0.5*rng.Float64())
+		basis := make([]int, m)
+		for i := range basis {
+			basis[i] = i
+		}
+		s := luTestSolver(t, cols, basis)
+		if !s.factorizeBasis(s.lu) {
+			// The random basis really can be singular; the dense reference
+			// must agree.
+			b := make([]float64, m)
+			b[0] = 1
+			if _, ok := denseSolve(basisMatrix(cols, basis), b); ok {
+				t.Fatalf("trial %d: factorizeBasis failed on a nonsingular basis", trial)
+			}
+			continue
+		}
+		checkFactor(t, s, cols, rng, 3, 1e-6)
+	}
+}
+
+// TestLUSingular feeds structurally and numerically singular bases and wants
+// a clean failure, never a bogus factor.
+func TestLUSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Zero column.
+	colsA := randCols(rng, 4, 4, 0.8)
+	// A column whose only entry is below pivotEps: numerically a zero column
+	// (loadCol keeps it, factorization must refuse to pivot on it).
+	colsA[2] = []float64{0, pivotEps / 2, 0, 0}
+	sA := luTestSolver(t, colsA, []int{0, 1, 2, 3})
+	if sA.factorizeBasis(sA.lu) {
+		t.Fatal("factorized a basis with an (effectively) zero column")
+	}
+	// Duplicate column.
+	colsB := randCols(rng, 4, 4, 0.8)
+	colsB[3] = append([]float64(nil), colsB[1]...)
+	sB := luTestSolver(t, colsB, []int{0, 1, 2, 3})
+	if sB.factorizeBasis(sB.lu) {
+		t.Fatal("factorized a basis with a duplicated column")
+	}
+	// Linearly dependent triple: c2 = c0 + c1.
+	colsC := randCols(rng, 5, 5, 0.9)
+	for i := 0; i < 5; i++ {
+		colsC[2][i] = colsC[0][i] + colsC[1][i]
+	}
+	sC := luTestSolver(t, colsC, []int{0, 1, 2, 3, 4})
+	if sC.factorizeBasis(sC.lu) {
+		t.Fatal("factorized a linearly dependent basis")
+	}
+}
+
+// TestLUNearSingular: two columns differing by ~1e-13 leave every candidate
+// pivot of the last elimination step at roundoff level; the factorization
+// must report failure rather than divide by it.
+func TestLUNearSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cols := randCols(rng, 4, 4, 1.0)
+	for i := 0; i < 4; i++ {
+		cols[3][i] = cols[2][i]
+	}
+	cols[3][1] += 1e-13
+	s := luTestSolver(t, cols, []int{0, 1, 2, 3})
+	if s.factorizeBasis(s.lu) {
+		t.Fatal("factorized a near-singular basis (pivot ~1e-13)")
+	}
+}
+
+// TestLUPermutedTriangular: a row/column permutation of a triangular matrix
+// factorizes with zero fill beyond its own entries and solves exactly.
+func TestLUPermutedTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(20)
+		// Lower-triangular T with unit-ish diagonal, then permute rows and
+		// columns.
+		T := make([][]float64, m)
+		for i := range T {
+			T[i] = make([]float64, m)
+			T[i][i] = 1 + rng.Float64()
+			for k := 0; k < i; k++ {
+				if rng.Float64() < 0.3 {
+					T[i][k] = rng.NormFloat64()
+				}
+			}
+		}
+		rp := rng.Perm(m)
+		cp := rng.Perm(m)
+		cols := make([][]float64, m)
+		for j := range cols {
+			cols[j] = make([]float64, m)
+			for i := 0; i < m; i++ {
+				cols[j][i] = T[rp[i]][cp[j]]
+			}
+		}
+		basis := make([]int, m)
+		for i := range basis {
+			basis[i] = i
+		}
+		s := luTestSolver(t, cols, basis)
+		if !s.factorizeBasis(s.lu) {
+			t.Fatalf("trial %d: failed to factorize a permuted triangular basis", trial)
+		}
+		// A fresh factorization carries no update file by construction.
+		if s.lu.fNNZ() != 0 || s.lu.updates != 0 {
+			t.Fatalf("trial %d: fresh factorization reports update state (fNNZ=%d updates=%d)",
+				trial, s.lu.fNNZ(), s.lu.updates)
+		}
+		checkFactor(t, s, cols, rng, 2, 1e-8)
+	}
+}
+
+// TestLUUpdateVsRefactor drives long sequences of Forrest–Tomlin updates and
+// checks after every step that ftran/btran still agree with a dense solve of
+// the explicitly tracked basis matrix — i.e. the update file is exactly
+// equivalent to refactorizing.
+func TestLUUpdateVsRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		m := 3 + rng.Intn(15)
+		n := m + 5 + rng.Intn(20)
+		cols := randCols(rng, n, m, 0.2+0.4*rng.Float64())
+		basis := make([]int, m)
+		inBasis := make([]bool, n)
+		for i := range basis {
+			basis[i] = i
+			inBasis[i] = true
+		}
+		s := luTestSolver(t, cols, basis)
+		if !s.factorizeBasis(s.lu) {
+			continue // unlucky start; randomness covered by other trials
+		}
+		steps := 0
+		for attempt := 0; attempt < 400 && steps < 200; attempt++ {
+			enter := rng.Intn(n)
+			if inBasis[enter] {
+				continue
+			}
+			r := rng.Intn(m)
+			col := s.ftranCol(enter) // stashes the spike for ftUpdate
+			if math.Abs(col[r]) < 1e-3 {
+				continue // would be numerically silly even for a real pivot
+			}
+			inBasis[s.basis[r]] = false
+			s.basis[r] = enter
+			inBasis[enter] = true
+			if _, ok := s.lu.ftUpdate(r); !ok {
+				if !s.factorizeBasis(s.lu) {
+					t.Fatalf("trial %d: refactorization after rejected update failed", trial)
+				}
+			}
+			steps++
+			if steps%7 == 0 {
+				checkFactor(t, s, cols, rng, 1, 1e-5)
+			}
+		}
+		if steps < 20 {
+			continue
+		}
+		checkFactor(t, s, cols, rng, 2, 1e-5)
+		// And the factor agrees with a from-scratch factorization of the
+		// same basis.
+		fresh := &luFactor{}
+		if !s.factorizeBasis(fresh) {
+			t.Fatalf("trial %d: fresh factorization of the updated basis failed", trial)
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		viaUpdates := append([]float64(nil), b...)
+		s.lu.ftran(viaUpdates)
+		viaFresh := append([]float64(nil), b...)
+		fresh.ftran(viaFresh)
+		for i := range b {
+			if math.Abs(viaUpdates[i]-viaFresh[i]) > 1e-5*(1+math.Abs(viaFresh[i])) {
+				t.Fatalf("trial %d: update-file ftran diverged from fresh factorization at slot %d: %g vs %g",
+					trial, i, viaUpdates[i], viaFresh[i])
+			}
+		}
+	}
+}
+
+// TestLUUpdateGrowsFFile sanity-checks the bookkeeping the refactorization
+// policy relies on: updates count up, fNNZ grows monotonically, and a
+// refactorization resets both.
+func TestLUUpdateGrowsFFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m, n := 12, 30
+	cols := randCols(rng, n, m, 0.6)
+	basis := make([]int, m)
+	inBasis := make([]bool, n)
+	for i := range basis {
+		basis[i] = i
+		inBasis[i] = true
+	}
+	s := luTestSolver(t, cols, basis)
+	if !s.factorizeBasis(s.lu) {
+		t.Skip("random start basis singular")
+	}
+	updates := 0
+	for attempt := 0; attempt < 200 && updates < 30; attempt++ {
+		enter := rng.Intn(n)
+		if inBasis[enter] {
+			continue
+		}
+		r := rng.Intn(m)
+		col := s.ftranCol(enter)
+		if math.Abs(col[r]) < 1e-2 {
+			continue
+		}
+		inBasis[s.basis[r]] = false
+		s.basis[r] = enter
+		inBasis[enter] = true
+		if _, ok := s.lu.ftUpdate(r); !ok {
+			if !s.factorizeBasis(s.lu) {
+				t.Fatal("refactorization failed")
+			}
+			continue
+		}
+		updates++
+		if s.lu.updates == 0 {
+			t.Fatal("updates counter not incremented")
+		}
+	}
+	if updates < 5 {
+		t.Skip("not enough successful updates to exercise the counters")
+	}
+	if !s.factorizeBasis(s.lu) {
+		t.Fatal("refactorization failed")
+	}
+	if s.lu.updates != 0 || s.lu.fNNZ() != 0 {
+		t.Fatalf("refactorization did not reset update state: updates=%d fNNZ=%d", s.lu.updates, s.lu.fNNZ())
+	}
+}

@@ -3,19 +3,32 @@ package lp
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"slices"
 )
 
 // Solver is a reusable bounded-variable simplex solver bound to one Problem.
 //
 // It is a *revised* simplex: the constraint matrix is stored once in sparse
-// column-major (CSC) form and the basis inverse is represented as an
-// eta-file (product form). Every quantity the simplex needs — basic-variable
-// values, dual prices, a pivot column, a pivot row — is computed on demand
-// with sparse FTRAN/BTRAN passes over the eta file instead of being carried
-// in a dense m×n tableau. On the ~95%-sparse partitioning models of
-// internal/tempart this cuts the per-pivot cost by an order of magnitude:
-// a pivot touches O(nnz) entries, not O(m·n).
+// column-major (CSC) form and the basis inverse is represented as a sparse
+// LU factorization B = L·F·U maintained by Forrest–Tomlin updates (see
+// lu.go). Every quantity the simplex needs — basic-variable values, dual
+// prices, a pivot column, a pivot row — is computed on demand with sparse
+// FTRAN/BTRAN passes over the factor instead of being carried in a dense
+// m×n tableau. Unlike a product-form eta file, the Forrest–Tomlin update
+// keeps FTRAN/BTRAN cost proportional to the factor's fill instead of the
+// number of pivots since reinversion, so refactorization is triggered by
+// fill-in and stability (see maybeRefactor), not a fixed pivot count.
+//
+// Pricing is devex: the primal simplex keeps incrementally updated reduced
+// costs and devex reference weights and picks the entering column with the
+// best weighted violation (with an exact re-price before declaring
+// optimality, and a Bland fallback under stalling); the dual simplex
+// weights row violations the same way. The dual ratio test is long-step
+// (bound-flipping): box-bounded nonbasic columns whose breakpoint is passed
+// flip to their opposite bound — absorbing infeasibility without consuming
+// a pivot — and a single combined FTRAN updates the basic values for all
+// flips of an iteration.
 //
 // The basis of the previous solve is kept so that subsequent solves after
 // bound changes warm start with the dual simplex instead of a from-scratch
@@ -34,7 +47,10 @@ import (
 //     basis so the next Solve re-enters through the dual simplex (see
 //     dynrows.go).
 //   - Solve returns a Solution whose X slice is freshly allocated and safe
-//     to retain.
+//     to retain — unless SetReuseSolution(true) put the Solver in
+//     shared-buffer mode, where the Solution and its X are valid only until
+//     the next solve on this Solver (the allocation-free hot-path mode the
+//     branch-and-bound layer uses).
 //   - A Solver is not safe for concurrent use; create one per goroutine
 //     (they share the Problem's immutable row storage).
 type Solver struct {
@@ -75,25 +91,36 @@ type Solver struct {
 	cost    []float64   // active cost row (phase-dependent)
 	objCols []int32     // columns with nonzero active cost (objective scan)
 
-	// etas is the product-form factorization: B⁻¹ = Eₖ⁻¹…E₁⁻¹, rebuilt from
-	// the original column data by refactor() (reinversion), extended by one
-	// eta per pivot.
-	etas      etaFile
-	spare     etaFile // refactor builds here, swapped in on success
-	factorAge int     // pivots since the last reinversion
+	// lu is the current basis factorization; refactor() rebuilds into
+	// luSpare and swaps, so a singular reinversion never destroys a usable
+	// factor. factorAge mirrors lu.updates (Forrest–Tomlin updates since
+	// the last reinversion) for the dual-infeasibility verification.
+	lu        *luFactor
+	luSpare   *luFactor
+	factorAge int
 
-	// Scratch (allocated once, length m).
-	alpha    []float64 // FTRAN pivot column
-	y        []float64 // BTRAN dual prices
-	rho      []float64 // BTRAN unit row
-	order    []int     // refactor: column installation order
-	newBasis []int     // refactor: permuted slot assignment
-	assigned []bool    // refactor: rows already pivoted
+	// Scratch (allocated once; alpha/y/rho/flip are length m, d/dw length
+	// nTotal).
+	alpha   []float64 // FTRAN pivot column
+	y       []float64 // BTRAN dual prices
+	rho     []float64 // BTRAN unit row
+	flipCol []float64 // combined bound-flip column (dual long step)
+	d       []float64 // incremental reduced costs (primal devex pricing)
+	dw      []float64 // devex reference weights per column (primal)
+	dualW   []float64 // devex reference weights per row slot (dual)
+	bp      []dualBP  // dual ratio-test breakpoints
 
-	valid     bool // basis + eta file reusable for a warm start
+	built     bool // engine state materialized (ensureBuilt)
+	valid     bool // basis + factorization reusable for a warm start
 	costPhase int  // 0 unset, 1 phase-1 cost row, 2 phase-2 (true objective)
 	iter      int  // pivots in the current solve
 	maxIter   int
+
+	// Shared-solution mode (SetReuseSolution): finish() fills these instead
+	// of allocating.
+	reuseSol bool
+	sol      Solution
+	solX     []float64
 
 	// Stats accumulates solver activity across the Solver's lifetime.
 	Stats SolverStats
@@ -101,12 +128,23 @@ type Solver struct {
 
 // SolverStats counts solver activity since NewSolver.
 type SolverStats struct {
-	Solves     int // total Solve calls
-	WarmSolves int // solves served by the warm-start path
-	ColdSolves int // solves that (re)built the basis from scratch
-	Pivots     int // total simplex pivots (primal + dual)
-	DualPivots int // pivots spent in the dual-simplex repair
-	RowsAdded  int // constraint rows appended to the live solver (AddRows)
+	Solves           int // total Solve calls
+	WarmSolves       int // solves served by the warm-start path
+	ColdSolves       int // solves that (re)built the basis from scratch
+	Pivots           int // total simplex pivots (primal + dual)
+	DualPivots       int // pivots spent in the dual-simplex repair
+	RowsAdded        int // constraint rows appended to the live solver (AddRows)
+	Refactorizations int // basis reinversions (cold builds, fill/stability triggers, installs)
+	BoundFlips       int // dual long-step bound flips (infeasibility absorbed without a pivot)
+	UpdateNNZ        int // cumulative Forrest–Tomlin update-file nonzeros appended
+}
+
+// dualBP is one dual ratio-test breakpoint: nonbasic column j would change
+// reduced-cost sign at dual step |d_j/alpha_j|.
+type dualBP struct {
+	j     int32
+	alpha float64
+	ratio float64
 }
 
 // Basis is a compact snapshot of a Solver basis, suitable for storing in a
@@ -117,98 +155,8 @@ type Basis struct {
 	status []varStatus
 }
 
-// refactorPivots bounds how many pivots may extend the eta file before it is
-// rebuilt from the original column data (reinversion), limiting both the
-// FTRAN/BTRAN cost of a long eta file and accumulated roundoff.
-const refactorPivots = 64
-
 // feasTol is the primal feasibility tolerance used by the warm-start path.
 const feasTol = 1e-7
-
-// ---- eta file ----
-
-// etaFile is a product-form representation of the basis: a sequence of
-// elementary matrices, each the identity with one column replaced. Entries
-// of all etas share two arena slices so a pivot costs O(nnz) appends and no
-// per-eta allocations.
-type etaFile struct {
-	r     []int32   // pivot row per eta
-	pivot []float64 // pivot value per eta
-	start []int32   // len(r)+1 offsets into idx/val
-	idx   []int32   // off-pivot row indices
-	val   []float64 // off-pivot values
-}
-
-func (e *etaFile) reset() {
-	e.r = e.r[:0]
-	e.pivot = e.pivot[:0]
-	if len(e.start) == 0 {
-		e.start = append(e.start, 0)
-	}
-	e.start = e.start[:1]
-	e.idx = e.idx[:0]
-	e.val = e.val[:0]
-}
-
-// etaDropTol discards near-zero off-pivot entries when an eta is stored.
-// Roundoff noise would otherwise densify the eta file pivot after pivot and
-// dominate the FTRAN/BTRAN cost; the periodic reinversion (refactor) and
-// the row-feasibility guard in internal/ilp bound the resulting error.
-const etaDropTol = 1e-12
-
-// push appends the eta with pivot row r taken from the dense column alpha.
-// When skipTrivial is set, an identity eta (pivot 1, no off-pivot entries)
-// is dropped — reinversion uses this for untouched unit basis columns.
-func (e *etaFile) push(r int, alpha []float64, skipTrivial bool) {
-	mark := len(e.idx)
-	for i, v := range alpha {
-		if i != r && (v > etaDropTol || v < -etaDropTol) {
-			e.idx = append(e.idx, int32(i))
-			e.val = append(e.val, v)
-		}
-	}
-	if skipTrivial && len(e.idx) == mark && alpha[r] == 1 {
-		return
-	}
-	e.r = append(e.r, int32(r))
-	e.pivot = append(e.pivot, alpha[r])
-	e.start = append(e.start, int32(len(e.idx)))
-}
-
-// pushUnit appends a diagonal eta (used for the ±1 artificial columns).
-func (e *etaFile) pushUnit(r int, pivot float64) {
-	e.r = append(e.r, int32(r))
-	e.pivot = append(e.pivot, pivot)
-	e.start = append(e.start, int32(len(e.idx)))
-}
-
-// ftran solves B x = v in place: x = Eₖ⁻¹…E₁⁻¹ v.
-func (e *etaFile) ftran(v []float64) {
-	for k := range e.r {
-		r := e.r[k]
-		t := v[r]
-		if t == 0 {
-			continue
-		}
-		t /= e.pivot[k]
-		v[r] = t
-		for q := e.start[k]; q < e.start[k+1]; q++ {
-			v[e.idx[q]] -= e.val[q] * t
-		}
-	}
-}
-
-// btran solves yᵀ B = c in place: y = E₁⁻ᵀ…Eₖ⁻ᵀ c applied in reverse.
-func (e *etaFile) btran(y []float64) {
-	for k := len(e.r) - 1; k >= 0; k-- {
-		r := e.r[k]
-		t := y[r]
-		for q := e.start[k]; q < e.start[k+1]; q++ {
-			t -= e.val[q] * y[e.idx[q]]
-		}
-		y[r] = t / e.pivot[k]
-	}
-}
 
 // ---- construction ----
 
@@ -220,68 +168,18 @@ func NewSolver(p *Problem) *Solver {
 	n := p.n
 	nTotal := n + 2*m
 	s := &Solver{
-		p:        p,
-		m:        m,
-		mBase:    m,
-		nStruct:  n,
-		nTotal:   nTotal,
-		lo:       make([]float64, nTotal),
-		hi:       make([]float64, nTotal),
-		rhs:      make([]float64, m),
-		artUsed:  make([]bool, m),
-		artSign:  make([]float64, m),
-		basis:    make([]int, m),
-		status:   make([]varStatus, nTotal),
-		xb:       make([]float64, m),
-		cost:     make([]float64, nTotal),
-		alpha:    make([]float64, m),
-		y:        make([]float64, m),
-		rho:      make([]float64, m),
-		order:    make([]int, m),
-		newBasis: make([]int, m),
-		assigned: make([]bool, m),
-		maxIter:  2000 + 200*(m+nTotal),
+		p:       p,
+		m:       m,
+		mBase:   m,
+		nStruct: n,
+		nTotal:  nTotal,
+		lo:      make([]float64, nTotal),
+		hi:      make([]float64, nTotal),
+		maxIter: 2000 + 200*(m+nTotal),
 	}
-	s.etas.reset()
-	s.spare.reset()
 	for j := 0; j < n; j++ {
 		s.lo[j] = p.lower[j]
 		s.hi[j] = p.upper[j]
-	}
-	// CSC assembly: structural columns from the sparse rows, then one unit
-	// slack column per row.
-	nnz := m
-	for _, r := range p.rows {
-		nnz += len(r.coeffs)
-	}
-	s.colPtr = make([]int32, n+m+1)
-	s.colRow = make([]int32, nnz)
-	s.colVal = make([]float64, nnz)
-	for _, r := range p.rows {
-		for _, c := range r.coeffs {
-			s.colPtr[c.j+1]++
-		}
-	}
-	for i := 0; i < m; i++ {
-		s.colPtr[n+i+1] = 1
-	}
-	for j := 0; j < n+m; j++ {
-		s.colPtr[j+1] += s.colPtr[j]
-	}
-	fill := make([]int32, n+m)
-	copy(fill, s.colPtr[:n+m])
-	for i, r := range p.rows {
-		s.rhs[i] = r.rhs
-		for _, c := range r.coeffs {
-			k := fill[c.j]
-			s.colRow[k] = int32(i)
-			s.colVal[k] = c.v
-			fill[c.j]++
-		}
-		k := fill[n+i]
-		s.colRow[k] = int32(i)
-		s.colVal[k] = 1
-		fill[n+i]++
 	}
 	for i, r := range p.rows {
 		sc := n + i
@@ -295,7 +193,84 @@ func NewSolver(p *Problem) *Solver {
 		}
 	}
 	// Artificial slots stay pinned at [0,0] until a cold build opens them.
+	// Everything else — the CSC matrix, the LU workspace, the pricing and
+	// ratio-test scratch — materializes lazily on the first solve
+	// (ensureBuilt): a branch-and-bound search whose root is fathomed
+	// combinatorially never solves an LP, and must not pay for one.
 	return s
+}
+
+// ensureBuilt materializes the solver engine on first use: CSC assembly of
+// the structural and slack columns, the LU workspace, and the iteration
+// scratch. NewSolver defers this so that bound bookkeeping (Bounds /
+// SetVarBounds, the only state branch-and-bound needs before its first LP
+// solve) stays cheap. The float64 scratch shares one backing allocation;
+// the pieces are capped (three-index slices) so a later growth path
+// (AddRows) reallocates a piece instead of stomping its neighbour.
+func (s *Solver) ensureBuilt() {
+	if s.built {
+		return
+	}
+	s.built = true
+	m, n, nTotal := s.m, s.nStruct, s.nTotal
+	buf := make([]float64, 8*m+3*nTotal)
+	grab := func(k int) []float64 {
+		p := buf[:k:k]
+		buf = buf[k:]
+		return p
+	}
+	s.rhs = grab(m)
+	s.artSign = grab(m)
+	s.xb = grab(m)
+	s.alpha = grab(m)
+	s.y = grab(m)
+	s.rho = grab(m)
+	s.flipCol = grab(m)
+	s.dualW = grab(m)
+	s.cost = grab(nTotal)
+	s.d = grab(nTotal)
+	s.dw = grab(nTotal)
+	s.artUsed = make([]bool, m)
+	s.basis = make([]int, m)
+	s.status = make([]varStatus, nTotal)
+	s.lu = &luFactor{}
+	s.luSpare = &luFactor{}
+	s.lu.init(m)
+	// CSC assembly: structural columns from the sparse rows, then one unit
+	// slack column per row.
+	nnz := m
+	for _, r := range s.p.rows {
+		nnz += len(r.coeffs)
+	}
+	s.colPtr = make([]int32, n+m+1)
+	s.colRow = make([]int32, nnz)
+	s.colVal = make([]float64, nnz)
+	for _, r := range s.p.rows {
+		for _, c := range r.coeffs {
+			s.colPtr[c.j+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		s.colPtr[n+i+1] = 1
+	}
+	for j := 0; j < n+m; j++ {
+		s.colPtr[j+1] += s.colPtr[j]
+	}
+	fill := make([]int32, n+m)
+	copy(fill, s.colPtr[:n+m])
+	for i, r := range s.p.rows {
+		s.rhs[i] = r.rhs
+		for _, c := range r.coeffs {
+			k := fill[c.j]
+			s.colRow[k] = int32(i)
+			s.colVal[k] = c.v
+			fill[c.j]++
+		}
+		k := fill[n+i]
+		s.colRow[k] = int32(i)
+		s.colVal[k] = 1
+		fill[n+i]++
+	}
 }
 
 // NumVars returns the number of structural variables.
@@ -324,10 +299,21 @@ func (s *Solver) Invalidate() { s.valid = false }
 // next Solve will attempt the warm-start path.
 func (s *Solver) Warm() bool { return s.valid }
 
+// SetReuseSolution switches the Solver into shared-buffer mode: Solve and
+// ResolveFrom return a Solution owned by the Solver whose X slice is valid
+// only until the next solve. The branch-and-bound hot path uses this to
+// keep node re-solves allocation-free; callers that retain a result must
+// copy it.
+func (s *Solver) SetReuseSolution(on bool) { s.reuseSol = on }
+
 // Basis returns a snapshot of the current basis, or nil when the Solver has
 // no valid factorization. Snapshots containing basic artificial variables
 // (redundant rows) are not replayable and also return nil.
-func (s *Solver) Basis() *Basis {
+func (s *Solver) Basis() *Basis { return s.BasisInto(nil) }
+
+// BasisInto is Basis with buffer reuse: when bs is non-nil its slices are
+// overwritten and it is returned, so a pooled snapshot costs no allocation.
+func (s *Solver) BasisInto(bs *Basis) *Basis {
 	if !s.valid {
 		return nil
 	}
@@ -336,10 +322,12 @@ func (s *Solver) Basis() *Basis {
 			return nil
 		}
 	}
-	return &Basis{
-		basis:  append([]int(nil), s.basis...),
-		status: append([]varStatus(nil), s.status...),
+	if bs == nil {
+		bs = &Basis{}
 	}
+	bs.basis = append(bs.basis[:0], s.basis...)
+	bs.status = append(bs.status[:0], s.status...)
+	return bs
 }
 
 // Solve minimizes the captured objective under the current bounds. When the
@@ -350,6 +338,7 @@ func (s *Solver) Solve() (*Solution, error) {
 	if sol, err, done := s.precheck(); done {
 		return sol, err
 	}
+	s.ensureBuilt()
 	s.Stats.Solves++
 	s.iter = 0
 	if s.valid {
@@ -371,6 +360,7 @@ func (s *Solver) ResolveFrom(bs *Basis) (*Solution, error) {
 	if bs == nil || len(bs.basis) != s.m || len(bs.status) != s.nTotal {
 		return s.Solve()
 	}
+	s.ensureBuilt()
 	s.Stats.Solves++
 	s.iter = 0
 	if s.install(bs) {
@@ -389,7 +379,7 @@ func (s *Solver) precheck() (*Solution, error, bool) {
 	}
 	for j := 0; j < s.nStruct; j++ {
 		if s.lo[j] > s.hi[j]+eps {
-			return &Solution{Status: Infeasible}, nil, true
+			return s.statusResult(Infeasible), nil, true
 		}
 		if math.IsInf(s.lo[j], -1) {
 			return nil, fmt.Errorf("lp: variable %d has -Inf lower bound; free variables must be split by the caller: %w", j, ErrBadBounds), true
@@ -465,10 +455,35 @@ func (s *Solver) loadCol(j int, v []float64) {
 	}
 }
 
-// ftranCol computes alpha = B⁻¹ A_j into the alpha scratch.
+// colAxpy adds t times column j into the dense row vector v.
+func (s *Solver) colAxpy(j int, t float64, v []float64) {
+	switch {
+	case j < s.nStruct:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			v[s.colRow[k]] += s.colVal[k] * t
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				v[e.i] += e.v * t
+			}
+		}
+	case j < s.nStruct+s.mBase:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			v[s.colRow[k]] += s.colVal[k] * t
+		}
+	case j < s.nStruct+s.m:
+		v[j-s.nStruct] += t
+	default:
+		i := j - s.nStruct - s.m
+		v[i] += s.artSign[i] * t
+	}
+}
+
+// ftranCol computes alpha = B⁻¹ A_j into the alpha scratch. The spike
+// F⁻¹L⁻¹A_j is stashed inside the factor for a following ftUpdate.
 func (s *Solver) ftranCol(j int) []float64 {
 	s.loadCol(j, s.alpha)
-	s.etas.ftran(s.alpha)
+	s.lu.ftran(s.alpha)
 	return s.alpha
 }
 
@@ -478,7 +493,7 @@ func (s *Solver) computeY() {
 	for i := 0; i < s.m; i++ {
 		s.y[i] = s.cost[s.basis[i]]
 	}
-	s.etas.btran(s.y)
+	s.lu.btran(s.y)
 }
 
 // reducedCost returns d_j = cost_j - y·A_j (computeY must be current).
@@ -513,56 +528,21 @@ func (s *Solver) computeB() {
 		}
 	}
 	// Nonbasic artificials rest at 0 and contribute nothing.
-	s.etas.ftran(r)
+	s.lu.ftran(r)
 	copy(s.xb, r)
 }
 
-// refactor rebuilds the eta file from the original column data for the
-// current basis (reinversion). Pivot rows are chosen by partial pivoting, so
-// the basis slots may be permuted; xb must be recomputed afterwards. It
-// returns false — leaving the existing eta file untouched — when the basis
-// is numerically singular.
+// refactor rebuilds the LU factorization from the original column data for
+// the current basis (reinversion). It factorizes into the spare buffer and
+// swaps on success, so a numerically singular basis (returns false) leaves
+// the existing factor untouched. Basis slots are NOT permuted.
 func (s *Solver) refactor() bool {
-	s.spare.reset()
-	m := s.m
-	// Markowitz-lite: install thin columns first to limit fill.
-	order := s.order
-	for i := range order {
-		order[i] = i
+	if !s.factorizeBasis(s.luSpare) {
+		return false
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return s.colNNZ(s.basis[order[a]]) < s.colNNZ(s.basis[order[b]])
-	})
-	newBasis := s.newBasis
-	assigned := s.assigned
-	for i := range assigned {
-		assigned[i] = false
-	}
-	v := s.alpha
-	for _, slot := range order {
-		j := s.basis[slot]
-		s.loadCol(j, v)
-		s.spare.ftran(v)
-		best, bestAbs := -1, pivotEps
-		for r := 0; r < m; r++ {
-			if assigned[r] {
-				continue
-			}
-			if a := math.Abs(v[r]); a > bestAbs {
-				bestAbs = a
-				best = r
-			}
-		}
-		if best < 0 {
-			return false
-		}
-		s.spare.push(best, v, true)
-		newBasis[best] = j
-		assigned[best] = true
-	}
-	copy(s.basis, newBasis)
-	s.etas, s.spare = s.spare, s.etas
+	s.lu, s.luSpare = s.luSpare, s.lu
 	s.factorAge = 0
+	s.Stats.Refactorizations++
 	return true
 }
 
@@ -581,16 +561,41 @@ func (s *Solver) colNNZ(j int) int {
 	}
 }
 
-// maybeRefactor reinverts once the eta file has grown past the pivot budget.
-// A (rare) singular reinversion is ignored: the current eta file stays valid
-// and the next attempt happens after the following pivot.
+// maybeRefactor reinverts when the update file has outgrown the base
+// factorization — past roughly 150% of the factored nonzeros the F file
+// costs more per FTRAN/BTRAN than a fresh factor would — or after
+// luMaxUpdates updates as a roundoff backstop. A (rare) singular
+// reinversion is ignored: the current factor stays valid and the next
+// attempt happens after the following pivot.
 func (s *Solver) maybeRefactor() {
-	if s.factorAge < refactorPivots {
+	f := s.lu
+	if f.updates < luMaxUpdates && f.fNNZ() <= f.baseNNZ+f.baseNNZ/2+32 {
 		return
 	}
 	if s.refactor() {
 		s.computeB()
 	}
+}
+
+// pivotUpdate applies the basis change at slot r with the entering column's
+// spike (stashed by the preceding ftranCol) to the factorization. When the
+// Forrest–Tomlin update is rejected for stability the basis is reinverted
+// instead; returns false only when that reinversion is singular — the
+// factor is then unusable and the caller must abandon the solve.
+func (s *Solver) pivotUpdate(r int) bool {
+	added, ok := s.lu.ftUpdate(r)
+	s.Stats.UpdateNNZ += added
+	if ok {
+		s.factorAge = s.lu.updates
+		s.maybeRefactor()
+		return true
+	}
+	if !s.refactor() {
+		s.valid = false
+		return false
+	}
+	s.computeB()
+	return true
 }
 
 // ---- warm path ----
@@ -629,7 +634,9 @@ func (s *Solver) solveWarm() (*Solution, bool) {
 		s.Stats.WarmSolves++
 		s.Stats.Pivots += s.iter
 		// The basis is still dual feasible: keep it for the next solve.
-		return &Solution{Status: Infeasible, Iterations: s.iter}, true
+		sol := s.statusResult(Infeasible)
+		sol.Iterations = s.iter
+		return sol, true
 	}
 	// Primal cleanup: usually zero pivots, but it restores dual feasibility
 	// if the repair left any reduced-cost sign off.
@@ -651,8 +658,18 @@ func (s *Solver) solveWarm() (*Solution, bool) {
 // exhausted (IterLimit; the caller then rebuilds cold). It assumes the basis
 // is dual feasible, which holds for any basis that was primal optimal under
 // the same (immutable) objective.
+//
+// The leaving row is chosen by dual devex (violation² over a reference
+// weight, updated for free from the FTRAN'd entering column) and the ratio
+// test is long-step: box-bounded columns whose breakpoint is passed flip to
+// their opposite bound instead of limiting the step, each flip absorbing
+// |alpha|·range of the leaving row's infeasibility without a pivot.
 func (s *Solver) dual() Status {
 	s.setPhase2Cost()
+	dw := s.dualW
+	for i := 0; i < s.m; i++ {
+		dw[i] = 1
+	}
 	// Degenerate assignment-style models can make the dual repair thrash on
 	// zero-progress pivots; past this budget a cold rebuild is cheaper.
 	budget := s.iter + 60 + s.m/6
@@ -660,32 +677,39 @@ func (s *Solver) dual() Status {
 		if s.iter >= budget {
 			return IterLimit
 		}
-		// Leaving row: the most violated basic variable.
-		r, worst := -1, feasTol
-		below := false
+		// Leaving row: the worst devex-weighted bound violation.
+		r, below := -1, false
+		worst, rScore := 0.0, 0.0
 		for i := 0; i < s.m; i++ {
 			jb := s.basis[i]
-			if v := s.lo[jb] - s.xb[i]; v > worst && !math.IsInf(s.lo[jb], -1) {
-				worst, r, below = v, i, true
+			if v := s.lo[jb] - s.xb[i]; v > feasTol {
+				if sc := v * v / dw[i]; r < 0 || sc > rScore {
+					worst, r, below, rScore = v, i, true, sc
+				}
 			}
-			if v := s.xb[i] - s.hi[jb]; v > worst && !math.IsInf(s.hi[jb], 1) {
-				worst, r, below = v, i, false
+			if v := s.xb[i] - s.hi[jb]; v > feasTol {
+				if sc := v * v / dw[i]; r < 0 || sc > rScore {
+					worst, r, below, rScore = v, i, false, sc
+				}
 			}
 		}
 		if r < 0 {
 			return Optimal // primal feasible
 		}
-		// Entering column: dual ratio test over the pivot row
-		// ρ = BTRAN(e_r), restricted to columns that can move the leaving
-		// variable back toward its violated bound.
+		// Dual ratio test over the pivot row ρ = BTRAN(e_r), restricted to
+		// columns that can move the leaving variable back toward its
+		// violated bound. Every eligible column is a breakpoint at
+		// |d_j/alpha_j|; walking them in ratio order, box-bounded columns
+		// whose whole range still leaves the row infeasible are flipped
+		// (recorded, applied below) and the first column that cannot flip
+		// enters the basis.
 		s.computeY()
 		for i := range s.rho {
 			s.rho[i] = 0
 		}
 		s.rho[r] = 1
-		s.etas.btran(s.rho)
-		enter := -1
-		best := math.Inf(1)
+		s.lu.btran(s.rho)
+		bp := s.bp[:0]
 		for j := 0; j < s.nStruct+s.m; j++ {
 			if s.status[j] == basic || !s.movable(j) {
 				continue
@@ -702,21 +726,51 @@ func (s *Solver) dual() Status {
 			if !ok {
 				continue
 			}
-			ratio := math.Abs(s.reducedCost(j) / alpha)
-			if ratio < best-eps || (ratio < best+eps && (enter < 0 || j < enter)) {
-				best = ratio
+			bp = append(bp, dualBP{
+				j:     int32(j),
+				alpha: alpha,
+				ratio: math.Abs(s.reducedCost(j) / alpha),
+			})
+		}
+		s.bp = bp
+		enter := -1
+		nFlips := 0
+		if len(bp) > 0 {
+			slices.SortFunc(bp, func(a, b dualBP) int {
+				if a.ratio != b.ratio {
+					if a.ratio < b.ratio {
+						return -1
+					}
+					return 1
+				}
+				return int(a.j) - int(b.j)
+			})
+			remain := worst
+			for k := range bp {
+				j := int(bp[k].j)
+				rng := s.hi[j] - s.lo[j]
+				if !math.IsInf(rng, 1) {
+					if absorb := math.Abs(bp[k].alpha) * rng; remain-absorb > feasTol {
+						remain -= absorb
+						nFlips = k + 1
+						continue
+					}
+				}
 				enter = j
+				break
 			}
 		}
 		if enter < 0 {
-			// No column can repair the violated row: primal infeasible. An
+			// No column can repair the violated row (even after flipping
+			// every box-bounded candidate): primal infeasible. An
 			// infeasibility verdict prunes a whole B&B subtree, so it is
 			// only trusted when derived from a factorization with zero
-			// incremental pivots on top (factorAge == 0); otherwise
+			// incremental updates on top (factorAge == 0); otherwise
 			// reinvert from the original column data and re-derive. Every
 			// pivot resets the requirement, so a verdict reached after
 			// post-reinversion pivots is re-verified again; the pivot
-			// budget bounds the loop.
+			// budget bounds the loop. The recorded flips are NOT applied —
+			// they do not change the LP's feasibility.
 			if s.factorAge > 0 {
 				if !s.refactor() {
 					return IterLimit
@@ -725,6 +779,9 @@ func (s *Solver) dual() Status {
 				continue
 			}
 			return Infeasible
+		}
+		if nFlips > 0 {
+			s.applyFlips(bp[:nFlips])
 		}
 		var target float64
 		var leaveStatus varStatus
@@ -748,17 +805,66 @@ func (s *Solver) dual() Status {
 				}
 			}
 		}
+		// Dual devex: the FTRAN'd entering column updates the row weights
+		// for free.
+		ar := col[r]
+		wr := dw[r]
+		for i := 0; i < s.m; i++ {
+			if i == r {
+				continue
+			}
+			if a := col[i]; a != 0 {
+				q := a / ar
+				if g := q * q * wr; g > dw[i] {
+					dw[i] = g
+				}
+			}
+		}
+		if g := wr / (ar * ar); g > 1 {
+			dw[r] = g
+		} else {
+			dw[r] = 1
+		}
 		out := s.basis[r]
 		s.status[out] = leaveStatus
 		s.status[enter] = basic
 		s.basis[r] = enter
 		s.xb[r] = enterVal
-		s.etas.push(r, col, false)
-		s.factorAge++
 		s.iter++
 		s.Stats.DualPivots++
-		s.maybeRefactor()
+		if !s.pivotUpdate(r) {
+			return IterLimit
+		}
 	}
+}
+
+// applyFlips toggles each recorded breakpoint column to its opposite bound
+// and updates the basic values with one combined FTRAN: xb -= B⁻¹·Σ δ_j A_j.
+func (s *Solver) applyFlips(flips []dualBP) {
+	fc := s.flipCol
+	for i := range fc {
+		fc[i] = 0
+	}
+	for k := range flips {
+		j := int(flips[k].j)
+		rng := s.hi[j] - s.lo[j]
+		var delta float64
+		if s.status[j] == atLower {
+			s.status[j] = atUpper
+			delta = rng
+		} else {
+			s.status[j] = atLower
+			delta = -rng
+		}
+		s.colAxpy(j, delta, fc)
+	}
+	s.lu.ftran(fc)
+	for i := 0; i < s.m; i++ {
+		if v := fc[i]; v != 0 {
+			s.xb[i] -= v
+		}
+	}
+	s.Stats.BoundFlips += len(flips)
 }
 
 // ---- cold path ----
@@ -775,11 +881,11 @@ func (s *Solver) solveCold() (*Solution, error) {
 		st := s.primal()
 		if st == IterLimit {
 			s.Stats.Pivots += s.iter
-			return &Solution{Status: IterLimit, Iterations: s.iter}, nil
+			return s.iterResult(IterLimit), nil
 		}
 		if s.objective() > 1e-6 {
 			s.Stats.Pivots += s.iter
-			return &Solution{Status: Infeasible, Iterations: s.iter}, nil
+			return s.iterResult(Infeasible), nil
 		}
 		s.driveOutArtificials()
 		// Artificials may never re-enter.
@@ -796,10 +902,10 @@ func (s *Solver) solveCold() (*Solution, error) {
 	st := s.primal()
 	s.Stats.Pivots += s.iter
 	if st == Unbounded {
-		return &Solution{Status: Unbounded, Iterations: s.iter}, nil
+		return s.iterResult(Unbounded), nil
 	}
 	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iterations: s.iter}, nil
+		return s.iterResult(IterLimit), nil
 	}
 	return s.finish(), nil
 }
@@ -809,8 +915,6 @@ func (s *Solver) solveCold() (*Solution, error) {
 // where the resulting residual is feasible, and an artificial column (±1
 // unit) is opened elsewhere. It returns the number of artificials opened.
 func (s *Solver) build() int {
-	s.etas.reset()
-	s.factorAge = 0
 	for j := 0; j < s.nStruct; j++ {
 		s.status[j] = atLower
 	}
@@ -845,7 +949,6 @@ func (s *Solver) build() int {
 		s.hi[ac] = Inf
 		if resid < 0 {
 			s.artSign[i] = -1
-			s.etas.pushUnit(i, -1)
 		}
 		s.basis[i] = ac
 		s.status[ac] = basic
@@ -865,6 +968,9 @@ func (s *Solver) build() int {
 		}
 		cover(s.mBase+ai, r.kind, resid)
 	}
+	// The slack/artificial cover is diagonal (±1 per row), so this
+	// factorization cannot fail.
+	s.refactor()
 	s.computeB()
 	return nArt
 }
@@ -943,43 +1049,97 @@ func (s *Solver) objective() float64 {
 	return z
 }
 
+// priceRefresh recomputes every reduced cost exactly (one BTRAN plus one
+// sparse pass over the columns) and reports whether any eligible entering
+// candidate exists. It anchors the incrementally maintained d vector: the
+// primal loop calls it on entry and before accepting optimality, so drift
+// in the cheap per-pivot updates can never produce a wrong final verdict.
+func (s *Solver) priceRefresh() bool {
+	s.computeY()
+	any := false
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] == basic {
+			s.d[j] = 0
+			continue
+		}
+		dj := s.cost[j] - s.colDot(j, s.y)
+		s.d[j] = dj
+		if !s.movable(j) {
+			continue
+		}
+		if (s.status[j] == atLower && dj < -eps) || (s.status[j] == atUpper && dj > eps) {
+			any = true
+		}
+	}
+	return any
+}
+
 // primal runs bounded-variable primal simplex pivots under the active cost
-// row until optimal, unbounded, or the iteration limit. Reduced costs are
-// priced exactly every iteration from BTRAN'd dual prices (one sparse pass
-// over the CSC columns), so no incremental d maintenance is needed.
+// row until optimal, unbounded, or the iteration limit. Pricing is devex:
+// reduced costs are maintained incrementally from the pivot row (the same
+// BTRAN pass that updates the reference weights), re-anchored exactly by
+// priceRefresh before optimality is accepted; persistent stalling falls
+// back to Bland's rule on exact reduced costs.
 func (s *Solver) primal() Status {
+	if !s.priceRefresh() {
+		return Optimal
+	}
+	for j := range s.dw {
+		s.dw[j] = 1
+	}
 	stall := 0
 	lastObj := math.Inf(1)
 	for {
 		if s.iter >= s.maxIter {
 			return IterLimit
 		}
-		s.computeY()
 		useBland := stall > 50
 		enter := -1
-		best := -eps
-		for j := 0; j < s.nTotal; j++ {
-			if s.status[j] == basic || !s.movable(j) {
-				continue
-			}
-			var improve float64
-			switch s.status[j] {
-			case atLower:
-				improve = s.reducedCost(j) // want d[j] < 0
-			case atUpper:
-				improve = -s.reducedCost(j) // want d[j] > 0
-			}
-			if improve < best-eps || (useBland && improve < -eps) {
-				if useBland {
+		if useBland {
+			// Bland's rule needs exact reduced-cost signs for its
+			// termination guarantee.
+			s.priceRefresh()
+			for j := 0; j < s.nTotal; j++ {
+				if s.status[j] == basic || !s.movable(j) {
+					continue
+				}
+				if (s.status[j] == atLower && s.d[j] < -eps) ||
+					(s.status[j] == atUpper && s.d[j] > eps) {
 					enter = j
 					break
 				}
-				best = improve
-				enter = j
 			}
-		}
-		if enter < 0 {
-			return Optimal
+			if enter < 0 {
+				return Optimal
+			}
+		} else {
+			best := 0.0
+			for j := 0; j < s.nTotal; j++ {
+				if s.status[j] == basic || !s.movable(j) {
+					continue
+				}
+				var viol float64
+				if s.status[j] == atLower {
+					viol = -s.d[j]
+				} else {
+					viol = s.d[j]
+				}
+				if viol <= eps {
+					continue
+				}
+				if sc := viol * viol / s.dw[j]; sc > best {
+					best = sc
+					enter = j
+				}
+			}
+			if enter < 0 {
+				// The incremental d sees no candidate: re-price exactly
+				// before declaring optimality.
+				if !s.priceRefresh() {
+					return Optimal
+				}
+				continue
+			}
 		}
 
 		// Entering variable moves up from its lower bound or down from its
@@ -1033,7 +1193,7 @@ func (s *Solver) primal() Status {
 
 		s.iter++
 		if leave < 0 {
-			// Bound flip: no basis change.
+			// Bound flip: no basis change, reduced costs unchanged.
 			if limit != 0 {
 				for i := 0; i < s.m; i++ {
 					if a := col[i]; a != 0 {
@@ -1055,14 +1215,45 @@ func (s *Solver) primal() Status {
 					}
 				}
 			}
+			// Update reduced costs and devex weights from the pivot row
+			// before the basis mutates: d'_j = d_j - (d_q/α_rq)·α_rj.
+			arq := col[leave]
+			pr := s.d[enter] / arq
+			gq := s.dw[enter]
+			for i := range s.rho {
+				s.rho[i] = 0
+			}
+			s.rho[leave] = 1
+			s.lu.btran(s.rho)
+			for j := 0; j < s.nTotal; j++ {
+				if s.status[j] == basic || j == enter {
+					continue
+				}
+				a := s.colDot(j, s.rho)
+				if a == 0 {
+					continue
+				}
+				s.d[j] -= pr * a
+				q := a / arq
+				if g := q * q * gq; g > s.dw[j] {
+					s.dw[j] = g
+				}
+			}
 			out := s.basis[leave]
+			s.d[out] = -pr
+			if g := gq / (arq * arq); g > 1 {
+				s.dw[out] = g
+			} else {
+				s.dw[out] = 1
+			}
+			s.d[enter] = 0
 			s.status[out] = leaveBound
 			s.status[enter] = basic
 			s.basis[leave] = enter
 			s.xb[leave] = enterVal
-			s.etas.push(leave, col, false)
-			s.factorAge++
-			s.maybeRefactor()
+			if !s.pivotUpdate(leave) {
+				return IterLimit
+			}
 		}
 
 		obj := s.objective()
@@ -1088,7 +1279,7 @@ func (s *Solver) driveOutArtificials() {
 			s.rho[k] = 0
 		}
 		s.rho[i] = 1
-		s.etas.btran(s.rho)
+		s.lu.btran(s.rho)
 		piv := -1
 		for j := 0; j < firstArt; j++ {
 			if s.status[j] == basic {
@@ -1108,20 +1299,62 @@ func (s *Solver) driveOutArtificials() {
 			continue
 		}
 		out := s.basis[i]
+		outStatus := s.status[out]
 		s.status[out] = atLower
 		enterVal := s.val(piv) // resting value, read before piv turns basic
+		pivStatus := s.status[piv]
 		s.status[piv] = basic
 		s.basis[i] = piv
+		oldXb := s.xb[i]
 		s.xb[i] = enterVal
-		s.etas.push(i, col, false)
-		s.factorAge++
+		if !s.pivotUpdate(i) {
+			// Reinversion of the new basis failed: undo the swap and leave
+			// the artificial basic in this redundant row.
+			s.status[piv] = pivStatus
+			s.status[out] = outStatus
+			s.basis[i] = out
+			s.xb[i] = oldXb
+			if !s.refactor() {
+				s.valid = false
+				return
+			}
+			s.computeB()
+		}
 	}
+}
+
+// statusResult returns a Solution carrying only a status, honoring the
+// shared-buffer mode.
+func (s *Solver) statusResult(st Status) *Solution {
+	if s.reuseSol {
+		s.sol = Solution{Status: st}
+		return &s.sol
+	}
+	return &Solution{Status: st}
+}
+
+// iterResult is statusResult plus the iteration count.
+func (s *Solver) iterResult(st Status) *Solution {
+	sol := s.statusResult(st)
+	sol.Iterations = s.iter
+	return sol
 }
 
 // finish marks the factorization reusable and extracts the solution.
 func (s *Solver) finish() *Solution {
 	s.valid = true
-	x := make([]float64, s.nStruct)
+	var sol *Solution
+	var x []float64
+	if s.reuseSol {
+		sol = &s.sol
+		if cap(s.solX) < s.nStruct {
+			s.solX = make([]float64, s.nStruct)
+		}
+		x = s.solX[:s.nStruct]
+	} else {
+		sol = &Solution{}
+		x = make([]float64, s.nStruct)
+	}
 	for j := 0; j < s.nStruct; j++ {
 		x[j] = s.val(j)
 	}
@@ -1134,5 +1367,6 @@ func (s *Solver) finish() *Solution {
 	for j := 0; j < s.nStruct; j++ {
 		obj += s.p.obj[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Obj: obj, Iterations: s.iter}
+	*sol = Solution{Status: Optimal, X: x, Obj: obj, Iterations: s.iter}
+	return sol
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/dfg"
+	"repro/internal/lp"
 	"repro/internal/tempart"
 )
 
@@ -102,6 +103,8 @@ type entry struct {
 	cgCuts       int
 	dualFathoms  int
 	lpIters      int
+	lpRefactor   int
+	lpFlips      int
 }
 
 // newEntry canonicalizes a partitioning of g into a cache entry.
@@ -119,6 +122,8 @@ func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 		cgCuts:       p.Stats.CGCuts,
 		dualFathoms:  p.Stats.DualBoundFathoms,
 		lpIters:      p.Stats.LPIterations,
+		lpRefactor:   p.Stats.Solver.Refactorizations,
+		lpFlips:      p.Stats.Solver.BoundFlips,
 	}
 	if p.N > 0 {
 		ord := g.CanonicalOrder()
@@ -177,6 +182,10 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 			CutsAdded: e.cutsAdded, SeparationRounds: e.sepRounds,
 			ConflictCuts: e.conflictCuts, CGCuts: e.cgCuts,
 			DualBoundFathoms: e.dualFathoms,
+			Solver: lp.SolverStats{
+				Refactorizations: e.lpRefactor,
+				BoundFlips:       e.lpFlips,
+			},
 		},
 	}, nil
 }

@@ -78,6 +78,8 @@ func TestDCTInvariantThroughService(t *testing.T) {
 		`sparcsd_conflict_cuts_total{engine="ilp"}`,
 		`sparcsd_cg_cuts_total{engine="ilp"}`,
 		`sparcsd_dual_bound_fathoms_total{engine="ilp"}`,
+		`sparcsd_lp_refactorizations_total{engine="ilp"}`,
+		`sparcsd_lp_bound_flips_total{engine="ilp"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %s\n%s", want, metrics)

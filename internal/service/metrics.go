@@ -26,6 +26,8 @@ type Metrics struct {
 	conflictCuts map[string]uint64 // per engine: no-goods learned from infeasible subtrees
 	cgCuts       map[string]uint64 // per engine: Chvátal–Gomory cardinality cuts in play
 	dualFathoms  map[string]uint64 // per engine: bin-packing dual-bound fathoms
+	lpRefactor   map[string]uint64 // per engine: LP basis reinversions
+	lpFlips      map[string]uint64 // per engine: dual long-step bound flips
 	errors       uint64
 	cancelled    uint64
 	ring         [latencySamples]time.Duration
@@ -46,6 +48,8 @@ func NewMetrics() *Metrics {
 		conflictCuts: map[string]uint64{},
 		cgCuts:       map[string]uint64{},
 		dualFathoms:  map[string]uint64{},
+		lpRefactor:   map[string]uint64{},
+		lpFlips:      map[string]uint64{},
 	}
 }
 
@@ -68,8 +72,11 @@ func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
 // SearchCounters is one fresh solve's branch-and-bound activity: nodes
 // whose LP relaxation was solved, nodes fathomed by the presolve's
 // combinatorial bound, nodes discarded without any LP solve, the
-// cutting-plane engine's cuts/rounds, and the infeasibility-proof engine's
-// conflict cuts, CG cardinality cuts, and bin-packing dual-bound fathoms.
+// cutting-plane engine's cuts/rounds, the infeasibility-proof engine's
+// conflict cuts, CG cardinality cuts, and bin-packing dual-bound fathoms,
+// and the simplex kernel's basis reinversions and dual long-step bound
+// flips (the two counters that say whether the Forrest–Tomlin update path
+// and the bound-flipping ratio test are carrying the warm-start load).
 type SearchCounters struct {
 	Nodes               int
 	PrunedCombinatorial int
@@ -79,6 +86,8 @@ type SearchCounters struct {
 	ConflictCuts        int
 	CGCuts              int
 	DualBoundFathoms    int
+	LPRefactorizations  int
+	LPBoundFlips        int
 }
 
 // RecordSearch folds one fresh solve's search counters into the per-engine
@@ -94,6 +103,8 @@ func (m *Metrics) RecordSearch(engine string, c SearchCounters) {
 	m.conflictCuts[engine] += uint64(c.ConflictCuts)
 	m.cgCuts[engine] += uint64(c.CGCuts)
 	m.dualFathoms[engine] += uint64(c.DualBoundFathoms)
+	m.lpRefactor[engine] += uint64(c.LPRefactorizations)
+	m.lpFlips[engine] += uint64(c.LPBoundFlips)
 	m.mu.Unlock()
 }
 
@@ -116,6 +127,8 @@ type Snapshot struct {
 	ConflictCuts map[string]uint64 `json:"conflict_cuts,omitempty"`
 	CGCuts       map[string]uint64 `json:"cg_cuts,omitempty"`
 	DualFathoms  map[string]uint64 `json:"dual_bound_fathoms,omitempty"`
+	LPRefactor   map[string]uint64 `json:"lp_refactorizations,omitempty"`
+	LPFlips      map[string]uint64 `json:"lp_bound_flips,omitempty"`
 	Errors       uint64            `json:"errors"`
 	Cancelled    uint64            `json:"cancelled"`
 	P50MS        float64           `json:"latency_p50_ms"`
@@ -137,6 +150,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		ConflictCuts: make(map[string]uint64, len(m.conflictCuts)),
 		CGCuts:       make(map[string]uint64, len(m.cgCuts)),
 		DualFathoms:  make(map[string]uint64, len(m.dualFathoms)),
+		LPRefactor:   make(map[string]uint64, len(m.lpRefactor)),
+		LPFlips:      make(map[string]uint64, len(m.lpFlips)),
 		Errors:       m.errors,
 		Cancelled:    m.cancelled,
 	}
@@ -166,6 +181,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for k, v := range m.dualFathoms {
 		s.DualFathoms[k] = v
+	}
+	for k, v := range m.lpRefactor {
+		s.LPRefactor[k] = v
+	}
+	for k, v := range m.lpFlips {
+		s.LPFlips[k] = v
 	}
 	if m.ringLen > 0 {
 		sorted := make([]time.Duration, m.ringLen)
@@ -226,6 +247,17 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	}
 	for _, eng := range sortedKeys(s.DualFathoms) {
 		fmt.Fprintf(&b, "sparcsd_dual_bound_fathoms_total{engine=%q} %d\n", eng, s.DualFathoms[eng])
+	}
+	// Simplex kernel: basis reinversions (the Forrest–Tomlin update path
+	// exists to keep these rare) and dual long-step bound flips
+	// (infeasibility absorbed without a pivot). Rising reinversions per
+	// solve means the update file is being thrown away too early; falling
+	// flips means the ratio test stopped taking long steps.
+	for _, eng := range sortedKeys(s.LPRefactor) {
+		fmt.Fprintf(&b, "sparcsd_lp_refactorizations_total{engine=%q} %d\n", eng, s.LPRefactor[eng])
+	}
+	for _, eng := range sortedKeys(s.LPFlips) {
+		fmt.Fprintf(&b, "sparcsd_lp_bound_flips_total{engine=%q} %d\n", eng, s.LPFlips[eng])
 	}
 	emit("solve_errors_total", s.Errors)
 	emit("jobs_cancelled_total", s.Cancelled)

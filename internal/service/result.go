@@ -112,7 +112,10 @@ type Result struct {
 	// LPSolvesSkipped report how much of the branch-and-bound tree the
 	// presolve fathomed without running the simplex; CutsAdded and
 	// SeparationRounds how much the cutting-plane engine grew the node LPs
-	// instead of branching.
+	// instead of branching; LPRefactorizations and LPBoundFlips how the
+	// simplex kernel spent the iterations (basis reinversions the
+	// Forrest–Tomlin update path could not avoid, and dual long-step bound
+	// flips that absorbed infeasibility without a pivot).
 	Nodes               int     `json:"nodes,omitempty"`
 	PrunedCombinatorial int     `json:"nodes_pruned_combinatorial,omitempty"`
 	LPSolvesSkipped     int     `json:"lp_solves_skipped,omitempty"`
@@ -122,6 +125,8 @@ type Result struct {
 	CGCuts              int     `json:"cg_cuts,omitempty"`
 	DualBoundFathoms    int     `json:"dual_bound_fathoms,omitempty"`
 	LPIterations        int     `json:"lp_iterations,omitempty"`
+	LPRefactorizations  int     `json:"lp_refactorizations,omitempty"`
+	LPBoundFlips        int     `json:"lp_bound_flips,omitempty"`
 	SolveMS             float64 `json:"solve_ms"`
 
 	// Cache reports how the service produced the result: "miss" (fresh
@@ -148,6 +153,8 @@ func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) 
 		CGCuts:              p.Stats.CGCuts,
 		DualBoundFathoms:    p.Stats.DualBoundFathoms,
 		LPIterations:        p.Stats.LPIterations,
+		LPRefactorizations:  p.Stats.Solver.Refactorizations,
+		LPBoundFlips:        p.Stats.Solver.BoundFlips,
 	}
 	if p.N == 0 {
 		return r

@@ -100,6 +100,8 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 				ConflictCuts:        p.Stats.ConflictCuts,
 				CGCuts:              p.Stats.CGCuts,
 				DualBoundFathoms:    p.Stats.DualBoundFathoms,
+				LPRefactorizations:  p.Stats.Solver.Refactorizations,
+				LPBoundFlips:        p.Stats.Solver.BoundFlips,
 			})
 		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
@@ -111,6 +113,7 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 			res.PrunedCombinatorial, res.LPSolvesSkipped = 0, 0
 			res.CutsAdded, res.SeparationRounds = 0, 0
 			res.ConflictCuts, res.CGCuts, res.DualBoundFathoms = 0, 0, 0
+			res.LPRefactorizations, res.LPBoundFlips = 0, 0
 		}
 		res.SolveMS = float64(time.Since(start).Microseconds()) / 1e3
 		return res, nil

@@ -53,12 +53,10 @@ type modelCut struct {
 }
 
 // addTo appends the cut as an ordinary model row (build-time root cuts).
+// AddRowCols merges any duplicate column indices by summation, matching the
+// map accumulation this used to do.
 func (c *modelCut) addTo(p *lp.Problem) {
-	row := make(map[int]float64, len(c.Cols))
-	for k, j := range c.Cols {
-		row[j] += c.Vals[k]
-	}
-	p.AddRow(c.Kind, row, c.RHS)
+	p.AddRowCols(c.Kind, c.Cols, c.Vals, c.RHS)
 }
 
 // toCut converts the cut for the ilp separation hook. All tempart cuts are
@@ -87,6 +85,7 @@ func (c *modelCut) toCut() ilp.Cut {
 // items fractionally while keeping every d_p at the layer-cake floor.
 type cgFamily struct {
 	name  string
+	nameD string // name + "-d", precomputed off the model-build hot path
 	tasks []int
 	kappa int
 	delta float64 // min delay over tasks; 0 disables the delay-coupled row
@@ -189,7 +188,11 @@ func cgFamilies(pre *presolve) []cgFamily {
 			})
 		}
 	}
-	return dedupeCGFamilies(fams)
+	fams = dedupeCGFamilies(fams)
+	for i := range fams {
+		fams[i].nameD = fams[i].name + "-d"
+	}
+	return fams
 }
 
 // dedupeCGFamilies merges families with identical (task set, kappa),
@@ -238,78 +241,94 @@ func presolveDims(pre *presolve) []resDim {
 	return dims
 }
 
-// cgRows expands the families into per-partition rows: the cardinality row
-// always, the delay-coupled row when the family has a positive delay floor.
-func cgRows(fams []cgFamily, N int, yv func(t, p int) int, dv func(p int) int) []modelCut {
-	var cuts []modelCut
-	for _, fam := range fams {
-		for p := 0; p < N; p++ {
-			card := modelCut{name: fam.name, CutRow: lp.CutRow{Kind: lp.LE, RHS: float64(fam.kappa)}}
-			for _, t := range fam.tasks {
-				card.Cols = append(card.Cols, yv(t, p))
-				card.Vals = append(card.Vals, 1)
-			}
-			cuts = append(cuts, card)
-			if fam.delta > 0 {
-				dc := modelCut{name: fam.name + "-d", CutRow: lp.CutRow{Kind: lp.LE, RHS: 0}}
-				for _, t := range fam.tasks {
-					dc.Cols = append(dc.Cols, yv(t, p))
-					dc.Vals = append(dc.Vals, fam.delta)
-				}
-				dc.Cols = append(dc.Cols, dv(p))
-				dc.Vals = append(dc.Vals, -float64(fam.kappa))
-				cuts = append(cuts, dc)
-			}
-		}
-	}
-	return cuts
-}
+// emitRootCuts streams the presolve cuts added to every model at build
+// time: the aggregate Σ_p d_p ≥ max(critical path, layer-cake) row that
+// PR 3 introduced, plus — when withCuts is set — one boundary chain-area
+// cut per prefix/suffix of the partition sequence (see boundaryChainFloor)
+// and the per-partition Chvátal–Gomory cardinality rows (cgFamilies: the
+// cardinality row always, the delay-coupled row when the family has a
+// positive delay floor). The boundary cuts are what close the FIR-bank
+// root; the CG rows are what make near-capacity packing infeasibility
+// visible to the LP itself — at a too-small N they contradict the
+// uniqueness rows, so the root relaxation is infeasible with no search at
+// all, and at the feasible N the delay-coupled forms hold every
+// partition's d_p to its share of the cardinality floor. withCuts=false is
+// the Input.NoCuts ablation, which reproduces the PR 3 model exactly.
+//
+// The cols/vals slices passed to emit are scratch, reused across calls —
+// consumers must copy what they keep. The model builder feeds them
+// straight to lp.Problem.AddRowCols, so the whole root-cut layer costs two
+// scratch slices per build instead of a materialized cut list.
+func emitRootCuts(pre *presolve, N int, yv func(t, p int) int, dv func(p int) int, withCuts bool,
+	emit func(name string, kind lp.RowKind, cols []int, vals []float64, rhs float64)) {
 
-// rootCuts returns the presolve cuts added to every model at build time,
-// expressed in the shared cut-row representation: the aggregate
-// Σ_p d_p ≥ max(critical path, layer-cake) row that PR 3 introduced, plus
-// — when withCuts is set — one boundary chain-area cut per prefix/suffix
-// of the partition sequence (see boundaryChainFloor) and the per-partition
-// Chvátal–Gomory cardinality rows (cgFamilies). The boundary cuts are what
-// close the FIR-bank root; the CG rows are what make near-capacity packing
-// infeasibility visible to the LP itself — at a too-small N they
-// contradict the uniqueness rows, so the root relaxation is infeasible
-// with no search at all, and at the feasible N the delay-coupled forms
-// hold every partition's d_p to its share of the cardinality floor.
-// withCuts=false is the Input.NoCuts ablation, which reproduces the PR 3
-// model exactly.
-func rootCuts(pre *presolve, N int, yv func(t, p int) int, dv func(p int) int, withCuts bool) []modelCut {
-	var cuts []modelCut
+	cols := make([]int, 0, 64)
+	vals := make([]float64, 0, 64)
+	reset := func() {
+		cols = cols[:0]
+		vals = vals[:0]
+	}
+	put := func(j int, v float64) {
+		cols = append(cols, j)
+		vals = append(vals, v)
+	}
 	if floor := pre.sumDelayFloor(); floor > 0 {
-		c := modelCut{name: "presolve-aggregate", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
+		reset()
 		for p := 0; p < N; p++ {
-			c.Cols = append(c.Cols, dv(p))
-			c.Vals = append(c.Vals, 1)
+			put(dv(p), 1)
 		}
-		cuts = append(cuts, c)
+		emit("presolve-aggregate", lp.GE, cols, vals, floor)
 	}
 	if !withCuts {
-		return cuts
+		return
 	}
 	for p := 1; p < N; p++ {
 		if floor := pre.boundaryChainFloor(N, p, false); floor > 0 {
-			c := modelCut{name: "chain-prefix", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
+			reset()
 			for q := 0; q < p; q++ {
-				c.Cols = append(c.Cols, dv(q))
-				c.Vals = append(c.Vals, 1)
+				put(dv(q), 1)
 			}
-			cuts = append(cuts, c)
+			emit("chain-prefix", lp.GE, cols, vals, floor)
 		}
 		if floor := pre.boundaryChainFloor(N, p, true); floor > 0 {
-			c := modelCut{name: "chain-suffix", CutRow: lp.CutRow{Kind: lp.GE, RHS: floor}}
+			reset()
 			for q := p; q < N; q++ {
-				c.Cols = append(c.Cols, dv(q))
-				c.Vals = append(c.Vals, 1)
+				put(dv(q), 1)
 			}
-			cuts = append(cuts, c)
+			emit("chain-suffix", lp.GE, cols, vals, floor)
 		}
 	}
-	cuts = append(cuts, cgRows(pre.cgFams, N, yv, dv)...)
+	for _, fam := range pre.cgFams {
+		for p := 0; p < N; p++ {
+			reset()
+			for _, t := range fam.tasks {
+				put(yv(t, p), 1)
+			}
+			emit(fam.name, lp.LE, cols, vals, float64(fam.kappa))
+			if fam.delta > 0 {
+				reset()
+				for _, t := range fam.tasks {
+					put(yv(t, p), fam.delta)
+				}
+				put(dv(p), -float64(fam.kappa))
+				emit(fam.nameD, lp.LE, cols, vals, 0)
+			}
+		}
+	}
+}
+
+// rootCuts materializes the emitRootCuts stream as a cut list (the
+// representation the validity property tests brute-force).
+func rootCuts(pre *presolve, N int, yv func(t, p int) int, dv func(p int) int, withCuts bool) []modelCut {
+	var cuts []modelCut
+	emitRootCuts(pre, N, yv, dv, withCuts, func(name string, kind lp.RowKind, cols []int, vals []float64, rhs float64) {
+		cuts = append(cuts, modelCut{name: name, CutRow: lp.CutRow{
+			Kind: kind,
+			Cols: append([]int(nil), cols...),
+			Vals: append([]float64(nil), vals...),
+			RHS:  rhs,
+		}})
+	})
 	return cuts
 }
 

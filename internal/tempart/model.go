@@ -489,51 +489,85 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 		prob.SetObj(dv(p), 1)
 	}
 
+	// Row construction goes through AddRowCols with one pair of scratch
+	// slices and a pre-sized coefficient arena: the model builder is the
+	// dominant allocator on small instances (the root solve of a regular
+	// DSP graph runs a handful of pivots), so rows must not cost a map each.
+	totalPathLen := 0
+	for _, path := range paths {
+		totalPathLen += len(path)
+	}
+	nExtraKinds := 0
+	for _, kind := range g.ExtraTypes() {
+		if _, capped := in.Board.FPGA.ExtraCapacity[kind]; capped {
+			nExtraKinds++
+		}
+	}
+	nRowsEst := nT + nE*(N-1) + N*(1+nExtraKinds) + len(paths)*N
+	nCoeffEst := nT*N + nE*(N*(N+1)/2) + N*nT*(1+nExtraKinds) + N*(totalPathLen+len(paths))
+	if needMem {
+		nRowsEst += nB * (nE + 1)
+		nCoeffEst += nB * nE * (N + 2)
+	}
+	prob.Reserve(nRowsEst, nCoeffEst)
+	cols := make([]int, 0, 64)
+	vals := make([]float64, 0, 64)
+	reset := func() {
+		cols = cols[:0]
+		vals = vals[:0]
+	}
+	put := func(j int, v float64) {
+		cols = append(cols, j)
+		vals = append(vals, v)
+	}
+
 	// Eq. 1: uniqueness.
 	for t := 0; t < nT; t++ {
-		row := map[int]float64{}
+		reset()
 		for p := 0; p < N; p++ {
-			row[yv(t, p)] = 1
+			put(yv(t, p), 1)
 		}
-		prob.AddRow(lp.EQ, row, 1)
+		prob.AddRowCols(lp.EQ, cols, vals, 1)
 	}
 
 	// Eq. 2: temporal order, grouped per (edge, p2):
 	// y[t2][p2] + Σ_{p1 > p2} y[t1][p1] <= 1.
 	for _, e := range edges {
 		for p2 := 0; p2 < N-1; p2++ {
-			row := map[int]float64{yv(e.To, p2): 1}
+			reset()
+			put(yv(e.To, p2), 1)
 			for p1 := p2 + 1; p1 < N; p1++ {
-				row[yv(e.From, p1)] = 1
+				put(yv(e.From, p1), 1)
 			}
-			prob.AddRow(lp.LE, row, 1)
+			prob.AddRowCols(lp.LE, cols, vals, 1)
 		}
 	}
 
 	// Eqs. 4/5 linearized: w[p][e] >= Σ_{p1<=p} y[t1][p1] + Σ_{p2>p} y[t2][p2] - 1.
 	for p := 0; p < nB && needMem; p++ {
 		for ei, e := range edges {
-			row := map[int]float64{wv(p, ei): 1}
+			reset()
+			put(wv(p, ei), 1)
 			for p1 := 0; p1 <= p; p1++ {
-				row[yv(e.From, p1)] = -1
+				put(yv(e.From, p1), -1)
 			}
 			for p2 := p + 1; p2 < N; p2++ {
-				row[yv(e.To, p2)] = -1
+				put(yv(e.To, p2), -1)
 			}
-			prob.AddRow(lp.GE, row, -1)
+			prob.AddRowCols(lp.GE, cols, vals, -1)
 		}
 	}
 
 	// Eq. 3: memory per boundary.
 	for p := 0; p < nB && needMem; p++ {
-		row := map[int]float64{}
+		reset()
 		for ei, e := range edges {
 			if e.Data != 0 {
-				row[wv(p, ei)] = float64(e.Data)
+				put(wv(p, ei), float64(e.Data))
 			}
 		}
-		if len(row) > 0 {
-			prob.AddRow(lp.LE, row, float64(in.Board.Memory.Words))
+		if len(cols) > 0 {
+			prob.AddRowCols(lp.LE, cols, vals, float64(in.Board.Memory.Words))
 		}
 	}
 
@@ -541,13 +575,13 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 	// type ("similar equations can be added if multiple resource types
 	// exist in the FPGA").
 	for p := 0; p < N; p++ {
-		row := map[int]float64{}
+		reset()
 		for t := 0; t < nT; t++ {
 			if r := g.Task(t).Resources; r != 0 {
-				row[yv(t, p)] = float64(r)
+				put(yv(t, p), float64(r))
 			}
 		}
-		prob.AddRow(lp.LE, row, float64(in.Board.FPGA.CLBs))
+		prob.AddRowCols(lp.LE, cols, vals, float64(in.Board.FPGA.CLBs))
 	}
 	for _, kind := range g.ExtraTypes() {
 		cap, capped := in.Board.FPGA.ExtraCapacity[kind]
@@ -555,28 +589,31 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 			continue
 		}
 		for p := 0; p < N; p++ {
-			row := map[int]float64{}
+			reset()
 			for t := 0; t < nT; t++ {
 				if r := g.Task(t).Extra[kind]; r != 0 {
-					row[yv(t, p)] = float64(r)
+					put(yv(t, p), float64(r))
 				}
 			}
-			if len(row) > 0 {
-				prob.AddRow(lp.LE, row, float64(cap))
+			if len(cols) > 0 {
+				prob.AddRowCols(lp.LE, cols, vals, float64(cap))
 			}
 		}
 	}
 
-	// Eq. 7: path delays per partition.
+	// Eq. 7: path delays per partition. Tasks on an enumerated path are
+	// distinct, so no coefficient accumulation is needed (and AddRowCols
+	// would merge duplicates anyway).
 	for _, path := range paths {
 		for p := 0; p < N; p++ {
-			row := map[int]float64{dv(p): -1}
+			reset()
+			put(dv(p), -1)
 			for _, t := range path {
 				if d := g.Task(t).Delay; d != 0 {
-					row[yv(t, p)] += d
+					put(yv(t, p), d)
 				}
 			}
-			prob.AddRow(lp.LE, row, 0)
+			prob.AddRowCols(lp.LE, cols, vals, 0)
 		}
 	}
 
@@ -590,12 +627,13 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 	// the root LP is infeasible with no branching at all.
 	cgRoot := 0
 	if withPresolveCut {
-		for _, c := range rootCuts(pre, N, yv, dv, !in.NoCuts) {
-			if strings.HasPrefix(c.name, "cg-") {
-				cgRoot++
-			}
-			c.addTo(prob)
-		}
+		emitRootCuts(pre, N, yv, dv, !in.NoCuts,
+			func(name string, kind lp.RowKind, rcols []int, rvals []float64, rhs float64) {
+				if strings.HasPrefix(name, "cg-") {
+					cgRoot++
+				}
+				prob.AddRowCols(kind, rcols, rvals, rhs)
+			})
 	}
 
 	// Symmetry breaking between interchangeable tasks: consecutive group
@@ -610,15 +648,16 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 	// Σ_p p·y[a][p] <= Σ_p p·y[b][p] admits — but the LP relaxation is
 	// strictly tighter, which raises node bounds and shrinks the search.
 	if !in.NoSymmetryBreaking {
-		for _, group := range g.InterchangeableGroups() {
+		for _, group := range pre.groups {
 			for i := 0; i+1 < len(group); i++ {
 				a, b := group[i], group[i+1]
 				for p := 0; p < N-1; p++ {
-					row := map[int]float64{yv(b, p): 1}
+					reset()
+					put(yv(b, p), 1)
 					for q := 0; q <= p; q++ {
-						row[yv(a, q)] -= 1
+						put(yv(a, q), -1)
 					}
-					prob.AddRow(lp.LE, row, 0)
+					prob.AddRowCols(lp.LE, cols, vals, 0)
 				}
 			}
 		}
@@ -645,7 +684,7 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 	m := buildModel(in, pre, paths, N, true)
 	opts := in.ILP
 	if !in.DisableWarmStart {
-		if inc := warmStart(g, in.Board, paths, N, m.nVars, m.needMem, m.yv, m.wv, m.dv); inc != nil {
+		if inc := warmStart(pre, paths, N, m.nVars, m.needMem, m.yv, m.wv, m.dv); inc != nil {
 			opts.Incumbent = inc
 		}
 	}
@@ -876,37 +915,40 @@ func CheckFeasible(g *dfg.Graph, board arch.Board, assign []int, N int) error {
 	return nil
 }
 
-// warmStart builds a full ILP variable assignment from greedy heuristics
-// when a solution using at most N partitions exists. Two heuristics are
-// tried — plain topological packing, and type-homogeneous packing (which
-// avoids mixing slow task types into fast partitions, the effect the
-// paper's Sec. 4 comparison highlights) — and the better feasible one wins.
-func warmStart(g *dfg.Graph, board arch.Board, paths [][]int, N, nVars int,
+// warmStart builds a full ILP variable assignment from the presolve's
+// cached greedy heuristics when a solution using at most N partitions
+// exists. Two heuristics compete — plain topological packing, and
+// type-homogeneous packing (which avoids mixing slow task types into fast
+// partitions, the effect the paper's Sec. 4 comparison highlights) — and
+// the better feasible one wins. A heuristic feasible at usedN partitions is
+// feasible at every N >= usedN (the extra partitions stay empty), so the
+// cached certificates need no per-N re-validation.
+func warmStart(pre *presolve, paths [][]int, N, nVars int,
 	needMem bool, yv func(t, p int) int, wv func(p, e int) int, dv func(p int) int) []float64 {
 
+	g, board := pre.g, pre.board
 	var best []int
 	bestLat := 0.0
-	for _, homogeneous := range []bool{false, true} {
-		assign, usedN := greedyAssign(g, board, homogeneous)
-		if assign == nil || usedN > N {
+	for _, gr := range pre.greedy {
+		if !gr.ok || gr.usedN > N {
 			continue
 		}
-		if CheckFeasible(g, board, assign, N) != nil {
-			continue
-		}
-		lat := Latency(board, EvaluateDelays(g, assign, N, paths))
+		lat := Latency(board, EvaluateDelays(g, gr.assign, N, paths))
 		if best == nil || lat < bestLat {
-			best = assign
+			best = gr.assign
 			bestLat = lat
 		}
 	}
 	if best == nil {
 		return nil
 	}
+	// The canonicalization below mutates the assignment; the cached one is
+	// shared across probes.
+	best = append([]int(nil), best...)
 	// Canonicalize within interchangeable groups so the incumbent also
 	// satisfies the symmetry-breaking ordering rows (permuting members of
 	// a group across their partitions preserves feasibility and latency).
-	for _, group := range g.InterchangeableGroups() {
+	for _, group := range pre.groups {
 		ps := make([]int, len(group))
 		for i, t := range group {
 			ps[i] = best[t]

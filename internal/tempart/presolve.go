@@ -58,6 +58,26 @@ type presolve struct {
 	// they depend only on the instance, so every relax-N probe shares one
 	// computation.
 	cgFams []cgFamily
+
+	// groups caches g.InterchangeableGroups(): the model builder consumes
+	// it per relax-N probe (symmetry-breaking rows) and the warm start per
+	// probe again (incumbent canonicalization), and the computation walks
+	// every task pair.
+	groups [][]int
+
+	// greedy caches the two warm-start heuristics (plain and
+	// type-homogeneous topological packing), each validated once at its own
+	// partition count. Feasibility is monotone in N, so a cached certificate
+	// at usedN serves every probe with N >= usedN — maxFeasibleN and every
+	// warmStart call read these instead of re-running the packing.
+	greedy [2]greedyResult
+}
+
+// greedyResult is one cached warm-start heuristic outcome.
+type greedyResult struct {
+	assign []int // task -> partition; callers must not mutate
+	usedN  int
+	ok     bool // assign exists and CheckFeasible passed at usedN
 }
 
 // layerSeg is one slab of the layer-cake decomposition: tasks with delay
@@ -146,6 +166,12 @@ func newPresolve(g *dfg.Graph, board arch.Board) *presolve {
 		pr.extraCap = append(pr.extraCap, cap)
 	}
 	pr.cgFams = cgFamilies(pr)
+	pr.groups = g.InterchangeableGroups()
+	for i, homogeneous := range []bool{false, true} {
+		assign, usedN := greedyAssign(g, board, homogeneous)
+		ok := assign != nil && usedN > 0 && CheckFeasible(g, board, assign, usedN) == nil
+		pr.greedy[i] = greedyResult{assign: assign, usedN: usedN, ok: ok}
+	}
 	return pr
 }
 
@@ -465,16 +491,9 @@ func minMaxChainForArea(chain []float64, demand []int, need int) float64 {
 // certificate.
 func (pr *presolve) maxFeasibleN() int {
 	best := 0
-	for _, homogeneous := range []bool{false, true} {
-		assign, usedN := greedyAssign(pr.g, pr.board, homogeneous)
-		if assign == nil || usedN <= 0 {
-			continue
-		}
-		if CheckFeasible(pr.g, pr.board, assign, usedN) != nil {
-			continue
-		}
-		if best == 0 || usedN < best {
-			best = usedN
+	for _, gr := range pr.greedy {
+		if gr.ok && (best == 0 || gr.usedN < best) {
+			best = gr.usedN
 		}
 	}
 	return best
