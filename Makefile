@@ -44,14 +44,16 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -old $$(ls BENCH_*.json | sort | tail -1) -new /tmp/bench-current.json
 
 # race runs the concurrency-heavy packages under the race detector:
-# service (scheduler/cache), ilp (parallel search + shared cut pool), and
-# tempart (separators invoked from concurrent workers).
+# service (scheduler/cache, including the traced solve path and the flight
+# recorder), obs (the shared trace recorder written by concurrent search
+# workers), ilp (parallel search + shared cut pool), and tempart
+# (separators and trace spans invoked from concurrent workers).
 # tempart runs -short under race: the sequential brute-force property
 # tests and portfolio yardsticks add minutes of race overhead but no
 # concurrency coverage; the worker-equivalence and cancellation tests that
 # exercise the separators and the cut pool concurrently still run.
 race:
-	$(GO) test -race -count=1 ./internal/service/... ./internal/ilp/...
+	$(GO) test -race -count=1 ./internal/service/... ./internal/obs/... ./internal/ilp/...
 	$(GO) test -race -count=1 -short ./internal/tempart/...
 
 # loadtest is the smoke load test: ~100 concurrent requests against an

@@ -32,6 +32,7 @@ import (
 	"repro/internal/jpeg"
 	"repro/internal/listpart"
 	"repro/internal/memmap"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tempart"
 )
@@ -228,6 +229,37 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.Solver.Refactorizations), "refactorizations/op")
 	b.ReportMetric(float64(p.Stats.Solver.BoundFlips), "bound-flips/op")
 	b.ReportMetric(p.Latency, "latency-ns")
+}
+
+// BenchmarkILP_DCTPartitioningTraced is the observability overhead probe:
+// the headline solve with a full trace recorder attached. The ns/op and
+// allocs/op deltas against BenchmarkILP_DCTPartitioning are the entire cost
+// of span/counter/node-sample recording; the disabled path (Trace nil) is
+// separately pinned to zero allocations by internal/obs's
+// TestDisabledTraceZeroAlloc and the bench-lp FTRAN 0 allocs/op gate.
+func BenchmarkILP_DCTPartitioningTraced(b *testing.B) {
+	fixtures(b)
+	var p *tempart.Partitioning
+	var rec *obs.Recorder
+	for i := 0; i < b.N; i++ {
+		rec = obs.NewRecorder(4096)
+		var err error
+		p, err = tempart.Solve(tempart.Input{Graph: fx.graph, Board: fx.board, Trace: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p.N != 3 || !p.Optimal {
+		b.Fatalf("N=%d optimal=%v, want 3/true", p.N, p.Optimal)
+	}
+	tr := rec.Trace()
+	// The DCT warm start closes the search at the root (0 nodes → all
+	// counters legitimately zero), so the timeline check is spans-only.
+	if len(tr.Spans) == 0 {
+		b.Fatal("traced solve recorded no spans")
+	}
+	b.ReportMetric(float64(len(tr.Spans)), "spans")
+	b.ReportMetric(float64(tr.Dropped), "dropped-events")
 }
 
 // BenchmarkTempartDCTWarmStart is the solver-core benchmark behind the CI

@@ -12,6 +12,7 @@
 //	POST /v1/jobs/{id}/cancel cancel (aborts the B&B search mid-flight)
 //	GET  /healthz             liveness + headline stats
 //	GET  /metrics             Prometheus text exposition
+//	GET  /debug/solves        flight recorder: last solves + slowest since boot
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,21 +45,51 @@ func main() {
 		drainArg   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		maxBodyArg = flag.Int64("max-body", 8<<20, "max request body bytes")
 		pprofArg   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling of live solves)")
+		flightArg  = flag.Int("flight", 64, "flight recorder size (/debug/solves ring)")
+		logFmtArg  = flag.String("log-format", "text", "request log format: text or json")
+		logLvlArg  = flag.String("log-level", "info", "request log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
-	if err := run(*addrArg, *workersArg, *queueArg, *cacheArg, *maxBodyArg, *drainArg, *pprofArg); err != nil {
+	logger, err := newLogger(*logFmtArg, *logLvlArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparcsd:", err)
+		os.Exit(2)
+	}
+	if err := run(*addrArg, *workersArg, *queueArg, *cacheArg, *flightArg,
+		*maxBodyArg, *drainArg, *pprofArg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, maxBody int64, drain time.Duration, enablePprof bool) error {
+// newLogger builds the structured request logger (one line per terminal
+// solve, written to stderr so stdout stays for operational chatter).
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+func run(addr string, workers, queue, cache, flight int, maxBody int64,
+	drain time.Duration, enablePprof bool, logger *slog.Logger) error {
 	svc := service.New(service.Config{
 		Workers:      workers,
 		QueueCap:     queue,
 		CacheSize:    cache,
 		MaxBodyBytes: maxBody,
+		FlightSize:   flight,
+		Logger:       logger,
 	})
 	handler := svc.Handler()
 	if enablePprof {

@@ -51,11 +51,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Status reports the outcome of an ILP solve.
@@ -190,6 +192,12 @@ type Options struct {
 	// Log, when non-nil, receives progress lines. With Workers > 1 it must
 	// be safe for concurrent use.
 	Log func(format string, args ...any)
+	// Trace, when non-nil, receives search telemetry: separation-round and
+	// cut counters, incumbent improvements, and a sampled node event every
+	// traceNodeSample-th explored node (depth, LP bound, incumbent,
+	// frontier size). A nil Trace costs one nil check per node — the
+	// allocation-free hot path is unchanged.
+	Trace *obs.Recorder
 
 	// testCapturePool, when non-nil, receives the final global cut pool
 	// contents after the search (validity property tests only; unexported
@@ -920,10 +928,15 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 				searchers = append(searchers, w)
 			}
 			wg.Add(1)
-			go func() {
+			go func(id int) {
 				defer wg.Done()
-				st.runWorker(w)
-			}()
+				// Label the worker goroutine so -pprof profiles segment
+				// B&B time per worker; a nil Context (batch/bench path)
+				// skips the label machinery entirely.
+				obs.Do(opt.Context, "worker", strconv.Itoa(id), func(context.Context) {
+					st.runWorker(w)
+				})
+			}(i)
 		}
 		wg.Wait()
 		if st.err != nil {
@@ -939,16 +952,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 
 	sol := st.finish()
 	for _, w := range searchers {
-		s := w.solver.Stats
-		sol.Solver.Solves += s.Solves
-		sol.Solver.WarmSolves += s.WarmSolves
-		sol.Solver.ColdSolves += s.ColdSolves
-		sol.Solver.Pivots += s.Pivots
-		sol.Solver.DualPivots += s.DualPivots
-		sol.Solver.RowsAdded += s.RowsAdded
-		sol.Solver.Refactorizations += s.Refactorizations
-		sol.Solver.BoundFlips += s.BoundFlips
-		sol.Solver.UpdateNNZ += s.UpdateNNZ
+		sol.Solver.Accumulate(w.solver.Stats)
 	}
 	return sol, nil
 }
@@ -1174,6 +1178,11 @@ func (st *searchState) step(w *searcher) error {
 	return nil
 }
 
+// traceNodeSample sets the node-event sampling stride: every Nth explored
+// node emits one trace event, so even deep searches produce a bounded,
+// representative progression instead of flooding the recorder.
+const traceNodeSample = 64
+
 // absorb merges one node's result into the shared state. Callers in the
 // parallel path hold st.mu.
 func (st *searchState) absorb(nd *node, r *nodeResult) {
@@ -1186,6 +1195,17 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 	st.nodes++
 	st.cutsAdded += r.cutsAdded
 	st.sepRounds += r.sepRounds
+	if tr := st.opt.Trace; tr != nil {
+		if r.conflictCuts > 0 {
+			tr.Counter(obs.CounterConflicts, int64(r.conflictCuts))
+		}
+		if r.cutsAdded > 0 {
+			tr.Counter(obs.CounterCuts, int64(r.cutsAdded))
+		}
+		if r.sepRounds > 0 {
+			tr.Counter(obs.CounterSepRounds, int64(r.sepRounds))
+		}
+	}
 	if r.cutNames != nil {
 		if st.cutNames == nil {
 			st.cutNames = make(map[string]int)
@@ -1229,6 +1249,11 @@ func (st *searchState) absorb(nd *node, r *nodeResult) {
 		if st.opt.Log != nil {
 			st.opt.Log("ilp: incumbent obj=%g after %d nodes", st.incObj, st.nodes)
 		}
+		st.opt.Trace.Incumbent(int64(st.nodes), st.incObj)
+	}
+	if tr := st.opt.Trace; tr != nil && st.nodes%traceNodeSample == 1 {
+		tr.Node(int64(st.nodes), nd.depth, len(st.heap), r.obj,
+			st.incObj, !math.IsInf(st.incObj, 1))
 	}
 	for i := range r.children {
 		st.pushNode(r.children[i])

@@ -96,14 +96,13 @@ func BenchmarkLP_Warm(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	d := s.Stats
+	d := s.Stats.Delta(base)
 	n := float64(b.N)
-	cold, solves := d.ColdSolves-base.ColdSolves, d.Solves-base.Solves
-	if float64(cold) > 0.05*float64(solves) {
-		b.Fatalf("%d of %d solves fell off the warm path", cold, solves)
+	if float64(d.ColdSolves) > 0.05*float64(d.Solves) {
+		b.Fatalf("%d of %d solves fell off the warm path", d.ColdSolves, d.Solves)
 	}
-	b.ReportMetric(float64(d.WarmSolves-base.WarmSolves)/float64(solves), "warm-fraction")
-	b.ReportMetric(float64(d.Pivots-base.Pivots)/n, "pivots/op")
-	b.ReportMetric(float64(d.Refactorizations-base.Refactorizations)/n, "refactorizations/op")
-	b.ReportMetric(float64(d.BoundFlips-base.BoundFlips)/n, "bound-flips/op")
+	b.ReportMetric(float64(d.WarmSolves)/float64(d.Solves), "warm-fraction")
+	b.ReportMetric(float64(d.Pivots)/n, "pivots/op")
+	b.ReportMetric(float64(d.Refactorizations)/n, "refactorizations/op")
+	b.ReportMetric(float64(d.BoundFlips)/n, "bound-flips/op")
 }

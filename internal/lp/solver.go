@@ -139,6 +139,38 @@ type SolverStats struct {
 	UpdateNNZ        int // cumulative Forrest–Tomlin update-file nonzeros appended
 }
 
+// Delta returns the field-wise difference s - base: the activity between
+// two snapshots of a live Solver's Stats. This is how span-scoped
+// observability (trace counters, per-phase benchmarks) isolates one
+// search's pivots from the Solver's lifetime totals.
+func (s SolverStats) Delta(base SolverStats) SolverStats {
+	return SolverStats{
+		Solves:           s.Solves - base.Solves,
+		WarmSolves:       s.WarmSolves - base.WarmSolves,
+		ColdSolves:       s.ColdSolves - base.ColdSolves,
+		Pivots:           s.Pivots - base.Pivots,
+		DualPivots:       s.DualPivots - base.DualPivots,
+		RowsAdded:        s.RowsAdded - base.RowsAdded,
+		Refactorizations: s.Refactorizations - base.Refactorizations,
+		BoundFlips:       s.BoundFlips - base.BoundFlips,
+		UpdateNNZ:        s.UpdateNNZ - base.UpdateNNZ,
+	}
+}
+
+// Accumulate adds t into s field-wise (aggregating per-worker solver
+// stats into a search total).
+func (s *SolverStats) Accumulate(t SolverStats) {
+	s.Solves += t.Solves
+	s.WarmSolves += t.WarmSolves
+	s.ColdSolves += t.ColdSolves
+	s.Pivots += t.Pivots
+	s.DualPivots += t.DualPivots
+	s.RowsAdded += t.RowsAdded
+	s.Refactorizations += t.Refactorizations
+	s.BoundFlips += t.BoundFlips
+	s.UpdateNNZ += t.UpdateNNZ
+}
+
 // dualBP is one dual ratio-test breakpoint: nonbasic column j would change
 // reduced-cost sign at dual step |d_j/alpha_j|.
 type dualBP struct {

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The tentpole contract: tracing disabled (a nil recorder threaded through
+// Options/Input) must cost nothing on the node hot path. This pins it
+// directly — the LP/DCT-level enforcement is benchgate on
+// BenchmarkLP_FTRAN / BenchmarkILP_DCTPartitioning allocs.
+func TestDisabledTraceZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.BeginArg(PhaseSearch, 3)
+		r.Counter(CounterNodes, 1)
+		r.Node(1, 2, 3, 4, 5, true)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// Enabled recording must also be allocation-free: all event storage is
+// preallocated in NewRecorder, so a solve's tracing cost is bounded by the
+// mutex and a struct copy per event.
+func TestEnabledTraceZeroAlloc(t *testing.T) {
+	r := NewRecorder(1 << 16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.BeginArg(PhaseSearch, 3)
+		r.Counter(CounterNodes, 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled trace path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceDisabled measures the per-event-site cost with tracing
+// off: the nil checks the solver pays on every span/counter site.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.BeginArg(PhaseSearch, 3)
+		r.Counter(CounterNodes, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkTraceEnabled measures the recording fast path (preallocated
+// ring, uncontended mutex).
+func BenchmarkTraceEnabled(b *testing.B) {
+	r := NewRecorder(1 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.BeginArg(PhaseSearch, 3)
+		r.Counter(CounterNodes, 1)
+		sp.End()
+	}
+}

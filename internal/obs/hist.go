@@ -1,0 +1,114 @@
+package obs
+
+// DefaultLatencyBuckets are the fixed histogram upper bounds (seconds)
+// the service uses for solve latency: 100 µs to 10 s in a 1-2.5-5 ladder,
+// spanning the DCT fast path (~80 µs) through multi-second hard-instance
+// proofs. Exported so dashboards and tests agree on the layout.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus mold: counts
+// per upper bound plus an implicit +Inf overflow bucket, a running sum,
+// and interpolated quantiles for the legacy summary lines. Not safe for
+// concurrent use — callers (service.Metrics) hold their own lock.
+type Histogram struct {
+	uppers []float64
+	counts []uint64 // len(uppers)+1; last is the +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (nil selects DefaultLatencyBuckets).
+func NewHistogram(uppers []float64) *Histogram {
+	if len(uppers) == 0 {
+		uppers = DefaultLatencyBuckets
+	}
+	return &Histogram{uppers: uppers, counts: make([]uint64, len(uppers)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Uppers returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Uppers() []float64 { return h.uppers }
+
+// Cumulative returns the Prometheus-style cumulative bucket counts: one
+// per upper bound, then the +Inf total.
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// Merge folds other into h. Both must share the same bucket layout.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.total += other.total
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// the bucket that holds the target rank, the usual histogram_quantile
+// estimate. Returns 0 on an empty histogram; ranks landing in the +Inf
+// overflow clamp to the largest finite upper bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.uppers[i-1]
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.uppers) {
+				// Overflow bucket has no finite upper edge.
+				return h.uppers[len(h.uppers)-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (h.uppers[i]-lo)*frac
+		}
+		cum += c
+	}
+	return h.uppers[len(h.uppers)-1]
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// requestIDKey carries the request/job ID through the solve pipeline.
+type requestIDKey struct{}
+
+// WithRequestID attaches a request (job) ID to ctx for structured logging
+// downstream of the scheduler.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID attached by WithRequestID, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// Do runs f under a pprof label pair so CPU/goroutine profiles segment by
+// it (e.g. key "phase", value "search"). A nil ctx — the batch/benchmark
+// path, which never threads a context — runs f directly with no label
+// machinery and no allocation, preserving the zero-cost-when-disabled
+// contract.
+func Do(ctx context.Context, key, value string, f func(context.Context)) {
+	if ctx == nil {
+		f(nil)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels(key, value), f)
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/ilp"
 	"repro/internal/listpart"
+	"repro/internal/obs"
 	"repro/internal/tempart"
 )
 
@@ -51,6 +52,17 @@ type Request struct {
 	// NoCache bypasses the memo cache (always a fresh solve, result not
 	// stored).
 	NoCache bool
+
+	// Trace requests the per-request phase timeline in the Result. Like
+	// Workers/SpeculateN it is excluded from the cache key, but a traced
+	// request additionally bypasses the cache entirely (read and write):
+	// a trace describes THIS solve, so it can neither be served from a
+	// memo entry nor contaminate one.
+	Trace bool
+	// TraceSink, when non-nil, receives the backend's span/counter/node
+	// events. The server injects it (per request); it is never part of
+	// the cache key.
+	TraceSink *obs.Recorder
 }
 
 // Backend is a pluggable partitioning engine. Implementations must be safe
@@ -124,6 +136,7 @@ func (ilpBackend) Solve(ctx context.Context, req *Request) (*tempart.Partitionin
 		PathCap:            req.PathCap,
 		NoSymmetryBreaking: req.NoSymmetryBreaking,
 		SpeculateN:         req.SpeculateN,
+		Trace:              req.TraceSink,
 		ILP: ilp.Options{
 			Workers:       req.Workers,
 			MaxNodes:      req.MaxNodes,

@@ -25,7 +25,11 @@ import (
 // reported result. Workers and SpeculateN are deliberately excluded — the
 // parallel search and the speculative relax-N loop are result-equivalent to
 // the sequential path (pinned by the tempart consistency tests), so
-// requests differing only in parallelism share one cache entry.
+// requests differing only in parallelism share one cache entry. Trace and
+// TraceSink are likewise excluded: tracing observes a solve without
+// changing it (traced requests bypass the cache entirely, but their key —
+// were one computed — must equal the untraced key so they could never
+// shadow or split a memo entry).
 func (r *Request) CacheKey() string {
 	h := sha256.New()
 	var buf [8]byte

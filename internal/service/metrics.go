@@ -1,17 +1,44 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencySamples bounds the reservoir used for the latency quantiles: a
-// ring of the most recent solves, cheap to record and good enough for
-// operational p50/p99.
-const latencySamples = 1024
+// Outcome labels for terminal solve states: every request that reaches the
+// solve path lands in exactly one, and every one is latency-recorded (an
+// errored or cancelled solve still occupied a worker for its duration).
+const (
+	OutcomeOK        = "ok"
+	OutcomeError     = "error"
+	OutcomeCancelled = "cancelled"
+)
+
+// outcomeOf classifies a terminal solve error.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return OutcomeCancelled
+	default:
+		return OutcomeError
+	}
+}
+
+// histKey indexes the per-(engine, outcome) latency histograms.
+type histKey struct {
+	engine  string
+	outcome string
+}
 
 // Metrics aggregates service counters. Safe for concurrent use.
 type Metrics struct {
@@ -30,9 +57,13 @@ type Metrics struct {
 	lpFlips      map[string]uint64 // per engine: dual long-step bound flips
 	errors       uint64
 	cancelled    uint64
-	ring         [latencySamples]time.Duration
-	ringLen      int
-	ringPos      int
+	// hist holds the per-(engine, outcome) fixed-bucket latency
+	// histograms that replaced the PR 2 sample ring: every terminal
+	// outcome is observed (the ring recorded successes only).
+	hist map[histKey]*obs.Histogram
+	// phaseNS accumulates engine → phase → cumulative span time from
+	// fresh solves' traces.
+	phaseNS map[string]map[string]int64
 }
 
 // NewMetrics returns an empty metrics set.
@@ -50,23 +81,52 @@ func NewMetrics() *Metrics {
 		dualFathoms:  map[string]uint64{},
 		lpRefactor:   map[string]uint64{},
 		lpFlips:      map[string]uint64{},
+		hist:         map[histKey]*obs.Histogram{},
+		phaseNS:      map[string]map[string]int64{},
 	}
 }
 
-// RecordSolve notes one completed solve request and its end-to-end latency.
+// RecordSolve notes one completed solve request and its end-to-end
+// latency. All terminal outcomes are recorded — success, error, and
+// cancellation each observe the latency histogram under their outcome
+// label, so slow failures are no longer invisible in latency.
 func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
+	outcome := outcomeOf(err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.solves[engine]++
-	if err != nil {
+	switch outcome {
+	case OutcomeError:
 		m.errors++
+	case OutcomeCancelled:
+		m.cancelled++
+	}
+	k := histKey{engine, outcome}
+	h := m.hist[k]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.hist[k] = h
+	}
+	h.Observe(d.Seconds())
+}
+
+// RecordPhases folds one solve's trace into the per-engine cumulative
+// phase-time counters. Nil traces (cache hits, untraced paths) no-op.
+func (m *Metrics) RecordPhases(engine string, tr *obs.Trace) {
+	totals := tr.PhaseTotals()
+	if len(totals) == 0 {
 		return
 	}
-	m.ring[m.ringPos] = d
-	m.ringPos = (m.ringPos + 1) % latencySamples
-	if m.ringLen < latencySamples {
-		m.ringLen++
+	m.mu.Lock()
+	p := m.phaseNS[engine]
+	if p == nil {
+		p = make(map[string]int64, len(totals))
+		m.phaseNS[engine] = p
 	}
+	for phase, ns := range totals {
+		p[phase] += ns
+	}
+	m.mu.Unlock()
 }
 
 // SearchCounters is one fresh solve's branch-and-bound activity: nodes
@@ -108,7 +168,9 @@ func (m *Metrics) RecordSearch(engine string, c SearchCounters) {
 	m.mu.Unlock()
 }
 
-// RecordCancelled notes a job cancelled by the client.
+// RecordCancelled notes a job cancelled through the jobs API (distinct
+// from the latency histograms' cancelled outcome, which counts solves
+// whose context died for any reason).
 func (m *Metrics) RecordCancelled() {
 	m.mu.Lock()
 	m.cancelled++
@@ -135,146 +197,192 @@ type Snapshot struct {
 	P99MS        float64           `json:"latency_p99_ms"`
 }
 
-// Snapshot captures current counters and latency quantiles.
+// Snapshot captures current counters and latency quantiles (interpolated
+// from the merged histograms, across every engine and outcome).
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
 		UptimeMS:     time.Since(m.started).Milliseconds(),
-		Solves:       make(map[string]uint64, len(m.solves)),
-		Nodes:        make(map[string]uint64, len(m.nodes)),
-		Pruned:       make(map[string]uint64, len(m.pruned)),
-		LPSkipped:    make(map[string]uint64, len(m.lpSkipped)),
-		CutsAdded:    make(map[string]uint64, len(m.cutsAdded)),
-		SepRounds:    make(map[string]uint64, len(m.sepRounds)),
-		ConflictCuts: make(map[string]uint64, len(m.conflictCuts)),
-		CGCuts:       make(map[string]uint64, len(m.cgCuts)),
-		DualFathoms:  make(map[string]uint64, len(m.dualFathoms)),
-		LPRefactor:   make(map[string]uint64, len(m.lpRefactor)),
-		LPFlips:      make(map[string]uint64, len(m.lpFlips)),
+		Solves:       copyCounters(m.solves),
+		Nodes:        copyCounters(m.nodes),
+		Pruned:       copyCounters(m.pruned),
+		LPSkipped:    copyCounters(m.lpSkipped),
+		CutsAdded:    copyCounters(m.cutsAdded),
+		SepRounds:    copyCounters(m.sepRounds),
+		ConflictCuts: copyCounters(m.conflictCuts),
+		CGCuts:       copyCounters(m.cgCuts),
+		DualFathoms:  copyCounters(m.dualFathoms),
+		LPRefactor:   copyCounters(m.lpRefactor),
+		LPFlips:      copyCounters(m.lpFlips),
 		Errors:       m.errors,
 		Cancelled:    m.cancelled,
 	}
-	for k, v := range m.solves {
-		s.Solves[k] = v
-	}
-	for k, v := range m.nodes {
-		s.Nodes[k] = v
-	}
-	for k, v := range m.pruned {
-		s.Pruned[k] = v
-	}
-	for k, v := range m.lpSkipped {
-		s.LPSkipped[k] = v
-	}
-	for k, v := range m.cutsAdded {
-		s.CutsAdded[k] = v
-	}
-	for k, v := range m.sepRounds {
-		s.SepRounds[k] = v
-	}
-	for k, v := range m.conflictCuts {
-		s.ConflictCuts[k] = v
-	}
-	for k, v := range m.cgCuts {
-		s.CGCuts[k] = v
-	}
-	for k, v := range m.dualFathoms {
-		s.DualFathoms[k] = v
-	}
-	for k, v := range m.lpRefactor {
-		s.LPRefactor[k] = v
-	}
-	for k, v := range m.lpFlips {
-		s.LPFlips[k] = v
-	}
-	if m.ringLen > 0 {
-		sorted := make([]time.Duration, m.ringLen)
-		copy(sorted, m.ring[:m.ringLen])
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		q := func(p float64) float64 {
-			i := int(p * float64(len(sorted)-1))
-			return float64(sorted[i]) / 1e6
-		}
-		s.P50MS = q(0.50)
-		s.P99MS = q(0.99)
+	if merged := m.mergedHistLocked(); merged.Count() > 0 {
+		s.P50MS = merged.Quantile(0.50) * 1e3
+		s.P99MS = merged.Quantile(0.99) * 1e3
 	}
 	return s
 }
 
-// Exposition renders the metrics in Prometheus text format, folding in the
-// cache stats and scheduler gauges supplied by the server.
+// mergedHistLocked folds every (engine, outcome) histogram into one for
+// the service-wide quantile summary. Caller holds m.mu.
+func (m *Metrics) mergedHistLocked() *obs.Histogram {
+	merged := obs.NewHistogram(nil)
+	for _, h := range m.hist {
+		merged.Merge(h)
+	}
+	return merged
+}
+
+func copyCounters(src map[string]uint64) map[string]uint64 {
+	dst := make(map[string]uint64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Exposition renders the metrics in Prometheus text format (promlint-clean:
+// every family carries # HELP and # TYPE), folding in the cache stats and
+// scheduler gauges supplied by the server.
 func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	s := m.Snapshot()
+	m.mu.Lock()
+	type histLine struct {
+		key  histKey
+		hist *obs.Histogram
+	}
+	hists := make([]histLine, 0, len(m.hist))
+	for k, h := range m.hist {
+		hists = append(hists, histLine{k, h})
+	}
+	merged := m.mergedHistLocked()
+	type phaseLine struct {
+		engine, phase string
+		ns            int64
+	}
+	var phases []phaseLine
+	for engine, p := range m.phaseNS {
+		for phase, ns := range p {
+			phases = append(phases, phaseLine{engine, phase, ns})
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(hists, func(a, b int) bool {
+		if hists[a].key.engine != hists[b].key.engine {
+			return hists[a].key.engine < hists[b].key.engine
+		}
+		return hists[a].key.outcome < hists[b].key.outcome
+	})
+	sort.Slice(phases, func(a, b int) bool {
+		if phases[a].engine != phases[b].engine {
+			return phases[a].engine < phases[b].engine
+		}
+		return phases[a].phase < phases[b].phase
+	})
+
 	var b strings.Builder
-	emit := func(name string, v interface{}) {
+	head := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP sparcsd_%s %s\n# TYPE sparcsd_%s %s\n", name, help, name, typ)
+	}
+	engineFamily := func(name, help string, vals map[string]uint64) {
+		if len(vals) == 0 {
+			return
+		}
+		head(name, "counter", help)
+		for _, eng := range sortedKeys(vals) {
+			fmt.Fprintf(&b, "sparcsd_%s{engine=%q} %d\n", name, eng, vals[eng])
+		}
+	}
+	scalar := func(name, typ, help string, v any) {
+		head(name, typ, help)
 		fmt.Fprintf(&b, "sparcsd_%s %v\n", name, v)
 	}
-	for _, eng := range sortedKeys(s.Solves) {
-		fmt.Fprintf(&b, "sparcsd_solve_total{engine=%q} %d\n", eng, s.Solves[eng])
-	}
+
+	engineFamily("solve_total", "Completed solve requests per engine.", s.Solves)
 	// Per-engine search counters: how much branch-and-bound work fresh
 	// solves did, and how much of it the presolve pruned before the simplex
 	// ran. A healthy prune-first deployment shows pruned+skipped growing
 	// much faster than nodes.
-	for _, eng := range sortedKeys(s.Nodes) {
-		fmt.Fprintf(&b, "sparcsd_bb_nodes_total{engine=%q} %d\n", eng, s.Nodes[eng])
-	}
-	for _, eng := range sortedKeys(s.Pruned) {
-		fmt.Fprintf(&b, "sparcsd_bb_pruned_combinatorial_total{engine=%q} %d\n", eng, s.Pruned[eng])
-	}
-	for _, eng := range sortedKeys(s.LPSkipped) {
-		fmt.Fprintf(&b, "sparcsd_lp_solves_skipped_total{engine=%q} %d\n", eng, s.LPSkipped[eng])
-	}
+	engineFamily("bb_nodes_total", "Branch-and-bound nodes whose LP relaxation was solved.", s.Nodes)
+	engineFamily("bb_pruned_combinatorial_total", "Nodes fathomed by the combinatorial presolve bound.", s.Pruned)
+	engineFamily("lp_solves_skipped_total", "Nodes discarded without an LP solve.", s.LPSkipped)
 	// Cutting-plane engine: cuts the separators admitted and the node LP
 	// re-solves they triggered (branch-and-cut grows the model instead of
 	// the tree; rising cuts with flat nodes is the engine working).
-	for _, eng := range sortedKeys(s.CutsAdded) {
-		fmt.Fprintf(&b, "sparcsd_cuts_added_total{engine=%q} %d\n", eng, s.CutsAdded[eng])
-	}
-	for _, eng := range sortedKeys(s.SepRounds) {
-		fmt.Fprintf(&b, "sparcsd_separation_rounds_total{engine=%q} %d\n", eng, s.SepRounds[eng])
-	}
+	engineFamily("cuts_added_total", "Cutting planes admitted by separation.", s.CutsAdded)
+	engineFamily("separation_rounds_total", "Node LP re-solves triggered by cut rounds.", s.SepRounds)
 	// Infeasibility-proof engine: no-goods learned from fathomed-infeasible
 	// subtrees, Chvátal–Gomory cardinality cuts in play, and bin-packing
 	// dual-bound fathoms (N probes and B&B nodes killed LP-free). Rising
 	// fathoms with flat nodes is the proof engine doing the pruning.
-	for _, eng := range sortedKeys(s.ConflictCuts) {
-		fmt.Fprintf(&b, "sparcsd_conflict_cuts_total{engine=%q} %d\n", eng, s.ConflictCuts[eng])
-	}
-	for _, eng := range sortedKeys(s.CGCuts) {
-		fmt.Fprintf(&b, "sparcsd_cg_cuts_total{engine=%q} %d\n", eng, s.CGCuts[eng])
-	}
-	for _, eng := range sortedKeys(s.DualFathoms) {
-		fmt.Fprintf(&b, "sparcsd_dual_bound_fathoms_total{engine=%q} %d\n", eng, s.DualFathoms[eng])
-	}
+	engineFamily("conflict_cuts_total", "No-good cuts learned from infeasible subtrees.", s.ConflictCuts)
+	engineFamily("cg_cuts_total", "Chvatal-Gomory cardinality cuts in play.", s.CGCuts)
+	engineFamily("dual_bound_fathoms_total", "Bin-packing dual-bound fathoms (LP-free).", s.DualFathoms)
 	// Simplex kernel: basis reinversions (the Forrest–Tomlin update path
 	// exists to keep these rare) and dual long-step bound flips
-	// (infeasibility absorbed without a pivot). Rising reinversions per
-	// solve means the update file is being thrown away too early; falling
-	// flips means the ratio test stopped taking long steps.
-	for _, eng := range sortedKeys(s.LPRefactor) {
-		fmt.Fprintf(&b, "sparcsd_lp_refactorizations_total{engine=%q} %d\n", eng, s.LPRefactor[eng])
-	}
-	for _, eng := range sortedKeys(s.LPFlips) {
-		fmt.Fprintf(&b, "sparcsd_lp_bound_flips_total{engine=%q} %d\n", eng, s.LPFlips[eng])
-	}
-	emit("solve_errors_total", s.Errors)
-	emit("jobs_cancelled_total", s.Cancelled)
-	emit("cache_hits_total", cache.Hits)
-	emit("cache_misses_total", cache.Misses)
-	emit("cache_inflight_shared_total", cache.Shared)
-	emit("cache_evictions_total", cache.Evictions)
-	emit("cache_remap_fallbacks_total", cache.RemapFallbacks)
-	emit("cache_entries", cache.Entries)
+	// (infeasibility absorbed without a pivot).
+	engineFamily("lp_refactorizations_total", "LP basis reinversions.", s.LPRefactor)
+	engineFamily("lp_bound_flips_total", "Dual long-step bound flips.", s.LPFlips)
+
+	scalar("solve_errors_total", "counter", "Solve requests that ended in error.", s.Errors)
+	scalar("jobs_cancelled_total", "counter", "Jobs cancelled by clients or context death.", s.Cancelled)
+	scalar("cache_hits_total", "counter", "Memo cache hits.", cache.Hits)
+	scalar("cache_misses_total", "counter", "Memo cache misses (fresh solves).", cache.Misses)
+	scalar("cache_inflight_shared_total", "counter", "Requests deduplicated onto an in-flight identical solve.", cache.Shared)
+	scalar("cache_evictions_total", "counter", "LRU evictions.", cache.Evictions)
+	scalar("cache_remap_fallbacks_total", "counter", "Cache hits whose canonical transfer failed verification.", cache.RemapFallbacks)
+	scalar("cache_entries", "gauge", "Entries resident in the memo cache.", cache.Entries)
+	head("cache_hit_rate", "gauge", "Cache (hits+shared)/lookups.")
 	fmt.Fprintf(&b, "sparcsd_cache_hit_rate %.4f\n", cache.HitRate())
-	emit("queue_depth", queueDepth)
+	scalar("queue_depth", "gauge", "Jobs waiting in the scheduler queue.", queueDepth)
+	head("jobs", "gauge", "Jobs by scheduler state.")
 	fmt.Fprintf(&b, "sparcsd_jobs{state=%q} %d\n", "running", running)
 	fmt.Fprintf(&b, "sparcsd_jobs{state=%q} %d\n", "queued", queueDepth)
-	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds{quantile=\"0.5\"} %.6f\n", s.P50MS/1e3)
-	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds{quantile=\"0.99\"} %.6f\n", s.P99MS/1e3)
-	emit("uptime_seconds", s.UptimeMS/1000)
+
+	// The flight-recorder tentpole's service layer: per-(engine, outcome)
+	// fixed-bucket latency histograms. Every terminal outcome lands here.
+	if len(hists) > 0 {
+		head("solve_duration_seconds", "histogram", "End-to-end solve latency by engine and terminal outcome.")
+		for _, hl := range hists {
+			uppers := hl.hist.Uppers()
+			cum := hl.hist.Cumulative()
+			for i, upper := range uppers {
+				fmt.Fprintf(&b, "sparcsd_solve_duration_seconds_bucket{engine=%q,outcome=%q,le=%q} %d\n",
+					hl.key.engine, hl.key.outcome, formatUpper(upper), cum[i])
+			}
+			fmt.Fprintf(&b, "sparcsd_solve_duration_seconds_bucket{engine=%q,outcome=%q,le=\"+Inf\"} %d\n",
+				hl.key.engine, hl.key.outcome, cum[len(cum)-1])
+			fmt.Fprintf(&b, "sparcsd_solve_duration_seconds_sum{engine=%q,outcome=%q} %.6f\n",
+				hl.key.engine, hl.key.outcome, hl.hist.Sum())
+			fmt.Fprintf(&b, "sparcsd_solve_duration_seconds_count{engine=%q,outcome=%q} %d\n",
+				hl.key.engine, hl.key.outcome, hl.hist.Count())
+		}
+	}
+	// Per-phase cumulative solver time, folded from fresh solves' traces.
+	if len(phases) > 0 {
+		head("phase_seconds_total", "counter", "Cumulative solver time per pipeline phase (fresh solves).")
+		for _, pl := range phases {
+			fmt.Fprintf(&b, "sparcsd_phase_seconds_total{engine=%q,phase=%q} %.6f\n",
+				pl.engine, pl.phase, float64(pl.ns)/1e9)
+		}
+	}
+	// Legacy summary retained for dashboard continuity; quantiles are now
+	// interpolated from the merged histograms rather than a sample ring.
+	head("solve_latency_seconds", "summary", "Solve latency quantiles across all engines and outcomes.")
+	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds{quantile=\"0.5\"} %.6f\n", merged.Quantile(0.50))
+	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds{quantile=\"0.99\"} %.6f\n", merged.Quantile(0.99))
+	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds_sum %.6f\n", merged.Sum())
+	fmt.Fprintf(&b, "sparcsd_solve_latency_seconds_count %d\n", merged.Count())
+	scalar("uptime_seconds", "gauge", "Seconds since service start.", s.UptimeMS/1000)
 	return b.String()
+}
+
+// formatUpper renders a histogram bucket bound the way Prometheus clients
+// do: shortest float form ("0.005", "1", "2.5").
+func formatUpper(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func sortedKeys(m map[string]uint64) []string {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/dfg"
+	"repro/internal/obs"
 	"repro/internal/tempart"
 )
 
@@ -27,6 +28,12 @@ type SolveRequest struct {
 	MaxNodes           int  `json:"max_nodes,omitempty"`
 	NoSymmetryBreaking bool `json:"no_symmetry_breaking,omitempty"`
 	NoCache            bool `json:"no_cache,omitempty"`
+
+	// Trace returns the solve's phase timeline, counters, and sampled
+	// search progression in Result.Trace. A traced request is never
+	// served from (or stored in) the cache and is excluded from the
+	// cache key.
+	Trace bool `json:"trace,omitempty"`
 
 	// Cutting-plane budgets (0 = engine defaults). CutRoundsRoot and
 	// CutRoundsNode bound separation rounds per node at the root and
@@ -84,6 +91,7 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		MaxCuts:            sr.MaxCuts,
 		NoSymmetryBreaking: sr.NoSymmetryBreaking,
 		NoCache:            sr.NoCache,
+		Trace:              sr.Trace,
 	}, nil
 }
 
@@ -133,6 +141,10 @@ type Result struct {
 	// solve), "hit" (memo cache), "shared" (deduplicated onto another
 	// in-flight identical solve), or "" for direct CLI runs.
 	Cache string `json:"cache,omitempty"`
+
+	// Trace is the solve's phase timeline (trace=true requests only):
+	// spans, counters, incumbent improvements, and sampled node events.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // NewResult assembles the shared payload from a partitioning.

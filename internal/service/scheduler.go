@@ -6,8 +6,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of a scheduled solve.
@@ -137,19 +141,19 @@ func NewScheduler(workers, queueCap int,
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
 
-func (s *Scheduler) worker() {
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for job := range s.queue {
-		s.runJob(job)
+		s.runJob(id, job)
 	}
 }
 
-func (s *Scheduler) runJob(job *Job) {
+func (s *Scheduler) runJob(workerID int, job *Job) {
 	job.mu.Lock()
 	if job.state != JobQueued {
 		// Cancelled while queued: nothing to run, terminal state already set.
@@ -166,7 +170,17 @@ func (s *Scheduler) runJob(job *Job) {
 	s.running++
 	s.mu.Unlock()
 
-	res, err := s.solve(job.ctx, job.req)
+	// Label the solve for profiling (engine + scheduler worker; the solver
+	// layers add phase and search-worker labels underneath) and thread the
+	// job ID through as the request ID for logs and the flight recorder.
+	var res *Result
+	var err error
+	ctx := obs.WithRequestID(job.ctx, job.ID)
+	pprof.Do(ctx, pprof.Labels(
+		"engine", job.req.Engine, "worker", strconv.Itoa(workerID),
+	), func(ctx context.Context) {
+		res, err = s.solve(ctx, job.req)
+	})
 
 	s.mu.Lock()
 	s.running--

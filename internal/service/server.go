@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tempart"
 )
 
@@ -23,6 +26,14 @@ type Config struct {
 	CacheSize int
 	// MaxBodyBytes bounds request bodies (<= 0 selects 8 MiB).
 	MaxBodyBytes int64
+	// FlightSize bounds the /debug/solves ring (<= 0 selects 64).
+	FlightSize int
+	// TraceEvents caps a trace=true request's event buffer (<= 0
+	// selects 4096; drops past it are counted, never reallocated).
+	TraceEvents int
+	// Logger receives structured request logs (one line per terminal
+	// solve, keyed by request ID). nil discards them.
+	Logger *slog.Logger
 }
 
 // Server is the partitioning service: request parsing, the cache-aware
@@ -33,6 +44,8 @@ type Server struct {
 	cache   *Cache
 	sched   *Scheduler
 	metrics *Metrics
+	flight  *FlightRecorder
+	log     *slog.Logger
 	mux     *http.ServeMux
 }
 
@@ -44,10 +57,19 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.TraceEvents <= 0 {
+		cfg.TraceEvents = 4096
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheSize),
 		metrics: NewMetrics(),
+		flight:  NewFlightRecorder(cfg.FlightSize),
+		log:     log,
 	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.solve)
 	s.mux = http.NewServeMux()
@@ -59,6 +81,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
 	return s
 }
 
@@ -74,6 +97,12 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 // Shutdown cancels in-flight work and waits for the worker pool to drain.
 func (s *Server) Shutdown() { s.sched.Shutdown() }
 
+// coarseTraceEvents sizes the always-on recorder attached to untraced
+// fresh solves: large enough to hold every span of a deep relax-N loop
+// (so the per-phase metrics and flight-recorder breakdowns stay complete),
+// small enough to be irrelevant next to model build allocations.
+const coarseTraceEvents = 512
+
 // solve is the cache-aware execution path every request funnels through
 // (the scheduler's workers call it): memo-cache lookup, singleflight join,
 // or a fresh backend solve, followed by canonical-transfer verification for
@@ -85,9 +114,63 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 		return nil, err
 	}
 
-	finish := func(p *tempart.Partitioning, origin Origin, err error) (*Result, error) {
-		s.metrics.RecordSolve(be.Name(), time.Since(start), err)
+	// runBackend executes a fresh solve with a recorder attached — the
+	// request's own full-size recorder for trace=true, otherwise a small
+	// always-on one that feeds the per-phase metrics and the flight
+	// recorder. The request is shallow-copied so the shared *Request is
+	// never mutated under the singleflight.
+	runBackend := func(sctx context.Context, rec *obs.Recorder) (*tempart.Partitioning, *obs.Trace, error) {
+		if rec == nil {
+			rec = obs.NewRecorder(coarseTraceEvents)
+		}
+		r2 := *req
+		r2.TraceSink = rec
+		p, err := be.Solve(sctx, &r2)
+		tr := rec.Trace()
+		s.metrics.RecordPhases(be.Name(), tr)
+		return p, tr, err
+	}
+
+	finish := func(p *tempart.Partitioning, tr *obs.Trace, origin Origin, err error) (*Result, error) {
+		d := time.Since(start)
+		s.metrics.RecordSolve(be.Name(), d, err)
+		fr := SolveRecord{
+			ID:          obs.RequestID(ctx),
+			Engine:      be.Name(),
+			Graph:       req.Graph.Name,
+			Board:       req.BoardName,
+			Origin:      string(origin),
+			Outcome:     outcomeOf(err),
+			StartUnixMS: start.UnixMilli(),
+			SolveMS:     float64(d.Microseconds()) / 1e3,
+			Traced:      req.Trace,
+		}
+		if tr != nil {
+			for phase, ns := range tr.PhaseTotals() {
+				if fr.PhaseMS == nil {
+					fr.PhaseMS = make(map[string]float64, 5)
+				}
+				fr.PhaseMS[phase] = float64(ns) / 1e6
+			}
+		}
+		logAttrs := []slog.Attr{
+			slog.String("request_id", fr.ID),
+			slog.String("engine", fr.Engine),
+			slog.String("graph", fr.Graph),
+			slog.String("board", fr.Board),
+			slog.String("origin", fr.Origin),
+			slog.String("outcome", fr.Outcome),
+			slog.Float64("solve_ms", fr.SolveMS),
+		}
 		if err != nil {
+			fr.Error = err.Error()
+			s.flight.Record(fr)
+			level := slog.LevelWarn
+			if fr.Outcome == OutcomeCancelled {
+				level = slog.LevelInfo
+			}
+			s.log.LogAttrs(ctx, level, "solve",
+				append(logAttrs, slog.String("error", fr.Error))...)
 			return nil, err
 		}
 		if origin == OriginMiss {
@@ -115,25 +198,44 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 			res.ConflictCuts, res.CGCuts, res.DualBoundFathoms = 0, 0, 0
 			res.LPRefactorizations, res.LPBoundFlips = 0, 0
 		}
-		res.SolveMS = float64(time.Since(start).Microseconds()) / 1e3
+		res.SolveMS = fr.SolveMS
+		if req.Trace {
+			res.Trace = tr
+		}
+		fr.N, fr.Nodes = res.N, res.Nodes
+		s.flight.Record(fr)
+		s.log.LogAttrs(ctx, slog.LevelInfo, "solve",
+			append(logAttrs, slog.Int("n", fr.N), slog.Int("nodes", fr.Nodes))...)
 		return res, nil
 	}
 
-	if req.NoCache {
-		p, err := be.Solve(ctx, req)
-		return finish(p, OriginMiss, err)
+	// Traced requests bypass the cache in both directions: a trace
+	// describes this very solve, so it can neither be served from a memo
+	// entry nor be allowed to populate one.
+	if req.NoCache || req.Trace {
+		var rec *obs.Recorder
+		if req.Trace {
+			rec = obs.NewRecorder(s.cfg.TraceEvents)
+		}
+		p, tr, err := runBackend(ctx, rec)
+		return finish(p, tr, OriginMiss, err)
 	}
 
 	key := req.CacheKey()
+	// freshTrace is written by the singleflight closure only when THIS
+	// call launched it (origin == miss); the flight's done-channel close
+	// orders the write before our read.
+	var freshTrace *obs.Trace
 	ent, origin, err := s.cache.GetOrSolve(ctx, key, func(sctx context.Context) (*entry, error) {
-		p, err := be.Solve(sctx, req)
+		p, tr, err := runBackend(sctx, nil)
 		if err != nil {
 			return nil, err
 		}
+		freshTrace = tr
 		return newEntry(req.Graph, p), nil
 	})
 	if err != nil {
-		return finish(nil, origin, err)
+		return finish(nil, nil, origin, err)
 	}
 	p, err := ent.apply(req)
 	if err != nil {
@@ -141,10 +243,14 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 		// transfer-compatible, or a genuine hash collision): solve this
 		// graph directly rather than serving a wrong answer.
 		s.cache.noteRemapFallback()
-		p, err = be.Solve(ctx, req)
-		return finish(p, OriginMiss, err)
+		var tr *obs.Trace
+		p, tr, err = runBackend(ctx, nil)
+		return finish(p, tr, OriginMiss, err)
 	}
-	return finish(p, origin, nil)
+	if origin != OriginMiss {
+		freshTrace = nil // another call's solve; its phases are not ours
+	}
+	return finish(p, freshTrace, origin, nil)
 }
 
 // --- HTTP plumbing ---
@@ -320,4 +426,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.Exposition(
 		s.cache.Stats(), s.sched.QueueDepth(), s.sched.Running()))
+}
+
+// handleDebugSolves serves the flight recorder: the last K solves (newest
+// first) plus the slowest solve since boot.
+func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
 }

@@ -505,6 +505,15 @@ func TestCacheKeyExcludesParallelismKnobs(t *testing.T) {
 	if r1.CacheKey() != r2.CacheKey() {
 		t.Error("workers/speculate_n changed the cache key")
 	}
+	tr := base
+	tr.Trace = true
+	r4, err := tr.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheKey() != r4.CacheKey() {
+		t.Error("trace changed the cache key (it must observe, never shadow)")
+	}
 	for name, mut := range map[string]func(*SolveRequest){
 		"board":       func(sr *SolveRequest) { sr.Board = "paper" },
 		"engine":      func(sr *SolveRequest) { sr.Engine = "list" },

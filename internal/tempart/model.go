@@ -40,6 +40,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/ilp"
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Input bundles the three inputs of the partitioning tool: behavior
@@ -76,6 +77,15 @@ type Input struct {
 	// for ablation benchmarks and the cut-validity equivalence tests. The
 	// PR 3 aggregate presolve cut (Σ d_p ≥ combinatorial floor) stays on.
 	NoCuts bool
+	// Trace, when non-nil, receives the solve's phase timeline: presolve /
+	// relax-N probe / model-build / root-cut / search spans, LP kernel
+	// counter deltas at search-span boundaries, and the ilp layer's
+	// sampled node events (the recorder is handed down through
+	// ilp.Options.Trace). A nil Trace is free — every recording site is a
+	// nil-receiver no-op — so the batch and benchmark paths pay nothing.
+	// Under SpeculateN the probe spans of concurrent candidates overlap;
+	// span durations then sum to more than wall clock by design.
+	Trace *obs.Recorder
 	// ILP tunes the branch-and-bound search.
 	ILP ilp.Options
 }
@@ -209,6 +219,11 @@ func Solve(in Input) (*Partitioning, error) {
 	if g.NumTasks() == 0 {
 		return &Partitioning{}, nil
 	}
+	// The presolve span covers everything before the first N probe: task
+	// validation, path enumeration, the DAG/packing bound computation, and
+	// the greedy dominance clamp. pprof segments the same region under
+	// phase=presolve when a request context is present.
+	preSpan := in.Trace.Begin(obs.PhasePresolve)
 	for i := 0; i < g.NumTasks(); i++ {
 		if g.Task(i).Resources > in.Board.FPGA.CLBs {
 			return nil, fmt.Errorf("%w: task %q needs %d CLBs, FPGA has %d",
@@ -225,33 +240,47 @@ func Solve(in Input) (*Partitioning, error) {
 	if pathCap == 0 {
 		pathCap = 20000
 	}
-	paths, err := g.Paths(pathCap)
-	if err != nil {
-		return nil, fmt.Errorf("tempart: %w (use the list partitioner for graphs this path-dense)", err)
+	var (
+		paths   [][]int
+		pre     *presolve
+		n0      int
+		maxN    int
+		prunedN int
+		tally   *proofTally
+		pathErr error
+	)
+	obs.Do(in.ILP.Context, "phase", obs.PhasePresolve, func(context.Context) {
+		paths, pathErr = g.Paths(pathCap)
+		if pathErr != nil {
+			return
+		}
+		n0 = MinPartitions(g, in.Board)
+		maxN = in.MaxPartitions
+		if maxN == 0 {
+			maxN = n0 + 8
+		}
+		pre = newPresolve(g, in.Board)
+		// Dominance clamp: a feasible greedy partitioning at gn partitions
+		// proves the ILP feasible at every N >= gn (feasibility is monotone
+		// in N), so the relax loop never needs to probe beyond gn — those
+		// candidate counts are rejected without building a model.
+		if gn := pre.maxFeasibleN(); gn > 0 && gn >= n0 && gn < maxN {
+			prunedN += maxN - gn
+			maxN = gn
+		}
+		tally = &proofTally{packNeed: pre.packingNeed()}
+	})
+	if pathErr != nil {
+		return nil, fmt.Errorf("tempart: %w (use the list partitioner for graphs this path-dense)", pathErr)
 	}
-
-	n0 := MinPartitions(g, in.Board)
-	maxN := in.MaxPartitions
-	if maxN == 0 {
-		maxN = n0 + 8
-	}
-	pre := newPresolve(g, in.Board)
-	prunedN := 0
-	// Dominance clamp: a feasible greedy partitioning at gn partitions
-	// proves the ILP feasible at every N >= gn (feasibility is monotone in
-	// N), so the relax loop never needs to probe beyond gn — those
-	// candidate counts are rejected without building a model.
-	if gn := pre.maxFeasibleN(); gn > 0 && gn >= n0 && gn < maxN {
-		prunedN += maxN - gn
-		maxN = gn
-	}
-	tally := &proofTally{packNeed: pre.packingNeed()}
+	preSpan.End()
 	if in.SpeculateN > 1 {
 		return solveSpeculative(in, pre, paths, n0, maxN, prunedN, tally)
 	}
 	relax := 0
 	for n := n0; n <= maxN; n++ {
 		relax++
+		probeSpan := in.Trace.BeginArg(obs.PhaseProbe, int64(n))
 		// Bin-packing dual bound: a candidate count below the packing need
 		// is infeasible outright — cheaper than both the exact packing DFS
 		// below and any branch-and-bound infeasibility proof, and immune to
@@ -259,6 +288,7 @@ func Solve(in Input) (*Partitioning, error) {
 		if n < tally.packNeed {
 			prunedN++
 			tally.dualFathoms.Add(1)
+			probeSpan.End()
 			continue
 		}
 		// Multi-resource bin-packing pre-check: ignoring temporal order and
@@ -267,9 +297,11 @@ func Solve(in Input) (*Partitioning, error) {
 		// for a branch-and-bound infeasibility proof.
 		if !pre.packingFeasibleAll(n) {
 			prunedN++
+			probeSpan.End()
 			continue
 		}
 		part, err := solveForN(in, pre, paths, n, tally)
+		probeSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -361,6 +393,11 @@ func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN 
 		ch := make(chan probe, 1)
 		pt := &proofTally{packNeed: tally.packNeed}
 		go func() {
+			// Each probe gets its own (overlapping) span; moot probes that
+			// are cancelled mid-search never End theirs and vanish from
+			// the summary, matching the consumed-probes-only telemetry.
+			probeSpan := spec.Trace.BeginArg(obs.PhaseProbe, int64(n))
+			defer probeSpan.End()
 			// The dual-bound and packing pre-checks of the sequential loop,
 			// hoisted into the probe so a cheap infeasibility proof also
 			// runs off the consumer's critical path.
@@ -627,6 +664,7 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 	// the root LP is infeasible with no branching at all.
 	cgRoot := 0
 	if withPresolveCut {
+		cutSpan := in.Trace.BeginArg(obs.PhaseRootCut, int64(N))
 		emitRootCuts(pre, N, yv, dv, !in.NoCuts,
 			func(name string, kind lp.RowKind, rcols []int, rvals []float64, rhs float64) {
 				if strings.HasPrefix(name, "cg-") {
@@ -634,6 +672,7 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 				}
 				prob.AddRowCols(kind, rcols, rvals, rhs)
 			})
+		cutSpan.End()
 	}
 
 	// Symmetry breaking between interchangeable tasks: consecutive group
@@ -681,8 +720,13 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 	g := in.Graph
 	nT := g.NumTasks()
 	buildStart := time.Now()
-	m := buildModel(in, pre, paths, N, true)
+	buildSpan := in.Trace.BeginArg(obs.PhaseModelBuild, int64(N))
+	var m *tpModel
+	obs.Do(in.ILP.Context, "phase", obs.PhaseModelBuild, func(context.Context) {
+		m = buildModel(in, pre, paths, N, true)
+	})
 	opts := in.ILP
+	opts.Trace = in.Trace
 	if !in.DisableWarmStart {
 		if inc := warmStart(pre, paths, N, m.nVars, m.needMem, m.yv, m.wv, m.dv); inc != nil {
 			opts.Incumbent = inc
@@ -703,12 +747,29 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 		opts.Separate = newSeparator(pre, g, N, m.yv, m.dv, paths).separate
 	}
 	buildTime := time.Since(buildStart)
+	buildSpan.End()
 
 	solveStart := time.Now()
-	sol, err := ilp.Solve(m.ilp, opts)
+	searchSpan := in.Trace.BeginArg(obs.PhaseSearch, int64(N))
+	var sol *ilp.Solution
+	var err error
+	obs.Do(opts.Context, "phase", obs.PhaseSearch, func(context.Context) {
+		sol, err = ilp.Solve(m.ilp, opts)
+	})
 	if err != nil {
+		searchSpan.End()
 		return nil, err
 	}
+	// LP kernel Stats deltas at the search-span boundary (the per-search
+	// Solver aggregate is already a delta: each searcher's solver is born
+	// inside this ilp.Solve call).
+	if in.Trace != nil {
+		in.Trace.Counter(obs.CounterNodes, int64(sol.Nodes))
+		in.Trace.Counter(obs.CounterLPPivots, int64(sol.Solver.Pivots))
+		in.Trace.Counter(obs.CounterLPRefactor, int64(sol.Solver.Refactorizations))
+		in.Trace.Counter(obs.CounterLPFlips, int64(sol.Solver.BoundFlips))
+	}
+	searchSpan.End()
 	solveTime := time.Since(solveStart)
 	tally.conflictCuts.Add(int64(sol.ConflictCuts))
 	for name, n := range sol.CutsByName {
