@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test vet bench bench-smoke bench-lp bench-gate race loadtest stress stress-short
+.PHONY: all build test vet bench bench-smoke bench-lp bench-gate race chaos loadtest stress stress-short
 
 all: vet build test
 
@@ -55,6 +55,16 @@ bench-gate:
 race:
 	$(GO) test -race -count=1 ./internal/service/... ./internal/obs/... ./internal/ilp/...
 	$(GO) test -race -count=1 -short ./internal/tempart/...
+
+# chaos builds with the faultinject registry compiled in and runs the whole
+# internal tree — the tagged chaos suites (service + lp) arm the fault
+# points, and every untagged test re-runs against the chaos build to prove
+# the hooks change nothing until armed. Race detector on: the registry and
+# the recovery paths are exactly where concurrency bugs would hide.
+# tempart runs -short for the same reason as the race lane.
+chaos:
+	$(GO) test -tags faultinject -race -count=1 $$($(GO) list ./internal/... | grep -v /tempart)
+	$(GO) test -tags faultinject -race -count=1 -short ./internal/tempart/...
 
 # loadtest is the smoke load test: ~100 concurrent requests against an
 # in-process sparcsd server, asserting a >= 0.9 cache/singleflight hit rate.

@@ -46,6 +46,7 @@ func main() {
 		maxBodyArg = flag.Int64("max-body", 8<<20, "max request body bytes")
 		pprofArg   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling of live solves)")
 		flightArg  = flag.Int("flight", 64, "flight recorder size (/debug/solves ring)")
+		deadArg    = flag.Duration("default-deadline", 0, "solve deadline applied to requests without deadline_ms (0 = unbounded)")
 		logFmtArg  = flag.String("log-format", "text", "request log format: text or json")
 		logLvlArg  = flag.String("log-level", "info", "request log level: debug, info, warn, or error")
 	)
@@ -57,7 +58,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addrArg, *workersArg, *queueArg, *cacheArg, *flightArg,
-		*maxBodyArg, *drainArg, *pprofArg, logger); err != nil {
+		*maxBodyArg, *drainArg, *deadArg, *pprofArg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcsd:", err)
 		os.Exit(1)
 	}
@@ -82,14 +83,15 @@ func newLogger(format, level string) (*slog.Logger, error) {
 }
 
 func run(addr string, workers, queue, cache, flight int, maxBody int64,
-	drain time.Duration, enablePprof bool, logger *slog.Logger) error {
+	drain, defaultDeadline time.Duration, enablePprof bool, logger *slog.Logger) error {
 	svc := service.New(service.Config{
-		Workers:      workers,
-		QueueCap:     queue,
-		CacheSize:    cache,
-		MaxBodyBytes: maxBody,
-		FlightSize:   flight,
-		Logger:       logger,
+		Workers:           workers,
+		QueueCap:          queue,
+		CacheSize:         cache,
+		MaxBodyBytes:      maxBody,
+		FlightSize:        flight,
+		DefaultDeadlineMS: int(defaultDeadline / time.Millisecond),
+		Logger:            logger,
 	})
 	handler := svc.Handler()
 	if enablePprof {

@@ -1,0 +1,89 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestArmFireDisarm(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+
+	if Fire(WorkerPanic) {
+		t.Fatal("unarmed point fired")
+	}
+	Arm(WorkerPanic, 2)
+	if !Fire(WorkerPanic) || !Fire(WorkerPanic) {
+		t.Fatal("armed point did not fire its two shots")
+	}
+	if Fire(WorkerPanic) {
+		t.Fatal("point fired past its shot count")
+	}
+	if got := Fired(WorkerPanic); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+
+	Arm(WorkerPanic, -1)
+	for i := 0; i < 5; i++ {
+		if !Fire(WorkerPanic) {
+			t.Fatal("permanently armed point stopped firing")
+		}
+	}
+	Disarm(WorkerPanic)
+	if Fire(WorkerPanic) {
+		t.Fatal("disarmed point fired")
+	}
+	if got := Fired(WorkerPanic); got != 7 {
+		t.Fatalf("Fired after disarm = %d, want 7 (tally survives)", got)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+
+	Arm(SlowSolve, 1)
+	if got := Delay(SlowSolve); got != DefaultDelay {
+		t.Fatalf("Delay = %v, want DefaultDelay %v", got, DefaultDelay)
+	}
+	ArmDelay(SlowSolve, 1, 42*time.Millisecond)
+	if got := Delay(SlowSolve); got != 42*time.Millisecond {
+		t.Fatalf("Delay = %v, want 42ms", got)
+	}
+}
+
+func TestConcurrentFireIsBounded(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+
+	const shots = 100
+	Arm(CacheVerifyFail, shots)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if Fire(CacheVerifyFail) {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != shots {
+		t.Fatalf("concurrent fires = %d, want exactly %d", total, shots)
+	}
+	if got := Fired(CacheVerifyFail); got != shots {
+		t.Fatalf("Fired = %d, want %d", got, shots)
+	}
+}

@@ -48,6 +48,7 @@ package ilp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -75,6 +76,13 @@ const (
 	Unbounded
 	// Limit means a node/time limit was hit before any incumbent was found.
 	Limit
+	// Timeout means the search was stopped by a wall-clock deadline —
+	// Options.Deadline, Options.TimeLimit, or context-deadline expiry —
+	// before proving its claim. X holds the best incumbent when one was
+	// found (X == nil means the deadline fired first); Bound and Gap stay
+	// valid and BoundTrusted keeps its usual meaning, so the caller can
+	// report an honest anytime result.
+	Timeout
 )
 
 func (s Status) String() string {
@@ -89,6 +97,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case Limit:
 		return "limit"
+	case Timeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -116,6 +126,12 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit bounds wall-clock search time (0 = no limit).
 	TimeLimit time.Duration
+	// Deadline, when non-zero, is an absolute wall-clock bound on the
+	// search: at the deadline the search stops cleanly and reports the
+	// best incumbent (or its absence) with Status Timeout — the anytime
+	// contract. It composes with TimeLimit (the earlier of the two wins)
+	// and with Context deadline expiry, which is mapped to the same cause.
+	Deadline time.Time
 	// AbsGap stops the search when bound and incumbent are closer than this
 	// (default 1e-6).
 	AbsGap float64
@@ -301,6 +317,19 @@ func (s *Solution) Gap() float64 {
 }
 
 const intTol = 1e-6
+
+// stopCause records why limitHit tripped, so finish can distinguish a
+// deadline stop (reported as Timeout — the anytime contract) from node
+// limits, Stop-channel aborts, and plain cancellation.
+type stopCause int
+
+const (
+	causeNone stopCause = iota
+	causeNodes
+	causeDeadline
+	causeStop
+	causeCancel
+)
 
 // sharedBasis is a refcounted basis snapshot shared by all children of one
 // branched node. The snapshot's slices come from (and return to) the search
@@ -885,6 +914,9 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	if opt.TimeLimit > 0 {
 		st.deadline = time.Now().Add(opt.TimeLimit)
 	}
+	if !opt.Deadline.IsZero() && (st.deadline.IsZero() || opt.Deadline.Before(st.deadline)) {
+		st.deadline = opt.Deadline
+	}
 	if opt.Separate != nil {
 		st.pool = newCutPool(opt.MaxCuts)
 	}
@@ -910,6 +942,10 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	// A pre-closed Stop channel (a speculative probe already made moot) or a
 	// zero budget skips even that.
 	if st.limitHit() {
+		// The unexplored root is DROPPED, not exhausted: finish must not
+		// read the empty heap as a completed proof (a pre-expired deadline
+		// would otherwise claim Infeasible without solving anything).
+		st.dropped += len(st.heap)
 		st.heap = nil
 	} else if err := st.step(root); err != nil {
 		return nil, err
@@ -970,6 +1006,7 @@ type searchState struct {
 	stopped  bool
 	err      error
 	deadline time.Time
+	cause    stopCause
 
 	incumbent []float64
 	incObj    float64
@@ -1117,22 +1154,41 @@ func (st *searchState) recordPseudoCost(nd *node, childObj float64) {
 	st.pcMu.Unlock()
 }
 
+// limitHit reports whether the search must stop, recording WHY in st.cause
+// (first cause wins; every trigger is monotone, so caching it is sound).
+// finish uses the cause to label a truncated search honestly: a deadline
+// stop becomes Timeout, everything else keeps the Feasible/Limit labels.
+// The parallel path calls this under st.mu; the sequential path is
+// single-threaded, so the unguarded write is safe in both.
 func (st *searchState) limitHit() bool {
+	if st.cause != causeNone {
+		return true
+	}
 	if st.nodes >= st.opt.MaxNodes {
+		st.cause = causeNodes
 		return true
 	}
 	if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+		st.cause = causeDeadline
 		return true
 	}
 	if st.opt.Stop != nil {
 		select {
 		case <-st.opt.Stop:
+			st.cause = causeStop
 			return true
 		default:
 		}
 	}
-	if st.opt.Context != nil && st.opt.Context.Err() != nil {
-		return true
+	if st.opt.Context != nil {
+		if err := st.opt.Context.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				st.cause = causeDeadline
+			} else {
+				st.cause = causeCancel
+			}
+			return true
+		}
 	}
 	return false
 }
@@ -1365,6 +1421,13 @@ func (st *searchState) finish() *Solution {
 		}
 	} else if exhausted {
 		sol.Status = Infeasible
+	}
+	// A deadline stop is surfaced as Timeout unless the search still
+	// completed its proof (Optimal/Infeasible/Unbounded stand on their
+	// own; a racing worker may have recorded the cause after another
+	// emptied the heap).
+	if st.cause == causeDeadline && (sol.Status == Feasible || sol.Status == Limit) {
+		sol.Status = Timeout
 	}
 	return sol
 }

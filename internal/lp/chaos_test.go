@@ -1,0 +1,125 @@
+//go:build faultinject
+
+// Kernel-level chaos: the two LU fault points fire directly against the
+// simplex solver's handled recovery paths — a failed reinversion keeps the
+// current factor, a singular warm-start factor falls back to a cold solve —
+// and the optimum must come out identical either way.
+
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// chaosLP builds a reproducible feasible LP with a few dozen pivots' worth
+// of structure (enough for warm-start replays to be non-trivial).
+func chaosLP(seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := 12
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, float64(rng.Intn(9)-4))
+		p.SetBounds(j, 0, float64(3+rng.Intn(8)))
+	}
+	for i := 0; i < 8; i++ {
+		coeffs := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				coeffs[j] = float64(rng.Intn(7) - 3)
+			}
+		}
+		if len(coeffs) == 0 {
+			coeffs[i%n] = 1
+		}
+		p.AddRow(LE, coeffs, float64(5+rng.Intn(20)))
+	}
+	return p
+}
+
+// TestChaosSingularWarmStartFallsBackCold: ResolveFrom with the
+// singular-factor fault armed must reject the replayed basis and still
+// deliver the exact optimum via the cold path.
+func TestChaosSingularWarmStartFallsBackCold(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	for seed := int64(1); seed <= 5; seed++ {
+		p := chaosLP(seed)
+		s := NewSolver(p)
+		clean, err := s.Solve()
+		if err != nil || clean.Status != Optimal {
+			t.Fatalf("seed %d: clean solve (%v, %v)", seed, clean.Status, err)
+		}
+		bs := s.Basis()
+
+		// Branch-style perturbation, replayed from the snapshot with the
+		// fault firing: install must fail, the cold fallback must win.
+		s2 := NewSolver(p)
+		faultinject.Arm(faultinject.LUSingularFactor, 1)
+		faulted, err := s2.ResolveFrom(bs)
+		if err != nil {
+			t.Fatalf("seed %d: faulted ResolveFrom: %v", seed, err)
+		}
+		if faulted.Status != Optimal || math.Abs(faulted.Obj-clean.Obj) > 1e-6 {
+			t.Fatalf("seed %d: faulted warm start diverged: (%v, %g) vs %g",
+				seed, faulted.Status, faulted.Obj, clean.Obj)
+		}
+	}
+	if faultinject.Fired(faultinject.LUSingularFactor) == 0 {
+		t.Fatal("singular-factor fault point never fired; hook is dead")
+	}
+}
+
+// TestChaosRefactorFailureKeepsSolving: with every reinversion attempt
+// failing, maybeRefactor keeps the current (still valid) factor and the
+// solver's answers do not change across a warm re-solve sequence.
+func TestChaosRefactorFailureKeepsSolving(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	for seed := int64(1); seed <= 5; seed++ {
+		p := chaosLP(seed)
+		ref := NewSolver(p)
+		faulted := NewSolver(p)
+		faultinject.Disarm(faultinject.LURefactorFail)
+		want, err := ref.Solve()
+		if err != nil || want.Status != Optimal {
+			t.Fatalf("seed %d: clean solve (%v, %v)", seed, want.Status, err)
+		}
+		faultinject.Arm(faultinject.LURefactorFail, -1)
+		got, err := faulted.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: faulted solve: %v", seed, err)
+		}
+		if got.Status != Optimal || math.Abs(got.Obj-want.Obj) > 1e-6 {
+			t.Fatalf("seed %d: faulted solve diverged: (%v, %g) vs %g",
+				seed, got.Status, got.Obj, want.Obj)
+		}
+		// Warm re-solves after bound tightening (the branching pattern that
+		// drives Forrest-Tomlin updates and eventually reinversions).
+		for j := 0; j < faulted.NumVars(); j += 3 {
+			lo, hi := faulted.Bounds(j)
+			faulted.SetVarBounds(j, lo, math.Max(lo, hi-1))
+			ref.SetVarBounds(j, lo, math.Max(lo, hi-1))
+			got, err = faulted.Solve()
+			if err != nil {
+				t.Fatalf("seed %d: faulted warm re-solve: %v", seed, err)
+			}
+			faultinject.Disarm(faultinject.LURefactorFail)
+			want, err = ref.Solve()
+			faultinject.Arm(faultinject.LURefactorFail, -1)
+			if err != nil {
+				t.Fatalf("seed %d: clean warm re-solve: %v", seed, err)
+			}
+			if got.Status != want.Status ||
+				(got.Status == Optimal && math.Abs(got.Obj-want.Obj) > 1e-6) {
+				t.Fatalf("seed %d: re-solve diverged: (%v, %g) vs (%v, %g)",
+					seed, got.Status, got.Obj, want.Status, want.Obj)
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"slices"
+
+	"repro/internal/faultinject"
 )
 
 // Solver is a reusable bounded-variable simplex solver bound to one Problem.
@@ -604,6 +606,9 @@ func (s *Solver) maybeRefactor() {
 	if f.updates < luMaxUpdates && f.fNNZ() <= f.baseNNZ+f.baseNNZ/2+32 {
 		return
 	}
+	if faultinject.Fire(faultinject.LURefactorFail) {
+		return // injected singular reinversion: keep the current factor
+	}
 	if s.refactor() {
 		s.computeB()
 	}
@@ -1024,7 +1029,7 @@ func (s *Solver) install(bs *Basis) bool {
 		s.artUsed[i] = false
 		s.artSign[i] = 1
 	}
-	if !s.refactor() {
+	if faultinject.Fire(faultinject.LUSingularFactor) || !s.refactor() {
 		s.valid = false
 		return false
 	}

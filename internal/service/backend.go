@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/dfg"
+	"repro/internal/faultinject"
 	"repro/internal/ilp"
 	"repro/internal/listpart"
 	"repro/internal/obs"
@@ -52,6 +54,14 @@ type Request struct {
 	// NoCache bypasses the memo cache (always a fresh solve, result not
 	// stored).
 	NoCache bool
+
+	// DeadlineMS bounds the solve wall-clock time (0 = none). The server
+	// turns it into a context deadline; tempart threads it down to the
+	// branch-and-bound search, which returns its best incumbent instead of
+	// an error when time runs out. Excluded from the cache key: a complete
+	// result is deadline-independent, and partial results never touch the
+	// cache (in either direction).
+	DeadlineMS int
 
 	// Trace requests the per-request phase timeline in the Result. Like
 	// Workers/SpeculateN it is excluded from the cache key, but a traced
@@ -129,6 +139,16 @@ type ilpBackend struct{}
 func (ilpBackend) Name() string { return "ilp" }
 
 func (ilpBackend) Solve(ctx context.Context, req *Request) (*tempart.Partitioning, error) {
+	if faultinject.Fire(faultinject.WorkerPanic) {
+		panic("faultinject: injected solver panic")
+	}
+	if faultinject.Fire(faultinject.SlowSolve) {
+		select {
+		case <-time.After(faultinject.Delay(faultinject.SlowSolve)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	return tempart.SolveContext(ctx, tempart.Input{
 		Graph:              req.Graph,
 		Board:              req.Board,

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/dfg"
+	"repro/internal/faultinject"
 	"repro/internal/lp"
 	"repro/internal/tempart"
 )
@@ -146,6 +147,9 @@ func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 // (this guards correctness against the theoretical imperfection of WL
 // hashing; it never silently serves a wrong answer).
 func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
+	if faultinject.Fire(faultinject.CacheVerifyFail) {
+		return nil, fmt.Errorf("service: injected cache verification failure")
+	}
 	g := req.Graph
 	if e.n == 0 {
 		if g.NumTasks() != 0 {
@@ -298,6 +302,32 @@ func (c *Cache) insertLocked(key string, e *entry) {
 		delete(c.entries, it.key)
 		c.stats.Evictions++
 	}
+}
+
+// Get returns the stored entry for key, counting a hit or a miss. It is
+// the lookup half of the deadline-request path, which stays off the
+// singleflight: a shared flight solves under a detached context that
+// cannot honour a per-request deadline, and a partial result must never
+// be handed to other waiters. Cached entries are always complete, so
+// serving one to a deadline request is strictly better than any partial.
+func (c *Cache) Get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*lruItem).ent, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put stores a complete solve result under key (the store half of the
+// deadline-request path; callers must never Put a partial result).
+func (c *Cache) Put(key string, e *entry) {
+	c.mu.Lock()
+	c.insertLocked(key, e)
+	c.mu.Unlock()
 }
 
 // GetOrSolve returns the entry for key, solving at most once per key across

@@ -25,6 +25,11 @@ type SolveRecord struct {
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
 	// Traced marks requests that asked for (and received) a full trace.
 	Traced bool `json:"traced,omitempty"`
+	// Partial marks anytime results (deadline stopped the proof); Fallback
+	// additionally marks results served by the greedy backend because the
+	// search had no incumbent at the deadline.
+	Partial  bool `json:"partial,omitempty"`
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // FlightRecorder keeps the last K solve summaries in a ring, with the

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tempart"
 )
 
 // Outcome labels for terminal solve states: every request that reaches the
@@ -20,14 +21,20 @@ const (
 	OutcomeOK        = "ok"
 	OutcomeError     = "error"
 	OutcomeCancelled = "cancelled"
+	OutcomeTimeout   = "timeout"
 )
 
-// outcomeOf classifies a terminal solve error.
+// outcomeOf classifies a terminal solve error. A deadline expiry is not a
+// cancellation: the client is still waiting and (with a deadline_ms
+// request) is about to receive an anytime or fallback result, so it gets
+// its own outcome label in the latency histograms.
 func outcomeOf(err error) string {
 	switch {
 	case err == nil:
 		return OutcomeOK
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, tempart.ErrDeadline):
+		return OutcomeTimeout
+	case errors.Is(err, context.Canceled):
 		return OutcomeCancelled
 	default:
 		return OutcomeError
@@ -57,6 +64,11 @@ type Metrics struct {
 	lpFlips      map[string]uint64 // per engine: dual long-step bound flips
 	errors       uint64
 	cancelled    uint64
+	timeouts     uint64 // solves stopped by a deadline (anytime or not)
+	anytime      uint64 // timed-out solves that still served an incumbent
+	fallbacks    uint64 // timed-out solves served by the greedy fallback
+	shed         uint64 // queued jobs dropped because their deadline expired
+	workerPanics uint64 // solver panics recovered without losing the daemon
 	// hist holds the per-(engine, outcome) fixed-bucket latency
 	// histograms that replaced the PR 2 sample ring: every terminal
 	// outcome is observed (the ring recorded successes only).
@@ -100,6 +112,8 @@ func (m *Metrics) RecordSolve(engine string, d time.Duration, err error) {
 		m.errors++
 	case OutcomeCancelled:
 		m.cancelled++
+	case OutcomeTimeout:
+		m.timeouts++
 	}
 	k := histKey{engine, outcome}
 	h := m.hist[k]
@@ -177,6 +191,38 @@ func (m *Metrics) RecordCancelled() {
 	m.mu.Unlock()
 }
 
+// RecordAnytime notes a timed-out solve that still returned its best
+// incumbent (degradation ladder rung 2: optimal → anytime incumbent).
+func (m *Metrics) RecordAnytime() {
+	m.mu.Lock()
+	m.anytime++
+	m.mu.Unlock()
+}
+
+// RecordFallback notes a timed-out solve with no incumbent that was served
+// by the greedy list backend instead (ladder rung 3).
+func (m *Metrics) RecordFallback() {
+	m.mu.Lock()
+	m.fallbacks++
+	m.mu.Unlock()
+}
+
+// RecordShed notes a queued job dropped without running because its
+// deadline had already expired (ladder rung 4: self-protection).
+func (m *Metrics) RecordShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// RecordWorkerPanic notes a solver panic that was recovered — the job
+// failed, the daemon did not.
+func (m *Metrics) RecordWorkerPanic() {
+	m.mu.Lock()
+	m.workerPanics++
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time metrics view used by /healthz and /metrics.
 type Snapshot struct {
 	UptimeMS     int64             `json:"uptime_ms"`
@@ -193,6 +239,11 @@ type Snapshot struct {
 	LPFlips      map[string]uint64 `json:"lp_bound_flips,omitempty"`
 	Errors       uint64            `json:"errors"`
 	Cancelled    uint64            `json:"cancelled"`
+	Timeouts     uint64            `json:"timeouts"`
+	Anytime      uint64            `json:"anytime_solves"`
+	Fallbacks    uint64            `json:"fallback_solves"`
+	Shed         uint64            `json:"jobs_shed"`
+	WorkerPanics uint64            `json:"worker_panics"`
 	P50MS        float64           `json:"latency_p50_ms"`
 	P99MS        float64           `json:"latency_p99_ms"`
 }
@@ -217,6 +268,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		LPFlips:      copyCounters(m.lpFlips),
 		Errors:       m.errors,
 		Cancelled:    m.cancelled,
+		Timeouts:     m.timeouts,
+		Anytime:      m.anytime,
+		Fallbacks:    m.fallbacks,
+		Shed:         m.shed,
+		WorkerPanics: m.workerPanics,
 	}
 	if merged := m.mergedHistLocked(); merged.Count() > 0 {
 		s.P50MS = merged.Quantile(0.50) * 1e3
@@ -328,6 +384,13 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 
 	scalar("solve_errors_total", "counter", "Solve requests that ended in error.", s.Errors)
 	scalar("jobs_cancelled_total", "counter", "Jobs cancelled by clients or context death.", s.Cancelled)
+	// Robustness counters: the degradation ladder (optimal → anytime
+	// incumbent → greedy fallback → shed) plus recovered solver panics.
+	scalar("solve_timeouts_total", "counter", "Solves stopped by a deadline before proving optimality.", s.Timeouts)
+	scalar("anytime_solves_total", "counter", "Timed-out solves that still served their best incumbent.", s.Anytime)
+	scalar("fallback_solves_total", "counter", "Timed-out solves served by the greedy list fallback.", s.Fallbacks)
+	scalar("jobs_shed_total", "counter", "Queued jobs dropped because their deadline had already expired.", s.Shed)
+	scalar("worker_panics_total", "counter", "Solver panics recovered without losing the daemon.", s.WorkerPanics)
 	scalar("cache_hits_total", "counter", "Memo cache hits.", cache.Hits)
 	scalar("cache_misses_total", "counter", "Memo cache misses (fresh solves).", cache.Misses)
 	scalar("cache_inflight_shared_total", "counter", "Requests deduplicated onto an in-flight identical solve.", cache.Shared)

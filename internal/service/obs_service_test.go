@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tempart"
 )
 
 // --- trace=true end-to-end ------------------------------------------------
@@ -197,23 +198,27 @@ func TestFlightRecorderSlowestPinned(t *testing.T) {
 
 // --- outcome-labeled latency ----------------------------------------------
 
-// TestRecordSolveAllOutcomes pins the satellite fix: error and cancelled
-// solves record latency too, each under its own outcome label.
+// TestRecordSolveAllOutcomes pins the satellite fix: error, cancelled, and
+// timed-out solves record latency too, each under its own outcome label —
+// in particular a deadline expiry is "timeout", not "cancelled" (the client
+// is still waiting for its anytime result).
 func TestRecordSolveAllOutcomes(t *testing.T) {
 	m := NewMetrics()
 	m.RecordSolve("ilp", 10*time.Millisecond, nil)
 	m.RecordSolve("ilp", 20*time.Millisecond, errors.New("boom"))
 	m.RecordSolve("ilp", 30*time.Millisecond, context.Canceled)
 	m.RecordSolve("ilp", 40*time.Millisecond, context.DeadlineExceeded)
+	m.RecordSolve("ilp", 50*time.Millisecond, tempart.ErrDeadline)
 
 	s := m.Snapshot()
-	if s.Solves["ilp"] != 4 {
-		t.Errorf("solves = %d, want 4", s.Solves["ilp"])
+	if s.Solves["ilp"] != 5 {
+		t.Errorf("solves = %d, want 5", s.Solves["ilp"])
 	}
-	if s.Errors != 1 || s.Cancelled != 2 {
-		t.Errorf("errors=%d cancelled=%d, want 1/2", s.Errors, s.Cancelled)
+	if s.Errors != 1 || s.Cancelled != 1 || s.Timeouts != 2 {
+		t.Errorf("errors=%d cancelled=%d timeouts=%d, want 1/1/2",
+			s.Errors, s.Cancelled, s.Timeouts)
 	}
-	// All four observations land in the merged latency view.
+	// All five observations land in the merged latency view.
 	if s.P50MS <= 0 || s.P99MS < s.P50MS {
 		t.Errorf("quantiles p50=%.3f p99=%.3f, want 0 < p50 <= p99", s.P50MS, s.P99MS)
 	}
@@ -221,8 +226,14 @@ func TestRecordSolveAllOutcomes(t *testing.T) {
 	for _, want := range []string{
 		`sparcsd_solve_duration_seconds_count{engine="ilp",outcome="ok"} 1`,
 		`sparcsd_solve_duration_seconds_count{engine="ilp",outcome="error"} 1`,
-		`sparcsd_solve_duration_seconds_count{engine="ilp",outcome="cancelled"} 2`,
-		`sparcsd_solve_latency_seconds_count 4`,
+		`sparcsd_solve_duration_seconds_count{engine="ilp",outcome="cancelled"} 1`,
+		`sparcsd_solve_duration_seconds_count{engine="ilp",outcome="timeout"} 2`,
+		`sparcsd_solve_timeouts_total 2`,
+		`sparcsd_anytime_solves_total 0`,
+		`sparcsd_fallback_solves_total 0`,
+		`sparcsd_jobs_shed_total 0`,
+		`sparcsd_worker_panics_total 0`,
+		`sparcsd_solve_latency_seconds_count 5`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

@@ -29,6 +29,15 @@ type SolveRequest struct {
 	NoSymmetryBreaking bool `json:"no_symmetry_breaking,omitempty"`
 	NoCache            bool `json:"no_cache,omitempty"`
 
+	// DeadlineMS bounds the solve's wall-clock time in milliseconds
+	// (0 = none). When the deadline expires mid-search the service does
+	// not error: it returns the best incumbent found so far (Result.Partial
+	// with a reported gap), or the greedy fallback when the search produced
+	// no incumbent at all. Deadline requests never share the singleflight
+	// and partial results never touch the cache; DeadlineMS is excluded
+	// from the cache key because any result it stores is complete.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+
 	// Trace returns the solve's phase timeline, counters, and sampled
 	// search progression in Result.Trace. A traced request is never
 	// served from (or stored in) the cache and is excluded from the
@@ -71,7 +80,8 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 	}
 	if sr.Workers < 0 || sr.SpeculateN < 0 || sr.MaxPartitions < 0 ||
 		sr.PathCap < 0 || sr.MaxNodes < 0 ||
-		sr.CutRoundsRoot < 0 || sr.CutRoundsNode < 0 || sr.MaxCuts < 0 {
+		sr.CutRoundsRoot < 0 || sr.CutRoundsNode < 0 || sr.MaxCuts < 0 ||
+		sr.DeadlineMS < 0 {
 		return nil, fmt.Errorf("service: negative solver knob")
 	}
 	return &Request{
@@ -92,6 +102,7 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		NoSymmetryBreaking: sr.NoSymmetryBreaking,
 		NoCache:            sr.NoCache,
 		Trace:              sr.Trace,
+		DeadlineMS:         sr.DeadlineMS,
 	}, nil
 }
 
@@ -112,6 +123,19 @@ type Result struct {
 	N          int               `json:"n"`
 	Optimal    bool              `json:"optimal"`
 	LatencyNS  float64           `json:"latency_ns"`
+
+	// Anytime fields (deadline_ms requests). Partial marks a result whose
+	// proof was cut short by the deadline: the assignment is feasible but
+	// possibly suboptimal, with the search's proven lower bound and gap
+	// attached. Fallback additionally marks a result produced by the greedy
+	// list backend because the ILP had no incumbent at the deadline.
+	// BoundTrusted mirrors the solver's own attestation of the bound.
+	Partial        bool    `json:"partial,omitempty"`
+	Fallback       bool    `json:"fallback,omitempty"`
+	LatencyBoundNS float64 `json:"latency_bound_ns,omitempty"`
+	GapNS          float64 `json:"gap_ns,omitempty"`
+	BoundTrusted   bool    `json:"bound_trusted,omitempty"`
+
 	Partitions []PartitionResult `json:"partitions"`
 	// Assign maps task name -> 0-based partition.
 	Assign map[string]int `json:"assign,omitempty"`
@@ -156,6 +180,11 @@ func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) 
 		N:                   p.N,
 		Optimal:             p.Optimal,
 		LatencyNS:           p.Latency,
+		Partial:             p.Partial,
+		Fallback:            p.Fallback,
+		LatencyBoundNS:      p.LatencyBound,
+		GapNS:               p.Gap,
+		BoundTrusted:        p.BoundTrusted,
 		Nodes:               p.Stats.Nodes,
 		PrunedCombinatorial: p.Stats.PrunedCombinatorial,
 		LPSolvesSkipped:     p.Stats.LPSolvesSkipped,

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -35,6 +36,11 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// deadline is the absolute wall-clock bound derived from the request's
+	// DeadlineMS at creation (zero = none). A job still queued past it is
+	// shed instead of wasting a worker.
+	deadline time.Time
+
 	mu        sync.Mutex
 	state     JobState
 	result    *Result
@@ -57,8 +63,12 @@ type JobStatus struct {
 	// ElapsedMS is time since creation for live jobs, total lifetime for
 	// finished ones.
 	ElapsedMS int64   `json:"elapsed_ms"`
-	Result    *Result `json:"result,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// DeadlineUnixMS is the absolute request deadline (unix milliseconds;
+	// 0 = none), so a poller can tell "still solving" from "about to be
+	// shed" without knowing the queue's state.
+	DeadlineUnixMS int64   `json:"deadline_unix_ms,omitempty"`
+	Result         *Result `json:"result,omitempty"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // Status snapshots the job.
@@ -71,6 +81,9 @@ func (j *Job) Status() JobStatus {
 		CreatedMS: j.createdAt.UnixMilli(),
 		Result:    j.result,
 		Error:     j.errMsg,
+	}
+	if !j.deadline.IsZero() {
+		st.DeadlineUnixMS = j.deadline.UnixMilli()
 	}
 	if !j.startedAt.IsZero() {
 		st.StartedMS = j.startedAt.UnixMilli()
@@ -104,6 +117,9 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 var (
 	ErrQueueFull = errors.New("service: job queue full")
 	ErrShutdown  = errors.New("service: scheduler shut down")
+	// ErrDeadlineShed marks a job dropped without running because its
+	// request deadline had already expired while it sat in the queue.
+	ErrDeadlineShed = errors.New("service: job shed: deadline expired while queued")
 )
 
 // Scheduler is the bounded worker pool: Submit enqueues asynchronous jobs,
@@ -121,6 +137,11 @@ type Scheduler struct {
 	closed   bool
 	running  int
 	retain   int
+
+	// onShed and onPanic are observability hooks the server wires up
+	// (metrics + logs); nil is fine.
+	onShed  func(jobID string)
+	onPanic func(jobID string, v any, stack []byte)
 }
 
 // NewScheduler starts workers goroutines over a queue of queueCap jobs.
@@ -162,6 +183,23 @@ func (s *Scheduler) runJob(workerID int, job *Job) {
 		s.retire(job)
 		return
 	}
+	if !job.deadline.IsZero() && time.Now().After(job.deadline) {
+		// Self-protection: the request's deadline expired while the job sat
+		// in the queue. Shed it — no result could reach the client in time,
+		// so running it would only starve jobs that can still meet theirs.
+		job.state = JobFailed
+		job.err = ErrDeadlineShed
+		job.errMsg = ErrDeadlineShed.Error()
+		job.endedAt = time.Now()
+		job.mu.Unlock()
+		if s.onShed != nil {
+			s.onShed(job.ID)
+		}
+		job.cancel()
+		close(job.done)
+		s.retire(job)
+		return
+	}
 	job.state = JobRunning
 	job.startedAt = time.Now()
 	job.mu.Unlock()
@@ -176,11 +214,25 @@ func (s *Scheduler) runJob(workerID int, job *Job) {
 	var res *Result
 	var err error
 	ctx := obs.WithRequestID(job.ctx, job.ID)
-	pprof.Do(ctx, pprof.Labels(
-		"engine", job.req.Engine, "worker", strconv.Itoa(workerID),
-	), func(ctx context.Context) {
-		res, err = s.solve(ctx, job.req)
-	})
+	// The worker runs the solve under recover(): a panic anywhere in the
+	// solve path fails this job (stack captured) and the daemon keeps
+	// serving. The cache-aware path recovers solver panics itself, closer
+	// to the fault; this is the backstop for everything else.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("service: worker panic: %v", r)
+				if s.onPanic != nil {
+					s.onPanic(job.ID, r, debug.Stack())
+				}
+			}
+		}()
+		pprof.Do(ctx, pprof.Labels(
+			"engine", job.req.Engine, "worker", strconv.Itoa(workerID),
+		), func(ctx context.Context) {
+			res, err = s.solve(ctx, job.req)
+		})
+	}()
 
 	s.mu.Lock()
 	s.running--
@@ -189,7 +241,9 @@ func (s *Scheduler) runJob(workerID int, job *Job) {
 	job.mu.Lock()
 	job.endedAt = time.Now()
 	switch {
-	case err != nil && (errors.Is(err, context.Canceled) || job.ctx.Err() != nil):
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(job.ctx.Err(), context.Canceled)):
+		// Deadline expiry is deliberately NOT cancellation: a deadline_ms
+		// job that errors out lands in JobFailed with its deadline error.
 		job.state = JobCancelled
 		job.err = context.Canceled
 		job.errMsg = context.Canceled.Error()
@@ -229,7 +283,7 @@ func (s *Scheduler) retire(job *Job) {
 
 func newJob(ctx context.Context, req *Request) *Job {
 	jctx, cancel := context.WithCancel(ctx)
-	return &Job{
+	j := &Job{
 		ID:        newJobID(),
 		req:       req,
 		ctx:       jctx,
@@ -238,6 +292,10 @@ func newJob(ctx context.Context, req *Request) *Job {
 		state:     JobQueued,
 		createdAt: time.Now(),
 	}
+	if req.DeadlineMS > 0 {
+		j.deadline = j.createdAt.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	return j
 }
 
 func newJobID() string {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/obs"
@@ -31,6 +32,10 @@ type Config struct {
 	// TraceEvents caps a trace=true request's event buffer (<= 0
 	// selects 4096; drops past it are counted, never reallocated).
 	TraceEvents int
+	// DefaultDeadlineMS applies to requests that carry no deadline_ms of
+	// their own (<= 0 leaves them unbounded). A per-request deadline_ms
+	// always wins.
+	DefaultDeadlineMS int
 	// Logger receives structured request logs (one line per terminal
 	// solve, keyed by request ID). nil discards them.
 	Logger *slog.Logger
@@ -72,6 +77,20 @@ func New(cfg Config) *Server {
 		log:     log,
 	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.solve)
+	s.sched.onShed = func(jobID string) {
+		s.metrics.RecordShed()
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "job shed",
+			slog.String("job_id", jobID))
+	}
+	// Backstop for panics outside runBackend's own recovery (the usual
+	// solver panic is recovered there, closer to the fault).
+	s.sched.onPanic = func(jobID string, v any, stack []byte) {
+		s.metrics.RecordWorkerPanic()
+		s.log.LogAttrs(context.Background(), slog.LevelError, "worker panic",
+			slog.String("job_id", jobID),
+			slog.String("panic", fmt.Sprint(v)),
+			slog.String("stack", string(stack)))
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -113,20 +132,42 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A deadline_ms request bounds the whole solve with a context deadline;
+	// tempart threads it down to the branch-and-bound search, which returns
+	// its best incumbent instead of an error when time runs out.
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
 
 	// runBackend executes a fresh solve with a recorder attached — the
 	// request's own full-size recorder for trace=true, otherwise a small
 	// always-on one that feeds the per-phase metrics and the flight
 	// recorder. The request is shallow-copied so the shared *Request is
-	// never mutated under the singleflight.
-	runBackend := func(sctx context.Context, rec *obs.Recorder) (*tempart.Partitioning, *obs.Trace, error) {
+	// never mutated under the singleflight. A solver panic is recovered
+	// here — below the cache's detached flight goroutine as well as the
+	// worker's inline path — so one poisoned request fails alone instead of
+	// taking the daemon down.
+	runBackend := func(sctx context.Context, rec *obs.Recorder) (p *tempart.Partitioning, tr *obs.Trace, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.RecordWorkerPanic()
+				s.log.LogAttrs(ctx, slog.LevelError, "solver panic",
+					slog.String("request_id", obs.RequestID(ctx)),
+					slog.String("engine", be.Name()),
+					slog.String("panic", fmt.Sprint(r)),
+					slog.String("stack", string(debug.Stack())))
+				p, tr, err = nil, nil, fmt.Errorf("service: solver panic: %v", r)
+			}
+		}()
 		if rec == nil {
 			rec = obs.NewRecorder(coarseTraceEvents)
 		}
 		r2 := *req
 		r2.TraceSink = rec
-		p, err := be.Solve(sctx, &r2)
-		tr := rec.Trace()
+		p, err = be.Solve(sctx, &r2)
+		tr = rec.Trace()
 		s.metrics.RecordPhases(be.Name(), tr)
 		return p, tr, err
 	}
@@ -134,6 +175,18 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 	finish := func(p *tempart.Partitioning, tr *obs.Trace, origin Origin, err error) (*Result, error) {
 		d := time.Since(start)
 		s.metrics.RecordSolve(be.Name(), d, err)
+		if err != nil && req.DeadlineMS > 0 && be.Name() != "list" &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, tempart.ErrDeadline)) {
+			// Degradation ladder rung 3: the deadline expired before the
+			// search found any incumbent. Serve the greedy list
+			// partitioning, labeled as a fallback with an honest bound,
+			// instead of an error. (Rung 2 — a timed-out search WITH an
+			// incumbent — never reaches here: it comes back err == nil with
+			// p.Partial set.)
+			if fp := s.greedyFallback(ctx, req); fp != nil {
+				p, tr, err = fp, nil, nil
+			}
+		}
 		fr := SolveRecord{
 			ID:          obs.RequestID(ctx),
 			Engine:      be.Name(),
@@ -189,6 +242,16 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
 		res.Cache = string(origin)
+		if res.Partial {
+			fr.Partial, fr.Fallback = res.Partial, res.Fallback
+			if res.Fallback {
+				logAttrs = append(logAttrs, slog.Bool("fallback", true))
+			} else if origin == OriginMiss {
+				s.metrics.RecordAnytime()
+			}
+			logAttrs = append(logAttrs,
+				slog.Bool("partial", true), slog.Float64("gap_ns", res.GapNS))
+		}
 		if origin == OriginHit || origin == OriginShared {
 			// The search ran (at most) once, elsewhere; report zero local
 			// search so aggregate node counts stay meaningful.
@@ -222,6 +285,26 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 	}
 
 	key := req.CacheKey()
+	// Deadline requests stay off the singleflight: a shared flight solves
+	// under a detached context that cannot honour this request's deadline,
+	// and a partial result must never be handed to other waiters or stored.
+	// A complete cached result still serves (it dominates any partial), and
+	// a solve that finishes inside its deadline still populates the cache —
+	// only partial results bypass it, in both directions.
+	if req.DeadlineMS > 0 {
+		if ent, ok := s.cache.Get(key); ok {
+			if p, aerr := ent.apply(req); aerr == nil {
+				return finish(p, nil, OriginHit, nil)
+			}
+			s.cache.noteRemapFallback()
+		}
+		p, tr, err := runBackend(ctx, nil)
+		if err == nil && !p.Partial {
+			s.cache.Put(key, newEntry(req.Graph, p))
+		}
+		return finish(p, tr, OriginMiss, err)
+	}
+
 	// freshTrace is written by the singleflight closure only when THIS
 	// call launched it (origin == miss); the flight's done-channel close
 	// orders the write before our read.
@@ -230,6 +313,11 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 		p, tr, err := runBackend(sctx, nil)
 		if err != nil {
 			return nil, err
+		}
+		if p.Partial {
+			// Unreachable (the flight's context carries no deadline), but
+			// the never-cache-a-partial invariant is cheap to enforce.
+			return nil, fmt.Errorf("service: partial result cannot be cached")
 		}
 		freshTrace = tr
 		return newEntry(req.Graph, p), nil
@@ -253,6 +341,38 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 	return finish(p, freshTrace, origin, nil)
 }
 
+// greedyFallback is the last rung of the degradation ladder before an
+// error: the deadline expired with no ILP incumbent at all, so solve the
+// graph with the registered greedy list backend and label the result
+// Partial+Fallback. The presolve floor (tempart.AnytimeLowerBound) keeps
+// the reported gap finite and honest. Returns nil when the fallback itself
+// fails — the caller then surfaces the original deadline error.
+func (s *Server) greedyFallback(ctx context.Context, req *Request) *tempart.Partitioning {
+	lb, err := LookupBackend("list")
+	if err != nil {
+		return nil
+	}
+	// The request's deadline has already expired; the greedy pass is
+	// near-instantaneous, so run it on a short detached context.
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	defer cancel()
+	p, err := lb.Solve(fctx, req)
+	if err != nil || p == nil {
+		return nil
+	}
+	p.Optimal = false
+	p.Partial = true
+	p.Fallback = true
+	p.BoundTrusted = true
+	p.LatencyBound = tempart.AnytimeLowerBound(req.Graph, req.Board)
+	if p.LatencyBound > p.Latency {
+		p.LatencyBound = p.Latency
+	}
+	p.Gap = p.Latency - p.LatencyBound
+	s.metrics.RecordFallback()
+	return p
+}
+
 // --- HTTP plumbing ---
 
 type apiError struct {
@@ -274,10 +394,14 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // errStatus maps solve-path errors to HTTP codes.
 func errStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShutdown):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShutdown), errors.Is(err, ErrDeadlineShed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, tempart.ErrDeadline):
+		// Only reachable when the greedy fallback itself failed (deadline
+		// requests normally degrade to an anytime or fallback result).
+		return http.StatusGatewayTimeout
 	case errors.Is(err, tempart.ErrNoSolution), errors.Is(err, tempart.ErrTaskTooLarge):
 		return http.StatusUnprocessableEntity
 	default:
@@ -297,7 +421,16 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request
 		writeErr(w, http.StatusBadRequest, err)
 		return nil, false
 	}
+	s.applyDefaults(req)
 	return req, true
+}
+
+// applyDefaults fills operator-configured request defaults (currently the
+// solve deadline) for requests that did not set their own.
+func (s *Server) applyDefaults(req *Request) {
+	if req.DeadlineMS == 0 && s.cfg.DefaultDeadlineMS > 0 {
+		req.DeadlineMS = s.cfg.DefaultDeadlineMS
+	}
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -348,6 +481,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				resp.Items[i].Error = err.Error()
 				return
 			}
+			s.applyDefaults(req)
 			res, err := s.sched.RunSync(r.Context(), req)
 			if err != nil {
 				resp.Items[i].Error = err.Error()

@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -145,6 +146,26 @@ type Partitioning struct {
 	Latency float64
 	// Optimal reports whether the ILP proved optimality.
 	Optimal bool
+	// Partial reports an anytime result: a wall-clock deadline stopped the
+	// search and the best incumbent in hand was returned instead of a
+	// proven optimum (Optimal is always false then). LatencyBound and Gap
+	// quantify how far it can be from the true optimum.
+	Partial bool
+	// LatencyBound is the proven lower bound (ns) on the achievable
+	// latency: equal to Latency for Optimal results, and derived from the
+	// search's objective bound (plus the constant N·reconfig term) for
+	// truncated ones. Zero when no bound was established.
+	LatencyBound float64
+	// Gap is Latency - LatencyBound (0 when Optimal).
+	Gap float64
+	// BoundTrusted mirrors ilp.Solution.BoundTrusted: false when the
+	// search had to discard nodes whose LP hit the iteration limit, which
+	// degrades exhaustiveness claims but keeps LatencyBound valid.
+	BoundTrusted bool
+	// Fallback reports that the result came from the greedy list
+	// partitioner after the ILP produced nothing before its deadline (set
+	// by the service layer's degradation ladder, never by Solve itself).
+	Fallback bool
 	// Stats carries solver statistics.
 	Stats SolveStats
 }
@@ -153,6 +174,11 @@ type Partitioning struct {
 var (
 	ErrTaskTooLarge = errors.New("tempart: a task exceeds the FPGA resource capacity")
 	ErrNoSolution   = errors.New("tempart: no feasible partitioning within the partition cap")
+	// ErrDeadline reports that a wall-clock deadline expired before any
+	// feasible partitioning was found — the caller should degrade to a
+	// cheaper backend (the service layer falls back to the greedy list
+	// partitioner) rather than retry.
+	ErrDeadline = errors.New("tempart: deadline expired before any feasible partitioning was found")
 )
 
 // MinPartitions returns the preprocessing lower bound: the maximum of
@@ -189,19 +215,55 @@ func MinPartitions(g *dfg.Graph, board arch.Board) int {
 	return n
 }
 
+// AnytimeLowerBound returns a cheap, sound lower bound (ns) on the latency
+// of any feasible partitioning of g on board: MinPartitions·reconfig plus
+// the presolve delay floor (DAG critical path vs layer-cake area×delay).
+// The service layer uses it to report a finite gap when a deadline forces
+// the greedy fallback before the ILP established any bound of its own.
+func AnytimeLowerBound(g *dfg.Graph, board arch.Board) float64 {
+	if g == nil || g.NumTasks() == 0 {
+		return 0
+	}
+	pre := newPresolve(g, board)
+	return float64(MinPartitions(g, board))*board.FPGA.ReconfigTime + pre.sumDelayFloor()
+}
+
 // SolveContext is Solve with request-scoped cancellation: ctx is installed
 // as the branch-and-bound's ilp.Options.Context (replacing any Context
 // already present in in.ILP), so cancelling it aborts every search worker
 // and every speculative relax-N probe at its next limit check. A cancelled
 // solve returns ctx.Err() even when the aborted search had already found a
 // feasible (but unproven) incumbent.
+//
+// Deadline expiry is different — that is the anytime contract: when the
+// context died of context.DeadlineExceeded and the solve still produced a
+// partitioning (the best incumbent, marked Partial with a proven
+// LatencyBound and Gap), the partitioning is returned instead of the
+// error. A deadline that fires before any incumbent exists surfaces as an
+// ErrDeadline-wrapped error so callers can degrade to a cheaper backend.
+// The ctx deadline is also installed as ilp.Options.Deadline so the search
+// stops proactively rather than waiting for a poll of ctx.Err().
 func SolveContext(ctx context.Context, in Input) (*Partitioning, error) {
 	if ctx != nil {
 		in.ILP.Context = ctx
+		if dl, ok := ctx.Deadline(); ok && (in.ILP.Deadline.IsZero() || dl.Before(in.ILP.Deadline)) {
+			in.ILP.Deadline = dl
+		}
 	}
 	part, err := Solve(in)
-	if ctx != nil && ctx.Err() != nil {
-		return nil, ctx.Err()
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				if part != nil {
+					return part, nil
+				}
+				if err != nil && errors.Is(err, ErrDeadline) {
+					return nil, err
+				}
+				return nil, cerr
+			}
+			return nil, cerr
+		}
 	}
 	return part, err
 }
@@ -426,6 +488,42 @@ func solveSpeculative(in Input, pre *presolve, paths [][]int, n0, maxN, prunedN 
 		r := <-pending[n]
 		delete(pending, n)
 		if r.err != nil {
+			if errors.Is(r.err, ErrDeadline) {
+				// Anytime salvage: the probe at n hit the deadline with no
+				// incumbent, but the already-launched higher-N probes —
+				// stopped by the same deadline — may hold feasible ones.
+				// Consume them in ascending N order and return the best
+				// completed probe's partitioning, labeled Partial with the
+				// floor bound: counts below n are proven infeasible, so
+				// any feasible partitioning costs at least n·reconfig plus
+				// the presolve delay floor.
+				ns := make([]int, 0, len(pending))
+				for k := range pending {
+					ns = append(ns, k)
+				}
+				sort.Ints(ns)
+				for _, k := range ns {
+					r2 := <-pending[k]
+					delete(pending, k)
+					if r2.err != nil || r2.part == nil {
+						continue
+					}
+					tally.absorb(r2.tally)
+					p := r2.part
+					p.Optimal = false
+					p.Partial = true
+					p.BoundTrusted = true
+					p.LatencyBound = float64(n)*in.Board.FPGA.ReconfigTime + pre.sumDelayFloor()
+					if p.LatencyBound > p.Latency {
+						p.LatencyBound = p.Latency
+					}
+					p.Gap = p.Latency - p.LatencyBound
+					p.Stats.RelaxSteps = k - n0 + 1
+					p.Stats.NProbesPruned = prunedN
+					tally.stampProofStats(p)
+					return p, nil
+				}
+			}
 			// An aborted higher-N probe can only fail with a stop-induced
 			// limit error, which is never reached here: errors are consumed
 			// in ascending N order before stop closes.
@@ -785,6 +883,13 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 		return nil, fmt.Errorf("tempart: search limit hit with no feasible partitioning at N=%d", N)
 	case ilp.Unbounded:
 		return nil, errors.New("tempart: model unbounded (internal error)")
+	case ilp.Timeout:
+		if sol.X == nil {
+			return nil, fmt.Errorf("%w (N=%d)", ErrDeadline, N)
+		}
+		// Deadline stopped the search with an incumbent in hand: extract
+		// it below as an anytime result, marked Partial with the search's
+		// proven bound.
 	}
 
 	assign := make([]int, nT)
@@ -824,6 +929,22 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 			BuildTime: buildTime, SolveTime: solveTime,
 			Solver: sol.Solver,
 		},
+	}
+	part.Partial = sol.Status == ilp.Timeout
+	part.BoundTrusted = sol.BoundTrusted
+	// The ILP objective is Σ_p d_p with the N·reconfig term constant, so
+	// the proven objective bound translates directly into a latency bound.
+	switch {
+	case part.Optimal:
+		part.LatencyBound = part.Latency
+	case !math.IsInf(sol.Bound, -1):
+		part.LatencyBound = float64(N)*in.Board.FPGA.ReconfigTime + sol.Bound
+		if part.LatencyBound > part.Latency {
+			part.LatencyBound = part.Latency
+		}
+	}
+	if part.LatencyBound > 0 {
+		part.Gap = part.Latency - part.LatencyBound
 	}
 	return part, nil
 }
