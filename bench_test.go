@@ -228,6 +228,8 @@ func BenchmarkILP_DCTPartitioning(b *testing.B) {
 	b.ReportMetric(float64(p.Stats.Solver.Pivots), "pivots/op")
 	b.ReportMetric(float64(p.Stats.Solver.Refactorizations), "refactorizations/op")
 	b.ReportMetric(float64(p.Stats.Solver.BoundFlips), "bound-flips/op")
+	b.ReportMetric(float64(p.Stats.Solver.SparseFTRANs+p.Stats.Solver.SparseBTRANs), "sparse-solves/op")
+	b.ReportMetric(float64(p.Stats.Solver.DenseFallbacks), "dense-fallbacks/op")
 	b.ReportMetric(p.Latency, "latency-ns")
 }
 
@@ -287,6 +289,8 @@ func BenchmarkTempartDCTWarmStart(b *testing.B) {
 	b.ReportMetric(float64(st.Pivots), "pivots/op")
 	b.ReportMetric(float64(st.Refactorizations), "refactorizations/op")
 	b.ReportMetric(float64(st.BoundFlips), "bound-flips/op")
+	b.ReportMetric(float64(st.SparseFTRANs+st.SparseBTRANs), "sparse-solves/op")
+	b.ReportMetric(float64(st.DenseFallbacks), "dense-fallbacks/op")
 	b.ReportMetric(float64(p.Stats.PrunedCombinatorial), "nodes-pruned-combinatorial")
 	b.ReportMetric(float64(p.Stats.LPSolvesSkipped), "lp-solves-skipped")
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/fission"
 	"repro/internal/hls"
 	"repro/internal/jpeg"
+	"repro/internal/lp"
 	"repro/internal/service"
 	"repro/internal/sim"
 )
@@ -42,6 +43,7 @@ func main() {
 		traceArg   = flag.Int("trace", 0, "print the first N simulation trace events")
 		workersArg = flag.Int("workers", 1, "parallel B&B search workers (ilp partitioner)")
 		specArg    = flag.Int("speculate", 1, "concurrent partition-count probes in the relax-N loop")
+		priceArg   = flag.String("pricing", "devex", "dual simplex pricing rule: devex or steepest-edge")
 		outArg     = flag.String("o", "text", "output format: text, or json (the machine-readable service payload; skips simulation)")
 	)
 	flag.Parse()
@@ -51,6 +53,7 @@ func main() {
 		Strategy: *stratArg, I: *iArg, Pow2: *pow2Arg, DOT: *dotArg,
 		Verilog: *verilogArg, Sequencer: *seqArg, Trace: *traceArg,
 		Workers: *workersArg, SpeculateN: *specArg, Output: *outArg,
+		Pricing: *priceArg,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcs:", err)
 		os.Exit(1)
@@ -67,6 +70,9 @@ type cliOptions struct {
 	// Output selects "text" (the human report + simulation) or "json"
 	// (the exact internal/service Result payload, solve only).
 	Output string
+	// Pricing selects the dual simplex pricing rule ("", "devex", or
+	// "steepest-edge") for the ilp partitioner.
+	Pricing string
 }
 
 func run(o cliOptions) error {
@@ -88,6 +94,13 @@ func run(o cliOptions) error {
 	cfg.Pow2Blocks = o.Pow2
 	cfg.ILP.Workers = o.Workers
 	cfg.SpeculateN = o.SpeculateN
+	switch o.Pricing {
+	case "", "devex":
+	case "steepest-edge":
+		cfg.ILP.Pricing = lp.PricingSteepestEdge
+	default:
+		return fmt.Errorf("unknown pricing %q (want devex or steepest-edge)", o.Pricing)
+	}
 	switch o.Partitioner {
 	case "ilp":
 		cfg.Partitioner = core.ILPPartitioner

@@ -26,6 +26,10 @@
 //	cache-verify-fail  internal/service: a cache hit fails its feasibility
 //	                   re-verification, forcing the remap-fallback fresh
 //	                   solve.
+//	lp-sparse-fallback internal/lp: the hyper-sparse FTRAN/BTRAN symbolic
+//	                   pass reports over-threshold fill, forcing the dense
+//	                   fallback path the density gate normally reserves
+//	                   for near-dense results.
 package faultinject
 
 import "time"
@@ -36,8 +40,9 @@ const (
 	LURefactorFail   = "lu-refactor-fail"
 	LUSingularFactor = "lu-singular-factor"
 	WorkerPanic      = "worker-panic"
-	SlowSolve        = "slow-solve"
-	CacheVerifyFail  = "cache-verify-fail"
+	SlowSolve           = "slow-solve"
+	CacheVerifyFail     = "cache-verify-fail"
+	SparseSolveFallback = "lp-sparse-fallback"
 )
 
 // DefaultDelay is the stall applied by delay-style points (slow-solve) when

@@ -194,6 +194,13 @@ type Options struct {
 	// model and the workers share one incumbent, so the optimal objective
 	// found is identical to the sequential search.
 	Workers int
+	// Pricing selects the dual simplex pricing rule for every worker's
+	// solver: lp.PricingDevex (the zero value, default) or
+	// lp.PricingSteepestEdge. Exact steepest edge spends one extra FTRAN
+	// per dual pivot to maintain exact row weights; it tends to pay off on
+	// models where devex's approximate weights drift and inflate the pivot
+	// count. The optimum found is identical either way.
+	Pricing lp.Pricing
 	// Stop, when non-nil, aborts the search as soon as it is closed. The
 	// partial result is reported exactly as if a node limit had been hit.
 	// This lets a caller racing several solves (e.g. the speculative
@@ -422,6 +429,7 @@ func newSearcher(p *Problem, opt *Options, st *searchState, isInt []bool) *searc
 	// search retains from a result (incumbents, rounding candidates) is
 	// copied out explicitly.
 	w.solver.SetReuseSolution(true)
+	w.solver.SetPricing(opt.Pricing)
 	for j := 0; j < n; j++ {
 		w.rootLo[j], w.rootHi[j] = p.LP.Bounds(j)
 	}

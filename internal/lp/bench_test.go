@@ -68,6 +68,129 @@ func BenchmarkLP_FTRAN(b *testing.B) {
 	b.ReportMetric(float64(s.lu.fNNZ()), "factor-nnz")
 }
 
+// benchProblemBanded builds the same covering shape as benchProblem but
+// with banded rows: row i covers rowLen consecutive variables starting at
+// i·(nVars/nRows). Hyper-sparsity is a property of local structure — a
+// random covering basis has a mostly dense inverse (a singleton FTRAN
+// reaches most of the factor graph), while the banded one mirrors the
+// precedence/adjacency rows of the temporal-partitioning relaxations,
+// where B⁻¹ columns stay short. The sparse-path benchmarks use this shape;
+// the warm-start and pricing benchmarks keep the adversarial random one.
+func benchProblemBanded(nVars, nRows, rowLen int) *Problem {
+	p := NewProblem(nVars)
+	for j := 0; j < nVars; j++ {
+		p.SetBounds(j, 0, 1)
+		p.SetObj(j, 1+float64(j%7)/7)
+	}
+	p.Reserve(nRows, nRows*rowLen)
+	cols := make([]int, rowLen)
+	vals := make([]float64, rowLen)
+	stride := nVars / nRows
+	for i := 0; i < nRows; i++ {
+		for k := 0; k < rowLen; k++ {
+			cols[k] = (i*stride + k) % nVars
+			vals[k] = 1 + float64((i+k)%5)/5
+		}
+		p.AddRowCols(GE, cols, vals, float64(rowLen)/4)
+	}
+	return p
+}
+
+// BenchmarkLP_SparseFTRAN times the hyper-sparse forward solve on a
+// singleton right-hand side (a unit pricing column) against the live LU
+// factor — the case the symbolic-reachability path exists for. The loop must
+// not allocate (the DFS stacks, mark arrays, and nonzero lists are factor
+// scratch retained across calls) and at this size at least 90% of the
+// singleton solves must stay under the density gate.
+func BenchmarkLP_SparseFTRAN(b *testing.B) {
+	p := benchProblemBanded(480, 240, 6)
+	s := NewSolver(p)
+	if _, err := s.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	m := s.m
+	work := make([]float64, m)
+	idx := make([]int32, 1)
+	var hits, total int
+	solve := func(r int32) {
+		idx[0] = r
+		work[r] = 1
+		nz, ok := s.lu.ftranSparse(work, idx)
+		total++
+		if ok {
+			hits++
+			for _, q := range nz {
+				work[q] = 0
+			}
+			return
+		}
+		for i := range work {
+			work[i] = 0
+		}
+	}
+	// Warm every seed once so the retained scratch reaches steady-state
+	// capacity, then pin the zero-allocation contract before timing.
+	for r := 0; r < m; r++ {
+		solve(int32(r))
+	}
+	if allocs := testing.AllocsPerRun(200, func() { solve(int32(total % m)) }); allocs > 0 {
+		b.Fatalf("sparse FTRAN allocated %.1f times per solve", allocs)
+	}
+	hits, total = 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solve(int32(i % m))
+	}
+	b.StopTimer()
+	frac := float64(hits) / float64(total)
+	if frac < 0.9 {
+		b.Fatalf("sparse-hit fraction %.3f < 0.9 (%d of %d fell back dense)", frac, total-hits, total)
+	}
+	b.ReportMetric(frac, "sparse-hit-fraction")
+}
+
+// BenchmarkLP_Pricing compares the dual pricing rules on the warm-start
+// bound-fix/unfix repair loop: devex (approximate reference weights, no
+// extra solves) against exact steepest edge (one extra FTRAN per dual pivot
+// for exact row weights). The pivots/op delta is the entire argument for
+// steepest edge; sparse-solves/op shows the extra τ FTRANs riding the
+// hyper-sparse path rather than the dense one.
+func BenchmarkLP_Pricing(b *testing.B) {
+	for _, rule := range []Pricing{PricingDevex, PricingSteepestEdge} {
+		b.Run(rule.String(), func(b *testing.B) {
+			const nVars = 240
+			p := benchProblem(nVars, 120, 8, 1)
+			s := NewSolver(p)
+			s.SetPricing(rule)
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+			base := s.Stats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % nVars
+				s.SetVarBounds(j, 1, 1)
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+				s.SetVarBounds(j, 0, 1)
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d := s.Stats.Delta(base)
+			n := float64(b.N)
+			b.ReportMetric(float64(d.Pivots)/n, "pivots/op")
+			b.ReportMetric(float64(d.DualPivots)/n, "dual-pivots/op")
+			b.ReportMetric(float64(d.SparseFTRANs+d.SparseBTRANs)/n, "sparse-solves/op")
+			b.ReportMetric(float64(d.DenseFallbacks)/n, "dense-fallbacks/op")
+		})
+	}
+}
+
 // BenchmarkLP_Warm measures the warm-start repair path the branch-and-bound
 // search lives on: fix one variable to 1 (the branching move; always feasible
 // for a covering LP), dual-repair to the new optimum, unfix, and repair back.
@@ -105,4 +228,6 @@ func BenchmarkLP_Warm(b *testing.B) {
 	b.ReportMetric(float64(d.Pivots)/n, "pivots/op")
 	b.ReportMetric(float64(d.Refactorizations)/n, "refactorizations/op")
 	b.ReportMetric(float64(d.BoundFlips)/n, "bound-flips/op")
+	b.ReportMetric(float64(d.SparseFTRANs+d.SparseBTRANs)/n, "sparse-solves/op")
+	b.ReportMetric(float64(d.DenseFallbacks)/n, "dense-fallbacks/op")
 }

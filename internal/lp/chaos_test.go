@@ -74,6 +74,68 @@ func TestChaosSingularWarmStartFallsBackCold(t *testing.T) {
 	}
 }
 
+// TestChaosSparseFallbackEquivalence: with the sparse-solve fault armed
+// permanently, every FTRAN/BTRAN is forced onto the dense fallback
+// (sparseMax reports 0), and a full solve plus a warm bound-tightening
+// replay must reproduce the un-faulted run exactly — the hyper-sparse path
+// is an optimization, never a semantic fork. The fired counter proves the
+// gate actually routed solves away.
+func TestChaosSparseFallbackEquivalence(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	for seed := int64(1); seed <= 3; seed++ {
+		// Large enough (m=30 >= luSparseMinDim) that the sparse path
+		// genuinely engages when the fault is disarmed.
+		p := benchProblem(60, 30, 6, seed)
+		ref := NewSolver(p)
+		faulted := NewSolver(p)
+		want, err := ref.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: clean solve: %v", seed, err)
+		}
+		faultinject.Arm(faultinject.SparseSolveFallback, -1)
+		got, err := faulted.Solve()
+		faultinject.Disarm(faultinject.SparseSolveFallback)
+		if err != nil {
+			t.Fatalf("seed %d: faulted solve: %v", seed, err)
+		}
+		if got.Status != want.Status ||
+			(got.Status == Optimal && math.Abs(got.Obj-want.Obj) > 1e-6) {
+			t.Fatalf("seed %d: dense-forced solve diverged: (%v, %g) vs (%v, %g)",
+				seed, got.Status, got.Obj, want.Status, want.Obj)
+		}
+		if faulted.Stats.SparseFTRANs != 0 || faulted.Stats.SparseBTRANs != 0 {
+			t.Fatalf("seed %d: sparse solves recorded (%d/%d) while the fallback fault was armed",
+				seed, faulted.Stats.SparseFTRANs, faulted.Stats.SparseBTRANs)
+		}
+		// Warm replay: bound tightening drives the FT-update / sparse
+		// re-entry paths on both solvers.
+		for j := 0; j < faulted.NumVars(); j += 5 {
+			ref.SetVarBounds(j, 1, 1)
+			faulted.SetVarBounds(j, 1, 1)
+			want, err = ref.Solve()
+			if err != nil {
+				t.Fatalf("seed %d: clean warm re-solve: %v", seed, err)
+			}
+			faultinject.Arm(faultinject.SparseSolveFallback, -1)
+			got, err = faulted.Solve()
+			faultinject.Disarm(faultinject.SparseSolveFallback)
+			if err != nil {
+				t.Fatalf("seed %d: faulted warm re-solve: %v", seed, err)
+			}
+			if got.Status != want.Status ||
+				(got.Status == Optimal && math.Abs(got.Obj-want.Obj) > 1e-6) {
+				t.Fatalf("seed %d: warm re-solve diverged: (%v, %g) vs (%v, %g)",
+					seed, got.Status, got.Obj, want.Status, want.Obj)
+			}
+		}
+	}
+	if faultinject.Fired(faultinject.SparseSolveFallback) == 0 {
+		t.Fatal("sparse-fallback fault point never fired; hook is dead")
+	}
+}
+
 // TestChaosRefactorFailureKeepsSolving: with every reinversion attempt
 // failing, maybeRefactor keeps the current (still valid) factor and the
 // solver's answers do not change across a warm re-solve sequence.

@@ -133,9 +133,9 @@ func (s *Solver) AddedRowsSatisfied(x []float64, tol float64) bool {
 // primal infeasibilities are the slacks of the violated new rows. Without a
 // valid basis the rows are only recorded and the next Solve builds cold.
 //
-// Row storage trimmed by DropAddedRows keeps its backing arrays, so the
-// ilp layer's drop/re-add cut cycles stop allocating once the high-water
-// mark is reached.
+// Row storage is carved from a per-solver append-only arena whose backing
+// DropAddedRows keeps, so the ilp layer's drop/re-add cut cycles do O(1)
+// allocations (none at all once the arena reaches its high-water mark).
 func (s *Solver) AddRows(rows []CutRow) error {
 	if len(rows) == 0 {
 		return nil
@@ -177,6 +177,8 @@ func (s *Solver) AddRows(rows []CutRow) error {
 	s.y = growZero(s.y, k)
 	s.rho = growZero(s.rho, k)
 	s.flipCol = growZero(s.flipCol, k)
+	s.tau = growZero(s.tau, k)
+	s.rowMark = growZero(s.rowMark, k)
 	s.dualW = growZero(s.dualW, k)
 
 	// Per-column arrays grow by 2k; the artificial block shifts up by k.
@@ -209,8 +211,8 @@ func (s *Solver) AddRows(rows []CutRow) error {
 	for ri := range rows {
 		cr := &rows[ri]
 		i := mOld + ri
-		// Reuse the trimmed element (and its cols/vals backing) when the
-		// slice previously reached this length.
+		// Reuse the trimmed element when the slice previously reached this
+		// length (the cols/vals views are re-carved from the arena below).
 		if cap(s.added) > len(s.added) {
 			s.added = s.added[:len(s.added)+1]
 		} else {
@@ -218,13 +220,21 @@ func (s *Solver) AddRows(rows []CutRow) error {
 		}
 		r := &s.added[len(s.added)-1]
 		r.kind, r.rhs = cr.Kind, cr.RHS
-		r.cols, r.vals = r.cols[:0], r.vals[:0]
+		// Carve the row's storage out of the per-solver arena: the row
+		// keeps a capped view, so later arena appends cannot stomp it, and
+		// DropAddedRows reclaims everything with one truncation. A growth
+		// past the arena's capacity moves the backing array, but existing
+		// rows keep valid views of the old one until the next drop.
+		base := len(s.cutCols)
 		for ci, j := range cr.Cols {
 			if v := cr.Vals[ci]; v != 0 {
-				r.cols = append(r.cols, int32(j))
-				r.vals = append(r.vals, v)
+				s.cutCols = append(s.cutCols, int32(j))
+				s.cutVals = append(s.cutVals, v)
 			}
 		}
+		end := len(s.cutCols)
+		r.cols = s.cutCols[base:end:end]
+		r.vals = s.cutVals[base:end:end]
 		mergeDupCols(r)
 
 		s.rhs[i] = r.rhs
@@ -341,10 +351,12 @@ func (s *Solver) DropAddedRows() {
 	s.m = s.mBase
 	s.nTotal = s.nStruct + 2*s.m
 	s.maxIter = 2000 + 200*(s.m+s.nTotal)
-	// Truncations keep every backing array (including each trimmed
-	// addedRow's cols/vals and the per-column extension lists) so the next
-	// AddRows cycle reuses them instead of reallocating.
+	// Truncations keep every backing array (the cut-row arena and the
+	// per-column extension lists included) so the next AddRows cycle
+	// reuses them instead of reallocating.
 	s.added = s.added[:0]
+	s.cutCols = s.cutCols[:0]
+	s.cutVals = s.cutVals[:0]
 	for j := range s.extCols {
 		s.extCols[j] = s.extCols[j][:0]
 	}
@@ -358,7 +370,16 @@ func (s *Solver) DropAddedRows() {
 	s.y = s.y[:s.m]
 	s.rho = s.rho[:s.m]
 	s.flipCol = s.flipCol[:s.m]
+	s.tau = s.tau[:s.m]
+	s.rowMark = s.rowMark[:s.m]
 	s.dualW = s.dualW[:s.m]
+	// The sparse-pattern lists may reference truncated rows; mark every
+	// sparse-capable vector dense-dirty so the next load does a full clear.
+	s.alphaDense, s.rhoDense, s.flipDense, s.tauDense = true, true, true, true
+	s.alphaNZ = s.alphaNZ[:0]
+	s.rhoNZ = s.rhoNZ[:0]
+	s.flipNZ = s.flipNZ[:0]
+	s.tauNZ = s.tauNZ[:0]
 
 	s.lo = s.lo[:s.nTotal]
 	s.hi = s.hi[:s.nTotal]

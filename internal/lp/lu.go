@@ -58,6 +58,14 @@ const (
 	// luMaxUpdates is a hard backstop on updates between refactorizations;
 	// the fill-based trigger in maybeRefactor normally fires first.
 	luMaxUpdates = 128
+	// luSparseDensity caps the hyper-sparse solve: when the symbolic pass
+	// predicts more than this fraction of m nonzero positions the solve
+	// falls back to the dense path, so the worst case costs one aborted
+	// DFS on top of the dense solve it would have run anyway.
+	luSparseDensity = 0.3
+	// luSparseMinDim disables the sparse path on tiny factors where the
+	// symbolic bookkeeping costs more than the dense clear it avoids.
+	luSparseMinDim = 8
 )
 
 // luFactor is one basis factorization plus its update file.
@@ -98,6 +106,29 @@ type luFactor struct {
 	heap     []int32   // update: min-heap of slots by elimination position
 	keys     []int32   // factorize: column-ordering keys / row counts
 	assigned []bool    // factorize: rows already pivoted
+
+	// Hyper-sparse solve machinery (lusparse.go). lEta maps each row to
+	// the L eta that pivoted it; ltPtr/ltRow is the transposed L graph
+	// (row -> rows whose eta scatters into it), rebuilt per factorize and
+	// untouched by Forrest–Tomlin updates (which never modify L). The
+	// spike nonzero list lets a sparse ftran keep the dense spike
+	// invariant ftUpdate relies on without an O(m) clear per solve.
+	lEta  []int32
+	ltPtr []int32
+	ltRow []int32
+
+	zs      []float64 // sparse solve workspace; all-zero between solves
+	markR   []bool    // symbolic: row-space nonzero pattern
+	markS   []bool    // symbolic: slot-space nonzero pattern
+	markV   []bool    // symbolic: visited set for the Lᵀ DFS
+	nzRows  []int32   // row-space pattern list (post-order)
+	nzRows2 []int32   // btran Lᵀ pattern list (post-order)
+	nzSlots []int32   // slot-space pattern list (post-order)
+	stkNode []int32   // DFS stack: nodes
+	stkEdge []int32   // DFS stack: per-node edge cursor
+
+	spikeDense bool    // spike may be nonzero anywhere (dense stash)
+	spikeNZ    []int32 // nonzero rows of the last sparse spike stash
 }
 
 // init (re)sizes the factor for dimension m and clears all stored data.
@@ -132,9 +163,39 @@ func (f *luFactor) init(m int) {
 	f.pos = growI(f.pos)
 	f.order = growI(f.order)
 	f.keys = growI(f.keys)
+	f.lEta = growI(f.lEta)
 	f.spike = grow(f.spike)
 	f.z = grow(f.z)
 	f.rs = grow(f.rs)
+	// The sparse workspace and pattern marks carry an all-clear invariant
+	// between solves; grow() does not zero reused capacity, so they are
+	// reset explicitly here.
+	f.zs = grow(f.zs)
+	for i := range f.zs {
+		f.zs[i] = 0
+	}
+	growB := func(v []bool) []bool {
+		if cap(v) < m {
+			return make([]bool, m)
+		}
+		v = v[:m]
+		for i := range v {
+			v[i] = false
+		}
+		return v
+	}
+	f.markR = growB(f.markR)
+	f.markS = growB(f.markS)
+	f.markV = growB(f.markV)
+	f.nzRows = f.nzRows[:0]
+	f.nzRows2 = f.nzRows2[:0]
+	f.nzSlots = f.nzSlots[:0]
+	f.stkNode = f.stkNode[:0]
+	f.stkEdge = f.stkEdge[:0]
+	f.ltPtr = f.ltPtr[:0]
+	f.ltRow = f.ltRow[:0]
+	f.spikeDense = true
+	f.spikeNZ = f.spikeNZ[:0]
 	if cap(f.queued) < m {
 		f.queued = make([]bool, m)
 	} else {
@@ -191,6 +252,7 @@ func (f *luFactor) ftran(v []float64) {
 		}
 	}
 	copy(f.spike, v)
+	f.spikeDense = true
 	// U back-substitution, highest elimination position first.
 	z := f.z
 	for k := f.m - 1; k >= 0; k-- {
@@ -285,6 +347,7 @@ func (s *Solver) factorizeBasis(f *luFactor) bool {
 		assigned[i] = false
 	}
 	x := s.alpha
+	s.alphaDense = true // dense column loads below dirty the sparse scratch
 	for k := 0; k < m; k++ {
 		slot := int(ord[k])
 		j := s.basis[slot]
@@ -353,7 +416,54 @@ func (s *Solver) factorizeBasis(f *luFactor) bool {
 		f.lPtr = append(f.lPtr, int32(len(f.lIdx)))
 	}
 	f.baseNNZ = m + f.unnz + len(f.lVal)
+	f.buildLTranspose()
 	return true
+}
+
+// buildLTranspose derives the row-indexed views of L that the hyper-sparse
+// solves need: lEta (row -> the eta that pivoted it) and the transposed
+// scatter graph ltPtr/ltRow (row -> rows whose eta writes into it), the
+// adjacency the BTRAN Lᵀ symbolic pass walks. L is frozen between
+// refactorizations (Forrest–Tomlin updates touch U and F only), so one
+// counting-sort pass per factorize keeps both views current.
+func (f *luFactor) buildLTranspose() {
+	m := f.m
+	for k := range f.lR {
+		f.lEta[f.lR[k]] = int32(k)
+	}
+	if cap(f.ltPtr) < m+1 {
+		f.ltPtr = make([]int32, m+1)
+	} else {
+		f.ltPtr = f.ltPtr[:m+1]
+		for i := range f.ltPtr {
+			f.ltPtr[i] = 0
+		}
+	}
+	nnz := len(f.lIdx)
+	if cap(f.ltRow) < nnz {
+		f.ltRow = make([]int32, nnz)
+	} else {
+		f.ltRow = f.ltRow[:nnz]
+	}
+	for _, r := range f.lIdx {
+		f.ltPtr[r+1]++
+	}
+	for i := 0; i < m; i++ {
+		f.ltPtr[i+1] += f.ltPtr[i]
+	}
+	// Fill using ltPtr as a moving cursor, then restore it by shifting.
+	for k := range f.lR {
+		src := f.lR[k]
+		for q := f.lPtr[k]; q < f.lPtr[k+1]; q++ {
+			r := f.lIdx[q]
+			f.ltRow[f.ltPtr[r]] = src
+			f.ltPtr[r]++
+		}
+	}
+	for i := m; i > 0; i-- {
+		f.ltPtr[i] = f.ltPtr[i-1]
+	}
+	f.ltPtr[0] = 0
 }
 
 // insertionSortByKey stable-sorts ord ascending by key. The basis column

@@ -301,7 +301,7 @@ func TestLUUpdateVsRefactor(t *testing.T) {
 				continue
 			}
 			r := rng.Intn(m)
-			col := s.ftranCol(enter) // stashes the spike for ftUpdate
+			col, _ := s.ftranCol(enter) // stashes the spike for ftUpdate
 			if math.Abs(col[r]) < 1e-3 {
 				continue // would be numerically silly even for a real pivot
 			}
@@ -369,7 +369,7 @@ func TestLUUpdateGrowsFFile(t *testing.T) {
 			continue
 		}
 		r := rng.Intn(m)
-		col := s.ftranCol(enter)
+		col, _ := s.ftranCol(enter)
 		if math.Abs(col[r]) < 1e-2 {
 			continue
 		}

@@ -69,6 +69,12 @@ type Solver struct {
 	// Solvers over one Problem can hold different cut sets.
 	added   []addedRow
 	extCols [][]extEntry // extCols[j]: entries of structural column j in added rows
+	// Cut-row arena: one append-only backing store for every added row's
+	// cols/vals, truncated (capacity kept) by DropAddedRows, so a full
+	// drop/re-add separation cycle costs O(1) allocations once the
+	// high-water mark is reached.
+	cutCols []int32
+	cutVals []float64
 
 	// Working bounds of every column. Structural bounds are seeded from the
 	// Problem and mutated by SetVarBounds; slack bounds encode the row kind;
@@ -101,16 +107,38 @@ type Solver struct {
 	luSpare   *luFactor
 	factorAge int
 
-	// Scratch (allocated once; alpha/y/rho/flip are length m, d/dw length
-	// nTotal).
+	// Scratch (allocated once; alpha/y/rho/flip/tau are length m, d/dw
+	// length nTotal).
 	alpha   []float64 // FTRAN pivot column
 	y       []float64 // BTRAN dual prices
 	rho     []float64 // BTRAN unit row
 	flipCol []float64 // combined bound-flip column (dual long step)
+	tau     []float64 // steepest-edge: FTRAN of the pivot row
 	d       []float64 // incremental reduced costs (primal devex pricing)
 	dw      []float64 // devex reference weights per column (primal)
-	dualW   []float64 // devex reference weights per row slot (dual)
+	dualW   []float64 // reference weights per row slot (dual devex / steepest edge)
 	bp      []dualBP  // dual ratio-test breakpoints
+
+	// Hyper-sparse bookkeeping: each sparse-capable scratch vector carries
+	// a zero-outside-pattern invariant so the next sparse load clears only
+	// its tracked nonzeros. A dense flag marks the vector dirty everywhere
+	// (set whenever a dense path wrote it), costing one O(m) clear before
+	// it re-enters the sparse regime. The index lists are solver-owned
+	// copies — the lists the factor returns alias its scratch and are
+	// clobbered by the next solve.
+	alphaNZ    []int32
+	rhoNZ      []int32
+	flipNZ     []int32
+	tauNZ      []int32
+	alphaDense bool
+	rhoDense   bool
+	flipDense  bool
+	tauDense   bool
+	colIdx     []int32  // sparse column-load index scratch
+	unitIdx    [1]int32 // unit-vector seed for btranUnit
+	rowMark    []bool   // dedup marks for the combined flip column
+
+	pricing Pricing // dual pricing rule (SetPricing)
 
 	built     bool // engine state materialized (ensureBuilt)
 	valid     bool // basis + factorization reusable for a warm start
@@ -139,7 +167,43 @@ type SolverStats struct {
 	Refactorizations int // basis reinversions (cold builds, fill/stability triggers, installs)
 	BoundFlips       int // dual long-step bound flips (infeasibility absorbed without a pivot)
 	UpdateNNZ        int // cumulative Forrest–Tomlin update-file nonzeros appended
+	SparseFTRANs     int // FTRANs completed on the hyper-sparse path
+	SparseBTRANs     int // BTRANs completed on the hyper-sparse path
+	DenseFallbacks   int // index-carrying solves that crossed the density threshold
 }
+
+// Pricing selects the dual-simplex leaving-row pricing rule (SetPricing).
+type Pricing uint8
+
+const (
+	// PricingDevex is the default: approximate reference weights updated
+	// with the max-rule from the FTRAN'd entering column, no extra solves.
+	PricingDevex Pricing = iota
+	// PricingSteepestEdge maintains exact steepest-edge row weights in the
+	// reference framework (Forrest–Goldfarb): each dual pivot spends one
+	// extra FTRAN of the (hyper-sparse) pivot row to update the weights
+	// exactly, usually buying fewer pivots on degenerate repairs.
+	PricingSteepestEdge
+)
+
+// String returns the wire/metrics spelling of the pricing rule.
+func (p Pricing) String() string {
+	if p == PricingSteepestEdge {
+		return "steepest-edge"
+	}
+	return "devex"
+}
+
+// dseWeightFloor guards the exact steepest-edge recurrence against
+// roundoff driving a reference weight to zero or negative.
+const dseWeightFloor = 1e-10
+
+// SetPricing selects the dual pricing rule; it takes effect at the next
+// Solve and is safe to set at any point between solves.
+func (s *Solver) SetPricing(p Pricing) { s.pricing = p }
+
+// PricingRule returns the selected dual pricing rule.
+func (s *Solver) PricingRule() Pricing { return s.pricing }
 
 // Delta returns the field-wise difference s - base: the activity between
 // two snapshots of a live Solver's Stats. This is how span-scoped
@@ -156,6 +220,9 @@ func (s SolverStats) Delta(base SolverStats) SolverStats {
 		Refactorizations: s.Refactorizations - base.Refactorizations,
 		BoundFlips:       s.BoundFlips - base.BoundFlips,
 		UpdateNNZ:        s.UpdateNNZ - base.UpdateNNZ,
+		SparseFTRANs:     s.SparseFTRANs - base.SparseFTRANs,
+		SparseBTRANs:     s.SparseBTRANs - base.SparseBTRANs,
+		DenseFallbacks:   s.DenseFallbacks - base.DenseFallbacks,
 	}
 }
 
@@ -171,6 +238,9 @@ func (s *SolverStats) Accumulate(t SolverStats) {
 	s.Refactorizations += t.Refactorizations
 	s.BoundFlips += t.BoundFlips
 	s.UpdateNNZ += t.UpdateNNZ
+	s.SparseFTRANs += t.SparseFTRANs
+	s.SparseBTRANs += t.SparseBTRANs
+	s.DenseFallbacks += t.DenseFallbacks
 }
 
 // dualBP is one dual ratio-test breakpoint: nonbasic column j would change
@@ -247,7 +317,7 @@ func (s *Solver) ensureBuilt() {
 	}
 	s.built = true
 	m, n, nTotal := s.m, s.nStruct, s.nTotal
-	buf := make([]float64, 8*m+3*nTotal)
+	buf := make([]float64, 9*m+3*nTotal)
 	grab := func(k int) []float64 {
 		p := buf[:k:k]
 		buf = buf[k:]
@@ -260,10 +330,12 @@ func (s *Solver) ensureBuilt() {
 	s.y = grab(m)
 	s.rho = grab(m)
 	s.flipCol = grab(m)
+	s.tau = grab(m)
 	s.dualW = grab(m)
 	s.cost = grab(nTotal)
 	s.d = grab(nTotal)
 	s.dw = grab(nTotal)
+	s.rowMark = make([]bool, m)
 	s.artUsed = make([]bool, m)
 	s.basis = make([]int, m)
 	s.status = make([]varStatus, nTotal)
@@ -513,12 +585,132 @@ func (s *Solver) colAxpy(j int, t float64, v []float64) {
 	}
 }
 
-// ftranCol computes alpha = B⁻¹ A_j into the alpha scratch. The spike
-// F⁻¹L⁻¹A_j is stashed inside the factor for a following ftUpdate.
-func (s *Solver) ftranCol(j int) []float64 {
-	s.loadCol(j, s.alpha)
-	s.lu.ftran(s.alpha)
-	return s.alpha
+// ftranCol computes alpha = B⁻¹ A_j into the alpha scratch via the
+// hyper-sparse path (columns are sparse by construction; the density
+// threshold decides per solve). The returned index list is non-nil when
+// the result is sparse — alpha is then zero outside it — and nil when the
+// solve fell back to the dense path. The spike F⁻¹L⁻¹A_j is stashed
+// inside the factor for a following ftUpdate either way.
+func (s *Solver) ftranCol(j int) ([]float64, []int32) {
+	if s.alphaDense {
+		for i := range s.alpha {
+			s.alpha[i] = 0
+		}
+		s.alphaDense = false
+	} else {
+		for _, i := range s.alphaNZ {
+			s.alpha[i] = 0
+		}
+	}
+	s.colIdx = s.loadColSparse(j, s.alpha, s.colIdx[:0])
+	nz, ok := s.lu.ftranSparse(s.alpha, s.colIdx)
+	if ok {
+		s.Stats.SparseFTRANs++
+		s.alphaNZ = append(s.alphaNZ[:0], nz...)
+		return s.alpha, s.alphaNZ
+	}
+	s.Stats.DenseFallbacks++
+	s.alphaDense = true
+	s.alphaNZ = s.alphaNZ[:0]
+	return s.alpha, nil
+}
+
+// loadColSparse scatters column j into v (v must be zero beforehand) and
+// appends the touched row indices to idx. Within one column the CSC rows
+// and the added-row extension rows are disjoint, so no dedup is needed.
+func (s *Solver) loadColSparse(j int, v []float64, idx []int32) []int32 {
+	switch {
+	case j < s.nStruct:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			r := s.colRow[k]
+			v[r] = s.colVal[k]
+			idx = append(idx, r)
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				v[e.i] = e.v
+				idx = append(idx, e.i)
+			}
+		}
+	case j < s.nStruct+s.mBase:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			r := s.colRow[k]
+			v[r] = s.colVal[k]
+			idx = append(idx, r)
+		}
+	case j < s.nStruct+s.m:
+		r := int32(j - s.nStruct)
+		v[r] = 1
+		idx = append(idx, r)
+	default:
+		i := int32(j - s.nStruct - s.m)
+		v[i] = s.artSign[i]
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// btranUnit computes rho = BTRAN(e_r) — the pivot row of slot r — via the
+// hyper-sparse path. The returned index list is non-nil when the result
+// is sparse (rho zero outside it), nil on a dense fallback.
+func (s *Solver) btranUnit(r int) ([]float64, []int32) {
+	if s.rhoDense {
+		for i := range s.rho {
+			s.rho[i] = 0
+		}
+		s.rhoDense = false
+	} else {
+		for _, i := range s.rhoNZ {
+			s.rho[i] = 0
+		}
+	}
+	s.rho[r] = 1
+	s.unitIdx[0] = int32(r)
+	nz, ok := s.lu.btranSparse(s.rho, s.unitIdx[:])
+	if ok {
+		s.Stats.SparseBTRANs++
+		s.rhoNZ = append(s.rhoNZ[:0], nz...)
+		return s.rho, s.rhoNZ
+	}
+	s.Stats.DenseFallbacks++
+	s.rhoDense = true
+	s.rhoNZ = s.rhoNZ[:0]
+	return s.rho, nil
+}
+
+// computeTau prepares the exact steepest-edge update term τ = B⁻¹ρ for
+// the current pivot row (rho must hold BTRAN(e_r); rhoNZ its sparse
+// pattern or nil). τ lands in s.tau under the zero-outside-pattern
+// invariant, ready for the weight recurrence after the entering column's
+// FTRAN.
+func (s *Solver) computeTau(rhoNZ []int32) {
+	if s.tauDense {
+		for i := range s.tau {
+			s.tau[i] = 0
+		}
+		s.tauDense = false
+	} else {
+		for _, i := range s.tauNZ {
+			s.tau[i] = 0
+		}
+	}
+	if rhoNZ != nil {
+		for _, i := range rhoNZ {
+			s.tau[i] = s.rho[i]
+		}
+		nz, ok := s.lu.ftranSparse(s.tau, rhoNZ)
+		if ok {
+			s.Stats.SparseFTRANs++
+			s.tauNZ = append(s.tauNZ[:0], nz...)
+			return
+		}
+		s.Stats.DenseFallbacks++
+	} else {
+		copy(s.tau, s.rho)
+		s.lu.ftran(s.tau)
+	}
+	s.tauDense = true
+	s.tauNZ = s.tauNZ[:0]
 }
 
 // computeY prices the basis: y = BTRAN(cost_B), the dual prices under the
@@ -539,6 +731,7 @@ func (s *Solver) reducedCost(j int) float64 {
 // xb = B⁻¹ (rhs - Σ over nonbasic columns of A_j · val(j)).
 func (s *Solver) computeB() {
 	r := s.alpha
+	s.alphaDense = true // alpha doubles as the dense RHS accumulator here
 	copy(r, s.rhs)
 	for j := 0; j < s.nStruct+s.m; j++ {
 		if s.status[j] == basic {
@@ -741,17 +934,13 @@ func (s *Solver) dual() Status {
 		// (recorded, applied below) and the first column that cannot flip
 		// enters the basis.
 		s.computeY()
-		for i := range s.rho {
-			s.rho[i] = 0
-		}
-		s.rho[r] = 1
-		s.lu.btran(s.rho)
+		rho, rhoNZ := s.btranUnit(r)
 		bp := s.bp[:0]
 		for j := 0; j < s.nStruct+s.m; j++ {
 			if s.status[j] == basic || !s.movable(j) {
 				continue
 			}
-			alpha := s.colDot(j, s.rho)
+			alpha := s.colDot(j, rho)
 			var ok bool
 			if below { // xb[r] must increase
 				ok = (s.status[j] == atLower && alpha < -pivotEps) ||
@@ -820,6 +1009,12 @@ func (s *Solver) dual() Status {
 		if nFlips > 0 {
 			s.applyFlips(bp[:nFlips])
 		}
+		if s.pricing == PricingSteepestEdge {
+			// τ = B⁻¹ρ for the exact weight recurrence below; computed
+			// before the entering column's FTRAN so that solve's spike
+			// stash is the one the pivot update consumes.
+			s.computeTau(rhoNZ)
+		}
 		var target float64
 		var leaveStatus varStatus
 		if below {
@@ -827,7 +1022,7 @@ func (s *Solver) dual() Status {
 		} else {
 			target, leaveStatus = s.hi[s.basis[r]], atUpper
 		}
-		col := s.ftranCol(enter)
+		col, colNZ := s.ftranCol(enter)
 		if math.Abs(col[r]) <= pivotEps {
 			// The FTRAN'd pivot disagrees with the BTRAN'd row: numerical
 			// trouble, rebuild cold.
@@ -836,31 +1031,81 @@ func (s *Solver) dual() Status {
 		t := (s.xb[r] - target) / col[r]
 		enterVal := s.val(enter) + t
 		if t != 0 {
-			for i := 0; i < s.m; i++ {
-				if a := col[i]; a != 0 {
-					s.xb[i] -= a * t
+			if colNZ != nil {
+				for _, ii := range colNZ {
+					if a := col[ii]; a != 0 {
+						s.xb[ii] -= a * t
+					}
+				}
+			} else {
+				for i := 0; i < s.m; i++ {
+					if a := col[i]; a != 0 {
+						s.xb[i] -= a * t
+					}
 				}
 			}
 		}
-		// Dual devex: the FTRAN'd entering column updates the row weights
-		// for free.
+		// Row-weight update from the FTRAN'd entering column. Devex takes
+		// the max-rule approximation for free; steepest edge applies the
+		// exact Forrest–Goldfarb recurrence using τ (one extra FTRAN).
 		ar := col[r]
 		wr := dw[r]
-		for i := 0; i < s.m; i++ {
-			if i == r {
-				continue
-			}
-			if a := col[i]; a != 0 {
-				q := a / ar
-				if g := q * q * wr; g > dw[i] {
-					dw[i] = g
+		if s.pricing == PricingSteepestEdge {
+			dseRow := func(i int) {
+				if a := col[i]; a != 0 {
+					q := a / ar
+					w := dw[i] - q*(2*s.tau[i]-q*wr)
+					if w < dseWeightFloor {
+						w = dseWeightFloor
+					}
+					dw[i] = w
 				}
 			}
-		}
-		if g := wr / (ar * ar); g > 1 {
-			dw[r] = g
+			if colNZ != nil {
+				for _, ii := range colNZ {
+					if int(ii) != r {
+						dseRow(int(ii))
+					}
+				}
+			} else {
+				for i := 0; i < s.m; i++ {
+					if i != r {
+						dseRow(i)
+					}
+				}
+			}
+			if w := wr / (ar * ar); w > dseWeightFloor {
+				dw[r] = w
+			} else {
+				dw[r] = dseWeightFloor
+			}
 		} else {
-			dw[r] = 1
+			devexRow := func(i int) {
+				if a := col[i]; a != 0 {
+					q := a / ar
+					if g := q * q * wr; g > dw[i] {
+						dw[i] = g
+					}
+				}
+			}
+			if colNZ != nil {
+				for _, ii := range colNZ {
+					if int(ii) != r {
+						devexRow(int(ii))
+					}
+				}
+			} else {
+				for i := 0; i < s.m; i++ {
+					if i != r {
+						devexRow(i)
+					}
+				}
+			}
+			if g := wr / (ar * ar); g > 1 {
+				dw[r] = g
+			} else {
+				dw[r] = 1
+			}
 		}
 		out := s.basis[r]
 		s.status[out] = leaveStatus
@@ -877,11 +1122,21 @@ func (s *Solver) dual() Status {
 
 // applyFlips toggles each recorded breakpoint column to its opposite bound
 // and updates the basic values with one combined FTRAN: xb -= B⁻¹·Σ δ_j A_j.
+// The combined column is accumulated sparsely (a dual re-entry typically
+// flips a handful of columns) and solved on the hyper-sparse path.
 func (s *Solver) applyFlips(flips []dualBP) {
 	fc := s.flipCol
-	for i := range fc {
-		fc[i] = 0
+	if s.flipDense {
+		for i := range fc {
+			fc[i] = 0
+		}
+		s.flipDense = false
+	} else {
+		for _, i := range s.flipNZ {
+			fc[i] = 0
+		}
 	}
+	idx := s.flipNZ[:0]
 	for k := range flips {
 		j := int(flips[k].j)
 		rng := s.hi[j] - s.lo[j]
@@ -893,15 +1148,82 @@ func (s *Solver) applyFlips(flips []dualBP) {
 			s.status[j] = atLower
 			delta = -rng
 		}
-		s.colAxpy(j, delta, fc)
+		idx = s.colAxpySparse(j, delta, fc, idx)
 	}
-	s.lu.ftran(fc)
-	for i := 0; i < s.m; i++ {
-		if v := fc[i]; v != 0 {
-			s.xb[i] -= v
+	for _, i := range idx {
+		s.rowMark[i] = false
+	}
+	s.flipNZ = idx
+	nz, ok := s.lu.ftranSparse(fc, idx)
+	if ok {
+		s.Stats.SparseFTRANs++
+		s.flipNZ = append(s.flipNZ[:0], nz...)
+		for _, i := range s.flipNZ {
+			if v := fc[i]; v != 0 {
+				s.xb[i] -= v
+			}
+		}
+	} else {
+		s.Stats.DenseFallbacks++
+		s.flipDense = true
+		s.flipNZ = s.flipNZ[:0]
+		for i := 0; i < s.m; i++ {
+			if v := fc[i]; v != 0 {
+				s.xb[i] -= v
+			}
 		}
 	}
 	s.Stats.BoundFlips += len(flips)
+}
+
+// colAxpySparse is colAxpy with pattern tracking: rows newly touched by
+// column j are appended to nz, deduplicated through the rowMark scratch
+// (the caller clears the marks via the returned list).
+func (s *Solver) colAxpySparse(j int, t float64, v []float64, nz []int32) []int32 {
+	switch {
+	case j < s.nStruct:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			i := s.colRow[k]
+			if !s.rowMark[i] {
+				s.rowMark[i] = true
+				nz = append(nz, i)
+			}
+			v[i] += s.colVal[k] * t
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				if !s.rowMark[e.i] {
+					s.rowMark[e.i] = true
+					nz = append(nz, e.i)
+				}
+				v[e.i] += e.v * t
+			}
+		}
+	case j < s.nStruct+s.mBase:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			i := s.colRow[k]
+			if !s.rowMark[i] {
+				s.rowMark[i] = true
+				nz = append(nz, i)
+			}
+			v[i] += s.colVal[k] * t
+		}
+	case j < s.nStruct+s.m:
+		i := int32(j - s.nStruct)
+		if !s.rowMark[i] {
+			s.rowMark[i] = true
+			nz = append(nz, i)
+		}
+		v[i] += t
+	default:
+		i := int32(j - s.nStruct - s.m)
+		if !s.rowMark[i] {
+			s.rowMark[i] = true
+			nz = append(nz, i)
+		}
+		v[i] += s.artSign[i] * t
+	}
+	return nz
 }
 
 // ---- cold path ----
@@ -1185,18 +1507,18 @@ func (s *Solver) primal() Status {
 		if s.status[enter] == atUpper {
 			dir = -1.0
 		}
-		col := s.ftranCol(enter)
+		col, colNZ := s.ftranCol(enter)
 
 		leave := -1
 		leaveBound := atLower
 		limit := s.hi[enter] - s.lo[enter] // bound-flip distance (may be Inf)
-		for i := 0; i < s.m; i++ {
+		ratioVisit := func(i int) {
 			aie := col[i] * dir
 			jb := s.basis[i]
 			if aie > pivotEps {
 				// Basic variable decreases toward its lower bound.
 				if math.IsInf(s.lo[jb], -1) {
-					continue
+					return
 				}
 				ratio := (s.xb[i] - s.lo[jb]) / aie
 				if ratio < -eps {
@@ -1210,7 +1532,7 @@ func (s *Solver) primal() Status {
 			} else if aie < -pivotEps {
 				// Basic variable increases toward its upper bound.
 				if math.IsInf(s.hi[jb], 1) {
-					continue
+					return
 				}
 				ratio := (s.hi[jb] - s.xb[i]) / (-aie)
 				if ratio < -eps {
@@ -1223,6 +1545,15 @@ func (s *Solver) primal() Status {
 				}
 			}
 		}
+		if colNZ != nil {
+			for _, ii := range colNZ {
+				ratioVisit(int(ii))
+			}
+		} else {
+			for i := 0; i < s.m; i++ {
+				ratioVisit(i)
+			}
+		}
 
 		if math.IsInf(limit, 1) {
 			return Unbounded
@@ -1232,9 +1563,17 @@ func (s *Solver) primal() Status {
 		if leave < 0 {
 			// Bound flip: no basis change, reduced costs unchanged.
 			if limit != 0 {
-				for i := 0; i < s.m; i++ {
-					if a := col[i]; a != 0 {
-						s.xb[i] -= a * dir * limit
+				if colNZ != nil {
+					for _, ii := range colNZ {
+						if a := col[ii]; a != 0 {
+							s.xb[ii] -= a * dir * limit
+						}
+					}
+				} else {
+					for i := 0; i < s.m; i++ {
+						if a := col[i]; a != 0 {
+							s.xb[i] -= a * dir * limit
+						}
 					}
 				}
 			}
@@ -1246,9 +1585,17 @@ func (s *Solver) primal() Status {
 		} else {
 			enterVal := s.val(enter) + dir*limit
 			if limit != 0 {
-				for i := 0; i < s.m; i++ {
-					if a := col[i]; a != 0 {
-						s.xb[i] -= a * dir * limit
+				if colNZ != nil {
+					for _, ii := range colNZ {
+						if a := col[ii]; a != 0 {
+							s.xb[ii] -= a * dir * limit
+						}
+					}
+				} else {
+					for i := 0; i < s.m; i++ {
+						if a := col[i]; a != 0 {
+							s.xb[i] -= a * dir * limit
+						}
 					}
 				}
 			}
@@ -1257,16 +1604,12 @@ func (s *Solver) primal() Status {
 			arq := col[leave]
 			pr := s.d[enter] / arq
 			gq := s.dw[enter]
-			for i := range s.rho {
-				s.rho[i] = 0
-			}
-			s.rho[leave] = 1
-			s.lu.btran(s.rho)
+			rho, _ := s.btranUnit(leave)
 			for j := 0; j < s.nTotal; j++ {
 				if s.status[j] == basic || j == enter {
 					continue
 				}
-				a := s.colDot(j, s.rho)
+				a := s.colDot(j, rho)
 				if a == 0 {
 					continue
 				}
@@ -1312,17 +1655,13 @@ func (s *Solver) driveOutArtificials() {
 		if s.basis[i] < firstArt {
 			continue
 		}
-		for k := range s.rho {
-			s.rho[k] = 0
-		}
-		s.rho[i] = 1
-		s.lu.btran(s.rho)
+		rho, _ := s.btranUnit(i)
 		piv := -1
 		for j := 0; j < firstArt; j++ {
 			if s.status[j] == basic {
 				continue
 			}
-			if math.Abs(s.colDot(j, s.rho)) > pivotEps {
+			if math.Abs(s.colDot(j, rho)) > pivotEps {
 				piv = j
 				break
 			}
@@ -1331,7 +1670,7 @@ func (s *Solver) driveOutArtificials() {
 			continue
 		}
 		// Degenerate pivot: the entering variable keeps its resting value.
-		col := s.ftranCol(piv)
+		col, _ := s.ftranCol(piv)
 		if math.Abs(col[i]) <= pivotEps {
 			continue
 		}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ilp"
 	"repro/internal/listpart"
+	"repro/internal/lp"
 	"repro/internal/obs"
 	"repro/internal/tempart"
 )
@@ -50,6 +51,10 @@ type Request struct {
 	CutRoundsNode      int
 	MaxCuts            int
 	NoSymmetryBreaking bool
+	// Pricing is the validated dual pricing rule ("", "devex",
+	// "steepest-edge"). It changes the pivot trajectory (and node counts
+	// under MaxNodes limits), so it is keyed like the cut budgets.
+	Pricing string
 
 	// NoCache bypasses the memo cache (always a fresh solve, result not
 	// stored).
@@ -163,8 +168,17 @@ func (ilpBackend) Solve(ctx context.Context, req *Request) (*tempart.Partitionin
 			RootCutRounds: req.CutRoundsRoot,
 			NodeCutRounds: req.CutRoundsNode,
 			MaxCuts:       req.MaxCuts,
+			Pricing:       pricingRule(req.Pricing),
 		},
 	})
+}
+
+// pricingRule maps the validated wire knob to the solver's pricing enum.
+func pricingRule(s string) lp.Pricing {
+	if s == "steepest-edge" {
+		return lp.PricingSteepestEdge
+	}
+	return lp.PricingDevex
 }
 
 // listBackend exposes the greedy list-partitioning baseline. It is

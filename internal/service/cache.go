@@ -51,6 +51,9 @@ func (r *Request) CacheKey() string {
 	put(uint64(r.CutRoundsRoot))
 	put(uint64(r.CutRoundsNode))
 	put(uint64(r.MaxCuts))
+	// Pricing changes the pivot trajectory, hence node counts under
+	// MaxNodes limits and which optimum ties break to — keyed.
+	puts(r.Pricing)
 	if r.NoSymmetryBreaking {
 		put(1)
 	} else {
@@ -110,6 +113,10 @@ type entry struct {
 	lpIters      int
 	lpRefactor   int
 	lpFlips      int
+	lpSparseFT   int
+	lpSparseBT   int
+	lpDenseFalls int
+	pricing      string
 }
 
 // newEntry canonicalizes a partitioning of g into a cache entry.
@@ -129,6 +136,10 @@ func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 		lpIters:      p.Stats.LPIterations,
 		lpRefactor:   p.Stats.Solver.Refactorizations,
 		lpFlips:      p.Stats.Solver.BoundFlips,
+		lpSparseFT:   p.Stats.Solver.SparseFTRANs,
+		lpSparseBT:   p.Stats.Solver.SparseBTRANs,
+		lpDenseFalls: p.Stats.Solver.DenseFallbacks,
+		pricing:      p.Stats.Pricing,
 	}
 	if p.N > 0 {
 		ord := g.CanonicalOrder()
@@ -193,7 +204,11 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 			Solver: lp.SolverStats{
 				Refactorizations: e.lpRefactor,
 				BoundFlips:       e.lpFlips,
+				SparseFTRANs:     e.lpSparseFT,
+				SparseBTRANs:     e.lpSparseBT,
+				DenseFallbacks:   e.lpDenseFalls,
 			},
+			Pricing: e.pricing,
 		},
 	}, nil
 }

@@ -80,6 +80,9 @@ func TestDCTInvariantThroughService(t *testing.T) {
 		`sparcsd_dual_bound_fathoms_total{engine="ilp"}`,
 		`sparcsd_lp_refactorizations_total{engine="ilp"}`,
 		`sparcsd_lp_bound_flips_total{engine="ilp"}`,
+		`sparcsd_lp_sparse_ftrans_total{engine="ilp"}`,
+		`sparcsd_lp_sparse_btrans_total{engine="ilp"}`,
+		`sparcsd_lp_dense_fallbacks_total{engine="ilp"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %s\n%s", want, metrics)

@@ -62,6 +62,9 @@ type Metrics struct {
 	dualFathoms  map[string]uint64 // per engine: bin-packing dual-bound fathoms
 	lpRefactor   map[string]uint64 // per engine: LP basis reinversions
 	lpFlips      map[string]uint64 // per engine: dual long-step bound flips
+	lpSparseFT   map[string]uint64 // per engine: hyper-sparse FTRANs completed
+	lpSparseBT   map[string]uint64 // per engine: hyper-sparse BTRANs completed
+	lpDenseFalls map[string]uint64 // per engine: basis solves past the density gate
 	errors       uint64
 	cancelled    uint64
 	timeouts     uint64 // solves stopped by a deadline (anytime or not)
@@ -93,6 +96,9 @@ func NewMetrics() *Metrics {
 		dualFathoms:  map[string]uint64{},
 		lpRefactor:   map[string]uint64{},
 		lpFlips:      map[string]uint64{},
+		lpSparseFT:   map[string]uint64{},
+		lpSparseBT:   map[string]uint64{},
+		lpDenseFalls: map[string]uint64{},
 		hist:         map[histKey]*obs.Histogram{},
 		phaseNS:      map[string]map[string]int64{},
 	}
@@ -150,7 +156,10 @@ func (m *Metrics) RecordPhases(engine string, tr *obs.Trace) {
 // conflict cuts, CG cardinality cuts, and bin-packing dual-bound fathoms,
 // and the simplex kernel's basis reinversions and dual long-step bound
 // flips (the two counters that say whether the Forrest–Tomlin update path
-// and the bound-flipping ratio test are carrying the warm-start load).
+// and the bound-flipping ratio test are carrying the warm-start load), and
+// the hyper-sparse triangular-solve counters (FTRANs/BTRANs completed on
+// the symbolic-reachability path versus solves past the density gate that
+// fell back to the dense O(m) loops).
 type SearchCounters struct {
 	Nodes               int
 	PrunedCombinatorial int
@@ -162,6 +171,9 @@ type SearchCounters struct {
 	DualBoundFathoms    int
 	LPRefactorizations  int
 	LPBoundFlips        int
+	LPSparseFTRANs      int
+	LPSparseBTRANs      int
+	LPDenseFallbacks    int
 }
 
 // RecordSearch folds one fresh solve's search counters into the per-engine
@@ -179,6 +191,9 @@ func (m *Metrics) RecordSearch(engine string, c SearchCounters) {
 	m.dualFathoms[engine] += uint64(c.DualBoundFathoms)
 	m.lpRefactor[engine] += uint64(c.LPRefactorizations)
 	m.lpFlips[engine] += uint64(c.LPBoundFlips)
+	m.lpSparseFT[engine] += uint64(c.LPSparseFTRANs)
+	m.lpSparseBT[engine] += uint64(c.LPSparseBTRANs)
+	m.lpDenseFalls[engine] += uint64(c.LPDenseFallbacks)
 	m.mu.Unlock()
 }
 
@@ -237,6 +252,9 @@ type Snapshot struct {
 	DualFathoms  map[string]uint64 `json:"dual_bound_fathoms,omitempty"`
 	LPRefactor   map[string]uint64 `json:"lp_refactorizations,omitempty"`
 	LPFlips      map[string]uint64 `json:"lp_bound_flips,omitempty"`
+	LPSparseFT   map[string]uint64 `json:"lp_sparse_ftrans,omitempty"`
+	LPSparseBT   map[string]uint64 `json:"lp_sparse_btrans,omitempty"`
+	LPDenseFalls map[string]uint64 `json:"lp_dense_fallbacks,omitempty"`
 	Errors       uint64            `json:"errors"`
 	Cancelled    uint64            `json:"cancelled"`
 	Timeouts     uint64            `json:"timeouts"`
@@ -266,6 +284,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		DualFathoms:  copyCounters(m.dualFathoms),
 		LPRefactor:   copyCounters(m.lpRefactor),
 		LPFlips:      copyCounters(m.lpFlips),
+		LPSparseFT:   copyCounters(m.lpSparseFT),
+		LPSparseBT:   copyCounters(m.lpSparseBT),
+		LPDenseFalls: copyCounters(m.lpDenseFalls),
 		Errors:       m.errors,
 		Cancelled:    m.cancelled,
 		Timeouts:     m.timeouts,
@@ -381,6 +402,13 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	// (infeasibility absorbed without a pivot).
 	engineFamily("lp_refactorizations_total", "LP basis reinversions.", s.LPRefactor)
 	engineFamily("lp_bound_flips_total", "Dual long-step bound flips.", s.LPFlips)
+	// Hyper-sparse triangular solves: FTRANs/BTRANs completed on the
+	// symbolic-reachability path versus solves whose predicted fill blew
+	// the density gate and ran the dense O(m) loops instead. A healthy
+	// sparse-dominated workload shows ftrans+btrans far above fallbacks.
+	engineFamily("lp_sparse_ftrans_total", "Hyper-sparse FTRAN solves completed.", s.LPSparseFT)
+	engineFamily("lp_sparse_btrans_total", "Hyper-sparse BTRAN solves completed.", s.LPSparseBT)
+	engineFamily("lp_dense_fallbacks_total", "Basis solves past the density gate (dense path).", s.LPDenseFalls)
 
 	scalar("solve_errors_total", "counter", "Solve requests that ended in error.", s.Errors)
 	scalar("jobs_cancelled_total", "counter", "Jobs cancelled by clients or context death.", s.Cancelled)

@@ -359,6 +359,9 @@ func TestPrometheusExpositionParses(t *testing.T) {
 		`sparcsd_solve_duration_seconds_bucket{engine="list",outcome="cancelled",le="+Inf"}`,
 		`sparcsd_phase_seconds_total{engine="ilp",phase="presolve"}`,
 		`sparcsd_phase_seconds_total{engine="ilp",phase="search"}`,
+		`sparcsd_lp_sparse_ftrans_total{engine="ilp"}`,
+		`sparcsd_lp_sparse_btrans_total{engine="ilp"}`,
+		`sparcsd_lp_dense_fallbacks_total{engine="ilp"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

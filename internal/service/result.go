@@ -52,6 +52,15 @@ type SolveRequest struct {
 	CutRoundsRoot int `json:"cut_rounds_root,omitempty"`
 	CutRoundsNode int `json:"cut_rounds_node,omitempty"`
 	MaxCuts       int `json:"max_cuts,omitempty"`
+
+	// Pricing selects the dual simplex pricing rule: "" or "devex" (the
+	// default, approximate reference weights) or "steepest-edge" (exact
+	// dual steepest edge — one extra FTRAN per dual pivot buys exact row
+	// weights and usually fewer pivots on drift-prone models). The optimum
+	// is the same either way, but the pivot trajectory — and with it node
+	// counts under MaxNodes limits — can differ, so it is part of the
+	// solve-cache key.
+	Pricing string `json:"pricing,omitempty"`
 }
 
 // Parse validates the wire request into a Request.
@@ -84,6 +93,11 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		sr.DeadlineMS < 0 {
 		return nil, fmt.Errorf("service: negative solver knob")
 	}
+	switch sr.Pricing {
+	case "", "devex", "steepest-edge":
+	default:
+		return nil, fmt.Errorf("service: unknown pricing %q (have: devex, steepest-edge)", sr.Pricing)
+	}
 	return &Request{
 		Graph: &g,
 		Board: board,
@@ -99,6 +113,7 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		CutRoundsRoot:      sr.CutRoundsRoot,
 		CutRoundsNode:      sr.CutRoundsNode,
 		MaxCuts:            sr.MaxCuts,
+		Pricing:            sr.Pricing,
 		NoSymmetryBreaking: sr.NoSymmetryBreaking,
 		NoCache:            sr.NoCache,
 		Trace:              sr.Trace,
@@ -148,6 +163,10 @@ type Result struct {
 	// simplex kernel spent the iterations (basis reinversions the
 	// Forrest–Tomlin update path could not avoid, and dual long-step bound
 	// flips that absorbed infeasibility without a pivot).
+	// LPSparseFTRANs/LPSparseBTRANs count basis solves the hyper-sparse
+	// kernel completed on the symbolic-reachability path, LPDenseFallbacks
+	// the ones that exceeded the density gate and fell back to the dense
+	// O(m) loops; Pricing names the dual pricing rule the engine ran with.
 	Nodes               int     `json:"nodes,omitempty"`
 	PrunedCombinatorial int     `json:"nodes_pruned_combinatorial,omitempty"`
 	LPSolvesSkipped     int     `json:"lp_solves_skipped,omitempty"`
@@ -159,6 +178,10 @@ type Result struct {
 	LPIterations        int     `json:"lp_iterations,omitempty"`
 	LPRefactorizations  int     `json:"lp_refactorizations,omitempty"`
 	LPBoundFlips        int     `json:"lp_bound_flips,omitempty"`
+	LPSparseFTRANs      int     `json:"lp_sparse_ftrans,omitempty"`
+	LPSparseBTRANs      int     `json:"lp_sparse_btrans,omitempty"`
+	LPDenseFallbacks    int     `json:"lp_dense_fallbacks,omitempty"`
+	Pricing             string  `json:"pricing,omitempty"`
 	SolveMS             float64 `json:"solve_ms"`
 
 	// Cache reports how the service produced the result: "miss" (fresh
@@ -196,6 +219,10 @@ func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) 
 		LPIterations:        p.Stats.LPIterations,
 		LPRefactorizations:  p.Stats.Solver.Refactorizations,
 		LPBoundFlips:        p.Stats.Solver.BoundFlips,
+		LPSparseFTRANs:      p.Stats.Solver.SparseFTRANs,
+		LPSparseBTRANs:      p.Stats.Solver.SparseBTRANs,
+		LPDenseFallbacks:    p.Stats.Solver.DenseFallbacks,
+		Pricing:             p.Stats.Pricing,
 	}
 	if p.N == 0 {
 		return r

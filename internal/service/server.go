@@ -238,6 +238,9 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 				DualBoundFathoms:    p.Stats.DualBoundFathoms,
 				LPRefactorizations:  p.Stats.Solver.Refactorizations,
 				LPBoundFlips:        p.Stats.Solver.BoundFlips,
+				LPSparseFTRANs:      p.Stats.Solver.SparseFTRANs,
+				LPSparseBTRANs:      p.Stats.Solver.SparseBTRANs,
+				LPDenseFallbacks:    p.Stats.Solver.DenseFallbacks,
 			})
 		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)
@@ -260,6 +263,7 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 			res.CutsAdded, res.SeparationRounds = 0, 0
 			res.ConflictCuts, res.CGCuts, res.DualBoundFathoms = 0, 0, 0
 			res.LPRefactorizations, res.LPBoundFlips = 0, 0
+			res.LPSparseFTRANs, res.LPSparseBTRANs, res.LPDenseFallbacks = 0, 0, 0
 		}
 		res.SolveMS = fr.SolveMS
 		if req.Trace {

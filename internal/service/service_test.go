@@ -390,6 +390,7 @@ func TestBadRequests(t *testing.T) {
 		{"unknown-board", `{"graph":{"tasks":[{"name":"a"}]},"board":"nope"}`, http.StatusBadRequest},
 		{"unknown-engine", `{"graph":{"tasks":[{"name":"a"}]},"engine":"magic"}`, http.StatusBadRequest},
 		{"negative-knob", `{"graph":{"tasks":[{"name":"a"}]},"workers":-1}`, http.StatusBadRequest},
+		{"bad-pricing", `{"graph":{"tasks":[{"name":"a"}]},"pricing":"dantzig"}`, http.StatusBadRequest},
 		{"task-too-large", `{"graph":{"tasks":[{"name":"a","resources":9999,"delay":1}]},"board":"small"}`,
 			http.StatusUnprocessableEntity},
 	}
@@ -521,6 +522,7 @@ func TestCacheKeyExcludesParallelismKnobs(t *testing.T) {
 		"path-cap":    func(sr *SolveRequest) { sr.PathCap = 9 },
 		"no-symmetry": func(sr *SolveRequest) { sr.NoSymmetryBreaking = true },
 		"max-parts":   func(sr *SolveRequest) { sr.MaxPartitions = 5 },
+		"pricing":     func(sr *SolveRequest) { sr.Pricing = "steepest-edge" },
 	} {
 		sr := base
 		mut(&sr)

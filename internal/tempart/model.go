@@ -132,6 +132,9 @@ type SolveStats struct {
 	// Solver aggregates the warm/cold solve and pivot counts of the
 	// underlying simplex engine across the whole B&B search.
 	Solver lp.SolverStats
+	// Pricing names the dual pricing rule the simplex engine ran with
+	// ("devex" or "steepest-edge"); empty for non-ILP results.
+	Pricing string
 }
 
 // Partitioning is a temporal partitioning result.
@@ -927,7 +930,8 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 			// infeasibility proof below it is still running.
 			CGCuts:    m.cgRoot,
 			BuildTime: buildTime, SolveTime: solveTime,
-			Solver: sol.Solver,
+			Solver:  sol.Solver,
+			Pricing: opts.Pricing.String(),
 		},
 	}
 	part.Partial = sol.Status == ilp.Timeout
