@@ -90,6 +90,9 @@ stress:
 # near-capacity packing proof — must close within its manifest node budget
 # on every push, under both dual pricing rules (the steepest-edge lane
 # drives the exact-weight recurrences through thousands of warm-started
-# solves). The full portfolio stays in the manual 10-minute lane.
+# solves), plus the branch-and-price portfolio slice: the mixed-cardinality
+# instance (pack2638) and the 102-task chain-of-blocks instance
+# (chainblocks102) must both close to proven optimality through the pattern
+# master. The full portfolio stays in the manual 10-minute lane.
 stress-short:
-	$(GO) test -run 'TestHardPortfolio/pack12|TestHardPortfolioSteepestEdge' -count=1 -v ./internal/tempart/
+	$(GO) test -run 'TestHardPortfolio/(pack12|pack2638-patterns|chainblocks102-patterns)|TestHardPortfolioSteepestEdge|TestPatternMixedCardinality2638' -count=1 -v ./internal/tempart/

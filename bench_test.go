@@ -590,6 +590,8 @@ func benchPackPortfolio(b *testing.B, file string) {
 		p, err = tempart.Solve(tempart.Input{
 			Graph:              &g,
 			Board:              board,
+			MaxPartitions:      entry.MaxParts,
+			Formulation:        entry.Formulation,
 			NoSymmetryBreaking: entry.NoSymmetry,
 			DisableWarmStart:   entry.NoWarm,
 			ILP:                ilp.Options{MaxNodes: entry.MaxNodes},
@@ -609,6 +611,8 @@ func benchPackPortfolio(b *testing.B, file string) {
 	b.ReportMetric(float64(p.Stats.CGCuts), "cg-cuts")
 	b.ReportMetric(float64(p.Stats.DualBoundFathoms), "dual-bound-fathoms")
 	b.ReportMetric(float64(p.Stats.NProbesPruned), "n-probes-pruned")
+	b.ReportMetric(float64(p.Stats.ColumnsGenerated), "columns-generated")
+	b.ReportMetric(float64(p.Stats.PricingRounds), "pricing-rounds")
 	b.ReportMetric(float64(p.Stats.Solver.Refactorizations), "refactorizations/op")
 	b.ReportMetric(float64(p.Stats.Solver.BoundFlips), "bound-flips/op")
 	b.ReportMetric(p.Stats.SolveTime.Seconds()*1e3, "solve-ms")
@@ -622,6 +626,15 @@ func benchPackPortfolio(b *testing.B, file string) {
 func BenchmarkILP_Pack12(b *testing.B) { benchPackPortfolio(b, "pack12.json") }
 func BenchmarkILP_Pack15(b *testing.B) { benchPackPortfolio(b, "pack15.json") }
 func BenchmarkILP_Pack18(b *testing.B) { benchPackPortfolio(b, "pack18.json") }
+
+// BenchmarkILP_Pack2638 is the mixed-cardinality packing yardstick of the
+// branch-and-price formulation: 12×26 + 12×38 CLB items whose optimal
+// cover mixes (26,26,38) triples and (38,38) pairs, so every combinatorial
+// floor undershoots the optimum (area 8, cardinality 8, optimum 9). The
+// manifest forces `formulation: "patterns"`; the set-partitioning master's
+// LP bound is exactly 9·delay, the N=8 probe dies at its master root, and
+// the gate fails any B&B-node growth over the baseline (threshold 0).
+func BenchmarkILP_Pack2638(b *testing.B) { benchPackPortfolio(b, "pack2638.json") }
 
 // BenchmarkDCT8x8Greedy partitions the 128-task 8x8 DCT generalization
 // with the greedy baseline (the scale regime beyond the paper's ILP).

@@ -27,6 +27,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/tempart"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 		workersArg = flag.Int("workers", 1, "parallel B&B search workers (ilp partitioner)")
 		specArg    = flag.Int("speculate", 1, "concurrent partition-count probes in the relax-N loop")
 		priceArg   = flag.String("pricing", "devex", "dual simplex pricing rule: devex or steepest-edge")
+		formArg    = flag.String("formulation", "rows", "ILP model: rows (assignment variables) or patterns (branch-and-price)")
+		maxPartArg = flag.Int("max-partitions", 0, "cap on the partition count search (0 = the solver's default window)")
 		outArg     = flag.String("o", "text", "output format: text, or json (the machine-readable service payload; skips simulation)")
 	)
 	flag.Parse()
@@ -53,7 +56,7 @@ func main() {
 		Strategy: *stratArg, I: *iArg, Pow2: *pow2Arg, DOT: *dotArg,
 		Verilog: *verilogArg, Sequencer: *seqArg, Trace: *traceArg,
 		Workers: *workersArg, SpeculateN: *specArg, Output: *outArg,
-		Pricing: *priceArg,
+		Pricing: *priceArg, Formulation: *formArg, MaxPartitions: *maxPartArg,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparcs:", err)
 		os.Exit(1)
@@ -73,6 +76,13 @@ type cliOptions struct {
 	// Pricing selects the dual simplex pricing rule ("", "devex", or
 	// "steepest-edge") for the ilp partitioner.
 	Pricing string
+	// Formulation selects the ilp partitioner's model: "" or "rows" for
+	// the assignment-variable row model, "patterns" for branch-and-price
+	// over partition-pattern columns.
+	Formulation string
+	// MaxPartitions caps the relax-N search (0 = the solver's default
+	// window above the combinatorial lower bound).
+	MaxPartitions int
 }
 
 func run(o cliOptions) error {
@@ -101,6 +111,18 @@ func run(o cliOptions) error {
 	default:
 		return fmt.Errorf("unknown pricing %q (want devex or steepest-edge)", o.Pricing)
 	}
+	switch o.Formulation {
+	case "", "rows":
+		cfg.Formulation = tempart.FormulationRows
+	case "patterns":
+		cfg.Formulation = tempart.FormulationPatterns
+	default:
+		return fmt.Errorf("unknown formulation %q (want rows or patterns)", o.Formulation)
+	}
+	if o.MaxPartitions < 0 {
+		return fmt.Errorf("negative -max-partitions %d", o.MaxPartitions)
+	}
+	cfg.MaxPartitions = o.MaxPartitions
 	switch o.Partitioner {
 	case "ilp":
 		cfg.Partitioner = core.ILPPartitioner

@@ -65,6 +65,14 @@ type Config struct {
 	// SpeculateN enables tempart's speculative relax-N loop: up to this many
 	// candidate partition counts are probed concurrently (<= 1 sequential).
 	SpeculateN int
+	// Formulation selects the ILP model ("" or tempart.FormulationRows for
+	// the row model, tempart.FormulationPatterns for branch-and-price over
+	// partition-pattern columns).
+	Formulation string
+	// MaxPartitions caps the relax-N loop (0 keeps tempart's default
+	// lower-bound+8 window; instances whose area floor sits far below the
+	// packing need must widen it).
+	MaxPartitions int
 }
 
 // DefaultConfig returns the paper's case-study configuration.
@@ -126,7 +134,8 @@ func BuildContext(ctx context.Context, g *dfg.Graph, cfg Config) (*Design, error
 	case ILPPartitioner:
 		part, err = tempart.SolveContext(ctx, tempart.Input{
 			Graph: g, Board: cfg.Board, PathCap: cfg.PathCap, ILP: cfg.ILP,
-			SpeculateN: cfg.SpeculateN,
+			SpeculateN: cfg.SpeculateN, Formulation: cfg.Formulation,
+			MaxPartitions: cfg.MaxPartitions,
 		})
 	case ListPartitioner:
 		part, err = listpart.Solve(g, cfg.Board, cfg.PathCap)

@@ -316,7 +316,7 @@ func (s *Solver) factorizeBasis(f *luFactor) bool {
 	for slot := 0; slot < m; slot++ {
 		j := s.basis[slot]
 		switch {
-		case j < s.nStruct:
+		case j < s.nStructBase:
 			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 				rc[s.colRow[k]]++
 			}
@@ -325,12 +325,17 @@ func (s *Solver) factorizeBasis(f *luFactor) bool {
 					rc[e.i]++
 				}
 			}
-		case j < s.nStruct+s.mBase:
-			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-				rc[s.colRow[k]]++
+		case j < s.nStruct:
+			for _, e := range s.newCols[j-s.nStructBase] {
+				rc[e.i]++
+			}
+			if s.extCols != nil {
+				for _, e := range s.extCols[j] {
+					rc[e.i]++
+				}
 			}
 		case j < s.nStruct+s.m:
-			rc[j-s.nStruct]++
+			rc[j-s.nStruct]++ // slack: unit column
 		default:
 			rc[j-s.nStruct-s.m]++
 		}

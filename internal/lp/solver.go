@@ -56,11 +56,12 @@ import (
 //   - A Solver is not safe for concurrent use; create one per goroutine
 //     (they share the Problem's immutable row storage).
 type Solver struct {
-	p       *Problem
-	m       int // constraint rows (mBase + dynamically added rows)
-	mBase   int // rows captured from the Problem at NewSolver time
-	nStruct int // structural variables
-	nTotal  int // structural + m slacks + m artificial slots
+	p           *Problem
+	m           int // constraint rows (mBase + dynamically added rows)
+	mBase       int // rows captured from the Problem at NewSolver time
+	nStruct     int // structural variables (nStructBase + dynamically added columns)
+	nStructBase int // structural columns captured from the Problem at NewSolver time
+	nTotal      int // structural + m slacks + m artificial slots
 
 	// Dynamically added rows (AddRows): row-major storage plus a
 	// per-structural-column extension index so the CSC accessors see the
@@ -75,6 +76,15 @@ type Solver struct {
 	// high-water mark is reached.
 	cutCols []int32
 	cutVals []float64
+
+	// Dynamically added columns (AddCols): column-major side storage, one
+	// entry list per appended column over BASE rows only (added rows see
+	// appended columns through extCols exactly like base columns), plus the
+	// appended objective coefficients. Like added rows, appended columns are
+	// solver-local — the shared Problem is never touched. This is the
+	// column-generation primitive the branch-and-price layer is built on.
+	newCols [][]colEntry // newCols[j-nStructBase]: base-row entries of appended column j
+	extObj  []float64    // extObj[j-nStructBase]: objective coefficient of appended column j
 
 	// Working bounds of every column. Structural bounds are seeded from the
 	// Problem and mutated by SetVarBounds; slack bounds encode the row kind;
@@ -164,6 +174,7 @@ type SolverStats struct {
 	Pivots           int // total simplex pivots (primal + dual)
 	DualPivots       int // pivots spent in the dual-simplex repair
 	RowsAdded        int // constraint rows appended to the live solver (AddRows)
+	ColsAdded        int // structural columns appended to the live solver (AddCols)
 	Refactorizations int // basis reinversions (cold builds, fill/stability triggers, installs)
 	BoundFlips       int // dual long-step bound flips (infeasibility absorbed without a pivot)
 	UpdateNNZ        int // cumulative Forrest–Tomlin update-file nonzeros appended
@@ -217,6 +228,7 @@ func (s SolverStats) Delta(base SolverStats) SolverStats {
 		Pivots:           s.Pivots - base.Pivots,
 		DualPivots:       s.DualPivots - base.DualPivots,
 		RowsAdded:        s.RowsAdded - base.RowsAdded,
+		ColsAdded:        s.ColsAdded - base.ColsAdded,
 		Refactorizations: s.Refactorizations - base.Refactorizations,
 		BoundFlips:       s.BoundFlips - base.BoundFlips,
 		UpdateNNZ:        s.UpdateNNZ - base.UpdateNNZ,
@@ -235,6 +247,7 @@ func (s *SolverStats) Accumulate(t SolverStats) {
 	s.Pivots += t.Pivots
 	s.DualPivots += t.DualPivots
 	s.RowsAdded += t.RowsAdded
+	s.ColsAdded += t.ColsAdded
 	s.Refactorizations += t.Refactorizations
 	s.BoundFlips += t.BoundFlips
 	s.UpdateNNZ += t.UpdateNNZ
@@ -272,14 +285,15 @@ func NewSolver(p *Problem) *Solver {
 	n := p.n
 	nTotal := n + 2*m
 	s := &Solver{
-		p:       p,
-		m:       m,
-		mBase:   m,
-		nStruct: n,
-		nTotal:  nTotal,
-		lo:      make([]float64, nTotal),
-		hi:      make([]float64, nTotal),
-		maxIter: 2000 + 200*(m+nTotal),
+		p:           p,
+		m:           m,
+		mBase:       m,
+		nStruct:     n,
+		nStructBase: n,
+		nTotal:      nTotal,
+		lo:          make([]float64, nTotal),
+		hi:          make([]float64, nTotal),
+		maxIter:     2000 + 200*(m+nTotal),
 	}
 	for j := 0; j < n; j++ {
 		s.lo[j] = p.lower[j]
@@ -316,7 +330,9 @@ func (s *Solver) ensureBuilt() {
 		return
 	}
 	s.built = true
-	m, n, nTotal := s.m, s.nStruct, s.nTotal
+	// The CSC covers exactly the Problem's columns: AddRows and AddCols both
+	// force the build before mutating, so nStruct == nStructBase here.
+	m, n, nTotal := s.m, s.nStructBase, s.nTotal
 	buf := make([]float64, 9*m+3*nTotal)
 	grab := func(k int) []float64 {
 		p := buf[:k:k]
@@ -479,9 +495,9 @@ func (s *Solver) ResolveFrom(bs *Basis) (*Solution, error) {
 
 // precheck validates bounds; done=true short-circuits the solve.
 func (s *Solver) precheck() (*Solution, error, bool) {
-	if len(s.p.rows) != s.mBase || s.p.n != s.nStruct {
+	if len(s.p.rows) != s.mBase || s.p.n != s.nStructBase {
 		return nil, fmt.Errorf("lp: problem shape changed after NewSolver (rows %d->%d, vars %d->%d)",
-			s.mBase, len(s.p.rows), s.nStruct, s.p.n), true
+			s.mBase, len(s.p.rows), s.nStructBase, s.p.n), true
 	}
 	for j := 0; j < s.nStruct; j++ {
 		if s.lo[j] > s.hi[j]+eps {
@@ -508,7 +524,7 @@ func (s *Solver) movable(j int) bool { return s.hi[j]-s.lo[j] > eps }
 // colDot returns column j's dot product with the dense row vector v.
 func (s *Solver) colDot(j int, v []float64) float64 {
 	switch {
-	case j < s.nStruct:
+	case j < s.nStructBase:
 		sum := 0.0
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			sum += s.colVal[k] * v[s.colRow[k]]
@@ -519,14 +535,23 @@ func (s *Solver) colDot(j int, v []float64) float64 {
 			}
 		}
 		return sum
-	case j < s.nStruct+s.mBase:
+	case j < s.nStruct:
+		// Appended column (AddCols): base-row entries in the side storage,
+		// added-row entries through extCols like any structural column.
 		sum := 0.0
-		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-			sum += s.colVal[k] * v[s.colRow[k]]
+		for _, e := range s.newCols[j-s.nStructBase] {
+			sum += e.v * v[e.i]
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				sum += e.v * v[e.i]
+			}
 		}
 		return sum
 	case j < s.nStruct+s.m:
-		// Slack of a dynamically added row: implicit unit column.
+		// Slack: implicit unit column (base slacks are unit columns in the
+		// CSC too, but their CSC index is pinned to nStructBase and would be
+		// stale after AddCols — the implicit form is always right).
 		return v[j-s.nStruct]
 	default:
 		i := j - s.nStruct - s.m
@@ -540,7 +565,7 @@ func (s *Solver) loadCol(j int, v []float64) {
 		v[i] = 0
 	}
 	switch {
-	case j < s.nStruct:
+	case j < s.nStructBase:
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			v[s.colRow[k]] = s.colVal[k]
 		}
@@ -549,9 +574,14 @@ func (s *Solver) loadCol(j int, v []float64) {
 				v[e.i] = e.v
 			}
 		}
-	case j < s.nStruct+s.mBase:
-		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-			v[s.colRow[k]] = s.colVal[k]
+	case j < s.nStruct:
+		for _, e := range s.newCols[j-s.nStructBase] {
+			v[e.i] = e.v
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				v[e.i] = e.v
+			}
 		}
 	case j < s.nStruct+s.m:
 		v[j-s.nStruct] = 1
@@ -564,7 +594,7 @@ func (s *Solver) loadCol(j int, v []float64) {
 // colAxpy adds t times column j into the dense row vector v.
 func (s *Solver) colAxpy(j int, t float64, v []float64) {
 	switch {
-	case j < s.nStruct:
+	case j < s.nStructBase:
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			v[s.colRow[k]] += s.colVal[k] * t
 		}
@@ -573,9 +603,14 @@ func (s *Solver) colAxpy(j int, t float64, v []float64) {
 				v[e.i] += e.v * t
 			}
 		}
-	case j < s.nStruct+s.mBase:
-		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-			v[s.colRow[k]] += s.colVal[k] * t
+	case j < s.nStruct:
+		for _, e := range s.newCols[j-s.nStructBase] {
+			v[e.i] += e.v * t
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				v[e.i] += e.v * t
+			}
 		}
 	case j < s.nStruct+s.m:
 		v[j-s.nStruct] += t
@@ -620,7 +655,7 @@ func (s *Solver) ftranCol(j int) ([]float64, []int32) {
 // and the added-row extension rows are disjoint, so no dedup is needed.
 func (s *Solver) loadColSparse(j int, v []float64, idx []int32) []int32 {
 	switch {
-	case j < s.nStruct:
+	case j < s.nStructBase:
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			r := s.colRow[k]
 			v[r] = s.colVal[k]
@@ -632,11 +667,16 @@ func (s *Solver) loadColSparse(j int, v []float64, idx []int32) []int32 {
 				idx = append(idx, e.i)
 			}
 		}
-	case j < s.nStruct+s.mBase:
-		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-			r := s.colRow[k]
-			v[r] = s.colVal[k]
-			idx = append(idx, r)
+	case j < s.nStruct:
+		for _, e := range s.newCols[j-s.nStructBase] {
+			v[e.i] = e.v
+			idx = append(idx, e.i)
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				v[e.i] = e.v
+				idx = append(idx, e.i)
+			}
 		}
 	case j < s.nStruct+s.m:
 		r := int32(j - s.nStruct)
@@ -741,17 +781,27 @@ func (s *Solver) computeB() {
 		if v == 0 {
 			continue
 		}
-		if j < s.nStruct+s.mBase {
+		switch {
+		case j < s.nStructBase:
 			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 				r[s.colRow[k]] -= s.colVal[k] * v
 			}
-			if j < s.nStruct && s.extCols != nil {
+			if s.extCols != nil {
 				for _, e := range s.extCols[j] {
 					r[e.i] -= e.v * v
 				}
 			}
-		} else {
-			r[j-s.nStruct] -= v // added-row slack: implicit unit column
+		case j < s.nStruct:
+			for _, e := range s.newCols[j-s.nStructBase] {
+				r[e.i] -= e.v * v
+			}
+			if s.extCols != nil {
+				for _, e := range s.extCols[j] {
+					r[e.i] -= e.v * v
+				}
+			}
+		default:
+			r[j-s.nStruct] -= v // slack: implicit unit column
 		}
 	}
 	// Nonbasic artificials rest at 0 and contribute nothing.
@@ -775,16 +825,20 @@ func (s *Solver) refactor() bool {
 
 func (s *Solver) colNNZ(j int) int {
 	switch {
-	case j < s.nStruct:
+	case j < s.nStructBase:
 		n := int(s.colPtr[j+1] - s.colPtr[j])
 		if s.extCols != nil {
 			n += len(s.extCols[j])
 		}
 		return n
-	case j < s.nStruct+s.mBase:
-		return int(s.colPtr[j+1] - s.colPtr[j])
+	case j < s.nStruct:
+		n := len(s.newCols[j-s.nStructBase])
+		if s.extCols != nil {
+			n += len(s.extCols[j])
+		}
+		return n
 	default:
-		return 1
+		return 1 // slack or artificial: unit column
 	}
 }
 
@@ -1181,7 +1235,7 @@ func (s *Solver) applyFlips(flips []dualBP) {
 // (the caller clears the marks via the returned list).
 func (s *Solver) colAxpySparse(j int, t float64, v []float64, nz []int32) []int32 {
 	switch {
-	case j < s.nStruct:
+	case j < s.nStructBase:
 		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
 			i := s.colRow[k]
 			if !s.rowMark[i] {
@@ -1199,14 +1253,22 @@ func (s *Solver) colAxpySparse(j int, t float64, v []float64, nz []int32) []int3
 				v[e.i] += e.v * t
 			}
 		}
-	case j < s.nStruct+s.mBase:
-		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
-			i := s.colRow[k]
-			if !s.rowMark[i] {
-				s.rowMark[i] = true
-				nz = append(nz, i)
+	case j < s.nStruct:
+		for _, e := range s.newCols[j-s.nStructBase] {
+			if !s.rowMark[e.i] {
+				s.rowMark[e.i] = true
+				nz = append(nz, e.i)
 			}
-			v[i] += s.colVal[k] * t
+			v[e.i] += e.v * t
+		}
+		if s.extCols != nil {
+			for _, e := range s.extCols[j] {
+				if !s.rowMark[e.i] {
+					s.rowMark[e.i] = true
+					nz = append(nz, e.i)
+				}
+				v[e.i] += e.v * t
+			}
 		}
 	case j < s.nStruct+s.m:
 		i := int32(j - s.nStruct)
@@ -1277,6 +1339,33 @@ func (s *Solver) build() int {
 	for j := 0; j < s.nStruct; j++ {
 		s.status[j] = atLower
 	}
+	// Residual per row at the all-lower resting point. The Problem's rows
+	// and the added rows carry their own coefficient lists, but appended
+	// columns (AddCols) exist only in column-major side storage, so their
+	// lower-bound contribution to the base rows is folded in afterwards.
+	resid := s.y // scratch: computeY rebuilds y from scratch every time
+	for i, r := range s.p.rows {
+		v := r.rhs
+		for _, c := range r.coeffs {
+			v -= c.v * s.lo[c.j]
+		}
+		resid[i] = v
+	}
+	for ai := range s.added {
+		r := &s.added[ai]
+		v := r.rhs
+		for k, j := range r.cols {
+			v -= r.vals[k] * s.lo[j]
+		}
+		resid[s.mBase+ai] = v
+	}
+	for cj := range s.newCols {
+		if v := s.lo[s.nStructBase+cj]; v != 0 {
+			for _, e := range s.newCols[cj] {
+				resid[e.i] -= e.v * v
+			}
+		}
+	}
 	nArt := 0
 	cover := func(i int, kind RowKind, resid float64) {
 		sc := s.nStruct + i
@@ -1313,19 +1402,10 @@ func (s *Solver) build() int {
 		s.status[ac] = basic
 	}
 	for i, r := range s.p.rows {
-		resid := r.rhs
-		for _, c := range r.coeffs {
-			resid -= c.v * s.lo[c.j]
-		}
-		cover(i, r.kind, resid)
+		cover(i, r.kind, resid[i])
 	}
 	for ai := range s.added {
-		r := &s.added[ai]
-		resid := r.rhs
-		for k, j := range r.cols {
-			resid -= r.vals[k] * s.lo[j]
-		}
-		cover(s.mBase+ai, r.kind, resid)
+		cover(s.mBase+ai, s.added[ai].kind, resid[s.mBase+ai])
 	}
 	// The slack/artificial cover is diagonal (±1 per row), so this
 	// factorization cannot fail.
@@ -1385,12 +1465,21 @@ func (s *Solver) setPhase2Cost() {
 	}
 	s.objCols = s.objCols[:0]
 	for j := 0; j < s.nStruct; j++ {
-		if c := s.p.obj[j]; c != 0 {
+		if c := s.structObj(j); c != 0 {
 			s.cost[j] = c
 			s.objCols = append(s.objCols, int32(j))
 		}
 	}
 	s.costPhase = 2
+}
+
+// structObj returns the phase-2 objective coefficient of structural column
+// j, whether it came from the Problem or from AddCols.
+func (s *Solver) structObj(j int) float64 {
+	if j < s.nStructBase {
+		return s.p.obj[j]
+	}
+	return s.extObj[j-s.nStructBase]
 }
 
 // objective returns the current value of the active cost row.
@@ -1741,7 +1830,7 @@ func (s *Solver) finish() *Solution {
 	}
 	obj := 0.0
 	for j := 0; j < s.nStruct; j++ {
-		obj += s.p.obj[j] * x[j]
+		obj += s.structObj(j) * x[j]
 	}
 	*sol = Solution{Status: Optimal, X: x, Obj: obj, Iterations: s.iter}
 	return sol

@@ -21,11 +21,16 @@ func TestDisabledTraceZeroAlloc(t *testing.T) {
 	}
 }
 
-// Enabled recording must also be allocation-free: all event storage is
-// preallocated in NewRecorder, so a solve's tracing cost is bounded by the
-// mutex and a struct copy per event.
+// Enabled steady-state recording must be allocation-free: once the event
+// buffer has grown past the working set, a solve's tracing cost is bounded
+// by the mutex and a struct copy per event. The pre-warm loop pushes the
+// geometric growth past everything AllocsPerRun will record (warmup run
+// included), so the measurement sees only the fast path.
 func TestEnabledTraceZeroAlloc(t *testing.T) {
 	r := NewRecorder(1 << 16)
+	for i := 0; i < 4200; i++ {
+		r.Counter(CounterNodes, 1)
+	}
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := r.BeginArg(PhaseSearch, 3)
 		r.Counter(CounterNodes, 1)
@@ -33,6 +38,41 @@ func TestEnabledTraceZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("enabled trace path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestRecorderLazyGrowth gates the traced-solve allocation spike: a
+// high-capacity recorder must not pay for its capacity up front. Storage
+// starts empty, grows 64 → double → capacity clamp, and keeps counting
+// drops past the bound.
+func TestRecorderLazyGrowth(t *testing.T) {
+	r := NewRecorder(1 << 16)
+	if len(r.events) != 0 {
+		t.Fatalf("NewRecorder preallocated %d events, want 0 (lazy)", len(r.events))
+	}
+	for i := 0; i < 10; i++ {
+		r.Counter(CounterNodes, 1)
+	}
+	if len(r.events) != 64 {
+		t.Fatalf("after 10 events buffer holds %d, want first chunk of 64", len(r.events))
+	}
+	for i := 10; i < 200; i++ {
+		r.Counter(CounterNodes, 1)
+	}
+	if len(r.events) != 256 {
+		t.Fatalf("after 200 events buffer holds %d, want geometric 256", len(r.events))
+	}
+	if r.Len() != 200 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 200/0", r.Len(), r.Dropped())
+	}
+	// The clamp: a capacity below the next doubling is hit exactly.
+	small := NewRecorder(100)
+	for i := 0; i < 120; i++ {
+		small.Counter(CounterNodes, 1)
+	}
+	if len(small.events) != 100 || small.Len() != 100 || small.Dropped() != 20 {
+		t.Fatalf("clamped recorder: buf=%d Len=%d Dropped=%d, want 100/100/20",
+			len(small.events), small.Len(), small.Dropped())
 	}
 }
 

@@ -83,25 +83,30 @@ type Event struct {
 	F2    float64
 }
 
-// Recorder collects events into a fixed preallocated buffer. The zero
-// value is not usable; construct with NewRecorder. A nil *Recorder is the
-// disabled state: every method no-ops.
+// Recorder collects events into a lazily grown, capacity-bounded buffer.
+// The zero value is not usable; construct with NewRecorder. A nil
+// *Recorder is the disabled state: every method no-ops.
 type Recorder struct {
 	start   time.Time
 	mu      sync.Mutex
 	events  []Event
 	n       int
+	cap     int
 	dropped int64
 }
 
 // NewRecorder returns a recorder holding up to capacity events
-// (<= 0 selects 4096). All event storage is allocated here, up front;
-// recording itself never allocates.
+// (<= 0 selects 4096). Event storage grows geometrically on demand
+// (64 events, then doubling, clamped to the capacity): a short traced
+// solve — a handful of spans and counters — costs a few KB instead of the
+// full capacity's worth, which used to dominate the traced hot path's
+// allocation profile. A grow step is a rare amortized copy under the same
+// mutex recording already takes; steady-state recording never allocates.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Recorder{start: time.Now(), events: make([]Event, capacity)}
+	return &Recorder{start: time.Now(), cap: capacity}
 }
 
 // since is the recorder's monotonic clock.
@@ -110,6 +115,18 @@ func (r *Recorder) since() int64 { return int64(time.Since(r.start)) }
 // record appends ev, counting it as dropped past capacity.
 func (r *Recorder) record(ev Event) {
 	r.mu.Lock()
+	if r.n == len(r.events) && r.n < r.cap {
+		next := 2 * len(r.events)
+		if next == 0 {
+			next = 64
+		}
+		if next > r.cap {
+			next = r.cap
+		}
+		grown := make([]Event, next)
+		copy(grown, r.events)
+		r.events = grown
+	}
 	if r.n < len(r.events) {
 		r.events[r.n] = ev
 		r.n++

@@ -55,6 +55,10 @@ type Request struct {
 	// "steepest-edge"). It changes the pivot trajectory (and node counts
 	// under MaxNodes limits), so it is keyed like the cut budgets.
 	Pricing string
+	// Formulation is the validated ILP model selector ("", "rows",
+	// "patterns"). It changes the search shape (and which incumbent a
+	// budget-bound solve returns), so it is keyed like Pricing.
+	Formulation string
 
 	// NoCache bypasses the memo cache (always a fresh solve, result not
 	// stored).
@@ -159,6 +163,7 @@ func (ilpBackend) Solve(ctx context.Context, req *Request) (*tempart.Partitionin
 		Board:              req.Board,
 		MaxPartitions:      req.MaxPartitions,
 		PathCap:            req.PathCap,
+		Formulation:        req.Formulation,
 		NoSymmetryBreaking: req.NoSymmetryBreaking,
 		SpeculateN:         req.SpeculateN,
 		Trace:              req.TraceSink,

@@ -54,6 +54,9 @@ func (r *Request) CacheKey() string {
 	// Pricing changes the pivot trajectory, hence node counts under
 	// MaxNodes limits and which optimum ties break to — keyed.
 	puts(r.Pricing)
+	// Formulation changes the search shape (rows vs branch-and-price),
+	// hence which optimum ties break to and the reported stats — keyed.
+	puts(r.Formulation)
 	if r.NoSymmetryBreaking {
 		put(1)
 	} else {
@@ -117,6 +120,9 @@ type entry struct {
 	lpSparseBT   int
 	lpDenseFalls int
 	pricing      string
+	formulation  string
+	columnsGen   int
+	priceRounds  int
 }
 
 // newEntry canonicalizes a partitioning of g into a cache entry.
@@ -140,6 +146,9 @@ func newEntry(g *dfg.Graph, p *tempart.Partitioning) *entry {
 		lpSparseBT:   p.Stats.Solver.SparseBTRANs,
 		lpDenseFalls: p.Stats.Solver.DenseFallbacks,
 		pricing:      p.Stats.Pricing,
+		formulation:  p.Stats.Formulation,
+		columnsGen:   p.Stats.ColumnsGenerated,
+		priceRounds:  p.Stats.PricingRounds,
 	}
 	if p.N > 0 {
 		ord := g.CanonicalOrder()
@@ -201,6 +210,8 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 			CutsAdded: e.cutsAdded, SeparationRounds: e.sepRounds,
 			ConflictCuts: e.conflictCuts, CGCuts: e.cgCuts,
 			DualBoundFathoms: e.dualFathoms,
+			ColumnsGenerated: e.columnsGen,
+			PricingRounds:    e.priceRounds,
 			Solver: lp.SolverStats{
 				Refactorizations: e.lpRefactor,
 				BoundFlips:       e.lpFlips,
@@ -208,7 +219,8 @@ func (e *entry) apply(req *Request) (*tempart.Partitioning, error) {
 				SparseBTRANs:     e.lpSparseBT,
 				DenseFallbacks:   e.lpDenseFalls,
 			},
-			Pricing: e.pricing,
+			Pricing:     e.pricing,
+			Formulation: e.formulation,
 		},
 	}, nil
 }

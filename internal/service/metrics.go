@@ -65,6 +65,8 @@ type Metrics struct {
 	lpSparseFT   map[string]uint64 // per engine: hyper-sparse FTRANs completed
 	lpSparseBT   map[string]uint64 // per engine: hyper-sparse BTRANs completed
 	lpDenseFalls map[string]uint64 // per engine: basis solves past the density gate
+	columnsGen   map[string]uint64 // per engine: branch-and-price columns generated
+	priceRounds  map[string]uint64 // per engine: pricing-problem invocations
 	errors       uint64
 	cancelled    uint64
 	timeouts     uint64 // solves stopped by a deadline (anytime or not)
@@ -99,6 +101,8 @@ func NewMetrics() *Metrics {
 		lpSparseFT:   map[string]uint64{},
 		lpSparseBT:   map[string]uint64{},
 		lpDenseFalls: map[string]uint64{},
+		columnsGen:   map[string]uint64{},
+		priceRounds:  map[string]uint64{},
 		hist:         map[histKey]*obs.Histogram{},
 		phaseNS:      map[string]map[string]int64{},
 	}
@@ -174,6 +178,11 @@ type SearchCounters struct {
 	LPSparseFTRANs      int
 	LPSparseBTRANs      int
 	LPDenseFallbacks    int
+	// Branch-and-price column-generation effort (zero under the row
+	// formulation): master columns appended beyond the artificials and
+	// pricing-problem invocations.
+	ColumnsGenerated int
+	PricingRounds    int
 }
 
 // RecordSearch folds one fresh solve's search counters into the per-engine
@@ -194,6 +203,8 @@ func (m *Metrics) RecordSearch(engine string, c SearchCounters) {
 	m.lpSparseFT[engine] += uint64(c.LPSparseFTRANs)
 	m.lpSparseBT[engine] += uint64(c.LPSparseBTRANs)
 	m.lpDenseFalls[engine] += uint64(c.LPDenseFallbacks)
+	m.columnsGen[engine] += uint64(c.ColumnsGenerated)
+	m.priceRounds[engine] += uint64(c.PricingRounds)
 	m.mu.Unlock()
 }
 
@@ -255,6 +266,8 @@ type Snapshot struct {
 	LPSparseFT   map[string]uint64 `json:"lp_sparse_ftrans,omitempty"`
 	LPSparseBT   map[string]uint64 `json:"lp_sparse_btrans,omitempty"`
 	LPDenseFalls map[string]uint64 `json:"lp_dense_fallbacks,omitempty"`
+	ColumnsGen   map[string]uint64 `json:"columns_generated,omitempty"`
+	PriceRounds  map[string]uint64 `json:"pricing_rounds,omitempty"`
 	Errors       uint64            `json:"errors"`
 	Cancelled    uint64            `json:"cancelled"`
 	Timeouts     uint64            `json:"timeouts"`
@@ -287,6 +300,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		LPSparseFT:   copyCounters(m.lpSparseFT),
 		LPSparseBT:   copyCounters(m.lpSparseBT),
 		LPDenseFalls: copyCounters(m.lpDenseFalls),
+		ColumnsGen:   copyCounters(m.columnsGen),
+		PriceRounds:  copyCounters(m.priceRounds),
 		Errors:       m.errors,
 		Cancelled:    m.cancelled,
 		Timeouts:     m.timeouts,
@@ -409,6 +424,11 @@ func (m *Metrics) Exposition(cache CacheStats, queueDepth, running int) string {
 	engineFamily("lp_sparse_ftrans_total", "Hyper-sparse FTRAN solves completed.", s.LPSparseFT)
 	engineFamily("lp_sparse_btrans_total", "Hyper-sparse BTRAN solves completed.", s.LPSparseBT)
 	engineFamily("lp_dense_fallbacks_total", "Basis solves past the density gate (dense path).", s.LPDenseFalls)
+	// Branch-and-price engine: master columns the pricing problem generated
+	// and pricing rounds run. Rising columns with flat nodes is the pattern
+	// formulation closing instances at the master LP instead of branching.
+	engineFamily("columns_generated_total", "Branch-and-price master columns generated.", s.ColumnsGen)
+	engineFamily("pricing_rounds_total", "Branch-and-price pricing-problem invocations.", s.PriceRounds)
 
 	scalar("solve_errors_total", "counter", "Solve requests that ended in error.", s.Errors)
 	scalar("jobs_cancelled_total", "counter", "Jobs cancelled by clients or context death.", s.Cancelled)

@@ -362,6 +362,8 @@ func TestPrometheusExpositionParses(t *testing.T) {
 		`sparcsd_lp_sparse_ftrans_total{engine="ilp"}`,
 		`sparcsd_lp_sparse_btrans_total{engine="ilp"}`,
 		`sparcsd_lp_dense_fallbacks_total{engine="ilp"}`,
+		`sparcsd_columns_generated_total{engine="ilp"}`,
+		`sparcsd_pricing_rounds_total{engine="ilp"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

@@ -61,6 +61,14 @@ type SolveRequest struct {
 	// counts under MaxNodes limits — can differ, so it is part of the
 	// solve-cache key.
 	Pricing string `json:"pricing,omitempty"`
+
+	// Formulation selects the ILP backend's model: "" or "rows" (the
+	// assignment-variable row model) or "patterns" (branch-and-price over
+	// partition-pattern columns — falls back to rows when the instance
+	// carries inter-partition data the pattern master cannot price). The
+	// optimum is the same either way, but the search shape and stats
+	// differ, so it is part of the solve-cache key.
+	Formulation string `json:"formulation,omitempty"`
 }
 
 // Parse validates the wire request into a Request.
@@ -98,6 +106,11 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 	default:
 		return nil, fmt.Errorf("service: unknown pricing %q (have: devex, steepest-edge)", sr.Pricing)
 	}
+	switch sr.Formulation {
+	case "", tempart.FormulationRows, tempart.FormulationPatterns:
+	default:
+		return nil, fmt.Errorf("service: unknown formulation %q (have: rows, patterns)", sr.Formulation)
+	}
 	return &Request{
 		Graph: &g,
 		Board: board,
@@ -114,6 +127,7 @@ func (sr *SolveRequest) Parse() (*Request, error) {
 		CutRoundsNode:      sr.CutRoundsNode,
 		MaxCuts:            sr.MaxCuts,
 		Pricing:            sr.Pricing,
+		Formulation:        sr.Formulation,
 		NoSymmetryBreaking: sr.NoSymmetryBreaking,
 		NoCache:            sr.NoCache,
 		Trace:              sr.Trace,
@@ -182,7 +196,14 @@ type Result struct {
 	LPSparseBTRANs      int     `json:"lp_sparse_btrans,omitempty"`
 	LPDenseFallbacks    int     `json:"lp_dense_fallbacks,omitempty"`
 	Pricing             string  `json:"pricing,omitempty"`
-	SolveMS             float64 `json:"solve_ms"`
+	// Formulation names the ILP model the solve actually ran ("rows" or
+	// "patterns" — the latter may fall back to rows when inapplicable);
+	// ColumnsGenerated and PricingRounds report the branch-and-price
+	// engine's column-generation effort (zero under the row model).
+	Formulation      string  `json:"formulation,omitempty"`
+	ColumnsGenerated int     `json:"columns_generated,omitempty"`
+	PricingRounds    int     `json:"pricing_rounds,omitempty"`
+	SolveMS          float64 `json:"solve_ms"`
 
 	// Cache reports how the service produced the result: "miss" (fresh
 	// solve), "hit" (memo cache), "shared" (deduplicated onto another
@@ -223,6 +244,9 @@ func NewResult(g *dfg.Graph, boardName, engine string, p *tempart.Partitioning) 
 		LPSparseBTRANs:      p.Stats.Solver.SparseBTRANs,
 		LPDenseFallbacks:    p.Stats.Solver.DenseFallbacks,
 		Pricing:             p.Stats.Pricing,
+		Formulation:         p.Stats.Formulation,
+		ColumnsGenerated:    p.Stats.ColumnsGenerated,
+		PricingRounds:       p.Stats.PricingRounds,
 	}
 	if p.N == 0 {
 		return r

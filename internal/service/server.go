@@ -241,6 +241,8 @@ func (s *Server) solve(ctx context.Context, req *Request) (*Result, error) {
 				LPSparseFTRANs:      p.Stats.Solver.SparseFTRANs,
 				LPSparseBTRANs:      p.Stats.Solver.SparseBTRANs,
 				LPDenseFallbacks:    p.Stats.Solver.DenseFallbacks,
+				ColumnsGenerated:    p.Stats.ColumnsGenerated,
+				PricingRounds:       p.Stats.PricingRounds,
 			})
 		}
 		res := NewResult(req.Graph, req.BoardName, be.Name(), p)

@@ -391,6 +391,7 @@ func TestBadRequests(t *testing.T) {
 		{"unknown-engine", `{"graph":{"tasks":[{"name":"a"}]},"engine":"magic"}`, http.StatusBadRequest},
 		{"negative-knob", `{"graph":{"tasks":[{"name":"a"}]},"workers":-1}`, http.StatusBadRequest},
 		{"bad-pricing", `{"graph":{"tasks":[{"name":"a"}]},"pricing":"dantzig"}`, http.StatusBadRequest},
+		{"bad-formulation", `{"graph":{"tasks":[{"name":"a"}]},"formulation":"columns"}`, http.StatusBadRequest},
 		{"task-too-large", `{"graph":{"tasks":[{"name":"a","resources":9999,"delay":1}]},"board":"small"}`,
 			http.StatusUnprocessableEntity},
 	}
@@ -523,6 +524,7 @@ func TestCacheKeyExcludesParallelismKnobs(t *testing.T) {
 		"no-symmetry": func(sr *SolveRequest) { sr.NoSymmetryBreaking = true },
 		"max-parts":   func(sr *SolveRequest) { sr.MaxPartitions = 5 },
 		"pricing":     func(sr *SolveRequest) { sr.Pricing = "steepest-edge" },
+		"formulation": func(sr *SolveRequest) { sr.Formulation = "patterns" },
 	} {
 		sr := base
 		mut(&sr)
@@ -533,6 +535,61 @@ func TestCacheKeyExcludesParallelismKnobs(t *testing.T) {
 		if r3.CacheKey() == r1.CacheKey() {
 			t.Errorf("knob %s did not change the cache key", name)
 		}
+	}
+}
+
+// TestSolveFormulationKnob drives the branch-and-price backend through the
+// wire: formulation "patterns" must reach the same optimum as the default
+// row model, report the formulation it actually ran plus its
+// column-generation counters, and land in its own cache entry (a repeat is
+// a hit, but never a hit on the rows entry).
+func TestSolveFormulationKnob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	g := marshalGraph(t, chainGraph())
+
+	var rows, pats, again Result
+	if code, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: g, Board: "small"}); code != http.StatusOK {
+		t.Fatalf("rows solve: HTTP %d: %s", code, body)
+	} else if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{Graph: g, Board: "small", Formulation: "patterns"}
+	if code, body := postJSON(t, ts.URL+"/v1/solve", req); code != http.StatusOK {
+		t.Fatalf("patterns solve: HTTP %d: %s", code, body)
+	} else if err := json.Unmarshal(body, &pats); err != nil {
+		t.Fatal(err)
+	}
+	if pats.N != rows.N || pats.LatencyNS != rows.LatencyNS {
+		t.Errorf("patterns N=%d latency=%g, rows N=%d latency=%g — formulations disagree",
+			pats.N, pats.LatencyNS, rows.N, rows.LatencyNS)
+	}
+	if !pats.Optimal {
+		t.Error("patterns solve not proven optimal")
+	}
+	if rows.Formulation != "rows" || pats.Formulation != "patterns" {
+		t.Errorf("reported formulations %q/%q, want rows/patterns", rows.Formulation, pats.Formulation)
+	}
+	if pats.ColumnsGenerated == 0 || pats.PricingRounds == 0 {
+		t.Errorf("patterns solve reported %d columns / %d pricing rounds, want nonzero",
+			pats.ColumnsGenerated, pats.PricingRounds)
+	}
+	if rows.ColumnsGenerated != 0 {
+		t.Errorf("rows solve reported %d generated columns, want 0", rows.ColumnsGenerated)
+	}
+	if rows.Cache != "miss" || pats.Cache != "miss" {
+		t.Errorf("cache origins %q/%q, want miss/miss (formulation must be keyed)", rows.Cache, pats.Cache)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/solve", req); code != http.StatusOK {
+		t.Fatalf("repeat patterns solve: HTTP %d: %s", code, body)
+	} else if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache != "hit" {
+		t.Errorf("repeat patterns solve origin %q, want hit", again.Cache)
+	}
+	if again.Formulation != "patterns" || again.ColumnsGenerated != pats.ColumnsGenerated {
+		t.Errorf("cache hit lost branch-and-price stats: formulation %q, columns %d (want %q, %d)",
+			again.Formulation, again.ColumnsGenerated, pats.Formulation, pats.ColumnsGenerated)
 	}
 }
 

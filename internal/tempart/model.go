@@ -55,6 +55,16 @@ type Input struct {
 	MaxPartitions int
 	// PathCap bounds exact path enumeration for Eq. 7 (default 20000).
 	PathCap int
+	// Formulation selects the solver backend each relax-N probe runs:
+	// FormulationRows (the default, also the empty string) is the Eqs. 1-8
+	// y/w/d row model; FormulationPatterns is the branch-and-price
+	// partition-pattern master (bprice.go). Both prove the same optima —
+	// the formulation-equivalence tests pin that — but the pattern master's
+	// set-partitioning bound closes mixed-cardinality packings the row
+	// model crawls through. Instances whose worst-case boundary traffic
+	// exceeds the on-board memory fall back to rows (the pattern master
+	// has no Eq. 3 rows; see patternsApplicable).
+	Formulation string
 	// NoSymmetryBreaking disables the ordering constraints between
 	// provably interchangeable tasks. They are on by default: they never
 	// change the optimum and substantially prune the search on regular
@@ -129,12 +139,23 @@ type SolveStats struct {
 	ConflictCuts     int
 	CGCuts           int
 	DualBoundFathoms int
+	// ColumnsGenerated and PricingRounds report the branch-and-price
+	// engine's column-generation effort: master columns appended beyond
+	// the artificials and pricing-problem invocations across the whole
+	// search. Zero under the row formulation.
+	ColumnsGenerated int
+	PricingRounds    int
 	// Solver aggregates the warm/cold solve and pivot counts of the
 	// underlying simplex engine across the whole B&B search.
 	Solver lp.SolverStats
 	// Pricing names the dual pricing rule the simplex engine ran with
 	// ("devex" or "steepest-edge"); empty for non-ILP results.
 	Pricing string
+	// Formulation names the model the winning probe actually solved
+	// ("rows" or "patterns"); empty for non-ILP results. It can differ
+	// from Input.Formulation when the pattern backend declined the
+	// instance (inter-partition data) and fell back to rows.
+	Formulation string
 }
 
 // Partitioning is a temporal partitioning result.
@@ -815,9 +836,18 @@ func buildModel(in Input, pre *presolve, paths [][]int, N int, withPresolveCut b
 	}
 }
 
+// Formulation values for Input.Formulation (empty selects rows).
+const (
+	FormulationRows     = "rows"
+	FormulationPatterns = "patterns"
+)
+
 // solveForN builds and solves the model for a fixed partition bound.
 // It returns (nil, nil) when the model is infeasible at this N.
 func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally) (*Partitioning, error) {
+	if in.Formulation == FormulationPatterns && patternsApplicable(in.Graph, in.Board) {
+		return solveForNPatterns(in, pre, paths, N, tally)
+	}
 	g := in.Graph
 	nT := g.NumTasks()
 	buildStart := time.Now()
@@ -930,8 +960,9 @@ func solveForN(in Input, pre *presolve, paths [][]int, N int, tally *proofTally)
 			// infeasibility proof below it is still running.
 			CGCuts:    m.cgRoot,
 			BuildTime: buildTime, SolveTime: solveTime,
-			Solver:  sol.Solver,
-			Pricing: opts.Pricing.String(),
+			Solver:      sol.Solver,
+			Pricing:     opts.Pricing.String(),
+			Formulation: FormulationRows,
 		},
 	}
 	part.Partial = sol.Status == ilp.Timeout

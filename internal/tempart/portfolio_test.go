@@ -104,10 +104,23 @@ func runEntry(e *portfolioEntry) (*Partitioning, error) {
 	return Solve(Input{
 		Graph:              e.graph,
 		Board:              e.board,
+		MaxPartitions:      e.MaxParts,
+		Formulation:        e.Formulation,
 		NoSymmetryBreaking: e.NoSymmetry,
 		DisableWarmStart:   e.NoWarm,
 		ILP:                ilp.Options{MaxNodes: e.MaxNodes},
 	})
+}
+
+// entryName is the subtest name of a manifest row: the fixture file stem,
+// suffixed with the formulation when one is forced, so one fixture can
+// appear under several backends without colliding.
+func entryName(e *portfolioEntry) string {
+	name := strings.TrimSuffix(e.File, ".json")
+	if e.Formulation != "" {
+		name += "-" + e.Formulation
+	}
+	return name
 }
 
 // TestHardPortfolio pins every quick instance's expected outcome: solvable
@@ -128,7 +141,7 @@ func TestHardPortfolio(t *testing.T) {
 		if !e.Quick {
 			continue // stress-only instances run via BenchmarkHardPortfolio (make stress)
 		}
-		t.Run(strings.TrimSuffix(e.File, ".json"), func(t *testing.T) {
+		t.Run(entryName(&e), func(t *testing.T) {
 			p, err := runEntry(&e)
 			switch e.Expect {
 			case "limit":
@@ -138,6 +151,19 @@ func TestHardPortfolio(t *testing.T) {
 				}
 				if !strings.Contains(err.Error(), "search limit") {
 					t.Fatalf("expected a search-limit error, got: %v", err)
+				}
+			case "gap":
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.N != e.WantN {
+					t.Errorf("N=%d, want %d", p.N, e.WantN)
+				}
+				if p.Optimal {
+					t.Errorf("proved optimal in %d nodes — this instance is pinned as cannot-finish; move it to expect \"solve\"", p.Stats.Nodes)
+				}
+				if err := CheckFeasible(e.graph, e.board, p.Assign, p.N); err != nil {
+					t.Error(err)
 				}
 			case "solve":
 				if err != nil {
